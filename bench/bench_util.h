@@ -1,0 +1,28 @@
+// Shared console-table formatting for the experiment binaries.
+//
+// Every bench prints (a) the measured series in the same row/column
+// structure as the paper's table or figure and (b) the paper's reported
+// numbers next to them, so EXPERIMENTS.md can be filled by reading the
+// output directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace radar::bench {
+
+inline void heading(const std::string& experiment, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+inline void rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace radar::bench

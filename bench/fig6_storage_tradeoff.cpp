@@ -1,0 +1,61 @@
+// Fig. 6 — Recovery accuracy vs golden-signature storage.
+//
+// Two series per model: (a) signature storage of the *paper-scale*
+// networks (ResNet-20 @ 32x32, ResNet-18 @ 224x224) from the shape
+// descriptors — these match the paper's x-axis exactly (8.2 KB at G=8,
+// 5.6 KB at G=512); (b) measured recovery accuracy on our trained
+// stand-in models (NBF = 10, interleaved).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "exp/workspace.h"
+#include "sim/netdesc.h"
+
+int main() {
+  using namespace radar;
+  const int rounds = static_cast<int>(experiment_rounds(10, 3));
+  bench::heading("Fig. 6", "recovery accuracy vs signature storage");
+  bench::note("rounds = " + std::to_string(rounds) +
+              ", NBF = 10, interleaved");
+
+  struct Config {
+    const char* id;
+    sim::NetworkShape shape;
+    std::vector<std::int64_t> gs;
+  };
+  const Config configs[] = {
+      {"resnet20", sim::resnet20_shape(), {4, 8, 16, 32, 64}},
+      {"resnet18", sim::resnet18_shape(), {64, 128, 256, 512, 1024}},
+  };
+
+  for (const auto& cfg : configs) {
+    exp::ModelBundle bundle = exp::load_or_train(cfg.id);
+    const auto profiles = exp::load_or_run_pbfa(bundle, 10, rounds);
+    std::printf("\n%s (paper-scale storage axis: %s, %lld weights):\n",
+                cfg.id, cfg.shape.name.c_str(),
+                static_cast<long long>(cfg.shape.total_weights()));
+    std::printf("  %-8s %16s %18s\n", "G", "storage (KB)",
+                "recovered acc");
+    bench::rule();
+    for (const auto g : cfg.gs) {
+      const double kb =
+          static_cast<double>(cfg.shape.signature_storage_bytes(g, 2)) /
+          1024.0;
+      core::RadarConfig rc;
+      rc.group_size = bundle.scaled_group(g);
+      rc.interleave = true;
+      const auto summary =
+          exp::summarize_recovery(bundle, profiles, rc, 10, 256);
+      std::printf("  %-8lld %16.1f %17.2f%%\n", static_cast<long long>(g),
+                  kb, 100.0 * summary.mean_acc_recovered);
+    }
+  }
+  bench::rule();
+  std::printf(
+      "paper sweet spots: ResNet-20 G=8 (8.2 KB, >80%%); ResNet-18 G=512 "
+      "(5.6 KB, >60%%). Shape: accuracy degrades mildly as storage "
+      "shrinks (larger G).\n");
+  return 0;
+}

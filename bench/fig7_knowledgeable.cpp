@@ -1,0 +1,58 @@
+// Fig. 7 — Knowledgeable attacker on ResNet-20: PBFA plus canceling decoy
+// pairs (≈20 flips total), detection and recovery vs group size.
+//
+// Paper: without interleaving the detection ratio collapses (the attacker
+// successfully pairs 0->1 / 1->0 flips inside checksum groups) and the
+// recovered accuracy drops with it; interleaving (plus masking) keeps
+// detection near the plain-PBFA level. For each defender G we give the
+// attacker the strongest assumption — the true G, contiguous — so the
+// non-interleaved series is a worst case.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "exp/workspace.h"
+
+int main() {
+  using namespace radar;
+  const int rounds = static_cast<int>(experiment_rounds(6, 2));
+  bench::heading("Fig. 7", "knowledgeable attacker (ResNet-20)");
+  bench::note("rounds = " + std::to_string(rounds) +
+              "; 10 primary PBFA flips + canceling decoys (~20 total)");
+
+  exp::ModelBundle bundle = exp::load_or_train("resnet20");
+  const std::vector<std::int64_t> gs = {4, 8, 16, 32, 64};
+
+  std::printf("  %-6s %8s %18s %18s %14s %14s\n", "G", "flips",
+              "detected (w/o ilv)", "detected (ilv)", "acc (w/o)",
+              "acc (ilv)");
+  bench::rule();
+  for (const auto g : gs) {
+    const auto profiles =
+        exp::load_or_run_knowledgeable(bundle, 10, rounds, g);
+    double mean_flips = 0.0;
+    for (const auto& r : profiles)
+      mean_flips += static_cast<double>(r.flips.size());
+    mean_flips /= static_cast<double>(profiles.size());
+
+    core::RadarConfig rc;
+    rc.group_size = g;
+    rc.interleave = false;
+    // Replay all flips (primary + decoys): n_bf large enough to take all.
+    const auto plain = exp::summarize_recovery(bundle, profiles, rc, 64, 256);
+    rc.interleave = true;
+    const auto inter = exp::summarize_recovery(bundle, profiles, rc, 64, 256);
+    std::printf("  %-6lld %8.1f %15.2f/%-2.0f %15.2f/%-2.0f %13.2f%% %13.2f%%\n",
+                static_cast<long long>(g), mean_flips, plain.mean_detected,
+                mean_flips, inter.mean_detected, mean_flips,
+                100.0 * plain.mean_acc_recovered,
+                100.0 * inter.mean_acc_recovered);
+  }
+  bench::rule();
+  std::printf(
+      "paper shape: w/o interleave detection drops well below the flip "
+      "count (pairs cancel); with interleave it stays near-complete and "
+      "recovery accuracy is much higher at small G.\n");
+  return 0;
+}

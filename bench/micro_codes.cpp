@@ -1,0 +1,124 @@
+// Microbenchmarks of the detection primitives (google-benchmark).
+//
+// Ground truth for the cost ranking assumed by the timing model: the
+// masked addition checksum must be substantially cheaper per byte than
+// CRC (table-driven or bit-serial) and Hamming SEC-DED.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "codes/crc.h"
+#include "codes/fletcher.h"
+#include "codes/hamming.h"
+#include "common/rng.h"
+#include "core/checksum.h"
+#include "core/scanner.h"
+#include "core/scheme.h"
+
+namespace {
+
+using namespace radar;
+
+std::vector<std::int8_t> make_weights(std::size_t n) {
+  Rng rng(42);
+  std::vector<std::int8_t> w(n);
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  return w;
+}
+
+void BM_MaskedChecksum512(benchmark::State& state) {
+  const auto w = make_weights(1 << 16);
+  const core::GroupLayout layout =
+      core::GroupLayout::interleaved(1 << 16, 512, 3);
+  const core::MaskStream mask(0xBEEF);
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (std::int64_t g = 0; g < layout.num_groups(); ++g)
+      acc += core::masked_group_sum(w, layout, g, mask);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 16));
+}
+BENCHMARK(BM_MaskedChecksum512);
+
+void BM_SignatureScanFullLayer(benchmark::State& state) {
+  const auto w = make_weights(1 << 16);
+  const core::GroupLayout layout =
+      core::GroupLayout::interleaved(1 << 16, 512, 3);
+  const core::MaskStream mask(0xBEEF);
+  for (auto _ : state) {
+    unsigned acc = 0;
+    for (std::int64_t g = 0; g < layout.num_groups(); ++g)
+      acc += core::group_signature(w, layout, g, mask, 2).bits;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 16));
+}
+BENCHMARK(BM_SignatureScanFullLayer);
+
+void BM_StreamingScan512(benchmark::State& state) {
+  // The production scan path: precomputed group/mask tables, one pass.
+  const auto w = make_weights(1 << 16);
+  const core::GroupLayout layout =
+      core::GroupLayout::interleaved(1 << 16, 512, 3);
+  const core::MaskStream mask(0xBEEF);
+  const core::LayerScanner scanner(layout, mask, 2);
+  for (auto _ : state) {
+    auto sigs = scanner.scan(w);
+    benchmark::DoNotOptimize(sigs);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 16));
+}
+BENCHMARK(BM_StreamingScan512);
+
+void BM_CrcTable(benchmark::State& state) {
+  const auto w = make_weights(1 << 16);
+  codes::Crc crc(codes::CrcSpec::crc13());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crc.compute_i8(std::span<const std::int8_t>(w.data(), w.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 16));
+}
+BENCHMARK(BM_CrcTable);
+
+void BM_CrcBitSerial(benchmark::State& state) {
+  const auto w = make_weights(1 << 14);
+  codes::Crc crc(codes::CrcSpec::crc13());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc.compute_bitwise(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(w.data()), w.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 14));
+}
+BENCHMARK(BM_CrcBitSerial);
+
+void BM_HammingSecDed512(benchmark::State& state) {
+  const auto w = make_weights(512);
+  codes::HammingSecDed code(512 * 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        code.encode_i8(std::span<const std::int8_t>(w.data(), w.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          512);
+}
+BENCHMARK(BM_HammingSecDed512);
+
+void BM_Fletcher32(benchmark::State& state) {
+  const auto w = make_weights(1 << 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codes::fletcher32(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(w.data()), w.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 16));
+}
+BENCHMARK(BM_Fletcher32);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// §VIII — Avoid flipping MSB: the MSB-1-restricted attacker and the 3-bit
+// signature countermeasure.
+//
+// Paper: ~30 MSB-1 flips are needed for damage comparable to 10 MSB flips
+// on ResNet-20; the 2-bit signature is weak against MSB-1 flips, while a
+// 3-bit signature (adds SC = floor(M/64) % 2) detects them at +50%
+// storage.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "exp/workspace.h"
+
+int main() {
+  using namespace radar;
+  const int rounds = static_cast<int>(experiment_rounds(4, 2));
+  bench::heading("§VIII", "MSB-1 attacker vs 3-bit signature (ResNet-20)");
+  bench::note("rounds = " + std::to_string(rounds));
+
+  exp::ModelBundle bundle = exp::load_or_train("resnet20");
+  const auto msb_profiles = exp::load_or_run_pbfa(
+      bundle, 10, static_cast<int>(experiment_rounds(10, 3)));
+  const auto msb1_profiles =
+      exp::load_or_run_restricted_pbfa(bundle, 30, rounds, {6}, "msb1");
+
+  // 1. Damage per flip budget.
+  std::printf("attack strength (accuracy after attack, clean %.2f%%):\n",
+              100.0 * bundle.clean_accuracy);
+  std::printf("  %-24s %10s\n", "attack", "accuracy");
+  bench::rule();
+  double msb_acc = 0.0;
+  for (const auto& r : msb_profiles) msb_acc += r.accuracy_after;
+  std::printf("  %-24s %9.2f%%\n", "MSB, 10 flips",
+              100.0 * msb_acc / static_cast<double>(msb_profiles.size()));
+  for (const int nbf : {10, 20, 30}) {
+    double acc = 0.0;
+    for (const auto& r : msb1_profiles) {
+      core::RadarConfig rc;  // replay only; use any config, read attacked
+      rc.group_size = 16;
+      const auto o = exp::replay_and_recover(bundle, r, rc, nbf, 256);
+      acc += o.accuracy_attacked;
+    }
+    std::printf("  MSB-1, %2d flips          %9.2f%%\n", nbf,
+                100.0 * acc / static_cast<double>(msb1_profiles.size()));
+  }
+  std::printf(
+      "  paper: ~30 MSB-1 flips needed for damage comparable to 10 MSB "
+      "flips.\n\n");
+
+  // 2. Detection of the MSB-1 attack: 2-bit vs 3-bit signature.
+  std::printf("detection of the 30-flip MSB-1 attack (G=16, interleaved):\n");
+  std::printf("  %-18s %14s %14s\n", "signature", "detected", "storage x");
+  bench::rule();
+  for (const int bits : {2, 3}) {
+    core::RadarConfig rc;
+    rc.group_size = 16;
+    rc.interleave = true;
+    rc.signature_bits = bits;
+    const auto s = exp::summarize_recovery(bundle, msb1_profiles, rc, 30,
+                                           /*eval=*/0);
+    std::printf("  %d-bit %12s %10.2f/30 %13.2f\n", bits, "",
+                s.mean_detected, bits == 2 ? 1.0 : 1.5);
+  }
+  bench::rule();
+  std::printf(
+      "claim reproduced if the 3-bit signature detects (nearly) all MSB-1 "
+      "flips while the 2-bit one misses a large fraction.\n");
+  return 0;
+}

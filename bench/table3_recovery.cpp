@@ -1,0 +1,103 @@
+// Table III — Accuracy recovery of the RADAR scheme.
+//
+// Paper (test accuracy %, "w/o interleave / with interleave"):
+//   ResNet-20: clean 90.15; NBF=5 -> 40.72, NBF=10 -> 18.01 after attack;
+//     recovery at G=8/16/32 climbs back to 61..86%.
+//   ResNet-18: clean 69.79; NBF=5 -> 5.66, NBF=10 -> 0.18 after attack;
+//     recovery at G=128/256/512 climbs back to 57..68%.
+// Absolute accuracies differ on our synthetic stand-in datasets; the shape
+// (catastrophic drop -> near-clean recovery, better with interleave and
+// smaller G) is what this bench reproduces.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "exp/workspace.h"
+
+namespace {
+constexpr std::int64_t kEvalSubset = 256;
+}
+
+int main() {
+  using namespace radar;
+  const int rounds = static_cast<int>(experiment_rounds(10, 3));
+  bench::heading("Table III", "accuracy recovery of the RADAR scheme");
+  bench::note("rounds = " + std::to_string(rounds) + ", accuracy on " +
+              std::to_string(kEvalSubset) + " test images");
+
+  struct Config {
+    const char* id;
+    std::vector<std::int64_t> gs;
+    const char* paper_clean;
+    const char* paper_row5;
+    const char* paper_row10;
+  };
+  const Config configs[] = {
+      {"resnet20",
+       {8, 16, 32},
+       "90.15",
+       "40.72 -> 82.66/85.64, 76.39/83.72, 68.06/73.35",
+       "18.01 -> 80.86/81.07, 70.53/77.96, 61.62/61.32"},
+      {"resnet18",
+       {128, 256, 512},
+       "69.79",
+       " 5.66 -> 66.60/67.51, 65.12/66.15, 62.89/62.87",
+       " 0.18 -> 62.69/66.33, 59.95/64.96, 57.46/60.69"},
+  };
+
+  for (const auto& cfg : configs) {
+    exp::ModelBundle bundle = exp::load_or_train(cfg.id);
+    const auto profiles = exp::load_or_run_pbfa(bundle, 10, rounds);
+    std::printf("\n%s: clean accuracy %.2f%%  (paper clean %s%%)\n",
+                cfg.id, 100.0 * bundle.clean_accuracy, cfg.paper_clean);
+    if (bundle.group_scale != 1)
+      std::printf("  (reduced-width model: paper G mapped to G/%lld — same "
+                  "groups-per-layer granularity)\n",
+                  static_cast<long long>(bundle.group_scale));
+    std::printf("  %-5s %10s", "NBF", "attacked");
+    for (const auto g : cfg.gs)
+      std::printf("     G=%-4lld w/o / ilv", static_cast<long long>(g));
+    std::printf("\n");
+    bench::rule();
+    for (const int nbf : {5, 10}) {
+      // Attacked accuracy is independent of (G, interleave): average the
+      // per-round replays once.
+      double attacked = 0.0;
+      std::vector<std::vector<double>> recovered(
+          cfg.gs.size(), std::vector<double>(2, 0.0));
+      for (const auto& round : profiles) {
+        bool attacked_done = false;
+        for (std::size_t gi = 0; gi < cfg.gs.size(); ++gi) {
+          for (int ilv = 0; ilv < 2; ++ilv) {
+            core::RadarConfig rc;
+            rc.group_size = bundle.scaled_group(cfg.gs[gi]);
+            rc.interleave = (ilv == 1);
+            const exp::RecoveryOutcome o = exp::replay_and_recover(
+                bundle, round, rc, nbf, kEvalSubset,
+                /*measure_attacked=*/!attacked_done);
+            recovered[gi][static_cast<std::size_t>(ilv)] +=
+                o.accuracy_recovered;
+            if (!attacked_done) {
+              attacked += o.accuracy_attacked;
+              attacked_done = true;
+            }
+          }
+        }
+      }
+      const double n = static_cast<double>(profiles.size());
+      std::printf("  %-5d %9.2f%%", nbf, 100.0 * attacked / n);
+      for (std::size_t gi = 0; gi < cfg.gs.size(); ++gi)
+        std::printf("     %6.2f%% / %6.2f%%", 100.0 * recovered[gi][0] / n,
+                    100.0 * recovered[gi][1] / n);
+      std::printf("\n");
+    }
+    std::printf("  paper NBF=5 : %s\n", cfg.paper_row5);
+    std::printf("  paper NBF=10: %s\n", cfg.paper_row10);
+  }
+  bench::rule();
+  std::printf(
+      "claim reproduced if recovery returns close to clean accuracy and "
+      "interleaving/smaller G help.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Table V — Overhead comparison with CRC techniques.
+//
+// Paper: ResNet-20 G=8: CRC 84.2ms/Δ17.9ms, 28.7 KB vs RADAR
+// 69.8ms/Δ3.5ms, 8.2 KB. ResNet-18 G=512: CRC-13 3.585s/Δ0.317s, 36.4 KB
+// vs RADAR 3.328s/Δ0.060s, 5.6 KB; CRC-10 (MSB-only) Δ0.315s / 28.0 KB.
+//
+// We report the modeled times and exact storage, plus measured host-CPU
+// throughput of our actual CRC/checksum implementations as a sanity check
+// on the relative cost ranking.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "codes/crc.h"
+#include "codes/hamming.h"
+#include "common/rng.h"
+#include "core/checksum.h"
+#include "core/scanner.h"
+#include "sim/netdesc.h"
+#include "sim/timing.h"
+
+namespace {
+/// ns per byte of a callable applied to `data` repeatedly.
+template <typename F>
+double ns_per_byte(const std::vector<std::int8_t>& data, F&& f, int reps) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         (static_cast<double>(reps) * static_cast<double>(data.size()));
+}
+}  // namespace
+
+int main() {
+  using namespace radar;
+  bench::heading("Table V", "RADAR vs CRC: time and storage");
+
+  sim::TimingSimulator sim;
+  struct Row {
+    const char* id;
+    sim::NetworkShape shape;
+    std::int64_t g;
+    const char* paper_crc;
+    const char* paper_radar;
+  };
+  const Row rows[] = {
+      {"resnet20; G=8", sim::resnet20_shape(), 8,
+       "84.2ms/17.9ms, 28.7KB", "69.8ms/3.5ms, 8.2KB"},
+      {"resnet18; G=512", sim::resnet18_shape(), 512,
+       "3.585s/0.317s, 36.4KB", "3.328s/0.060s, 5.6KB"},
+  };
+
+  for (const auto& row : rows) {
+    const int crc_bits =
+        codes::HammingSecDed::parity_bits_for(row.g * 8);  // 7 or 13
+    const auto crc = sim.crc_seconds(row.shape, row.g, crc_bits);
+    const auto radar = sim.radar_seconds(row.shape, row.g, true);
+    std::printf("\n%s:\n", row.id);
+    std::printf("  %-10s %12s %12s %12s\n", "scheme", "time", "delta",
+                "storage");
+    bench::rule();
+    std::printf("  CRC-%-6d %10.1fms %10.1fms %9.1f KB   | paper %s\n",
+                crc_bits, 1e3 * crc.total(), 1e3 * crc.detection,
+                static_cast<double>(
+                    row.shape.code_storage_bytes(row.g, crc_bits)) /
+                    1024.0,
+                row.paper_crc);
+    std::printf("  RADAR      %10.1fms %10.1fms %9.1f KB   | paper %s\n",
+                1e3 * radar.total(), 1e3 * radar.detection,
+                static_cast<double>(
+                    row.shape.signature_storage_bytes(row.g, 2)) /
+                    1024.0,
+                row.paper_radar);
+  }
+
+  // MSB-only CRC-10 alternative (paper's last paragraph of §VII.B).
+  {
+    const auto crc10 = sim.crc_seconds(sim::resnet18_shape(), 512, 10);
+    std::printf(
+        "\nMSB-only CRC-10 on ResNet-18: delta %.3fs, storage %.1f KB "
+        "(paper 0.315s / 28.0 KB)\n",
+        crc10.detection,
+        static_cast<double>(
+            sim::resnet18_shape().code_storage_bytes(512, 10)) /
+            1024.0);
+  }
+
+  // Host-CPU ground truth: our real implementations, 512-byte groups.
+  {
+    Rng rng(1);
+    std::vector<std::int8_t> data(1 << 20);
+    for (auto& b : data) b = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    const core::GroupLayout layout = core::GroupLayout::interleaved(
+        static_cast<std::int64_t>(data.size()), 512, 3);
+    const core::MaskStream mask(0xBEEF);
+    volatile std::int64_t sink = 0;
+
+    codes::Crc crc13(codes::CrcSpec::crc13());
+    const double crc_table = ns_per_byte(
+        data,
+        [&] {
+          sink += crc13.compute_i8(
+              std::span<const std::int8_t>(data.data(), data.size()));
+        },
+        8);
+    const double crc_serial = ns_per_byte(
+        data,
+        [&] {
+          sink += crc13.compute_bitwise(std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(data.data()),
+              data.size()));
+        },
+        2);
+    const core::LayerScanner scanner(layout, mask, 2);
+    const double radar_scan = ns_per_byte(
+        data,
+        [&] {
+          auto sums = scanner.masked_sums(
+              std::span<const std::int8_t>(data.data(), data.size()));
+          sink += sums[0];
+        },
+        8);
+    std::printf(
+        "\nhost-CPU measured (this machine, ns/byte): RADAR streaming scan "
+        "%.2f, CRC-13 table %.2f, CRC-13 bit-serial %.2f\n",
+        radar_scan, crc_table, crc_serial);
+    std::printf(
+        "claim reproduced if the RADAR scan is cheapest and bit-serial CRC "
+        "(the MCU-class implementation the paper models) is the most "
+        "expensive.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Trade-off explorer: pick a RADAR configuration for a deployment.
+//
+// For a chosen network scale (the paper's ResNet-18 by default) this tool
+// sweeps group size and signature width and reports, per configuration:
+// secure-storage bytes, predicted detection-time overhead on the
+// Cortex-M4F-class platform model, and a Monte-Carlo estimate of the
+// full-attack miss rate — then flags the paper's recommended operating
+// point.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "core/checksum.h"
+#include "sim/netdesc.h"
+#include "sim/timing.h"
+
+namespace {
+
+using namespace radar;
+
+/// Monte-Carlo miss rate of a 10-MSB-flip attack on one 4096-weight layer
+/// (scaled-down proxy; smaller G -> fewer collisions -> fewer misses).
+double miss_rate(std::int64_t g, int sig_bits, std::int64_t rounds) {
+  Rng rng(g * 7919 + sig_bits);
+  std::vector<std::int8_t> w(4096);
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  const core::GroupLayout layout = core::GroupLayout::interleaved(4096, g, 3);
+  const core::MaskStream mask(0xBEEF);
+  std::int64_t misses = 0;
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    const auto sites = rng.sample_without_replacement(w.size(), 10);
+    std::map<std::int64_t, core::Signature> clean;
+    for (const auto s : sites) {
+      const std::int64_t grp = layout.group_of(static_cast<std::int64_t>(s));
+      if (!clean.count(grp))
+        clean[grp] = core::group_signature(w, layout, grp, mask, sig_bits);
+    }
+    for (const auto s : sites) w[s] = flip_bit(w[s], kMsb);
+    bool missed = true;
+    for (const auto& [grp, sig] : clean) {
+      if (!(core::group_signature(w, layout, grp, mask, sig_bits) == sig)) {
+        missed = false;
+        break;
+      }
+    }
+    for (const auto s : sites) w[s] = flip_bit(w[s], kMsb);
+    if (missed) ++misses;
+  }
+  return static_cast<double>(misses) / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t mc_rounds = radar::experiment_rounds(200000, 20000);
+  const auto shape = radar::sim::resnet18_shape();
+  radar::sim::TimingSimulator sim;
+
+  std::printf("== RADAR configuration explorer: %s (%lld weights) ==\n",
+              shape.name.c_str(),
+              static_cast<long long>(shape.total_weights()));
+  std::printf("Monte-Carlo rounds per cell: %lld\n\n",
+              static_cast<long long>(mc_rounds));
+  std::printf("%-8s %-6s %12s %12s %14s\n", "G", "sig", "storage KB",
+              "overhead %", "miss rate");
+  std::printf("--------------------------------------------------------\n");
+
+  for (const std::int64_t g : {64, 128, 256, 512, 1024}) {
+    for (const int bits : {2, 3}) {
+      const double kb =
+          static_cast<double>(shape.signature_storage_bytes(g, bits)) /
+          1024.0;
+      const auto t = sim.radar_seconds(shape, g, true);
+      const double mr = miss_rate(g, bits, mc_rounds);
+      const bool recommended = (g == 512 && bits == 2);
+      std::printf("%-8lld %-6d %12.1f %11.2f%% %14.2e %s\n",
+                  static_cast<long long>(g), bits, kb, t.overhead_pct(), mr,
+                  recommended ? "  <- paper's choice" : "");
+    }
+  }
+  std::printf(
+      "\nreading: storage scales ~1/G and x1.5 for 3-bit signatures; the "
+      "time overhead is dominated by the per-weight checksum, so G mainly "
+      "buys storage; miss rate rises with G (more in-group collisions). "
+      "G=512 / 2-bit is the paper's ResNet-18 sweet spot.\n");
+  return 0;
+}

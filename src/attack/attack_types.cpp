@@ -1,0 +1,52 @@
+#include "attack/attack_types.h"
+
+#include "common/serialize.h"
+
+namespace radar::attack {
+
+namespace {
+constexpr std::uint32_t kProfileVersion = 2;
+}
+
+void save_profiles(const std::string& path,
+                   const std::vector<AttackResult>& rounds) {
+  BinaryWriter w(path, kProfileVersion);
+  w.write_u64(rounds.size());
+  for (const auto& r : rounds) {
+    w.write_f32(r.loss_before);
+    w.write_f32(r.loss_after);
+    w.write_f32(static_cast<float>(r.accuracy_after));
+    w.write_u64(r.flips.size());
+    for (const auto& f : r.flips) {
+      w.write_u64(f.layer);
+      w.write_i64(f.index);
+      w.write_u8(static_cast<std::uint8_t>(f.bit));
+      w.write_u8(static_cast<std::uint8_t>(f.before));
+      w.write_u8(static_cast<std::uint8_t>(f.after));
+    }
+  }
+  w.close();
+}
+
+std::vector<AttackResult> load_profiles(const std::string& path) {
+  BinaryReader r(path, kProfileVersion);
+  const auto n = r.read_u64();
+  std::vector<AttackResult> rounds(n);
+  for (auto& round : rounds) {
+    round.loss_before = r.read_f32();
+    round.loss_after = r.read_f32();
+    round.accuracy_after = r.read_f32();
+    const auto nf = r.read_u64();
+    round.flips.resize(nf);
+    for (auto& f : round.flips) {
+      f.layer = r.read_u64();
+      f.index = r.read_i64();
+      f.bit = static_cast<int>(r.read_u8());
+      f.before = static_cast<std::int8_t>(r.read_u8());
+      f.after = static_cast<std::int8_t>(r.read_u8());
+    }
+  }
+  return rounds;
+}
+
+}  // namespace radar::attack

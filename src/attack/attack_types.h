@@ -1,0 +1,45 @@
+// Common attack types: bit-flip records and attack outcomes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace radar::attack {
+
+/// One committed weight-bit flip.
+struct BitFlip {
+  std::size_t layer = 0;   ///< quantized-layer index
+  std::int64_t index = 0;  ///< weight index within the layer
+  int bit = 7;             ///< 0 = LSB .. 7 = MSB
+  std::int8_t before = 0;  ///< code before the flip
+  std::int8_t after = 0;   ///< code after the flip
+
+  bool flips_msb() const { return bit == 7; }
+  /// True for a 0→1 transition of the targeted bit.
+  bool zero_to_one() const {
+    return ((static_cast<std::uint8_t>(after) >> bit) & 1u) == 1u;
+  }
+};
+
+/// Outcome of one attack run.
+struct AttackResult {
+  std::vector<BitFlip> flips;
+  float loss_before = 0.0f;
+  float loss_after = 0.0f;
+  double accuracy_after = -1.0;  ///< filled by callers that evaluate it
+
+  std::vector<std::pair<std::size_t, std::int64_t>> flip_sites() const {
+    std::vector<std::pair<std::size_t, std::int64_t>> out;
+    out.reserve(flips.size());
+    for (const auto& f : flips) out.emplace_back(f.layer, f.index);
+    return out;
+  }
+};
+
+/// Serialize / restore a set of attack rounds (profile cache).
+void save_profiles(const std::string& path,
+                   const std::vector<AttackResult>& rounds);
+std::vector<AttackResult> load_profiles(const std::string& path);
+
+}  // namespace radar::attack

@@ -1,0 +1,54 @@
+#include "attack/knowledgeable.h"
+
+#include "common/bits.h"
+
+namespace radar::attack {
+
+AttackResult KnowledgeableAttacker::run(quant::QuantizedModel& qm,
+                                        const data::Batch& attack_batch,
+                                        int n_primary, Rng& rng) {
+  Pbfa pbfa(cfg_.pbfa);
+  AttackResult result = pbfa.run(qm, attack_batch, n_primary);
+
+  // For every primary MSB flip, craft a decoy in the same assumed
+  // (contiguous) group whose MSB transition has the opposite direction, so
+  // the pair's net checksum contribution is zero under an unmasked,
+  // non-interleaved addition checksum.
+  const std::int64_t g = cfg_.assumed_group_size;
+  std::vector<BitFlip> decoys;
+  for (const BitFlip& primary : result.flips) {
+    if (!primary.flips_msb()) continue;
+    const auto& ql = qm.layer(primary.layer);
+    const std::int64_t group_begin = (primary.index / g) * g;
+    const std::int64_t group_end = std::min(group_begin + g, ql.size());
+    const bool want_zero_to_one = !primary.zero_to_one();
+    // Scan the assumed group (random start) for a weight whose MSB equals
+    // the value we want to flip *from*.
+    const std::int64_t span = group_end - group_begin;
+    const std::int64_t start = rng.uniform_int(0, span - 1);
+    std::int64_t decoy_idx = -1;
+    for (std::int64_t off = 0; off < span; ++off) {
+      const std::int64_t idx = group_begin + (start + off) % span;
+      if (idx == primary.index) continue;
+      const std::int8_t code = qm.get_code(primary.layer, idx);
+      const bool msb_is_one = radar::get_bit(code, radar::kMsb);
+      if (msb_is_one != want_zero_to_one) {
+        decoy_idx = idx;
+        break;
+      }
+    }
+    if (decoy_idx < 0) continue;  // no canceling partner in this group
+    BitFlip d;
+    d.layer = primary.layer;
+    d.index = decoy_idx;
+    d.bit = radar::kMsb;
+    d.before = qm.flip_bit(primary.layer, decoy_idx, radar::kMsb);
+    d.after = qm.get_code(primary.layer, decoy_idx);
+    decoys.push_back(d);
+  }
+  result.flips.insert(result.flips.end(), decoys.begin(), decoys.end());
+  result.loss_after = evaluate_loss(qm, attack_batch);
+  return result;
+}
+
+}  // namespace radar::attack

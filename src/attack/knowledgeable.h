@@ -1,0 +1,40 @@
+// Knowledgeable attacker (paper §VIII).
+//
+// Knows an addition-checksum defense exists but not the secret key or the
+// interleaving: after committing the usual PBFA flips, it adds decoy flip
+// *pairs* of the form (0→1, 1→0) inside what it believes is the same
+// checksum group (assuming contiguous grouping of its assumed size). If
+// the defender indeed uses contiguous groups and no masking, each pair
+// sums to zero and the whole attack is invisible to the checksum.
+#pragma once
+
+#include "attack/attack_types.h"
+#include "attack/pbfa.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "quant/qmodel.h"
+
+namespace radar::attack {
+
+struct KnowledgeableConfig {
+  PbfaConfig pbfa;
+  std::int64_t assumed_group_size = 512;  ///< attacker's guess of G
+};
+
+class KnowledgeableAttacker {
+ public:
+  explicit KnowledgeableAttacker(const KnowledgeableConfig& cfg = {})
+      : cfg_(cfg) {}
+
+  /// Runs PBFA for `n_primary` flips, then pairs every primary MSB flip
+  /// with a canceling decoy MSB flip (opposite transition direction) in
+  /// the same *assumed* contiguous group. Result contains primary + decoy
+  /// flips (≈ 2 × n_primary total, matching the paper's 20-flip setup).
+  AttackResult run(quant::QuantizedModel& qm, const data::Batch& attack_batch,
+                   int n_primary, Rng& rng);
+
+ private:
+  KnowledgeableConfig cfg_;
+};
+
+}  // namespace radar::attack

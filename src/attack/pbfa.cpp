@@ -1,0 +1,161 @@
+#include "attack/pbfa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace radar::attack {
+
+namespace {
+
+/// A candidate flip with its first-order damage estimate.
+struct Candidate {
+  std::size_t layer;
+  std::int64_t index;
+  int bit;
+  float proxy;  ///< g * Δw (positive = expected loss increase)
+};
+
+/// Most damaging admissible bit for a weight with gradient g: the flip
+/// must move the dequantized weight in the +g direction (gradient ascent
+/// on the loss); among admissible bits pick max |Δw|.
+bool best_bit_for(std::int8_t code, float grad, float scale,
+                  const std::vector<int>& allowed, Candidate& out) {
+  float best_proxy = 0.0f;
+  int best_bit = -1;
+  for (int b : allowed) {
+    const int delta_code = radar::flip_delta(code, b);
+    const float delta_w = static_cast<float>(delta_code) * scale;
+    const float proxy = grad * delta_w;
+    if (proxy > best_proxy) {
+      best_proxy = proxy;
+      best_bit = b;
+    }
+  }
+  if (best_bit < 0) return false;
+  out.bit = best_bit;
+  out.proxy = best_proxy;
+  return true;
+}
+
+}  // namespace
+
+float evaluate_loss(quant::QuantizedModel& qm, const data::Batch& batch) {
+  nn::SoftmaxCrossEntropy ce;
+  nn::Tensor logits = qm.network().forward(batch.images, nn::Mode::kEval);
+  return ce.forward(logits, batch.labels);
+}
+
+AttackResult Pbfa::run(quant::QuantizedModel& qm,
+                       const data::Batch& attack_batch, int n_bf) {
+  AttackResult result;
+  nn::SoftmaxCrossEntropy ce;
+  // Targeted mode: the attacker *minimizes* cross-entropy toward the
+  // target class; we fold that into a sign so the same "increase the
+  // objective" greedy loop serves both variants.
+  const bool targeted = cfg_.target_class >= 0;
+  std::vector<int> labels = attack_batch.labels;
+  if (targeted) {
+    labels.assign(labels.size(), cfg_.target_class);
+  }
+  const float objective_sign = targeted ? -1.0f : 1.0f;
+  auto objective = [&]() {
+    nn::SoftmaxCrossEntropy loss_fn;
+    nn::Tensor logits =
+        qm.network().forward(attack_batch.images, nn::Mode::kEval);
+    return objective_sign * loss_fn.forward(logits, labels);
+  };
+  result.loss_before = evaluate_loss(qm, attack_batch);
+  float current_objective = objective();
+
+  for (int flip_round = 0; flip_round < n_bf; ++flip_round) {
+    // 1. Gradient of the eval-mode network w.r.t. every weight.
+    qm.network().zero_grad();
+    nn::Tensor logits =
+        qm.network().forward(attack_batch.images, nn::Mode::kGrad);
+    ce.forward(logits, labels);
+    qm.network().backward(ce.backward());
+
+    // 2. Per-layer top-k candidate sites by |gradient|.
+    std::vector<Candidate> candidates;
+    for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+      auto& ql = qm.layer(li);
+      const nn::Tensor& grad = ql.param->grad;
+      const std::int64_t n = ql.size();
+      const int k = std::min<std::int64_t>(cfg_.candidates_per_layer, n);
+      // Partial selection of the k largest |grad| indices.
+      std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i)
+        idx[static_cast<std::size_t>(i)] = i;
+      std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                        [&grad](std::int64_t a, std::int64_t b) {
+                          return std::fabs(grad[a]) > std::fabs(grad[b]);
+                        });
+      for (int c = 0; c < k; ++c) {
+        const std::int64_t wi = idx[static_cast<std::size_t>(c)];
+        Candidate cand;
+        cand.layer = li;
+        cand.index = wi;
+        if (best_bit_for(ql.q[static_cast<std::size_t>(wi)],
+                         objective_sign * grad[wi], ql.scale,
+                         cfg_.allowed_bits, cand))
+          candidates.push_back(cand);
+      }
+    }
+    if (candidates.empty()) break;  // nothing can increase the loss
+
+    // 3. Budgeted exact evaluation of the strongest candidates.
+    const std::size_t budget =
+        std::min<std::size_t>(candidates.size(),
+                              static_cast<std::size_t>(cfg_.eval_budget));
+    std::partial_sort(candidates.begin(), candidates.begin() + budget,
+                      candidates.end(),
+                      [](const Candidate& a, const Candidate& b) {
+                        return a.proxy > b.proxy;
+                      });
+
+    float best_objective = current_objective;
+    int best = -1;
+    for (std::size_t c = 0; c < budget; ++c) {
+      const Candidate& cand = candidates[c];
+      const std::int8_t before = qm.flip_bit(cand.layer, cand.index, cand.bit);
+      const float obj = objective();
+      // Revert.
+      qm.set_code(cand.layer, cand.index, before);
+      if (obj > best_objective) {
+        best_objective = obj;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) {
+      // No exact evaluation improved the loss; fall back to the strongest
+      // proxy candidate (mirrors BFA, which always commits a flip).
+      best = 0;
+      const Candidate& cand = candidates[0];
+      const std::int8_t before = qm.flip_bit(cand.layer, cand.index, cand.bit);
+      qm.set_code(cand.layer, cand.index, before);
+    }
+
+    const Candidate& chosen = candidates[static_cast<std::size_t>(best)];
+    BitFlip flip;
+    flip.layer = chosen.layer;
+    flip.index = chosen.index;
+    flip.bit = chosen.bit;
+    flip.before = qm.flip_bit(chosen.layer, chosen.index, chosen.bit);
+    flip.after = qm.get_code(chosen.layer, chosen.index);
+    result.flips.push_back(flip);
+    current_objective = objective();
+    if (cfg_.verbose) {
+      RADAR_LOG(kDebug) << "pbfa flip " << (flip_round + 1) << ": layer "
+                        << flip.layer << " idx " << flip.index << " bit "
+                        << flip.bit << " objective " << current_objective;
+    }
+  }
+  result.loss_after = evaluate_loss(qm, attack_batch);
+  return result;
+}
+
+}  // namespace radar::attack

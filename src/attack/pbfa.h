@@ -1,0 +1,60 @@
+// Progressive Bit-Flip Attack (Rakin et al., ICCV 2019) — the adversary
+// RADAR is designed against.
+//
+// Each iteration:
+//   1. one backward pass on the attack batch gives ∂L/∂w for every
+//      quantized weight (straight-through: gradients of the dequantized
+//      float mirror);
+//   2. per layer, the top-k weights by |gradient| become candidate sites;
+//      for each site the most damaging admissible bit is the one whose
+//      flip moves the weight in the gradient-ascent direction with the
+//      largest |Δw| (for unrestricted attacks this is the MSB);
+//   3. candidates are ranked by the first-order proxy g·Δw and the best
+//      `eval_budget` are evaluated exactly (flip → forward → loss →
+//      revert); the globally best flip is committed.
+//
+// Step 3's budgeted exact evaluation is the CPU-friendly equivalent of
+// BFA's per-layer exhaustive evaluation; with a generous budget the two
+// coincide (every candidate that could win is evaluated exactly).
+#pragma once
+
+#include <vector>
+
+#include "attack/attack_types.h"
+#include "data/synthetic.h"
+#include "quant/qmodel.h"
+
+namespace radar::attack {
+
+struct PbfaConfig {
+  int candidates_per_layer = 4;  ///< top-k gradient sites per layer
+  int eval_budget = 12;          ///< exact loss evaluations per iteration
+  /// Bits the attacker may flip (default: all; {6} models the §VIII
+  /// MSB-1-restricted attacker; {7} restricts to MSB only).
+  std::vector<int> allowed_bits = {0, 1, 2, 3, 4, 5, 6, 7};
+  /// >= 0 selects the *targeted* variant (Rakin et al.): instead of
+  /// maximizing the true-label loss, drive every input toward this class.
+  int target_class = -1;
+  bool verbose = false;
+};
+
+class Pbfa {
+ public:
+  explicit Pbfa(const PbfaConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Commit `n_bf` flips into `qm` (mutates the int8 buffers and float
+  /// mirror). The attack batch plays the paper's "small dataset with a
+  /// similar distribution" role.
+  AttackResult run(quant::QuantizedModel& qm, const data::Batch& attack_batch,
+                   int n_bf);
+
+  const PbfaConfig& config() const { return cfg_; }
+
+ private:
+  PbfaConfig cfg_;
+};
+
+/// Cross-entropy loss of the deployed model on a batch (eval mode).
+float evaluate_loss(quant::QuantizedModel& qm, const data::Batch& batch);
+
+}  // namespace radar::attack

@@ -1,0 +1,84 @@
+#include "attack/profile_stats.h"
+
+#include <map>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace radar::attack {
+
+BitPositionStats bit_position_stats(const std::vector<AttackResult>& rounds) {
+  BitPositionStats s;
+  for (const auto& round : rounds) {
+    for (const auto& f : round.flips) {
+      if (!f.flips_msb()) {
+        ++s.others;
+      } else if (f.zero_to_one()) {
+        ++s.msb_zero_to_one;
+      } else {
+        ++s.msb_one_to_zero;
+      }
+    }
+  }
+  return s;
+}
+
+const char* WeightRangeStats::range_name(std::size_t i) {
+  switch (i) {
+    case 0: return "(-128, -32)";
+    case 1: return "(-32, 0)";
+    case 2: return "(0, 32)";
+    case 3: return "(32, 127)";
+  }
+  return "?";
+}
+
+WeightRangeStats weight_range_stats(const std::vector<AttackResult>& rounds) {
+  WeightRangeStats s;
+  for (const auto& round : rounds) {
+    for (const auto& f : round.flips) {
+      const int v = f.before;
+      if (v < -32)
+        ++s.counts[0];
+      else if (v < 0)
+        ++s.counts[1];
+      else if (v < 32)
+        ++s.counts[2];
+      else
+        ++s.counts[3];
+    }
+  }
+  return s;
+}
+
+double multi_flip_group_proportion(const std::vector<AttackResult>& rounds,
+                                   const std::vector<std::int64_t>& layer_sizes,
+                                   std::int64_t group_size, bool interleave,
+                                   std::int64_t skew) {
+  std::vector<core::GroupLayout> layouts;
+  layouts.reserve(layer_sizes.size());
+  for (const std::int64_t sz : layer_sizes) {
+    layouts.push_back(interleave
+                          ? core::GroupLayout::interleaved(sz, group_size, skew)
+                          : core::GroupLayout::contiguous(sz, group_size));
+  }
+  std::int64_t groups_hit = 0, groups_multi = 0;
+  for (const auto& round : rounds) {
+    std::map<std::pair<std::size_t, std::int64_t>, int> per_group;
+    for (const auto& f : round.flips) {
+      RADAR_REQUIRE(f.layer < layouts.size(), "profile layer out of range");
+      const std::int64_t g = layouts[f.layer].group_of(f.index);
+      ++per_group[{f.layer, g}];
+    }
+    for (const auto& [key, count] : per_group) {
+      ++groups_hit;
+      if (count >= 2) ++groups_multi;
+    }
+  }
+  return groups_hit == 0
+             ? 0.0
+             : static_cast<double>(groups_multi) /
+                   static_cast<double>(groups_hit);
+}
+
+}  // namespace radar::attack

@@ -1,0 +1,45 @@
+// Statistics over attack profiles — reproduces the paper's PBFA
+// characterization (Table I, Table II, Fig. 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "attack/attack_types.h"
+#include "core/interleave.h"
+
+namespace radar::attack {
+
+/// Table I: flip counts by bit position and direction.
+struct BitPositionStats {
+  std::int64_t msb_zero_to_one = 0;
+  std::int64_t msb_one_to_zero = 0;
+  std::int64_t others = 0;
+
+  std::int64_t total() const {
+    return msb_zero_to_one + msb_one_to_zero + others;
+  }
+};
+
+BitPositionStats bit_position_stats(const std::vector<AttackResult>& rounds);
+
+/// Table II: histogram of pre-attack weight codes over the paper's four
+/// ranges [-128,-32), [-32,0), [0,32), [32,127].
+struct WeightRangeStats {
+  std::array<std::int64_t, 4> counts{};  // same order as the paper
+
+  static const char* range_name(std::size_t i);
+};
+
+WeightRangeStats weight_range_stats(const std::vector<AttackResult>& rounds);
+
+/// Fig. 2: fraction of attacked groups that received >= 2 flips, for a
+/// given grouping of each layer. `layer_sizes[l]` is the weight count of
+/// quantized layer l (must cover every layer referenced by the profiles).
+double multi_flip_group_proportion(const std::vector<AttackResult>& rounds,
+                                   const std::vector<std::int64_t>& layer_sizes,
+                                   std::int64_t group_size, bool interleave,
+                                   std::int64_t skew = 3);
+
+}  // namespace radar::attack

@@ -1,0 +1,44 @@
+#include "attack/random_attack.h"
+
+#include "common/bits.h"
+
+namespace radar::attack {
+
+namespace {
+AttackResult flip_random_sites(quant::QuantizedModel& qm, int n, Rng& rng,
+                               bool msb_only) {
+  AttackResult result;
+  const std::int64_t total = qm.total_weights();
+  // Distinct weight sites; the bit within a site is free (or MSB).
+  const auto sites = rng.sample_without_replacement(
+      static_cast<std::size_t>(total), static_cast<std::size_t>(n));
+  for (const std::size_t flat : sites) {
+    // Map the flat index onto (layer, index).
+    std::int64_t rem = static_cast<std::int64_t>(flat);
+    std::size_t layer = 0;
+    while (rem >= qm.layer(layer).size()) {
+      rem -= qm.layer(layer).size();
+      ++layer;
+    }
+    BitFlip f;
+    f.layer = layer;
+    f.index = rem;
+    f.bit = msb_only ? radar::kMsb
+                     : static_cast<int>(rng.uniform_int(0, 7));
+    f.before = qm.flip_bit(layer, rem, f.bit);
+    f.after = qm.get_code(layer, rem);
+    result.flips.push_back(f);
+  }
+  return result;
+}
+}  // namespace
+
+AttackResult random_bit_flips(quant::QuantizedModel& qm, int n, Rng& rng) {
+  return flip_random_sites(qm, n, rng, /*msb_only=*/false);
+}
+
+AttackResult random_msb_flips(quant::QuantizedModel& qm, int n, Rng& rng) {
+  return flip_random_sites(qm, n, rng, /*msb_only=*/true);
+}
+
+}  // namespace radar::attack

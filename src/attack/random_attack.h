@@ -1,0 +1,18 @@
+// Random bit-flip attacker — the weak baseline the paper dismisses
+// (§III.B: 100 random flips degrade accuracy by <1%) and the fault model
+// for the §VI.B Monte-Carlo miss-rate study.
+#pragma once
+
+#include "attack/attack_types.h"
+#include "common/rng.h"
+#include "quant/qmodel.h"
+
+namespace radar::attack {
+
+/// Flip `n` uniformly random (layer, weight, bit) sites.
+AttackResult random_bit_flips(quant::QuantizedModel& qm, int n, Rng& rng);
+
+/// Flip `n` random *MSB* bits (the fault model of the miss-rate study).
+AttackResult random_msb_flips(quant::QuantizedModel& qm, int n, Rng& rng);
+
+}  // namespace radar::attack

@@ -1,0 +1,80 @@
+#include "codes/crc.h"
+
+#include "common/error.h"
+
+namespace radar::codes {
+
+// Generator choices: primitive polynomials, so x has order 2^width - 1 and
+// every double-bit error within that span yields a nonzero syndrome
+// (HD >= 3). CRC-7 covers G=8 groups (64 bits << 127), CRC-10 covers
+// MSB-only streams at G=512 (512 bits << 1023), CRC-13 covers full G=512
+// groups (4096 bits << 8191) — exactly the configurations of Table V.
+CrcSpec CrcSpec::crc7() { return {7, 0x65, "CRC-7"}; }
+CrcSpec CrcSpec::crc10() { return {10, 0x009, "CRC-10"}; }
+CrcSpec CrcSpec::crc13() { return {13, 0x001B, "CRC-13"}; }
+CrcSpec CrcSpec::crc16_ccitt() { return {16, 0x1021, "CRC-16-CCITT"}; }
+CrcSpec CrcSpec::crc32() { return {32, 0x04C11DB7, "CRC-32"}; }
+
+Crc::Crc(const CrcSpec& spec) : spec_(spec) {
+  RADAR_REQUIRE(spec.width >= 3 && spec.width <= 32, "CRC width 3..32");
+  mask_ = spec.width == 32 ? 0xFFFFFFFFu
+                           : ((1u << spec.width) - 1u);
+  top_bit_ = 1u << (spec.width - 1);
+  RADAR_REQUIRE((spec.poly & ~mask_) == 0, "polynomial wider than CRC");
+  // Build the byte-at-a-time table.
+  table_.resize(256);
+  for (std::uint32_t byte = 0; byte < 256; ++byte) {
+    std::uint32_t reg =
+        (spec.width >= 8) ? (byte << (spec.width - 8)) & mask_
+                          : 0;
+    if (spec.width < 8) {
+      // Narrow CRCs: shift the byte in bit by bit.
+      reg = 0;
+      for (int b = 7; b >= 0; --b) {
+        const bool in_bit = (byte >> b) & 1u;
+        const bool top = (reg & top_bit_) != 0;
+        reg = (reg << 1) & mask_;
+        if (top != in_bit) reg ^= spec.poly;
+      }
+      table_[byte] = reg;
+      continue;
+    }
+    for (int b = 0; b < 8; ++b) {
+      if (reg & top_bit_)
+        reg = ((reg << 1) ^ spec.poly) & mask_;
+      else
+        reg = (reg << 1) & mask_;
+    }
+    table_[byte] = reg;
+  }
+}
+
+std::uint32_t Crc::compute_bitwise(std::span<const std::uint8_t> data) const {
+  std::uint32_t reg = 0;
+  for (const std::uint8_t byte : data) {
+    for (int b = 7; b >= 0; --b) {
+      const bool in_bit = (byte >> b) & 1u;
+      const bool top = (reg & top_bit_) != 0;
+      reg = (reg << 1) & mask_;
+      if (top != in_bit) reg ^= spec_.poly;
+    }
+  }
+  return reg;
+}
+
+std::uint32_t Crc::compute(std::span<const std::uint8_t> data) const {
+  if (spec_.width < 8) return compute_bitwise(data);
+  std::uint32_t reg = 0;
+  for (const std::uint8_t byte : data) {
+    const std::uint32_t idx = ((reg >> (spec_.width - 8)) ^ byte) & 0xFFu;
+    reg = ((reg << 8) ^ table_[idx]) & mask_;
+  }
+  return reg;
+}
+
+std::uint32_t Crc::compute_i8(std::span<const std::int8_t> data) const {
+  return compute(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+}  // namespace radar::codes

@@ -1,0 +1,40 @@
+#include "codes/fletcher.h"
+
+#include "common/error.h"
+
+namespace radar::codes {
+
+std::uint32_t addition_checksum(std::span<const std::uint8_t> data,
+                                int width) {
+  RADAR_REQUIRE(width > 0 && width <= 32, "checksum width 1..32");
+  const std::uint64_t mask =
+      width == 32 ? 0xFFFFFFFFull : ((1ull << width) - 1ull);
+  std::uint64_t sum = 0;
+  for (const std::uint8_t b : data) sum = (sum + b) & mask;
+  return static_cast<std::uint32_t>(sum);
+}
+
+std::uint16_t fletcher16(std::span<const std::uint8_t> data) {
+  std::uint32_t a = 0, b = 0;
+  for (const std::uint8_t byte : data) {
+    a = (a + byte) % 255u;
+    b = (b + a) % 255u;
+  }
+  return static_cast<std::uint16_t>((b << 8) | a);
+}
+
+std::uint32_t fletcher32(std::span<const std::uint8_t> data) {
+  std::uint32_t a = 0, b = 0;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::uint32_t word = data[i];
+    if (i + 1 < data.size()) word |= static_cast<std::uint32_t>(data[i + 1])
+                                     << 8;
+    i += 2;
+    a = (a + word) % 65535u;
+    b = (b + a) % 65535u;
+  }
+  return (b << 16) | a;
+}
+
+}  // namespace radar::codes

@@ -1,0 +1,22 @@
+// Additional checksums from the Maxino taxonomy (ref [17] of the paper):
+// Fletcher-16/32 and the plain two's-complement addition checksum RADAR's
+// scheme is built on. Used for ablation benches comparing detection
+// strength vs cost across checksum families.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace radar::codes {
+
+/// Plain two's-complement addition checksum (mod 2^width).
+std::uint32_t addition_checksum(std::span<const std::uint8_t> data,
+                                int width);
+
+/// Fletcher-16: two running 8-bit one's-complement sums.
+std::uint16_t fletcher16(std::span<const std::uint8_t> data);
+
+/// Fletcher-32 over 16-bit words (odd trailing byte zero-padded).
+std::uint32_t fletcher32(std::span<const std::uint8_t> data);
+
+}  // namespace radar::codes

@@ -1,0 +1,61 @@
+// Hamming SEC-DED code over a block of data bits.
+//
+// The second baseline in the paper's §VII.B comparison: r parity bits with
+// 2^r >= m + r + 1 plus one overall parity bit give single-error
+// correction + double-error detection. For G = 8 weights (64 data bits)
+// that is 7+1 bits; for G = 512 (4096 bits), 13+1 bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace radar::codes {
+
+/// Outcome of a SEC-DED check.
+struct SecDedResult {
+  bool ok = false;             ///< no error detected
+  bool corrected = false;      ///< single error found (and correctable)
+  bool double_error = false;   ///< uncorrectable double error detected
+  std::int64_t error_bit = -1; ///< data/parity position of a single error
+};
+
+class HammingSecDed {
+ public:
+  /// Code over `data_bits` payload bits.
+  explicit HammingSecDed(std::int64_t data_bits);
+
+  std::int64_t data_bits() const { return data_bits_; }
+  /// Hamming parity bits (excluding the overall parity bit).
+  int parity_bits() const { return parity_bits_; }
+  /// Total stored check bits per block (parity + overall).
+  int storage_bits() const { return parity_bits_ + 1; }
+
+  /// Parity bits needed for m data bits (static helper for overhead
+  /// tables).
+  static int parity_bits_for(std::int64_t data_bits);
+
+  /// Encode: returns the check word (parity bits | overall parity at MSB).
+  std::uint32_t encode(std::span<const std::uint8_t> data) const;
+
+  /// Check data against a stored check word.
+  SecDedResult check(std::span<const std::uint8_t> data,
+                     std::uint32_t stored_check) const;
+
+  /// Convenience for int8 weight groups.
+  std::uint32_t encode_i8(std::span<const std::int8_t> data) const;
+  SecDedResult check_i8(std::span<const std::int8_t> data,
+                        std::uint32_t stored_check) const;
+
+ private:
+  bool data_bit(std::span<const std::uint8_t> data, std::int64_t i) const {
+    return (data[static_cast<std::size_t>(i >> 3)] >> (i & 7)) & 1u;
+  }
+  std::uint32_t syndrome_and_parity(std::span<const std::uint8_t> data,
+                                    bool& overall) const;
+
+  std::int64_t data_bits_;
+  int parity_bits_;
+};
+
+}  // namespace radar::codes

@@ -1,0 +1,60 @@
+// Bit-level helpers for 8-bit two's-complement weights.
+//
+// The attack and defense both reason about individual bits of int8 weights;
+// these helpers centralize the (occasionally subtle) signed<->unsigned
+// conversions so no call site re-implements them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace radar {
+
+/// Index of the most significant (sign) bit of an int8 weight.
+inline constexpr int kMsb = 7;
+
+/// Read bit `bit` (0 = LSB .. 7 = MSB) of an int8 value.
+inline bool get_bit(std::int8_t v, int bit) {
+  RADAR_REQUIRE(bit >= 0 && bit < 8, "bit index out of range");
+  return (static_cast<std::uint8_t>(v) >> bit) & 1u;
+}
+
+/// Return `v` with bit `bit` flipped.
+inline std::int8_t flip_bit(std::int8_t v, int bit) {
+  RADAR_REQUIRE(bit >= 0 && bit < 8, "bit index out of range");
+  return static_cast<std::int8_t>(static_cast<std::uint8_t>(v) ^
+                                  (1u << bit));
+}
+
+/// Return `v` with bit `bit` set to `on`.
+inline std::int8_t set_bit(std::int8_t v, int bit, bool on) {
+  RADAR_REQUIRE(bit >= 0 && bit < 8, "bit index out of range");
+  auto u = static_cast<std::uint8_t>(v);
+  if (on)
+    u = static_cast<std::uint8_t>(u | (1u << bit));
+  else
+    u = static_cast<std::uint8_t>(u & ~(1u << bit));
+  return static_cast<std::int8_t>(u);
+}
+
+/// Signed value change caused by flipping bit `bit` of `v`.
+/// Flipping the MSB of a two's-complement byte changes the value by ∓128
+/// (bit 0→1 subtracts... adds -128), lower bits by ±2^bit.
+inline int flip_delta(std::int8_t v, int bit) {
+  const int before = v;
+  const int after = flip_bit(v, bit);
+  return after - before;
+}
+
+/// Floor division by a power of two via arithmetic shift; matches the
+/// paper's ⌊M / 2^k⌋ for negative checksums as well.
+inline std::int64_t floor_div_pow2(std::int64_t m, int k) {
+  RADAR_REQUIRE(k >= 0 && k < 63, "shift out of range");
+  return m >> k;
+}
+
+/// Population count of a 64-bit word.
+inline int popcount64(std::uint64_t v) { return __builtin_popcountll(v); }
+
+}  // namespace radar

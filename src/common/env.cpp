@@ -1,0 +1,38 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace radar {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+bool fast_mode() { return env_int("RADAR_FAST", 0) != 0; }
+
+std::int64_t experiment_rounds(std::int64_t full, std::int64_t fast) {
+  const std::int64_t forced = env_int("RADAR_ROUNDS", -1);
+  if (forced > 0) return forced;
+  return fast_mode() ? fast : full;
+}
+
+std::string model_cache_dir() {
+  const std::string dir = env_string("RADAR_CACHE_DIR", ".model_cache");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+}  // namespace radar

@@ -1,0 +1,29 @@
+// Environment-variable knobs for experiment binaries.
+//
+// RADAR_FAST=1      — shrink Monte-Carlo round counts for CI smoke runs.
+// RADAR_ROUNDS=N    — explicit round count override.
+// RADAR_CACHE_DIR=D — where trained-model checkpoints are cached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace radar {
+
+/// Read an integer env var; returns fallback when unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Read a string env var; returns fallback when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// True when RADAR_FAST is set to a non-zero value.
+bool fast_mode();
+
+/// Round count for a Monte-Carlo experiment: RADAR_ROUNDS if set, else
+/// `fast` when fast_mode(), else `full`.
+std::int64_t experiment_rounds(std::int64_t full, std::int64_t fast);
+
+/// Directory for cached trained models (created on demand).
+std::string model_cache_dir();
+
+}  // namespace radar

@@ -1,0 +1,46 @@
+// Minimal leveled logger used by long-running experiments.
+//
+// Deliberately tiny: single sink (stderr), compile-time cheap when the
+// level filters the message out, and no global construction order issues.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace radar {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: RADAR_LOG(kInfo) << "epoch " << e;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace radar
+
+#define RADAR_LOG(level)                                        \
+  if (::radar::LogLevel::level < ::radar::log_level()) {        \
+  } else                                                        \
+    ::radar::LogLine(::radar::LogLevel::level)

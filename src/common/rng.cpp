@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace radar {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  RADAR_REQUIRE(k <= n, "cannot sample more elements than the population");
+  // Dense sampling when k is a large fraction of n; hash-set rejection
+  // sampling otherwise (keeps 10-of-10M draws cheap).
+  if (k * 3 >= n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    std::shuffle(all.begin(), all.end(), engine_);
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::uniform_int_distribution<std::size_t> d(0, n - 1);
+  while (out.size() < k) {
+    std::size_t v = d(engine_);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace radar

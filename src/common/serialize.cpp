@@ -1,0 +1,147 @@
+#include "common/serialize.h"
+
+#include <cstring>
+#include <filesystem>
+
+namespace radar {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x52414452;  // "RADR"
+constexpr std::uint64_t kMaxVectorBytes = 1ull << 32;
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path,
+                           std::uint32_t format_version)
+    : out_(path, std::ios::binary), path_(path) {
+  if (!out_) throw SerializationError("cannot open for write: " + path);
+  write_u32(kMagic);
+  write_u32(format_version);
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (!closed_) {
+    out_.flush();
+  }
+}
+
+template <typename T>
+void BinaryWriter::write_raw(const T& v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  if (!out_) throw SerializationError("write failure: " + path_);
+}
+
+void BinaryWriter::write_u8(std::uint8_t v) { write_raw(v); }
+void BinaryWriter::write_u32(std::uint32_t v) { write_raw(v); }
+void BinaryWriter::write_u64(std::uint64_t v) { write_raw(v); }
+void BinaryWriter::write_i64(std::int64_t v) { write_raw(v); }
+void BinaryWriter::write_f32(float v) { write_raw(v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  if (!out_) throw SerializationError("write failure: " + path_);
+}
+
+void BinaryWriter::write_f32_vector(const std::vector<float>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+  if (!out_) throw SerializationError("write failure: " + path_);
+}
+
+void BinaryWriter::write_i8_vector(const std::vector<std::int8_t>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size()));
+  if (!out_) throw SerializationError("write failure: " + path_);
+}
+
+void BinaryWriter::write_u64_vector(const std::vector<std::uint64_t>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(std::uint64_t)));
+  if (!out_) throw SerializationError("write failure: " + path_);
+}
+
+void BinaryWriter::close() {
+  out_.flush();
+  if (!out_) throw SerializationError("flush failure: " + path_);
+  out_.close();
+  closed_ = true;
+}
+
+BinaryReader::BinaryReader(const std::string& path,
+                           std::uint32_t expected_version)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) throw SerializationError("cannot open for read: " + path);
+  const auto magic = read_u32();
+  if (magic != kMagic)
+    throw SerializationError("bad magic in " + path);
+  version_ = read_u32();
+  if (version_ != expected_version)
+    throw SerializationError("version mismatch in " + path + ": got " +
+                             std::to_string(version_) + " expected " +
+                             std::to_string(expected_version));
+}
+
+template <typename T>
+T BinaryReader::read_raw() {
+  T v{};
+  in_.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in_) throw SerializationError("truncated read: " + path_);
+  return v;
+}
+
+std::uint8_t BinaryReader::read_u8() { return read_raw<std::uint8_t>(); }
+std::uint32_t BinaryReader::read_u32() { return read_raw<std::uint32_t>(); }
+std::uint64_t BinaryReader::read_u64() { return read_raw<std::uint64_t>(); }
+std::int64_t BinaryReader::read_i64() { return read_raw<std::int64_t>(); }
+float BinaryReader::read_f32() { return read_raw<float>(); }
+
+std::string BinaryReader::read_string() {
+  const auto n = read_u64();
+  if (n > kMaxVectorBytes) throw SerializationError("oversized string");
+  std::string s(n, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in_) throw SerializationError("truncated string: " + path_);
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_vector() {
+  const auto n = read_u64();
+  if (n * sizeof(float) > kMaxVectorBytes)
+    throw SerializationError("oversized vector");
+  std::vector<float> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in_) throw SerializationError("truncated vector: " + path_);
+  return v;
+}
+
+std::vector<std::int8_t> BinaryReader::read_i8_vector() {
+  const auto n = read_u64();
+  if (n > kMaxVectorBytes) throw SerializationError("oversized vector");
+  std::vector<std::int8_t> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n));
+  if (!in_) throw SerializationError("truncated vector: " + path_);
+  return v;
+}
+
+std::vector<std::uint64_t> BinaryReader::read_u64_vector() {
+  const auto n = read_u64();
+  if (n * sizeof(std::uint64_t) > kMaxVectorBytes)
+    throw SerializationError("oversized vector");
+  std::vector<std::uint64_t> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(std::uint64_t)));
+  if (!in_) throw SerializationError("truncated vector: " + path_);
+  return v;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+}  // namespace radar

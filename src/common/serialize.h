@@ -1,0 +1,73 @@
+// Binary (de)serialization for model checkpoints and experiment caches.
+//
+// A tiny, versioned, little-endian tagged format. Writers and readers are
+// symmetric; readers validate magic/version and length-prefix every string
+// and buffer, throwing SerializationError on any truncation or mismatch.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace radar {
+
+/// Streaming binary writer.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing and emits the header. Throws on I/O failure.
+  BinaryWriter(const std::string& path, std::uint32_t format_version);
+  ~BinaryWriter();
+
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_string(const std::string& s);
+  void write_f32_vector(const std::vector<float>& v);
+  void write_i8_vector(const std::vector<std::int8_t>& v);
+  void write_u64_vector(const std::vector<std::uint64_t>& v);
+
+  /// Flushes and closes; throws if the stream is in a bad state.
+  void close();
+
+ private:
+  template <typename T>
+  void write_raw(const T& v);
+  std::ofstream out_;
+  std::string path_;
+  bool closed_ = false;
+};
+
+/// Streaming binary reader (validates the header on open).
+class BinaryReader {
+ public:
+  BinaryReader(const std::string& path, std::uint32_t expected_version);
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  std::string read_string();
+  std::vector<float> read_f32_vector();
+  std::vector<std::int8_t> read_i8_vector();
+  std::vector<std::uint64_t> read_u64_vector();
+
+  std::uint32_t version() const { return version_; }
+
+ private:
+  template <typename T>
+  T read_raw();
+  std::ifstream in_;
+  std::string path_;
+  std::uint32_t version_ = 0;
+};
+
+/// True if a regular file exists at `path`.
+bool file_exists(const std::string& path);
+
+}  // namespace radar

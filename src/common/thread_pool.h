@@ -1,0 +1,61 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Used by the GEMM kernels and Monte-Carlo experiment drivers. The pool is
+// created once and reused; parallel_for partitions [0, n) into contiguous
+// chunks, one per worker, which is the right granularity for the dense
+// kernels in this library.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace radar {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; fire-and-forget (synchronize with wait()).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has completed.
+  void wait();
+
+  /// Run fn(i) for i in [0, n), partitioned into contiguous chunks across
+  /// the pool. Blocks until complete. fn must be thread-safe across chunks.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: fn(begin, end) per chunk — lower overhead for cheap
+  /// per-element bodies.
+  void parallel_for_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace radar

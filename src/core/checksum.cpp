@@ -1,0 +1,45 @@
+#include "core/checksum.h"
+
+namespace radar::core {
+
+std::int64_t masked_group_sum(std::span<const std::int8_t> weights,
+                              const GroupLayout& layout, std::int64_t group,
+                              const MaskStream& mask) {
+  RADAR_REQUIRE(static_cast<std::int64_t>(weights.size()) ==
+                    layout.num_weights(),
+                "weight buffer size does not match layout");
+  const std::int64_t g = layout.group_size();
+  std::int64_t m = 0;
+  for (std::int64_t slot = 0; slot < g; ++slot) {
+    const std::int64_t i = layout.member(group, slot);
+    if (i < 0) continue;  // padding slot: contributes zero
+    const std::int64_t pos = group * g + slot;
+    const int w = weights[static_cast<std::size_t>(i)];
+    m += mask.bit(pos) ? -w : w;
+  }
+  return m;
+}
+
+Signature binarize(std::int64_t m, int width) {
+  RADAR_REQUIRE(width == 2 || width == 3, "signature width must be 2 or 3");
+  const auto sa = static_cast<std::uint8_t>(floor_div_pow2(m, 8) & 1);  // /256
+  const auto sb = static_cast<std::uint8_t>(floor_div_pow2(m, 7) & 1);  // /128
+  Signature s;
+  s.width = width;
+  if (width == 2) {
+    s.bits = static_cast<std::uint8_t>((sa << 1) | sb);
+  } else {
+    const auto sc =
+        static_cast<std::uint8_t>(floor_div_pow2(m, 6) & 1);  // /64
+    s.bits = static_cast<std::uint8_t>((sa << 2) | (sb << 1) | sc);
+  }
+  return s;
+}
+
+Signature group_signature(std::span<const std::int8_t> weights,
+                          const GroupLayout& layout, std::int64_t group,
+                          const MaskStream& mask, int width) {
+  return binarize(masked_group_sum(weights, layout, group, mask), width);
+}
+
+}  // namespace radar::core

@@ -1,0 +1,51 @@
+// Addition checksum and signature binarization (paper §IV.A, Eq. 1).
+//
+//   M = Σ_t  (mask(t) ? -w_t : +w_t)      over the G weights of a group
+//   SA = ⌊M/256⌋ % 2,  SB = ⌊M/128⌋ % 2   (2-bit signature)
+//   SC = ⌊M/64⌋ % 2                        (3-bit variant, §VIII)
+//
+// Floor semantics hold for negative M (arithmetic shift). SB acts as a
+// parity over MSBs: one MSB flip changes a weight by ±128, so any odd
+// number of MSB flips always toggles SB; SA catches same-direction double
+// flips (±256 total); opposite-direction pairs (net 0) are invisible to
+// the checksum — that is exactly the weakness interleaving + masking
+// addresses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bits.h"
+#include "core/interleave.h"
+#include "core/mask.h"
+
+namespace radar::core {
+
+/// A packed signature of `width` bits (2 or 3).
+struct Signature {
+  std::uint8_t bits = 0;
+  int width = 2;
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.bits == b.bits && a.width == b.width;
+  }
+};
+
+/// Masked checksum of one group of a layer's int8 weights.
+/// `layout` supplies the group membership; padding slots contribute zero.
+/// The mask position is the stream position group*G + slot, so the same
+/// key yields different masks for different groups.
+std::int64_t masked_group_sum(std::span<const std::int8_t> weights,
+                              const GroupLayout& layout, std::int64_t group,
+                              const MaskStream& mask);
+
+/// Binarize a checksum to a 2- or 3-bit signature.
+/// Bit layout: width 2 -> {SA,SB} as (SA<<1)|SB; width 3 adds SC as LSB.
+Signature binarize(std::int64_t m, int width);
+
+/// Convenience: checksum + binarize.
+Signature group_signature(std::span<const std::int8_t> weights,
+                          const GroupLayout& layout, std::int64_t group,
+                          const MaskStream& mask, int width);
+
+}  // namespace radar::core

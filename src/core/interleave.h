@@ -1,0 +1,61 @@
+// Group layout: how a layer's W weights map to checksum groups.
+//
+// Paper §IV.B.2 / Fig. 3: checksum groups are formed from weights that are
+// originally ~W/G locations apart, with a small skew offset (t = 3) so the
+// stride itself is not a fixed, guessable constant. We formalize this as a
+// skewed block interleaver (always a bijection — see DESIGN.md §6):
+//
+//   padded W' = Ng * G,  Ng = ceil(W / G) groups of G weights
+//   original index i:  row r = i / Ng, column c = i % Ng
+//   interleaved:   group(i) = (c + t*r) mod Ng,  slot(i) = r
+//   contiguous:    group(i) = i / G,             slot(i) = i % G
+//
+// With t = 0 this is the paper's "basic interleave" (members exactly Ng
+// apart); padding slots hold no real weight and are treated as zero by the
+// checksum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace radar::core {
+
+class GroupLayout {
+ public:
+  /// Contiguous (non-interleaved) grouping.
+  static GroupLayout contiguous(std::int64_t num_weights,
+                                std::int64_t group_size);
+
+  /// Skewed-stride interleaved grouping (paper default skew = 3).
+  static GroupLayout interleaved(std::int64_t num_weights,
+                                 std::int64_t group_size,
+                                 std::int64_t skew = 3);
+
+  std::int64_t num_weights() const { return num_weights_; }
+  std::int64_t group_size() const { return group_size_; }
+  std::int64_t num_groups() const { return num_groups_; }
+  bool is_interleaved() const { return interleaved_; }
+  std::int64_t skew() const { return skew_; }
+
+  /// Group index of original weight index i.
+  std::int64_t group_of(std::int64_t i) const;
+
+  /// Slot of weight i inside its group (0..G-1).
+  std::int64_t slot_of(std::int64_t i) const;
+
+  /// Original index occupying (group, slot), or -1 for a padding slot.
+  std::int64_t member(std::int64_t group, std::int64_t slot) const;
+
+  /// All real (non-padding) original indices of a group, in slot order.
+  std::vector<std::int64_t> group_members(std::int64_t group) const;
+
+ private:
+  GroupLayout(std::int64_t w, std::int64_t g, bool inter, std::int64_t skew);
+
+  std::int64_t num_weights_, group_size_, num_groups_, skew_;
+  bool interleaved_;
+};
+
+}  // namespace radar::core

@@ -1,0 +1,31 @@
+#include "core/mask.h"
+
+namespace radar::core {
+
+namespace {
+/// splitmix64 finalizer — a cheap, well-mixed keyed PRF for mask bits.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+bool MaskStream::bit(std::int64_t position) const {
+  if (expansion_ == Expansion::kRepeat) {
+    return (key_ >> (position % 16)) & 1u;
+  }
+  const std::uint64_t v =
+      mix64((static_cast<std::uint64_t>(key_) << 48) ^
+            static_cast<std::uint64_t>(position));
+  return v & 1u;
+}
+
+std::uint16_t MaskStream::derive_layer_key(std::uint64_t master_seed,
+                                           std::size_t layer) {
+  return static_cast<std::uint16_t>(
+      mix64(master_seed ^ (0xA5A5ULL * (layer + 1))) & 0xFFFF);
+}
+
+}  // namespace radar::core

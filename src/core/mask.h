@@ -1,0 +1,42 @@
+// Secret-key mask stream (paper §IV.B.1).
+//
+// A per-layer Nk = 16-bit secret key decides, for every weight position in
+// the interleaved stream, whether the checksum adds the weight or its
+// two's complement (negation). Two expansion modes:
+//
+//  kRepeat — the literal scheme in the paper: key bit (position mod 16).
+//  kPrf    — counter-mode expansion through a splitmix64-style keyed PRF;
+//            removes the 16-periodic pattern while staying O(1) random
+//            access. This is the library default.
+//
+// Keys are derived per layer from a master seed so a deployment needs to
+// protect only one secret.
+#pragma once
+
+#include <cstdint>
+
+namespace radar::core {
+
+class MaskStream {
+ public:
+  enum class Expansion { kRepeat, kPrf };
+
+  MaskStream(std::uint16_t key, Expansion expansion = Expansion::kPrf)
+      : key_(key), expansion_(expansion) {}
+
+  /// Mask bit for stream position p (group * G + slot). true = negate.
+  bool bit(std::int64_t position) const;
+
+  std::uint16_t key() const { return key_; }
+  Expansion expansion() const { return expansion_; }
+
+  /// Derive the 16-bit key of layer `layer` from a 64-bit master seed.
+  static std::uint16_t derive_layer_key(std::uint64_t master_seed,
+                                        std::size_t layer);
+
+ private:
+  std::uint16_t key_;
+  Expansion expansion_;
+};
+
+}  // namespace radar::core

@@ -1,0 +1,126 @@
+#include "core/package.h"
+
+#include "codes/crc.h"
+#include "common/serialize.h"
+
+namespace radar::core {
+
+namespace {
+constexpr std::uint32_t kPackageVersion = 1;
+
+std::uint32_t weights_crc(const quant::QuantizedModel& qm) {
+  codes::Crc crc(codes::CrcSpec::crc32());
+  // CRC over the concatenated int8 payloads, layer order.
+  std::uint32_t acc = 0;
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+    const auto& q = qm.layer(li).q;
+    acc ^= crc.compute_i8(std::span<const std::int8_t>(q.data(), q.size()));
+    acc = (acc << 1) | (acc >> 31);  // order-sensitive combination
+  }
+  return acc;
+}
+
+void write_config(BinaryWriter& w, const RadarConfig& cfg) {
+  w.write_i64(cfg.group_size);
+  w.write_u8(cfg.interleave ? 1 : 0);
+  w.write_i64(cfg.skew);
+  w.write_u8(static_cast<std::uint8_t>(cfg.signature_bits));
+  w.write_u8(cfg.expansion == MaskStream::Expansion::kRepeat ? 0 : 1);
+  w.write_u64(cfg.master_key);
+}
+
+RadarConfig read_config(BinaryReader& r) {
+  RadarConfig cfg;
+  cfg.group_size = r.read_i64();
+  cfg.interleave = r.read_u8() != 0;
+  cfg.skew = r.read_i64();
+  cfg.signature_bits = static_cast<int>(r.read_u8());
+  cfg.expansion = r.read_u8() == 0 ? MaskStream::Expansion::kRepeat
+                                   : MaskStream::Expansion::kPrf;
+  cfg.master_key = r.read_u64();
+  return cfg;
+}
+}  // namespace
+
+void save_package(const std::string& path, const quant::QuantizedModel& qm,
+                  const RadarScheme& scheme, const std::string& model_name) {
+  RADAR_REQUIRE(scheme.attached(), "scheme must be attached before save");
+  RADAR_REQUIRE(scheme.num_layers() == qm.num_layers(),
+                "scheme does not match model");
+  BinaryWriter w(path, kPackageVersion);
+  w.write_string(model_name);
+  write_config(w, scheme.config());
+  w.write_u32(weights_crc(qm));
+  w.write_u64(qm.num_layers());
+  const auto golden = scheme.export_golden();
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+    const auto& layer = qm.layer(li);
+    w.write_string(layer.name);
+    w.write_f32(layer.scale);
+    w.write_i8_vector(layer.q);
+    w.write_u64(golden[li].size());
+    for (const auto byte : golden[li]) w.write_u8(byte);
+  }
+  w.close();
+}
+
+PackageInfo read_package_info(const std::string& path) {
+  BinaryReader r(path, kPackageVersion);
+  PackageInfo info;
+  info.model_name = r.read_string();
+  info.config = read_config(r);
+  r.read_u32();  // payload CRC
+  info.num_layers = r.read_u64();
+  for (std::size_t li = 0; li < info.num_layers; ++li) {
+    r.read_string();
+    r.read_f32();
+    info.total_weights +=
+        static_cast<std::int64_t>(r.read_i8_vector().size());
+    const auto sig_bytes = r.read_u64();
+    for (std::uint64_t i = 0; i < sig_bytes; ++i) r.read_u8();
+  }
+  return info;
+}
+
+PackageLoadReport load_package(const std::string& path,
+                               quant::QuantizedModel& qm,
+                               RadarScheme& scheme) {
+  BinaryReader r(path, kPackageVersion);
+  PackageLoadReport report;
+  report.info.model_name = r.read_string();
+  report.info.config = read_config(r);
+  const std::uint32_t stored_crc = r.read_u32();
+  report.info.num_layers = r.read_u64();
+  RADAR_REQUIRE(report.info.num_layers == qm.num_layers(),
+                "package layer count does not match model");
+
+  std::vector<std::vector<std::uint8_t>> golden(report.info.num_layers);
+  for (std::size_t li = 0; li < report.info.num_layers; ++li) {
+    const std::string name = r.read_string();
+    const float scale = r.read_f32();
+    auto codes = r.read_i8_vector();
+    RADAR_REQUIRE(static_cast<std::int64_t>(codes.size()) ==
+                      qm.layer(li).size(),
+                  "package layer size mismatch at " + name);
+    qm.layer(li).scale = scale;
+    qm.layer(li).q = std::move(codes);
+    report.info.total_weights += qm.layer(li).size();
+    const auto sig_bytes = r.read_u64();
+    golden[li].resize(sig_bytes);
+    for (auto& byte : golden[li]) byte = r.read_u8();
+  }
+  qm.sync_all();
+
+  report.crc_ok = (weights_crc(qm) == stored_crc);
+
+  // Rebuild the scheme from the stored config, then substitute the stored
+  // golden signatures and scan: mismatches localize tampering.
+  scheme = RadarScheme(report.info.config);
+  scheme.attach(qm);
+  scheme.import_golden(std::move(golden));
+  report.tamper = scheme.scan(qm);
+  report.signatures_ok = !report.tamper.attack_detected();
+  return report;
+}
+
+}  // namespace radar::core

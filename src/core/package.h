@@ -1,0 +1,54 @@
+// RadarPackage: the signed deployment artifact.
+//
+// Bundles everything a device needs to deploy a protected model: the int8
+// weight tensors with their scales, the RADAR configuration (group size,
+// interleave, signature width, mask expansion — the master key itself is
+// provisioned out of band), the golden signatures, and a whole-file
+// CRC-32. Loading re-derives signatures from the (possibly tampered)
+// weights and compares them against the stored golden set, so any
+// modification of the weight payload since signing is localized to the
+// affected groups — the offline analogue of the run-time scan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scheme.h"
+
+namespace radar::core {
+
+/// Metadata of a package on disk.
+struct PackageInfo {
+  std::string model_name;
+  std::int64_t total_weights = 0;
+  std::size_t num_layers = 0;
+  RadarConfig config;
+};
+
+/// Result of a verified load.
+struct PackageLoadReport {
+  bool crc_ok = false;        ///< whole-file CRC-32 over the weight payload
+  bool signatures_ok = false; ///< every group matches its golden signature
+  DetectionReport tamper;     ///< flagged groups when signatures_ok == false
+  PackageInfo info;
+
+  bool verified() const { return crc_ok && signatures_ok; }
+};
+
+/// Write the deployment package for a quantized model protected by an
+/// attached scheme. `model_name` is free-form metadata.
+void save_package(const std::string& path, const quant::QuantizedModel& qm,
+                  const RadarScheme& scheme, const std::string& model_name);
+
+/// Read metadata only (no model required).
+PackageInfo read_package_info(const std::string& path);
+
+/// Load the package into `qm` (must have the same layer structure) and
+/// re-attach `scheme` with the stored config + golden signatures, then
+/// verify. Tampered groups are reported, not repaired — callers decide
+/// between zero-out recovery and rejecting the artifact.
+PackageLoadReport load_package(const std::string& path,
+                               quant::QuantizedModel& qm,
+                               RadarScheme& scheme);
+
+}  // namespace radar::core

@@ -1,0 +1,46 @@
+#include "core/scanner.h"
+
+namespace radar::core {
+
+LayerScanner::LayerScanner(const GroupLayout& layout, const MaskStream& mask,
+                           int sig_bits)
+    : sig_bits_(sig_bits), num_groups_(layout.num_groups()) {
+  RADAR_REQUIRE(sig_bits == 2 || sig_bits == 3,
+                "signature width must be 2 or 3");
+  const std::int64_t w = layout.num_weights();
+  group_of_.resize(static_cast<std::size_t>(w));
+  sign_.resize(static_cast<std::size_t>(w));
+  const std::int64_t g = layout.group_size();
+  for (std::int64_t grp = 0; grp < num_groups_; ++grp) {
+    for (std::int64_t slot = 0; slot < g; ++slot) {
+      const std::int64_t i = layout.member(grp, slot);
+      if (i < 0) continue;
+      group_of_[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(grp);
+      sign_[static_cast<std::size_t>(i)] =
+          mask.bit(grp * g + slot) ? -1 : 1;
+    }
+  }
+}
+
+std::vector<std::int64_t> LayerScanner::masked_sums(
+    std::span<const std::int8_t> weights) const {
+  RADAR_REQUIRE(weights.size() == group_of_.size(),
+                "weight buffer size does not match scanner");
+  std::vector<std::int64_t> sums(static_cast<std::size_t>(num_groups_), 0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    sums[static_cast<std::size_t>(group_of_[i])] +=
+        static_cast<std::int64_t>(weights[i]) * sign_[i];
+  }
+  return sums;
+}
+
+std::vector<Signature> LayerScanner::scan(
+    std::span<const std::int8_t> weights) const {
+  const auto sums = masked_sums(weights);
+  std::vector<Signature> out(sums.size());
+  for (std::size_t g = 0; g < sums.size(); ++g)
+    out[g] = binarize(sums[g], sig_bits_);
+  return out;
+}
+
+}  // namespace radar::core

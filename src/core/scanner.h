@@ -1,0 +1,42 @@
+// LayerScanner: streaming signature computation for one layer.
+//
+// group_signature() recomputes group membership and mask bits on every
+// call — fine for tools and tests, too slow for the run-time scan path.
+// LayerScanner precomputes, per original weight index, its group id and
+// mask bit (both are fixed once the layout and key are chosen, exactly
+// like the hardware would hard-wire them), so a scan is a single pass of
+// adds over the weight stream. Scanner results are bit-identical to the
+// reference primitives (tested).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/checksum.h"
+
+namespace radar::core {
+
+class LayerScanner {
+ public:
+  LayerScanner(const GroupLayout& layout, const MaskStream& mask,
+               int sig_bits);
+
+  std::int64_t num_groups() const { return num_groups_; }
+  int signature_bits() const { return sig_bits_; }
+
+  /// Signatures of all groups in one streaming pass over the weights.
+  std::vector<Signature> scan(std::span<const std::int8_t> weights) const;
+
+  /// Raw per-group masked sums (for diagnostics / ablations).
+  std::vector<std::int64_t> masked_sums(
+      std::span<const std::int8_t> weights) const;
+
+ private:
+  int sig_bits_;
+  std::int64_t num_groups_;
+  std::vector<std::int32_t> group_of_;  ///< per original weight index
+  std::vector<std::int8_t> sign_;       ///< +1 or -1 per weight
+};
+
+}  // namespace radar::core

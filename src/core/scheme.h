@@ -1,0 +1,126 @@
+// RadarScheme: the complete detection + recovery pipeline of the paper.
+//
+// attach() derives per-layer group layouts, per-layer 16-bit mask keys and
+// golden signatures from a quantized model; scan() recomputes signatures
+// over the (possibly corrupted) int8 buffers and reports mismatching
+// groups; recover() applies the paper's zero-out policy (or restores a
+// clean copy, modeling the halt-and-reload alternative).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/interleave.h"
+#include "core/mask.h"
+#include "core/scanner.h"
+#include "core/signature_store.h"
+#include "quant/qmodel.h"
+
+namespace radar::core {
+
+/// Tunable parameters of the scheme (paper defaults).
+struct RadarConfig {
+  std::int64_t group_size = 512;
+  bool interleave = true;
+  std::int64_t skew = 3;          ///< paper uses an offset of 3
+  int signature_bits = 2;         ///< 3 enables the §VIII MSB-1 variant
+  MaskStream::Expansion expansion = MaskStream::Expansion::kPrf;
+  std::uint64_t master_key = 0xC0FFEE5EC0DEULL;
+};
+
+/// What to do with a flagged group.
+enum class RecoveryPolicy {
+  kZeroOut,      ///< paper: set all weights of the group to zero
+  kReloadClean,  ///< halt & reload a clean copy (costlier, exact)
+};
+
+/// Result of one scan over all layers.
+struct DetectionReport {
+  /// Flagged group ids per layer, sorted ascending.
+  std::vector<std::vector<std::int64_t>> flagged;
+
+  bool attack_detected() const {
+    for (const auto& f : flagged)
+      if (!f.empty()) return true;
+    return false;
+  }
+  std::int64_t num_flagged_groups() const {
+    std::int64_t n = 0;
+    for (const auto& f : flagged) n += static_cast<std::int64_t>(f.size());
+    return n;
+  }
+  bool is_flagged(std::size_t layer, std::int64_t group) const;
+};
+
+class RadarScheme {
+ public:
+  explicit RadarScheme(const RadarConfig& cfg) : cfg_(cfg) {
+    RADAR_REQUIRE(cfg.group_size > 0, "group size must be positive");
+    RADAR_REQUIRE(cfg.signature_bits == 2 || cfg.signature_bits == 3,
+                  "signature width must be 2 or 3");
+  }
+
+  /// Build layouts / keys / golden signatures for `qm`. Also stores a
+  /// clean snapshot for the kReloadClean policy.
+  void attach(const quant::QuantizedModel& qm);
+
+  bool attached() const { return !layouts_.empty(); }
+  std::size_t num_layers() const { return layouts_.size(); }
+  const GroupLayout& layout(std::size_t layer) const {
+    return layouts_.at(layer);
+  }
+  const RadarConfig& config() const { return cfg_; }
+
+  /// Recompute signatures of every group and compare with the golden ones.
+  DetectionReport scan(const quant::QuantizedModel& qm) const;
+
+  /// Scan a single layer (run-time per-layer embedding, §IV).
+  std::vector<std::int64_t> scan_layer(const quant::QuantizedModel& qm,
+                                       std::size_t layer) const;
+
+  /// Apply recovery to every flagged group.
+  void recover(quant::QuantizedModel& qm, const DetectionReport& report,
+               RecoveryPolicy policy = RecoveryPolicy::kZeroOut) const;
+
+  /// Recompute golden signatures (after an authorized weight update).
+  void resign(const quant::QuantizedModel& qm);
+
+  /// Recompute golden signatures of a single layer (used by the per-layer
+  /// run-time embedding, where other layers may not have been scanned yet).
+  void resign_layer(const quant::QuantizedModel& qm, std::size_t layer);
+
+  /// Total golden-signature bytes across layers (paper Fig. 6 x-axis).
+  std::int64_t signature_storage_bytes() const;
+
+  /// Signatures recomputed in one scan (equals total group count).
+  std::int64_t total_groups() const;
+
+  /// Export the packed golden signatures (deployment artifact payload).
+  std::vector<std::vector<std::uint8_t>> export_golden() const;
+
+  /// Replace the golden signatures with previously exported ones (e.g.
+  /// loaded from a signed package). A subsequent scan then reveals any
+  /// weight tampering that happened since the export.
+  void import_golden(std::vector<std::vector<std::uint8_t>> packed);
+
+ private:
+  Signature compute_signature(const quant::QuantizedModel& qm,
+                              std::size_t layer, std::int64_t group) const;
+
+  RadarConfig cfg_;
+  std::vector<GroupLayout> layouts_;
+  std::vector<MaskStream> masks_;
+  std::vector<LayerScanner> scanners_;  ///< streaming scan tables
+  std::vector<SignatureStore> golden_;
+  quant::QSnapshot clean_snapshot_;
+};
+
+/// Number of attack flips that land in groups flagged by `report` — the
+/// paper's "detected bit-flips out of N" metric. Flips are (layer, index)
+/// pairs.
+std::int64_t count_detected_flips(
+    const RadarScheme& scheme, const DetectionReport& report,
+    const std::vector<std::pair<std::size_t, std::int64_t>>& flips);
+
+}  // namespace radar::core

@@ -1,0 +1,49 @@
+#include "core/signature_store.h"
+
+namespace radar::core {
+
+SignatureStore::SignatureStore(std::int64_t num_groups, int width)
+    : num_groups_(num_groups), width_(width) {
+  RADAR_REQUIRE(num_groups >= 0, "negative group count");
+  RADAR_REQUIRE(width == 2 || width == 3, "signature width must be 2 or 3");
+  bits_.assign(static_cast<std::size_t>((num_groups * width + 7) / 8), 0);
+}
+
+void SignatureStore::set(std::int64_t group, Signature s) {
+  RADAR_REQUIRE(group >= 0 && group < num_groups_, "group out of range");
+  RADAR_REQUIRE(s.width == width_, "signature width mismatch");
+  const std::int64_t base = group * width_;
+  for (int b = 0; b < width_; ++b) {
+    const std::int64_t pos = base + b;
+    const auto byte = static_cast<std::size_t>(pos / 8);
+    const int off = static_cast<int>(pos % 8);
+    if ((s.bits >> b) & 1)
+      bits_[byte] = static_cast<std::uint8_t>(bits_[byte] | (1u << off));
+    else
+      bits_[byte] = static_cast<std::uint8_t>(bits_[byte] & ~(1u << off));
+  }
+}
+
+void SignatureStore::set_packed(std::vector<std::uint8_t> bytes) {
+  RADAR_REQUIRE(static_cast<std::int64_t>(bytes.size()) == storage_bytes(),
+                "packed signature size mismatch");
+  bits_ = std::move(bytes);
+}
+
+Signature SignatureStore::get(std::int64_t group) const {
+  RADAR_REQUIRE(group >= 0 && group < num_groups_, "group out of range");
+  Signature s;
+  s.width = width_;
+  s.bits = 0;
+  const std::int64_t base = group * width_;
+  for (int b = 0; b < width_; ++b) {
+    const std::int64_t pos = base + b;
+    const auto byte = static_cast<std::size_t>(pos / 8);
+    const int off = static_cast<int>(pos % 8);
+    if ((bits_[byte] >> off) & 1)
+      s.bits = static_cast<std::uint8_t>(s.bits | (1u << b));
+  }
+  return s;
+}
+
+}  // namespace radar::core

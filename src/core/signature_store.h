@@ -1,0 +1,49 @@
+// Packed golden-signature storage ("secure on-chip SRAM" in the paper).
+//
+// Signatures are 2 or 3 bits per group and are bit-packed; storage_bytes()
+// is exactly the number the paper's Fig. 6 x-axis reports (5.6 KB for
+// ResNet-18 at G = 512).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/checksum.h"
+
+namespace radar::core {
+
+class SignatureStore {
+ public:
+  SignatureStore() = default;
+  SignatureStore(std::int64_t num_groups, int width);
+
+  std::int64_t num_groups() const { return num_groups_; }
+  int width() const { return width_; }
+
+  void set(std::int64_t group, Signature s);
+  Signature get(std::int64_t group) const;
+
+  /// Bytes needed to hold all signatures (bit-packed, rounded up).
+  std::int64_t storage_bytes() const {
+    return (num_groups_ * width_ + 7) / 8;
+  }
+
+  /// Packed signature bytes (for serialization).
+  const std::vector<std::uint8_t>& packed() const { return bits_; }
+  /// Replace the packed bytes (must match storage_bytes()).
+  void set_packed(std::vector<std::uint8_t> bytes);
+
+  /// Storage for an arbitrary configuration without building a store.
+  static std::int64_t storage_bytes_for(std::int64_t num_weights,
+                                        std::int64_t group_size, int width) {
+    const std::int64_t groups = (num_weights + group_size - 1) / group_size;
+    return (groups * width + 7) / 8;
+  }
+
+ private:
+  std::int64_t num_groups_ = 0;
+  int width_ = 2;
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace radar::core

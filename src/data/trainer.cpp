@@ -1,0 +1,80 @@
+#include "data/trainer.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace radar::data {
+
+TrainReport train(nn::ResNet& model, const SyntheticDataset& dataset,
+                  const TrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::unique_ptr<nn::Optimizer> opt;
+  if (cfg.use_adam) {
+    opt = std::make_unique<nn::Adam>(model.params(), cfg.lr, 0.9f, 0.999f,
+                                     1e-8f, cfg.weight_decay);
+  } else {
+    opt = std::make_unique<nn::Sgd>(model.params(), cfg.lr, 0.9f,
+                                    cfg.weight_decay);
+  }
+  nn::SoftmaxCrossEntropy loss_fn;
+  TrainReport report;
+
+  for (std::int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    if (epoch == cfg.epochs / 2 || epoch == (3 * cfg.epochs) / 4)
+      opt->set_lr(opt->lr() * cfg.lr_decay);
+    double epoch_loss = 0.0;
+    for (std::int64_t it = 0; it < cfg.batches_per_epoch; ++it) {
+      Batch batch = dataset.train_batch(cfg.batch_size, rng);
+      opt->zero_grad();
+      nn::Tensor logits = model.forward(batch.images, nn::Mode::kTrain);
+      const float loss = loss_fn.forward(logits, batch.labels);
+      model.backward(loss_fn.backward());
+      opt->step();
+      epoch_loss += loss;
+    }
+    const float mean_loss =
+        static_cast<float>(epoch_loss / static_cast<double>(cfg.batches_per_epoch));
+    report.epoch_losses.push_back(mean_loss);
+    if (cfg.verbose) {
+      RADAR_LOG(kInfo) << model.spec().name << " epoch " << (epoch + 1) << "/"
+                       << cfg.epochs << " loss " << mean_loss;
+    }
+  }
+  report.final_train_loss =
+      report.epoch_losses.empty() ? 0.0f : report.epoch_losses.back();
+  report.test_accuracy = evaluate(model, dataset);
+  if (cfg.verbose) {
+    RADAR_LOG(kInfo) << model.spec().name << " test accuracy "
+                     << report.test_accuracy;
+  }
+  return report;
+}
+
+double evaluate(const std::function<nn::Tensor(const nn::Tensor&)>& forward,
+                const SyntheticDataset& dataset, std::int64_t batch_size) {
+  std::int64_t correct = 0;
+  const std::int64_t total = dataset.test_size();
+  for (std::int64_t start = 0; start < total; start += batch_size) {
+    const std::int64_t count = std::min(batch_size, total - start);
+    Batch b = dataset.test_batch(start, count);
+    nn::Tensor logits = forward(b.images);
+    const auto pred = nn::argmax_rows(logits);
+    for (std::size_t i = 0; i < pred.size(); ++i)
+      if (pred[i] == b.labels[i]) ++correct;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double evaluate(nn::ResNet& model, const SyntheticDataset& dataset,
+                std::int64_t batch_size) {
+  return evaluate(
+      [&model](const nn::Tensor& x) {
+        return model.forward(x, nn::Mode::kEval);
+      },
+      dataset, batch_size);
+}
+
+}  // namespace radar::data

@@ -1,0 +1,50 @@
+// Training / evaluation loops tying the NN substrate to the data substrate.
+//
+// Keeps experiment binaries small: they describe *what* to train, the
+// trainer handles batching, LR decay, logging, and evaluation.
+#pragma once
+
+#include <functional>
+
+#include "data/synthetic.h"
+#include "nn/optimizer.h"
+#include "nn/resnet.h"
+
+namespace radar::data {
+
+struct TrainConfig {
+  std::int64_t epochs = 12;
+  std::int64_t batch_size = 64;
+  std::int64_t batches_per_epoch = 48;
+  float lr = 0.01f;
+  float weight_decay = 1e-4f;
+  /// multiply lr by this factor at 50% and 75% of epochs
+  float lr_decay = 0.1f;
+  bool use_adam = true;  ///< paper: Adam for ResNet-20, SGD for ResNet-18
+  std::uint64_t seed = 7;
+  bool verbose = true;
+};
+
+struct TrainReport {
+  float final_train_loss = 0.0f;
+  double test_accuracy = 0.0;
+  std::vector<float> epoch_losses;
+};
+
+/// Train `model` on `dataset`; returns the loss trajectory and final test
+/// accuracy (computed with evaluate()).
+TrainReport train(nn::ResNet& model, const SyntheticDataset& dataset,
+                  const TrainConfig& cfg);
+
+/// Top-1 accuracy over the full test split, evaluated in minibatches
+/// through the supplied forward function (lets callers evaluate quantized
+/// or protected models with the same loop).
+double evaluate(const std::function<nn::Tensor(const nn::Tensor&)>& forward,
+                const SyntheticDataset& dataset,
+                std::int64_t batch_size = 256);
+
+/// Convenience overload: evaluate a float ResNet in eval mode.
+double evaluate(nn::ResNet& model, const SyntheticDataset& dataset,
+                std::int64_t batch_size = 256);
+
+}  // namespace radar::data

@@ -1,0 +1,106 @@
+// Shared experiment workspace: trained-model and attack-profile caches.
+//
+// Every bench binary reproduces one table/figure; they all need the same
+// two trained quantized models and the same PBFA profiles. The first
+// binary to run trains/attacks and writes the cache (under RADAR_CACHE_DIR,
+// default ./.model_cache); the rest load it. All artifacts are
+// deterministic in the seeds, so the cache is stable across runs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/attack_types.h"
+#include "attack/pbfa.h"
+#include "core/scheme.h"
+#include "data/synthetic.h"
+#include "data/trainer.h"
+#include "quant/qmodel.h"
+
+namespace radar::exp {
+
+/// A trained, quantized model with its dataset.
+struct ModelBundle {
+  std::string id;  ///< "resnet20" | "resnet18"
+  nn::ResNetSpec spec;
+  std::unique_ptr<nn::ResNet> model;
+  std::unique_ptr<data::SyntheticDataset> dataset;
+  std::unique_ptr<quant::QuantizedModel> qmodel;
+  double clean_accuracy = 0.0;  ///< quantized model, full test split
+  /// Group-size scale: the paper's G values assume the full-size network;
+  /// the reduced-width stand-in has ~1/group_scale of its weights, so a
+  /// paper configuration "G" corresponds to G / group_scale here
+  /// (preserving groups-per-layer, which is what detection/recovery
+  /// granularity actually depends on). 1 for the full-size ResNet-20.
+  std::int64_t group_scale = 1;
+
+  /// Reduced-model group size equivalent to the paper's `paper_g`.
+  std::int64_t scaled_group(std::int64_t paper_g) const {
+    return std::max<std::int64_t>(4, paper_g / group_scale);
+  }
+
+  /// Weight counts per quantized layer (for profile statistics).
+  std::vector<std::int64_t> layer_sizes() const;
+};
+
+/// Load from cache or train: "resnet20" (CIFAR-10 stand-in), "resnet18"
+/// (ImageNet stand-in, reduced width — see DESIGN.md §4), or "tiny"
+/// (seconds-scale bundle for tests and demos).
+ModelBundle load_or_train(const std::string& id);
+
+/// Load from cache or run `rounds` PBFA rounds of `n_bf` flips each.
+/// Each round starts from the clean snapshot, uses a round-specific attack
+/// batch, and records post-attack accuracy on a test subset.
+std::vector<attack::AttackResult> load_or_run_pbfa(ModelBundle& bundle,
+                                                   int n_bf, int rounds,
+                                                   const std::string& tag = "",
+                                                   int eval_subset = 512);
+
+/// Like load_or_run_pbfa but for the §VIII knowledgeable attacker: each
+/// round commits `n_primary` PBFA flips plus canceling decoy pairs under
+/// the attacker's assumed contiguous group size.
+std::vector<attack::AttackResult> load_or_run_knowledgeable(
+    ModelBundle& bundle, int n_primary, int rounds,
+    std::int64_t assumed_group_size, int eval_subset = 256);
+
+/// Like load_or_run_pbfa but restricted to the given bit positions (e.g.
+/// {6} for the §VIII MSB-1 attacker).
+std::vector<attack::AttackResult> load_or_run_restricted_pbfa(
+    ModelBundle& bundle, int n_bf, int rounds, std::vector<int> allowed_bits,
+    const std::string& tag, int eval_subset = 256);
+
+/// Accuracy on the first `subset` test images (eval mode).
+double accuracy_on_subset(ModelBundle& bundle, std::int64_t subset);
+
+/// Result of replaying one attack round under one RADAR configuration.
+struct RecoveryOutcome {
+  std::int64_t flips_total = 0;
+  std::int64_t flips_detected = 0;
+  double accuracy_attacked = 0.0;   ///< after the attack, before recovery
+  double accuracy_recovered = 0.0;  ///< after zero-out recovery
+};
+
+/// Replay `round` (optionally only its first `n_bf` flips — greedy PBFA
+/// is prefix-consistent) against a fresh model protected by `cfg`;
+/// measures detection and recovery. Restores the clean model afterwards.
+RecoveryOutcome replay_and_recover(ModelBundle& bundle,
+                                   const attack::AttackResult& round,
+                                   const core::RadarConfig& cfg, int n_bf,
+                                   std::int64_t eval_subset,
+                                   bool measure_attacked = true);
+
+/// Mean over rounds of replay_and_recover outcomes.
+struct RecoverySummary {
+  double mean_detected = 0.0;       ///< of n_bf flips
+  double mean_acc_attacked = 0.0;
+  double mean_acc_recovered = 0.0;
+  int rounds = 0;
+};
+
+RecoverySummary summarize_recovery(ModelBundle& bundle,
+                                   const std::vector<attack::AttackResult>& rounds,
+                                   const core::RadarConfig& cfg, int n_bf,
+                                   std::int64_t eval_subset);
+
+}  // namespace radar::exp

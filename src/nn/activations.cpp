@@ -1,0 +1,45 @@
+#include "nn/activations.h"
+
+namespace radar::nn {
+
+Tensor ReLU::forward(const Tensor& x, Mode mode) {
+  Tensor y(x.shape());
+  const bool cache = needs_cache(mode);
+  if (cache) {
+    mask_.assign(static_cast<std::size_t>(x.numel()), 0);
+    cached_shape_ = x.shape();
+  }
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    y[i] = pos ? x[i] : 0.0f;
+    if (cache) mask_[static_cast<std::size_t>(i)] = pos ? 1 : 0;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  RADAR_REQUIRE(!mask_.empty(), "backward before forward(training=true)");
+  RADAR_REQUIRE(grad_out.shape() == cached_shape_, "grad_out shape mismatch");
+  Tensor gx(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    gx[i] = mask_[static_cast<std::size_t>(i)] ? grad_out[i] : 0.0f;
+  return gx;
+}
+
+Tensor Flatten::forward(const Tensor& x, Mode mode) {
+  RADAR_REQUIRE(x.rank() >= 2, "Flatten expects rank >= 2");
+  if (needs_cache(mode)) cached_shape_ = x.shape();
+  Tensor y = x;
+  y.reshape({x.dim(0), x.numel() / x.dim(0)});
+  return y;
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  RADAR_REQUIRE(!cached_shape_.empty(),
+                "backward before forward(training=true)");
+  Tensor gx = grad_out;
+  gx.reshape(cached_shape_);
+  return gx;
+}
+
+}  // namespace radar::nn

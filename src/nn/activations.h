@@ -1,0 +1,31 @@
+// Elementwise activations and shape adapters (ReLU, Flatten).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace radar::nn {
+
+/// Rectified linear unit; caches the sign mask for backward.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "ReLU"; }
+
+ private:
+  std::vector<std::uint8_t> mask_;  ///< 1 where input > 0
+  std::vector<std::int64_t> cached_shape_;
+};
+
+/// Collapse [N, C, H, W] (or any rank >= 2) into [N, C*H*W].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::int64_t> cached_shape_;
+};
+
+}  // namespace radar::nn

@@ -1,0 +1,153 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace radar::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Tensor::full({channels}, 1.0f), ParamKind::kBnGamma),
+      beta_(Tensor({channels}), ParamKind::kBnBeta),
+      running_mean_({channels}),
+      running_var_(Tensor::full({channels}, 1.0f)) {
+  RADAR_REQUIRE(channels > 0, "bad channel count");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, Mode mode) {
+  RADAR_REQUIRE(x.rank() == 4 && x.dim(1) == channels_,
+                "BatchNorm2d expects NCHW with matching channels");
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t spatial = h * w;
+  const std::int64_t per_channel = n * spatial;
+  const bool batch_stats = (mode == Mode::kTrain);
+  const bool cache = needs_cache(mode);
+  Tensor y(x.shape());
+
+  std::vector<float> mean(static_cast<std::size_t>(channels_));
+  std::vector<float> var(static_cast<std::size_t>(channels_));
+  if (batch_stats) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      double m = 0.0;
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* xc = x.data() + x.idx4(s, c, 0, 0);
+        for (std::int64_t j = 0; j < spatial; ++j) m += xc[j];
+      }
+      m /= static_cast<double>(per_channel);
+      double v = 0.0;
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* xc = x.data() + x.idx4(s, c, 0, 0);
+        for (std::int64_t j = 0; j < spatial; ++j) {
+          const double d = xc[j] - m;
+          v += d * d;
+        }
+      }
+      v /= static_cast<double>(per_channel);
+      mean[static_cast<std::size_t>(c)] = static_cast<float>(m);
+      var[static_cast<std::size_t>(c)] = static_cast<float>(v);
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
+                         momentum_ * static_cast<float>(m);
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] +
+                        momentum_ * static_cast<float>(v);
+    }
+  } else {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      mean[static_cast<std::size_t>(c)] = running_mean_[c];
+      var[static_cast<std::size_t>(c)] = running_var_[c];
+    }
+  }
+
+  if (cache) {
+    cached_xhat_ = Tensor(x.shape());
+    cached_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+    cached_n_ = n;
+    cached_h_ = h;
+    cached_w_ = w;
+    cached_mode_ = mode;
+  }
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float m = mean[static_cast<std::size_t>(c)];
+    const float inv_std =
+        1.0f / std::sqrt(var[static_cast<std::size_t>(c)] + eps_);
+    const float g = gamma_.value[c], b = beta_.value[c];
+    if (cache) cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* xc = x.data() + x.idx4(s, c, 0, 0);
+      float* yc = y.data() + y.idx4(s, c, 0, 0);
+      float* xh = cache ? cached_xhat_.data() + y.idx4(s, c, 0, 0) : nullptr;
+      for (std::int64_t j = 0; j < spatial; ++j) {
+        const float xhat = (xc[j] - m) * inv_std;
+        if (xh != nullptr) xh[j] = xhat;
+        yc[j] = g * xhat + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  RADAR_REQUIRE(cached_xhat_.numel() > 0,
+                "backward before forward(kTrain/kGrad)");
+  const std::int64_t n = cached_n_, h = cached_h_, w = cached_w_;
+  RADAR_REQUIRE(grad_out.rank() == 4 && grad_out.dim(0) == n &&
+                    grad_out.dim(1) == channels_ && grad_out.dim(2) == h &&
+                    grad_out.dim(3) == w,
+                "grad_out shape mismatch");
+  const std::int64_t spatial = h * w;
+  const double count = static_cast<double>(n * spatial);
+  Tensor gx(grad_out.shape());
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double sum_gy = 0.0, sum_gy_xhat = 0.0;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* gy = grad_out.data() + grad_out.idx4(s, c, 0, 0);
+      const float* xh = cached_xhat_.data() + cached_xhat_.idx4(s, c, 0, 0);
+      for (std::int64_t j = 0; j < spatial; ++j) {
+        sum_gy += gy[j];
+        sum_gy_xhat += static_cast<double>(gy[j]) * xh[j];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_gy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_gy);
+
+    const float g = gamma_.value[c];
+    const float inv_std = cached_inv_std_[static_cast<std::size_t>(c)];
+    const float k = g * inv_std;
+    if (cached_mode_ == Mode::kTrain) {
+      // Batch statistics were functions of x: full coupled gradient.
+      const float mean_gy = static_cast<float>(sum_gy / count);
+      const float mean_gy_xhat = static_cast<float>(sum_gy_xhat / count);
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* gy = grad_out.data() + grad_out.idx4(s, c, 0, 0);
+        const float* xh = cached_xhat_.data() + cached_xhat_.idx4(s, c, 0, 0);
+        float* gxc = gx.data() + gx.idx4(s, c, 0, 0);
+        for (std::int64_t j = 0; j < spatial; ++j)
+          gxc[j] = k * (gy[j] - mean_gy - xh[j] * mean_gy_xhat);
+      }
+    } else {
+      // kGrad: running statistics are constants — affine backward only.
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* gy = grad_out.data() + grad_out.idx4(s, c, 0, 0);
+        float* gxc = gx.data() + gx.idx4(s, c, 0, 0);
+        for (std::int64_t j = 0; j < spatial; ++j) gxc[j] = k * gy[j];
+      }
+    }
+  }
+  return gx;
+}
+
+void BatchNorm2d::collect_params(const std::string& prefix,
+                                 std::vector<NamedParam>& out) {
+  out.push_back({join_name(prefix, "gamma"), &gamma_});
+  out.push_back({join_name(prefix, "beta"), &beta_});
+}
+
+void BatchNorm2d::collect_buffers(const std::string& prefix,
+                                  std::vector<NamedBuffer>& out) {
+  out.push_back({join_name(prefix, "running_mean"), &running_mean_});
+  out.push_back({join_name(prefix, "running_var"), &running_var_});
+}
+
+}  // namespace radar::nn

@@ -1,0 +1,216 @@
+#include "nn/conv2d.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "nn/gemm.h"
+
+namespace radar::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               bool bias, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      weight_(Tensor::kaiming({out_channels, in_channels, kernel, kernel},
+                              in_channels * kernel * kernel, rng),
+              ParamKind::kConvWeight),
+      bias_(Tensor({out_channels}), ParamKind::kBias) {
+  RADAR_REQUIRE(in_channels > 0 && out_channels > 0, "bad channel count");
+  RADAR_REQUIRE(kernel > 0 && stride > 0 && padding >= 0,
+                "bad conv geometry");
+}
+
+std::int64_t Conv2d::macs(std::int64_t in_h, std::int64_t in_w) const {
+  const std::int64_t oh = out_size(in_h);
+  const std::int64_t ow = out_size(in_w);
+  return out_channels_ * oh * ow * in_channels_ * kernel_ * kernel_;
+}
+
+void Conv2d::im2col(const float* x, std::int64_t in_h, std::int64_t in_w,
+                    float* col) const {
+  const std::int64_t oh = out_size(in_h);
+  const std::int64_t ow = out_size(in_w);
+  const std::int64_t ospatial = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < in_channels_; ++c) {
+    for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+      for (std::int64_t kw = 0; kw < kernel_; ++kw, ++row) {
+        float* dst = col + row * ospatial;
+        for (std::int64_t yo = 0; yo < oh; ++yo) {
+          const std::int64_t yi = yo * stride_ - padding_ + kh;
+          if (yi < 0 || yi >= in_h) {
+            std::memset(dst + yo * ow, 0,
+                        sizeof(float) * static_cast<std::size_t>(ow));
+            continue;
+          }
+          const float* src_row = x + (c * in_h + yi) * in_w;
+          for (std::int64_t xo = 0; xo < ow; ++xo) {
+            const std::int64_t xi = xo * stride_ - padding_ + kw;
+            dst[yo * ow + xo] =
+                (xi >= 0 && xi < in_w) ? src_row[xi] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const float* col, std::int64_t in_h, std::int64_t in_w,
+                    float* gx) const {
+  const std::int64_t oh = out_size(in_h);
+  const std::int64_t ow = out_size(in_w);
+  const std::int64_t ospatial = oh * ow;
+  std::memset(gx, 0,
+              sizeof(float) *
+                  static_cast<std::size_t>(in_channels_ * in_h * in_w));
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < in_channels_; ++c) {
+    for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+      for (std::int64_t kw = 0; kw < kernel_; ++kw, ++row) {
+        const float* src = col + row * ospatial;
+        for (std::int64_t yo = 0; yo < oh; ++yo) {
+          const std::int64_t yi = yo * stride_ - padding_ + kh;
+          if (yi < 0 || yi >= in_h) continue;
+          float* gx_row = gx + (c * in_h + yi) * in_w;
+          for (std::int64_t xo = 0; xo < ow; ++xo) {
+            const std::int64_t xi = xo * stride_ - padding_ + kw;
+            if (xi >= 0 && xi < in_w) gx_row[xi] += src[yo * ow + xo];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, Mode mode) {
+  RADAR_REQUIRE(x.rank() == 4, "Conv2d expects NCHW input");
+  RADAR_REQUIRE(x.dim(1) == in_channels_, "input channel mismatch");
+  const std::int64_t n = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  const std::int64_t oh = out_size(in_h), ow = out_size(in_w);
+  RADAR_REQUIRE(oh > 0 && ow > 0, "conv output collapses to zero size");
+  Tensor y({n, out_channels_, oh, ow});
+
+  const std::int64_t ckk = in_channels_ * kernel_ * kernel_;
+  const std::int64_t ospatial = oh * ow;
+  const std::int64_t in_stride = in_channels_ * in_h * in_w;
+  const std::int64_t out_stride = out_channels_ * ospatial;
+
+  ThreadPool::global().parallel_for_chunks(
+      static_cast<std::size_t>(n), [&](std::size_t begin, std::size_t end) {
+        std::vector<float> col(
+            static_cast<std::size_t>(ckk * ospatial));
+        for (std::size_t s = begin; s < end; ++s) {
+          const float* xs = x.data() + static_cast<std::int64_t>(s) * in_stride;
+          float* ys = y.data() + static_cast<std::int64_t>(s) * out_stride;
+          im2col(xs, in_h, in_w, col.data());
+          gemm(weight_.value.data(), col.data(), ys, out_channels_, ckk,
+               ospatial, /*accumulate=*/false, /*parallel=*/false);
+          if (has_bias_) {
+            for (std::int64_t co = 0; co < out_channels_; ++co) {
+              const float b = bias_.value[co];
+              float* yrow = ys + co * ospatial;
+              for (std::int64_t j = 0; j < ospatial; ++j) yrow[j] += b;
+            }
+          }
+        }
+      });
+
+  if (needs_cache(mode)) cached_input_ = x;
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  RADAR_REQUIRE(x.numel() > 0, "backward before forward(training=true)");
+  const std::int64_t n = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  const std::int64_t oh = out_size(in_h), ow = out_size(in_w);
+  RADAR_REQUIRE(grad_out.dim(0) == n && grad_out.dim(1) == out_channels_ &&
+                    grad_out.dim(2) == oh && grad_out.dim(3) == ow,
+                "grad_out shape mismatch");
+
+  const std::int64_t ckk = in_channels_ * kernel_ * kernel_;
+  const std::int64_t ospatial = oh * ow;
+  const std::int64_t in_stride = in_channels_ * in_h * in_w;
+  const std::int64_t out_stride = out_channels_ * ospatial;
+
+  Tensor gx(x.shape());
+  // Per-chunk gradient buffers, reduced in a fixed order after the
+  // parallel section: float accumulation order must not depend on thread
+  // scheduling (PBFA ranks weights by gradient, so nondeterministic
+  // last-bit noise would make attacks irreproducible).
+  std::mutex acc_mutex;
+  std::vector<std::pair<std::size_t, std::vector<float>>> gw_chunks;
+  std::vector<std::pair<std::size_t, std::vector<float>>> gb_chunks;
+
+  ThreadPool::global().parallel_for_chunks(
+      static_cast<std::size_t>(n), [&](std::size_t begin, std::size_t end) {
+        std::vector<float> col(static_cast<std::size_t>(ckk * ospatial));
+        std::vector<float> gcol(static_cast<std::size_t>(ckk * ospatial));
+        std::vector<float> local_gw(
+            static_cast<std::size_t>(out_channels_ * ckk), 0.0f);
+        std::vector<float> local_gb(static_cast<std::size_t>(out_channels_),
+                                    0.0f);
+        for (std::size_t s = begin; s < end; ++s) {
+          const float* xs =
+              x.data() + static_cast<std::int64_t>(s) * in_stride;
+          const float* gys =
+              grad_out.data() + static_cast<std::int64_t>(s) * out_stride;
+          im2col(xs, in_h, in_w, col.data());
+          // dW += dY * col^T
+          gemm_bt(gys, col.data(), local_gw.data(), out_channels_, ospatial,
+                  ckk, /*accumulate=*/true, /*parallel=*/false);
+          // dcol = W^T * dY
+          gemm_at(weight_.value.data(), gys, gcol.data(), ckk, out_channels_,
+                  ospatial, /*accumulate=*/false, /*parallel=*/false);
+          col2im(gcol.data(),
+                 in_h, in_w,
+                 gx.data() + static_cast<std::int64_t>(s) * in_stride);
+          if (has_bias_) {
+            for (std::int64_t co = 0; co < out_channels_; ++co) {
+              double acc = 0.0;
+              const float* gyrow = gys + co * ospatial;
+              for (std::int64_t j = 0; j < ospatial; ++j) acc += gyrow[j];
+              local_gb[static_cast<std::size_t>(co)] +=
+                  static_cast<float>(acc);
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(acc_mutex);
+        gw_chunks.emplace_back(begin, std::move(local_gw));
+        if (has_bias_) gb_chunks.emplace_back(begin, std::move(local_gb));
+      });
+
+  std::sort(gw_chunks.begin(), gw_chunks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [begin, local_gw] : gw_chunks) {
+    (void)begin;
+    for (std::size_t i = 0; i < local_gw.size(); ++i)
+      weight_.grad[static_cast<std::int64_t>(i)] += local_gw[i];
+  }
+  if (has_bias_) {
+    std::sort(gb_chunks.begin(), gb_chunks.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [begin, local_gb] : gb_chunks) {
+      (void)begin;
+      for (std::size_t i = 0; i < local_gb.size(); ++i)
+        bias_.grad[static_cast<std::int64_t>(i)] += local_gb[i];
+    }
+  }
+  return gx;
+}
+
+void Conv2d::collect_params(const std::string& prefix,
+                            std::vector<NamedParam>& out) {
+  out.push_back({join_name(prefix, "weight"), &weight_});
+  if (has_bias_) out.push_back({join_name(prefix, "bias"), &bias_});
+}
+
+}  // namespace radar::nn

@@ -1,0 +1,43 @@
+#include "nn/fold.h"
+
+#include <cmath>
+
+namespace radar::nn {
+
+void fold_conv_bn(Conv2d& conv, BatchNorm2d& bn) {
+  RADAR_REQUIRE(conv.out_channels() == bn.channels(),
+                "conv/bn channel mismatch");
+  conv.enable_bias();
+  Tensor& w = conv.weight().value;
+  Tensor& b = conv.bias().value;
+  const std::int64_t per_channel = w.numel() / conv.out_channels();
+  for (std::int64_t co = 0; co < conv.out_channels(); ++co) {
+    const float inv_std =
+        1.0f / std::sqrt(bn.running_var()[co] + 1e-5f);
+    const float s = bn.gamma().value[co] * inv_std;
+    float* wc = w.data() + co * per_channel;
+    for (std::int64_t i = 0; i < per_channel; ++i) wc[i] *= s;
+    b[co] = bn.beta().value[co] +
+            s * (b[co] - bn.running_mean()[co]);
+  }
+  // Reset BN to the identity transform.
+  bn.gamma().value.fill(1.0f);
+  bn.beta().value.zero();
+  bn.running_mean().zero();
+  bn.running_var().fill(1.0f - 1e-5f);  // sqrt(var + eps) == 1 exactly
+}
+
+void fold_batchnorm(ResNet& model) {
+  Sequential& net = model.net();
+  for (std::size_t i = 0; i + 1 < net.size(); ++i) {
+    auto* conv = dynamic_cast<Conv2d*>(&net.child(i));
+    auto* bn = dynamic_cast<BatchNorm2d*>(&net.child(i + 1));
+    if (conv != nullptr && bn != nullptr) fold_conv_bn(*conv, *bn);
+  }
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (auto* block = dynamic_cast<BasicBlock*>(&net.child(i)))
+      block->fold_batchnorm();
+  }
+}
+
+}  // namespace radar::nn

@@ -1,0 +1,29 @@
+// Batch-norm folding for deployment.
+//
+// Inference-time batch norm is an affine map with constant coefficients,
+// so it can be folded into the preceding convolution:
+//
+//   y = gamma * (conv(x) - mu) / sqrt(var + eps) + beta
+//     = conv'(x) + b',   W'_o = W_o * gamma_o / sqrt(var_o + eps)
+//                        b'_o = beta_o - gamma_o * mu_o / sqrt(var_o+eps)
+//
+// Real int8 deployments (the paper's setting) quantize the *folded*
+// weights; folding is therefore part of the production pipeline, not an
+// optimization detail. After folding the BN layer is reset to identity.
+#pragma once
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/resnet.h"
+
+namespace radar::nn {
+
+/// Fold `bn` into `conv` in place; `bn` becomes the identity transform.
+/// The convolution gains a bias term if it had none.
+void fold_conv_bn(Conv2d& conv, BatchNorm2d& bn);
+
+/// Fold every conv+BN pair of a ResNet (stem and all blocks).
+/// Eval-mode outputs are preserved up to float rounding.
+void fold_batchnorm(ResNet& model);
+
+}  // namespace radar::nn

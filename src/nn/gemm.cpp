@@ -1,0 +1,103 @@
+#include "nn/gemm.h"
+
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace radar::nn {
+
+namespace {
+// Below this many multiply-adds the threading overhead dominates.
+constexpr std::int64_t kParallelMinWork = 1 << 15;
+
+void gemm_rows(const float* a, const float* b, float* c, std::int64_t k,
+               std::int64_t n, std::int64_t row_begin, std::int64_t row_end,
+               bool accumulate) {
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    float* crow = c + i * n;
+    if (!accumulate)
+      std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+    const float* arow = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_bt_rows(const float* a, const float* b, float* c, std::int64_t k,
+                  std::int64_t n, std::int64_t row_begin,
+                  std::int64_t row_end, bool accumulate) {
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      double acc = accumulate ? crow[j] : 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(arow[p]) * brow[p];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void gemm_at_rows(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n, std::int64_t row_begin,
+                  std::int64_t row_end, bool accumulate) {
+  // C[i, :] = sum_p A[p, i] * B[p, :]; A is [K x M] row-major.
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    float* crow = c + i * n;
+    if (!accumulate)
+      std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool accumulate, bool parallel) {
+  if (!parallel || m * n * k < kParallelMinWork || m == 1) {
+    gemm_rows(a, b, c, k, n, 0, m, accumulate);
+    return;
+  }
+  ThreadPool::global().parallel_for_chunks(
+      static_cast<std::size_t>(m), [&](std::size_t begin, std::size_t end) {
+        gemm_rows(a, b, c, k, n, static_cast<std::int64_t>(begin),
+                  static_cast<std::int64_t>(end), accumulate);
+      });
+}
+
+void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate, bool parallel) {
+  if (!parallel || m * n * k < kParallelMinWork || m == 1) {
+    gemm_bt_rows(a, b, c, k, n, 0, m, accumulate);
+    return;
+  }
+  ThreadPool::global().parallel_for_chunks(
+      static_cast<std::size_t>(m), [&](std::size_t begin, std::size_t end) {
+        gemm_bt_rows(a, b, c, k, n, static_cast<std::int64_t>(begin),
+                     static_cast<std::int64_t>(end), accumulate);
+      });
+}
+
+void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate, bool parallel) {
+  if (!parallel || m * n * k < kParallelMinWork || m == 1) {
+    gemm_at_rows(a, b, c, m, k, n, 0, m, accumulate);
+    return;
+  }
+  ThreadPool::global().parallel_for_chunks(
+      static_cast<std::size_t>(m), [&](std::size_t begin, std::size_t end) {
+        gemm_at_rows(a, b, c, m, k, n, static_cast<std::int64_t>(begin),
+                     static_cast<std::int64_t>(end), accumulate);
+      });
+}
+
+}  // namespace radar::nn

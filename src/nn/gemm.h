@@ -1,0 +1,29 @@
+// Dense matrix multiply kernels used by Conv2d (im2col) and Linear.
+//
+// C[MxN] = A[MxK] * B[KxN] (+ optional accumulate). Row-major storage.
+// Kernels block over rows; when `parallel` they split across the global
+// thread pool. Callers that already parallelize an outer loop (Conv2d
+// parallelizes over batch samples) must pass parallel=false — the pool
+// does not support nested parallel sections.
+#pragma once
+
+#include <cstdint>
+
+namespace radar::nn {
+
+/// C = A * B (C += A * B when accumulate).
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool accumulate = false,
+          bool parallel = true);
+
+/// C[MxN] = A[MxK] * B^T where B is [N x K] row-major.
+void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate = false,
+             bool parallel = true);
+
+/// C[MxN] = A^T * B where A is [K x M] row-major.
+void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, bool accumulate = false,
+             bool parallel = true);
+
+}  // namespace radar::nn

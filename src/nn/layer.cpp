@@ -1,0 +1,30 @@
+#include "nn/layer.h"
+
+namespace radar::nn {
+
+Tensor Sequential::forward(const Tensor& x, Mode mode) {
+  Tensor cur = x;
+  for (auto& child : children_) cur = child->forward(cur, mode);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+void Sequential::collect_params(const std::string& prefix,
+                                std::vector<NamedParam>& out) {
+  for (std::size_t i = 0; i < children_.size(); ++i)
+    children_[i]->collect_params(join_name(prefix, names_[i]), out);
+}
+
+void Sequential::collect_buffers(const std::string& prefix,
+                                 std::vector<NamedBuffer>& out) {
+  for (std::size_t i = 0; i < children_.size(); ++i)
+    children_[i]->collect_buffers(join_name(prefix, names_[i]), out);
+}
+
+}  // namespace radar::nn

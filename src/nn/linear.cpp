@@ -1,0 +1,62 @@
+#include "nn/linear.h"
+
+#include "nn/gemm.h"
+
+namespace radar::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
+               Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_(Tensor::kaiming({out_features, in_features}, in_features, rng),
+              ParamKind::kLinearWeight),
+      bias_(Tensor({out_features}), ParamKind::kBias) {
+  RADAR_REQUIRE(in_features > 0 && out_features > 0, "bad feature count");
+}
+
+Tensor Linear::forward(const Tensor& x, Mode mode) {
+  RADAR_REQUIRE(x.rank() == 2, "Linear expects [N, F] input");
+  RADAR_REQUIRE(x.dim(1) == in_features_, "feature dim mismatch");
+  const std::int64_t n = x.dim(0);
+  Tensor y({n, out_features_});
+  // y = x * W^T
+  gemm_bt(x.data(), weight_.value.data(), y.data(), n, in_features_,
+          out_features_);
+  if (has_bias_) {
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t j = 0; j < out_features_; ++j)
+        y[y.idx2(i, j)] += bias_.value[j];
+  }
+  if (needs_cache(mode)) cached_input_ = x;
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  RADAR_REQUIRE(x.numel() > 0, "backward before forward(training=true)");
+  const std::int64_t n = x.dim(0);
+  RADAR_REQUIRE(grad_out.dim(0) == n && grad_out.dim(1) == out_features_,
+                "grad_out shape mismatch");
+  // dW += dY^T * X  ([out, in] = [out x n] * [n x in])
+  gemm_at(grad_out.data(), x.data(), weight_.grad.data(), out_features_, n,
+          in_features_, /*accumulate=*/true);
+  if (has_bias_) {
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t j = 0; j < out_features_; ++j)
+        bias_.grad[j] += grad_out[grad_out.idx2(i, j)];
+  }
+  // dX = dY * W  ([n, in] = [n x out] * [out x in])
+  Tensor gx({n, in_features_});
+  gemm(grad_out.data(), weight_.value.data(), gx.data(), n, out_features_,
+       in_features_);
+  return gx;
+}
+
+void Linear::collect_params(const std::string& prefix,
+                            std::vector<NamedParam>& out) {
+  out.push_back({join_name(prefix, "weight"), &weight_});
+  if (has_bias_) out.push_back({join_name(prefix, "bias"), &bias_});
+}
+
+}  // namespace radar::nn

@@ -1,0 +1,70 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace radar::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<int>& labels) {
+  RADAR_REQUIRE(logits.rank() == 2, "logits must be [N, C]");
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  RADAR_REQUIRE(static_cast<std::int64_t>(labels.size()) == n,
+                "label count mismatch");
+  probs_ = Tensor({n, c});
+  labels_ = labels;
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    RADAR_REQUIRE(labels[static_cast<std::size_t>(i)] >= 0 &&
+                      labels[static_cast<std::size_t>(i)] < c,
+                  "label out of range");
+    const float* row = logits.data() + logits.idx2(i, 0);
+    const float m = *std::max_element(row, row + c);
+    double z = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) z += std::exp(static_cast<double>(row[j] - m));
+    const double log_z = std::log(z) + m;
+    for (std::int64_t j = 0; j < c; ++j)
+      probs_[probs_.idx2(i, j)] =
+          static_cast<float>(std::exp(static_cast<double>(row[j]) - log_z));
+    total += log_z - row[labels[static_cast<std::size_t>(i)]];
+  }
+  return static_cast<float>(total / static_cast<double>(n));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  RADAR_REQUIRE(probs_.numel() > 0, "backward before forward");
+  const std::int64_t n = probs_.dim(0), c = probs_.dim(1);
+  Tensor g = probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    g[g.idx2(i, labels_[static_cast<std::size_t>(i)])] -= 1.0f;
+    for (std::int64_t j = 0; j < c; ++j) g[g.idx2(i, j)] *= inv_n;
+  }
+  return g;
+}
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  RADAR_REQUIRE(logits.rank() == 2, "logits must be [N, C]");
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + logits.idx2(i, 0);
+    out[static_cast<std::size_t>(i)] =
+        static_cast<int>(std::max_element(row, row + c) - row);
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const auto pred = argmax_rows(logits);
+  RADAR_REQUIRE(pred.size() == labels.size(), "label count mismatch");
+  if (pred.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+}  // namespace radar::nn

@@ -1,0 +1,34 @@
+// Softmax cross-entropy loss over logits, plus accuracy helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace radar::nn {
+
+/// Numerically stable softmax cross-entropy.
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [N, C]; labels: N class ids in [0, C). Returns mean loss.
+  float forward(const Tensor& logits, const std::vector<int>& labels);
+
+  /// Gradient of the mean loss w.r.t. the logits of the last forward().
+  Tensor backward() const;
+
+  /// Per-class probabilities from the last forward().
+  const Tensor& probs() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+/// Row-wise argmax of a [N, C] logits tensor.
+std::vector<int> argmax_rows(const Tensor& logits);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace radar::nn

@@ -1,0 +1,43 @@
+// Small multilayer perceptron — used by unit tests and micro-examples
+// where a full ResNet would be overkill.
+#pragma once
+
+#include "nn/activations.h"
+#include "nn/layer.h"
+#include "nn/linear.h"
+
+namespace radar::nn {
+
+class Mlp {
+ public:
+  /// dims = {in, hidden..., out}; ReLU between layers, none after the last.
+  Mlp(const std::vector<std::int64_t>& dims, Rng& rng) {
+    RADAR_REQUIRE(dims.size() >= 2, "Mlp needs at least in and out dims");
+    for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+      net_.emplace<Linear>("fc" + std::to_string(i), dims[i], dims[i + 1],
+                           /*bias=*/true, rng);
+      if (i + 2 < dims.size())
+        net_.emplace<ReLU>("relu" + std::to_string(i));
+    }
+  }
+
+  Tensor forward(const Tensor& x, Mode mode = Mode::kEval) {
+    return net_.forward(x, mode);
+  }
+  Tensor backward(const Tensor& g) { return net_.backward(g); }
+
+  std::vector<NamedParam> params() {
+    std::vector<NamedParam> out;
+    net_.collect_params("", out);
+    return out;
+  }
+  void zero_grad() {
+    for (auto& np : params()) np.param->zero_grad();
+  }
+  Sequential& net() { return net_; }
+
+ private:
+  Sequential net_;
+};
+
+}  // namespace radar::nn

@@ -1,0 +1,72 @@
+#include "nn/model_io.h"
+
+#include <map>
+
+#include "common/serialize.h"
+
+namespace radar::nn {
+
+namespace {
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+void write_tensor(BinaryWriter& w, const std::string& name, const Tensor& t) {
+  w.write_string(name);
+  w.write_u64(t.rank());
+  for (auto d : t.shape()) w.write_i64(d);
+  w.write_f32_vector(t.vec());
+}
+
+void read_tensor_into(BinaryReader& r,
+                      const std::map<std::string, Tensor*>& dests,
+                      const char* what) {
+  const std::string name = r.read_string();
+  const auto rank = r.read_u64();
+  std::vector<std::int64_t> shape(rank);
+  for (auto& d : shape) d = r.read_i64();
+  auto data = r.read_f32_vector();
+  const auto it = dests.find(name);
+  if (it == dests.end())
+    throw SerializationError(std::string(what) + " '" + name +
+                             "' not present in destination model");
+  Tensor& dst = *it->second;
+  if (dst.shape() != shape)
+    throw SerializationError(std::string(what) + " '" + name +
+                             "' shape mismatch");
+  RADAR_CHECK(static_cast<std::int64_t>(data.size()) == dst.numel());
+  dst.vec() = std::move(data);
+}
+}  // namespace
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<NamedParam>& params,
+                     const std::vector<NamedBuffer>& buffers) {
+  BinaryWriter w(path, kCheckpointVersion);
+  w.write_u64(params.size());
+  for (const auto& np : params) write_tensor(w, np.name, np.param->value);
+  w.write_u64(buffers.size());
+  for (const auto& nb : buffers) write_tensor(w, nb.name, *nb.tensor);
+  w.close();
+}
+
+void load_checkpoint(const std::string& path,
+                     const std::vector<NamedParam>& params,
+                     const std::vector<NamedBuffer>& buffers) {
+  BinaryReader r(path, kCheckpointVersion);
+  std::map<std::string, Tensor*> param_dest, buffer_dest;
+  for (const auto& np : params) param_dest[np.name] = &np.param->value;
+  for (const auto& nb : buffers) buffer_dest[nb.name] = nb.tensor;
+
+  const auto n_params = r.read_u64();
+  if (n_params != param_dest.size())
+    throw SerializationError("parameter count mismatch in " + path);
+  for (std::uint64_t i = 0; i < n_params; ++i)
+    read_tensor_into(r, param_dest, "parameter");
+
+  const auto n_buffers = r.read_u64();
+  if (n_buffers != buffer_dest.size())
+    throw SerializationError("buffer count mismatch in " + path);
+  for (std::uint64_t i = 0; i < n_buffers; ++i)
+    read_tensor_into(r, buffer_dest, "buffer");
+}
+
+}  // namespace radar::nn

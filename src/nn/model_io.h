@@ -1,0 +1,27 @@
+// Checkpointing: save/load named parameters and buffers.
+//
+// Format v1: [magic][version][count]{name, shape, f32 data}* for params
+// followed by the same for buffers. Loading matches strictly by name and
+// shape — a mismatch throws rather than silently mis-assigning weights.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace radar::nn {
+
+/// Serialize parameters + buffers to `path`.
+void save_checkpoint(const std::string& path,
+                     const std::vector<NamedParam>& params,
+                     const std::vector<NamedBuffer>& buffers);
+
+/// Restore a checkpoint written by save_checkpoint. Every tensor in the
+/// file must exist in the destination lists with identical shape, and
+/// vice versa.
+void load_checkpoint(const std::string& path,
+                     const std::vector<NamedParam>& params,
+                     const std::vector<NamedBuffer>& buffers);
+
+}  // namespace radar::nn

@@ -1,0 +1,65 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace radar::nn {
+
+Sgd::Sgd(std::vector<NamedParam> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (auto& np : params_) velocity_.emplace_back(np.param->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    Param& param = *params_[p].param;
+    Tensor& vel = velocity_[p];
+    const float wd = decayable(param) ? weight_decay_ : 0.0f;
+    for (std::int64_t i = 0; i < param.value.numel(); ++i) {
+      const float g = param.grad[i] + wd * param.value[i];
+      vel[i] = momentum_ * vel[i] + g;
+      param.value[i] -= lr_ * vel[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<NamedParam> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& np : params_) {
+    m_.emplace_back(np.param->value.shape());
+    v_.emplace_back(np.param->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    Param& param = *params_[p].param;
+    const float wd = decayable(param) ? weight_decay_ : 0.0f;
+    for (std::int64_t i = 0; i < param.value.numel(); ++i) {
+      const float g = param.grad[i] + wd * param.value[i];
+      m_[p][i] = beta1_ * m_[p][i] + (1.0f - beta1_) * g;
+      v_[p][i] = beta2_ * v_[p][i] + (1.0f - beta2_) * g * g;
+      const double mhat = m_[p][i] / bc1;
+      const double vhat = v_[p][i] / bc2;
+      param.value[i] -=
+          static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace radar::nn

@@ -1,0 +1,61 @@
+// First-order optimizers over NamedParam lists: SGD(momentum) and Adam.
+//
+// The paper trains ResNet-20 with Adam and fine-tunes ResNet-18 with SGD;
+// both are provided. Weight decay is decoupled from batch-norm parameters
+// (standard practice: decay applies only to conv/linear weights).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace radar::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<NamedParam> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  void zero_grad() {
+    for (auto& np : params_) np.param->zero_grad();
+  }
+  virtual void step() = 0;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  static bool decayable(const Param& p) {
+    return p.kind == ParamKind::kConvWeight ||
+           p.kind == ParamKind::kLinearWeight;
+  }
+
+  std::vector<NamedParam> params_;
+  float lr_ = 0.01f;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<NamedParam> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<NamedParam> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  std::vector<Tensor> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace radar::nn

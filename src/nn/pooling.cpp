@@ -1,0 +1,107 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace radar::nn {
+
+Tensor GlobalAvgPool::forward(const Tensor& x, Mode mode) {
+  RADAR_REQUIRE(x.rank() == 4, "GlobalAvgPool expects NCHW");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t spatial = h * w;
+  Tensor y({n, c});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* xc = x.data() + x.idx4(s, ch, 0, 0);
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < spatial; ++j) acc += xc[j];
+      y[y.idx2(s, ch)] = static_cast<float>(acc / static_cast<double>(spatial));
+    }
+  }
+  if (needs_cache(mode)) cached_shape_ = x.shape();
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  RADAR_REQUIRE(!cached_shape_.empty(),
+                "backward before forward(training=true)");
+  const std::int64_t n = cached_shape_[0], c = cached_shape_[1],
+                     h = cached_shape_[2], w = cached_shape_[3];
+  RADAR_REQUIRE(grad_out.dim(0) == n && grad_out.dim(1) == c,
+                "grad_out shape mismatch");
+  const std::int64_t spatial = h * w;
+  const float inv = 1.0f / static_cast<float>(spatial);
+  Tensor gx(cached_shape_);
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out[grad_out.idx2(s, ch)] * inv;
+      float* gxc = gx.data() + gx.idx4(s, ch, 0, 0);
+      for (std::int64_t j = 0; j < spatial; ++j) gxc[j] = g;
+    }
+  }
+  return gx;
+}
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride,
+                     std::int64_t padding)
+    : kernel_(kernel), stride_(stride), padding_(padding) {
+  RADAR_REQUIRE(kernel > 0 && stride > 0 && padding >= 0,
+                "bad pooling geometry");
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, Mode mode) {
+  RADAR_REQUIRE(x.rank() == 4, "MaxPool2d expects NCHW");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = out_size(h), ow = out_size(w);
+  RADAR_REQUIRE(oh > 0 && ow > 0, "pool output collapses to zero size");
+  Tensor y({n, c, oh, ow});
+  const bool cache = needs_cache(mode);
+  if (cache) {
+    argmax_.assign(static_cast<std::size_t>(y.numel()), -1);
+    cached_shape_ = x.shape();
+  }
+  std::int64_t out_i = 0;
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t yo = 0; yo < oh; ++yo) {
+        for (std::int64_t xo = 0; xo < ow; ++xo, ++out_i) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+            const std::int64_t yi = yo * stride_ - padding_ + kh;
+            if (yi < 0 || yi >= h) continue;
+            for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+              const std::int64_t xi = xo * stride_ - padding_ + kw;
+              if (xi < 0 || xi >= w) continue;
+              const std::int64_t idx = x.idx4(s, ch, yi, xi);
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          // A window entirely in padding contributes 0 (cannot happen for
+          // valid geometries, but keep the output well-defined).
+          y[out_i] = best_idx >= 0 ? best : 0.0f;
+          if (cache) argmax_[static_cast<std::size_t>(out_i)] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  RADAR_REQUIRE(!cached_shape_.empty(),
+                "backward before forward(training=true)");
+  RADAR_REQUIRE(
+      grad_out.numel() == static_cast<std::int64_t>(argmax_.size()),
+      "grad_out element count mismatch");
+  Tensor gx(cached_shape_);
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    const std::int64_t src = argmax_[static_cast<std::size_t>(i)];
+    if (src >= 0) gx[src] += grad_out[i];
+  }
+  return gx;
+}
+
+}  // namespace radar::nn

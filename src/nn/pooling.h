@@ -1,0 +1,39 @@
+// Pooling layers: global average pool (ResNet head) and max pool
+// (ImageNet-style stems).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace radar::nn {
+
+/// Average over all spatial positions: [N,C,H,W] -> [N,C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<std::int64_t> cached_shape_;
+};
+
+/// Square-window max pooling.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t padding);
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "MaxPool2d"; }
+
+  std::int64_t out_size(std::int64_t in) const {
+    return (in + 2 * padding_ - kernel_) / stride_ + 1;
+  }
+
+ private:
+  std::int64_t kernel_, stride_, padding_;
+  std::vector<std::int64_t> argmax_;  ///< winning input linear index per output
+  std::vector<std::int64_t> cached_shape_;
+};
+
+}  // namespace radar::nn

@@ -1,0 +1,136 @@
+#include "nn/resnet.h"
+
+#include "nn/fold.h"
+
+namespace radar::nn {
+
+BasicBlock::BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+                       std::int64_t stride, Rng& rng)
+    : conv1_(in_channels, out_channels, 3, stride, 1, /*bias=*/false, rng),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, 3, 1, 1, /*bias=*/false, rng),
+      bn2_(out_channels) {
+  if (stride != 1 || in_channels != out_channels) {
+    down_conv_ = std::make_unique<Conv2d>(in_channels, out_channels, 1,
+                                          stride, 0, /*bias=*/false, rng);
+    down_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& x, Mode mode) {
+  Tensor a = relu1_.forward(bn1_.forward(conv1_.forward(x, mode), mode),
+                            mode);
+  Tensor b = bn2_.forward(conv2_.forward(a, mode), mode);
+  Tensor s = has_projection()
+                 ? down_bn_->forward(down_conv_->forward(x, mode), mode)
+                 : x;
+  b.add_(s);
+  return relu2_.forward(b, mode);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_out) {
+  Tensor g = relu2_.backward(grad_out);
+  // Main path.
+  Tensor gm = conv1_.backward(
+      bn1_.backward(relu1_.backward(conv2_.backward(bn2_.backward(g)))));
+  // Skip path.
+  if (has_projection()) {
+    Tensor gs = down_conv_->backward(down_bn_->backward(g));
+    gm.add_(gs);
+  } else {
+    gm.add_(g);
+  }
+  return gm;
+}
+
+void BasicBlock::collect_params(const std::string& prefix,
+                                std::vector<NamedParam>& out) {
+  conv1_.collect_params(join_name(prefix, "conv1"), out);
+  bn1_.collect_params(join_name(prefix, "bn1"), out);
+  conv2_.collect_params(join_name(prefix, "conv2"), out);
+  bn2_.collect_params(join_name(prefix, "bn2"), out);
+  if (has_projection()) {
+    down_conv_->collect_params(join_name(prefix, "down_conv"), out);
+    down_bn_->collect_params(join_name(prefix, "down_bn"), out);
+  }
+}
+
+void BasicBlock::collect_buffers(const std::string& prefix,
+                                 std::vector<NamedBuffer>& out) {
+  bn1_.collect_buffers(join_name(prefix, "bn1"), out);
+  bn2_.collect_buffers(join_name(prefix, "bn2"), out);
+  if (has_projection())
+    down_bn_->collect_buffers(join_name(prefix, "down_bn"), out);
+}
+
+void BasicBlock::fold_batchnorm() {
+  fold_conv_bn(conv1_, bn1_);
+  fold_conv_bn(conv2_, bn2_);
+  if (has_projection()) fold_conv_bn(*down_conv_, *down_bn_);
+}
+
+ResNetSpec ResNetSpec::resnet20(std::int64_t num_classes) {
+  ResNetSpec s;
+  s.num_classes = num_classes;
+  s.base_width = 16;
+  s.blocks_per_stage = {3, 3, 3};
+  s.name = "resnet20";
+  return s;
+}
+
+ResNetSpec ResNetSpec::resnet18(std::int64_t num_classes,
+                                std::int64_t base_width) {
+  ResNetSpec s;
+  s.num_classes = num_classes;
+  s.base_width = base_width;
+  s.blocks_per_stage = {2, 2, 2, 2};
+  s.name = "resnet18";
+  return s;
+}
+
+ResNet::ResNet(const ResNetSpec& spec, Rng& rng) : spec_(spec) {
+  RADAR_REQUIRE(!spec.blocks_per_stage.empty(), "need at least one stage");
+  // Stem (CIFAR-style 3x3 conv).
+  net_.emplace<Conv2d>("stem_conv", spec.in_channels, spec.base_width, 3, 1,
+                       1, /*bias=*/false, rng);
+  net_.emplace<BatchNorm2d>("stem_bn", spec.base_width);
+  net_.emplace<ReLU>("stem_relu");
+  // Residual stages: width doubles, spatial halves from stage 1 on.
+  std::int64_t in_ch = spec.base_width;
+  for (std::size_t stage = 0; stage < spec.blocks_per_stage.size(); ++stage) {
+    const std::int64_t out_ch = spec.base_width << stage;
+    for (std::int64_t b = 0; b < spec.blocks_per_stage[stage]; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      net_.emplace<BasicBlock>(
+          "stage" + std::to_string(stage) + ".block" + std::to_string(b),
+          in_ch, out_ch, stride, rng);
+      in_ch = out_ch;
+    }
+  }
+  net_.emplace<GlobalAvgPool>("avgpool");
+  net_.emplace<Linear>("fc", in_ch, spec.num_classes, /*bias=*/true, rng);
+}
+
+std::vector<NamedParam> ResNet::params() {
+  std::vector<NamedParam> out;
+  net_.collect_params("", out);
+  return out;
+}
+
+std::vector<NamedBuffer> ResNet::buffers() {
+  std::vector<NamedBuffer> out;
+  net_.collect_buffers("", out);
+  return out;
+}
+
+void ResNet::zero_grad() {
+  for (auto& np : params()) np.param->zero_grad();
+}
+
+std::int64_t ResNet::num_params() {
+  std::int64_t n = 0;
+  for (auto& np : params()) n += np.param->value.numel();
+  return n;
+}
+
+}  // namespace radar::nn

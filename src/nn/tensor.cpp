@@ -1,0 +1,164 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace radar::nn {
+
+namespace {
+std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    RADAR_REQUIRE(d >= 0, "negative dimension");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  data_.assign(static_cast<std::size_t>(numel_), 0.0f);
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+void Tensor::reshape(std::vector<std::int64_t> shape) {
+  RADAR_REQUIRE(shape_numel(shape) == numel_,
+                "reshape must preserve element count");
+  shape_ = std::move(shape);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::add_(const Tensor& other) {
+  RADAR_REQUIRE(same_shape(other), "shape mismatch in add_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::sub_(const Tensor& other) {
+  RADAR_REQUIRE(same_shape(other), "shape mismatch in sub_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Tensor::scale_(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+void Tensor::axpy_(float alpha, const Tensor& x) {
+  RADAR_REQUIRE(same_shape(x), "shape mismatch in axpy_");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * x.data_[i];
+}
+
+float Tensor::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::min() const {
+  RADAR_REQUIRE(numel_ > 0, "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  RADAR_REQUIRE(numel_ > 0, "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::mean() const {
+  RADAR_REQUIRE(numel_ > 0, "mean of empty tensor");
+  return sum() / static_cast<float>(numel_);
+}
+
+float Tensor::sq_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(s);
+}
+
+Tensor Tensor::full(std::vector<std::int64_t> shape, float v) {
+  Tensor t(std::move(shape));
+  t.fill(v);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::int64_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_)
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::kaiming(std::vector<std::int64_t> shape, std::int64_t fan_in,
+                       Rng& rng) {
+  RADAR_REQUIRE(fan_in > 0, "fan_in must be positive");
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(fan_in));
+  return randn(std::move(shape), rng, stddev);
+}
+
+Tensor Tensor::uniform(std::vector<std::int64_t> shape, Rng& rng, float lo,
+                       float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_)
+    v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<std::int64_t> shape,
+                           std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = shape_numel(t.shape_);
+  RADAR_REQUIRE(static_cast<std::int64_t>(values.size()) == t.numel_,
+                "value count does not match shape");
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  Tensor r = a;
+  r.add_(b);
+  return r;
+}
+
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  Tensor r = a;
+  r.sub_(b);
+  return r;
+}
+
+Tensor operator*(float s, const Tensor& a) {
+  Tensor r = a;
+  r.scale_(s);
+  return r;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  RADAR_REQUIRE(a.same_shape(b), "shape mismatch in max_abs_diff");
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace radar::nn

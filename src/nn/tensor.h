@@ -1,0 +1,117 @@
+// Dense row-major float tensor.
+//
+// The single numeric container of the NN substrate. Deliberately plain:
+// contiguous std::vector<float> storage, shapes up to rank 4 (N,C,H,W),
+// value semantics, no views/strides — the layer kernels index explicitly.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace radar::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::int64_t> shape);
+  Tensor(std::initializer_list<std::int64_t> shape)
+      : Tensor(std::vector<std::int64_t>(shape)) {}
+
+  // ---- shape ----
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const {
+    RADAR_REQUIRE(i < shape_.size(), "dim index out of range");
+    return shape_[i];
+  }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return numel_; }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string shape_str() const;
+
+  /// Reinterpret as a new shape with identical element count.
+  void reshape(std::vector<std::int64_t> shape);
+
+  // ---- element access ----
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Checked linear access.
+  float& at(std::int64_t i) {
+    RADAR_REQUIRE(i >= 0 && i < numel_, "index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float at(std::int64_t i) const {
+    RADAR_REQUIRE(i >= 0 && i < numel_, "index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// NCHW offset (unchecked beyond debug builds; hot path).
+  std::int64_t idx4(std::int64_t n, std::int64_t c, std::int64_t h,
+                    std::int64_t w) const {
+    return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  }
+  std::int64_t idx2(std::int64_t r, std::int64_t c) const {
+    return r * shape_[1] + c;
+  }
+
+  // ---- bulk ops ----
+  void fill(float v);
+  void zero() { fill(0.0f); }
+  void add_(const Tensor& other);              ///< elementwise +=
+  void sub_(const Tensor& other);              ///< elementwise -=
+  void scale_(float s);                        ///< elementwise *=
+  void axpy_(float alpha, const Tensor& x);    ///< this += alpha * x
+
+  float sum() const;
+  float min() const;
+  float max() const;
+  float abs_max() const;
+  float mean() const;
+  /// Squared L2 norm.
+  float sq_norm() const;
+
+  // ---- factories ----
+  static Tensor zeros(std::vector<std::int64_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor full(std::vector<std::int64_t> shape, float v);
+  /// Gaussian init N(0, stddev^2).
+  static Tensor randn(std::vector<std::int64_t> shape, Rng& rng,
+                      float stddev = 1.0f);
+  /// Kaiming (He) normal init for a weight of given fan_in.
+  static Tensor kaiming(std::vector<std::int64_t> shape, std::int64_t fan_in,
+                        Rng& rng);
+  static Tensor uniform(std::vector<std::int64_t> shape, Rng& rng, float lo,
+                        float hi);
+  static Tensor from_vector(std::vector<std::int64_t> shape,
+                            std::vector<float> values);
+
+ private:
+  std::vector<float> data_;
+  std::vector<std::int64_t> shape_;
+  std::int64_t numel_ = 0;
+};
+
+/// Elementwise binary helpers (allocate a result).
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(float s, const Tensor& a);
+
+/// Max |a-b| over all elements; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace radar::nn

@@ -1,0 +1,95 @@
+#include "qnn/kernels.h"
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace radar::qnn {
+
+nn::Tensor conv2d_i8(const QTensor& x, std::span<const std::int8_t> w,
+                     float w_scale, const ConvGeom& geom,
+                     std::span<const float> bias) {
+  RADAR_REQUIRE(x.shape.size() == 4, "conv input must be NCHW");
+  RADAR_REQUIRE(x.dim(1) == geom.in_channels, "input channel mismatch");
+  RADAR_REQUIRE(static_cast<std::int64_t>(w.size()) ==
+                    geom.out_channels * geom.in_channels * geom.kernel *
+                        geom.kernel,
+                "weight buffer size mismatch");
+  RADAR_REQUIRE(bias.empty() || static_cast<std::int64_t>(bias.size()) ==
+                                    geom.out_channels,
+                "bias size mismatch");
+  const std::int64_t n = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  const std::int64_t oh = geom.out_size(in_h), ow = geom.out_size(in_w);
+  RADAR_REQUIRE(oh > 0 && ow > 0, "conv output collapses to zero size");
+
+  nn::Tensor y({n, geom.out_channels, oh, ow});
+  const float rescale = x.scale * w_scale;
+  const std::int64_t in_stride = geom.in_channels * in_h * in_w;
+  const std::int64_t kk = geom.kernel * geom.kernel;
+
+  ThreadPool::global().parallel_for_chunks(
+      static_cast<std::size_t>(n), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          const std::int8_t* xs =
+              x.data.data() + static_cast<std::int64_t>(s) * in_stride;
+          for (std::int64_t co = 0; co < geom.out_channels; ++co) {
+            const std::int8_t* wc = w.data() + co * geom.in_channels * kk;
+            const float b = bias.empty() ? 0.0f
+                                         : bias[static_cast<std::size_t>(co)];
+            for (std::int64_t yo = 0; yo < oh; ++yo) {
+              for (std::int64_t xo = 0; xo < ow; ++xo) {
+                std::int32_t acc = 0;
+                for (std::int64_t ci = 0; ci < geom.in_channels; ++ci) {
+                  const std::int8_t* wk = wc + ci * kk;
+                  const std::int8_t* xc = xs + ci * in_h * in_w;
+                  for (std::int64_t kh = 0; kh < geom.kernel; ++kh) {
+                    const std::int64_t yi =
+                        yo * geom.stride - geom.padding + kh;
+                    if (yi < 0 || yi >= in_h) continue;
+                    for (std::int64_t kw = 0; kw < geom.kernel; ++kw) {
+                      const std::int64_t xi =
+                          xo * geom.stride - geom.padding + kw;
+                      if (xi < 0 || xi >= in_w) continue;
+                      acc += static_cast<std::int32_t>(
+                                 xc[yi * in_w + xi]) *
+                             wk[kh * geom.kernel + kw];
+                    }
+                  }
+                }
+                y[y.idx4(static_cast<std::int64_t>(s), co, yo, xo)] =
+                    static_cast<float>(acc) * rescale + b;
+              }
+            }
+          }
+        }
+      });
+  return y;
+}
+
+nn::Tensor linear_i8(const QTensor& x, std::span<const std::int8_t> w,
+                     float w_scale, std::int64_t out_features,
+                     std::span<const float> bias) {
+  RADAR_REQUIRE(x.shape.size() == 2, "linear input must be [N, F]");
+  const std::int64_t n = x.dim(0), f = x.dim(1);
+  RADAR_REQUIRE(static_cast<std::int64_t>(w.size()) == out_features * f,
+                "weight buffer size mismatch");
+  RADAR_REQUIRE(bias.empty() ||
+                    static_cast<std::int64_t>(bias.size()) == out_features,
+                "bias size mismatch");
+  nn::Tensor y({n, out_features});
+  const float rescale = x.scale * w_scale;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int8_t* xr = x.data.data() + i * f;
+    for (std::int64_t o = 0; o < out_features; ++o) {
+      const std::int8_t* wr = w.data() + o * f;
+      std::int32_t acc = 0;
+      for (std::int64_t k = 0; k < f; ++k)
+        acc += static_cast<std::int32_t>(xr[k]) * wr[k];
+      y[y.idx2(i, o)] =
+          static_cast<float>(acc) * rescale +
+          (bias.empty() ? 0.0f : bias[static_cast<std::size_t>(o)]);
+    }
+  }
+  return y;
+}
+
+}  // namespace radar::qnn

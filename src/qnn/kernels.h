@@ -1,0 +1,39 @@
+// Integer inference kernels: int8 x int8 -> int32 convolution and linear.
+//
+// Semantics: y_real = (sum_k x_q[k] * w_q[k]) * x_scale * w_scale + bias.
+// Outputs are produced as float (the accumulator dequantized), which the
+// caller may requantize for the next layer — mirroring per-layer
+// requantization on integer NPUs/MCUs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.h"
+#include "qnn/qtensor.h"
+
+namespace radar::qnn {
+
+/// Conv geometry (square kernel, symmetric padding), NCHW activations and
+/// [Cout, Cin, K, K] weights.
+struct ConvGeom {
+  std::int64_t in_channels = 0, out_channels = 0;
+  std::int64_t kernel = 1, stride = 1, padding = 0;
+
+  std::int64_t out_size(std::int64_t in) const {
+    return (in + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Integer convolution. `bias` (size Cout, may be empty) is added in real
+/// units. Returns float feature maps.
+nn::Tensor conv2d_i8(const QTensor& x, std::span<const std::int8_t> w,
+                     float w_scale, const ConvGeom& geom,
+                     std::span<const float> bias);
+
+/// Integer fully-connected layer: x [N, F] int8, w [out, F] int8.
+nn::Tensor linear_i8(const QTensor& x, std::span<const std::int8_t> w,
+                     float w_scale, std::int64_t out_features,
+                     std::span<const float> bias);
+
+}  // namespace radar::qnn

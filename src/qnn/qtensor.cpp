@@ -1,0 +1,36 @@
+#include "qnn/qtensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace radar::qnn {
+
+float choose_activation_scale(const nn::Tensor& x) {
+  const float amax = x.abs_max();
+  return amax > 0.0f ? amax / 127.0f : 1.0f;
+}
+
+QTensor quantize_activation(const nn::Tensor& x, float scale) {
+  RADAR_REQUIRE(scale > 0.0f, "activation scale must be positive");
+  QTensor q;
+  q.shape = x.shape();
+  q.scale = scale;
+  q.data.resize(static_cast<std::size_t>(x.numel()));
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const long r = std::lround(x[i] / scale);
+    q.data[static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(std::clamp(r, -127L, 127L));
+  }
+  return q;
+}
+
+nn::Tensor dequantize(const QTensor& x) {
+  nn::Tensor t(x.shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(x.data[static_cast<std::size_t>(i)]) * x.scale;
+  return t;
+}
+
+}  // namespace radar::qnn

@@ -1,0 +1,76 @@
+#include "quant/qmodel.h"
+
+namespace radar::quant {
+
+QuantizedModel::QuantizedModel(nn::ResNet& model) : model_(&model) {
+  for (auto& np : model.params()) {
+    const auto kind = np.param->kind;
+    if (kind != nn::ParamKind::kConvWeight &&
+        kind != nn::ParamKind::kLinearWeight)
+      continue;
+    QuantLayer ql;
+    ql.name = np.name;
+    ql.param = np.param;
+    QuantResult r = quantize_symmetric(np.param->value);
+    ql.q = std::move(r.q);
+    ql.scale = r.scale;
+    total_weights_ += ql.size();
+    layers_.push_back(std::move(ql));
+  }
+  RADAR_REQUIRE(!layers_.empty(), "model has no quantizable weights");
+  sync_all();
+}
+
+std::int8_t QuantizedModel::get_code(std::size_t layer,
+                                     std::int64_t idx) const {
+  const QuantLayer& l = layers_.at(layer);
+  RADAR_REQUIRE(idx >= 0 && idx < l.size(), "weight index out of range");
+  return l.q[static_cast<std::size_t>(idx)];
+}
+
+void QuantizedModel::set_code(std::size_t layer, std::int64_t idx,
+                              std::int8_t v) {
+  QuantLayer& l = layers_.at(layer);
+  RADAR_REQUIRE(idx >= 0 && idx < l.size(), "weight index out of range");
+  l.q[static_cast<std::size_t>(idx)] = v;
+  l.param->value[idx] = dequantize(v, l.scale);
+}
+
+std::int8_t QuantizedModel::flip_bit(std::size_t layer, std::int64_t idx,
+                                     int bit) {
+  QuantLayer& l = layers_.at(layer);
+  RADAR_REQUIRE(idx >= 0 && idx < l.size(), "weight index out of range");
+  const std::int8_t before = l.q[static_cast<std::size_t>(idx)];
+  const std::int8_t after = radar::flip_bit(before, bit);
+  l.q[static_cast<std::size_t>(idx)] = after;
+  l.param->value[idx] = dequantize(after, l.scale);
+  return before;
+}
+
+void QuantizedModel::sync_layer(std::size_t layer) {
+  QuantLayer& l = layers_.at(layer);
+  dequantize_into(l.q, l.scale, l.param->value.data());
+}
+
+void QuantizedModel::sync_all() {
+  for (std::size_t i = 0; i < layers_.size(); ++i) sync_layer(i);
+}
+
+QSnapshot QuantizedModel::snapshot() const {
+  QSnapshot snap;
+  snap.reserve(layers_.size());
+  for (const auto& l : layers_) snap.push_back(l.q);
+  return snap;
+}
+
+void QuantizedModel::restore(const QSnapshot& snap) {
+  RADAR_REQUIRE(snap.size() == layers_.size(), "snapshot layer count mismatch");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    RADAR_REQUIRE(snap[i].size() == layers_[i].q.size(),
+                  "snapshot size mismatch");
+    layers_[i].q = snap[i];
+  }
+  sync_all();
+}
+
+}  // namespace radar::quant

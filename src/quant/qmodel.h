@@ -1,0 +1,76 @@
+// QuantizedModel: the int8 view of a trained network's weights.
+//
+// This is the deployment artifact RADAR protects: every conv / fc weight
+// tensor lives as an int8 buffer ("in DRAM" in the paper's threat model),
+// and the float master weights mirror q * scale so that forward passes and
+// attacker gradients both see the quantized network. Bit flips mutate the
+// int8 buffer and are synced back to the float mirror.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "nn/resnet.h"
+#include "quant/quantizer.h"
+
+namespace radar::quant {
+
+/// One quantized weight tensor.
+struct QuantLayer {
+  std::string name;            ///< hierarchical parameter name
+  nn::Param* param = nullptr;  ///< float master (inside the network)
+  std::vector<std::int8_t> q;  ///< int8 codes — the attack surface
+  float scale = 1.0f;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(q.size()); }
+};
+
+/// Full int8 state snapshot (for repeated attack rounds).
+using QSnapshot = std::vector<std::vector<std::int8_t>>;
+
+class QuantizedModel {
+ public:
+  /// Quantizes all conv / fc weights of `model` in place (the float
+  /// masters are rewritten to dequantized values). `model` must outlive
+  /// this object.
+  explicit QuantizedModel(nn::ResNet& model);
+
+  std::size_t num_layers() const { return layers_.size(); }
+  QuantLayer& layer(std::size_t i) { return layers_.at(i); }
+  const QuantLayer& layer(std::size_t i) const { return layers_.at(i); }
+  std::int64_t total_weights() const { return total_weights_; }
+
+  nn::ResNet& network() { return *model_; }
+
+  /// Inference through the (synced) float mirror.
+  nn::Tensor forward(const nn::Tensor& x) {
+    return model_->forward(x, nn::Mode::kEval);
+  }
+
+  // ---- bit-level mutation (the attack surface) ----
+  std::int8_t get_code(std::size_t layer, std::int64_t idx) const;
+  void set_code(std::size_t layer, std::int64_t idx, std::int8_t v);
+  /// Flip one bit and sync the affected float weight. Returns the code
+  /// value before the flip.
+  std::int8_t flip_bit(std::size_t layer, std::int64_t idx, int bit);
+
+  /// Rewrite the float master of one layer / all layers from int8 codes.
+  void sync_layer(std::size_t layer);
+  void sync_all();
+
+  // ---- snapshots ----
+  QSnapshot snapshot() const;
+  void restore(const QSnapshot& snap);
+
+  /// Total int8 weight bytes (= weight count).
+  std::int64_t weight_bytes() const { return total_weights_; }
+
+ private:
+  nn::ResNet* model_;
+  std::vector<QuantLayer> layers_;
+  std::int64_t total_weights_ = 0;
+};
+
+}  // namespace radar::quant

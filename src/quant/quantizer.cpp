@@ -1,0 +1,42 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace radar::quant {
+
+QuantResult quantize_symmetric(const nn::Tensor& w) {
+  QuantResult r;
+  const float amax = w.abs_max();
+  // An all-zero tensor quantizes to all-zero codes with unit scale.
+  r.scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+  r.q.resize(static_cast<std::size_t>(w.numel()));
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    const float scaled = w[i] / r.scale;
+    const long rounded = std::lround(scaled);
+    const long clamped = std::clamp(rounded, -128L, 127L);
+    r.q[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(clamped);
+  }
+  return r;
+}
+
+void dequantize_into(const std::vector<std::int8_t>& q, float scale,
+                     float* out) {
+  for (std::size_t i = 0; i < q.size(); ++i)
+    out[i] = static_cast<float>(q[i]) * scale;
+}
+
+float quantization_error(const nn::Tensor& w, const QuantResult& r) {
+  RADAR_REQUIRE(static_cast<std::int64_t>(r.q.size()) == w.numel(),
+                "size mismatch");
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    const float dq = dequantize(r.q[static_cast<std::size_t>(i)], r.scale);
+    m = std::max(m, std::fabs(dq - w[i]));
+  }
+  return m;
+}
+
+}  // namespace radar::quant

@@ -1,0 +1,39 @@
+// Per-layer symmetric 8-bit weight quantization.
+//
+// Matches the BFA / RADAR setup (Rakin et al. ICCV'19): each conv / fc
+// weight tensor gets a single scale = max|w| / 127 and int8 codes
+// q = clamp(round(w / scale), -128, 127); the deployed network computes
+// with the dequantized values q * scale, so after quantization the float
+// master weights are rewritten to exactly q * scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace radar::quant {
+
+/// Quantization result for one weight tensor.
+struct QuantResult {
+  std::vector<std::int8_t> q;
+  float scale = 1.0f;
+};
+
+/// Quantize a float tensor with per-tensor symmetric scaling.
+QuantResult quantize_symmetric(const nn::Tensor& w);
+
+/// Dequantize a single code.
+inline float dequantize(std::int8_t q, float scale) {
+  return static_cast<float>(q) * scale;
+}
+
+/// Dequantize a full buffer into `out` (must have q.size() elements).
+void dequantize_into(const std::vector<std::int8_t>& q, float scale,
+                     float* out);
+
+/// Largest absolute rounding error introduced by quantize->dequantize,
+/// useful for tests and sanity checks.
+float quantization_error(const nn::Tensor& w, const QuantResult& r);
+
+}  // namespace radar::quant

@@ -1,0 +1,98 @@
+#include "sim/dram.h"
+
+#include "common/error.h"
+
+namespace radar::sim {
+
+namespace {
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+DramModel::DramModel(const DramConfig& cfg)
+    : cfg_(cfg),
+      activation_count_(static_cast<std::size_t>(cfg.num_rows), 0),
+      salt_(mix64(cfg.seed)) {
+  RADAR_REQUIRE(cfg.row_bytes > 0 && cfg.num_rows > 0, "bad DRAM geometry");
+}
+
+std::uint64_t DramModel::cell_hash(std::int64_t row, std::int64_t byte_in_row,
+                                   int bit) const {
+  return mix64(salt_ ^ (static_cast<std::uint64_t>(row) << 32) ^
+               (static_cast<std::uint64_t>(byte_in_row) << 3) ^
+               static_cast<std::uint64_t>(bit));
+}
+
+bool DramModel::susceptible(std::int64_t row, std::int64_t byte_in_row,
+                            int bit) const {
+  // Deterministic per-cell draw: a fixed fraction of cells are weak.
+  const double u = static_cast<double>(cell_hash(row, byte_in_row, bit) >> 11) /
+                   static_cast<double>(1ull << 53);
+  return u < cfg_.cell_vulnerability;
+}
+
+std::int64_t DramModel::map_buffer(std::int64_t base_row, std::int64_t bytes) {
+  const std::int64_t rows = (bytes + cfg_.row_bytes - 1) / cfg_.row_bytes;
+  RADAR_REQUIRE(base_row >= 0 && base_row + rows <= cfg_.num_rows,
+                "buffer does not fit in DRAM");
+  return rows;
+}
+
+std::vector<DramFlip> DramModel::hammer(std::int64_t victim_row,
+                                        std::int64_t activations) {
+  RADAR_REQUIRE(victim_row >= 0 && victim_row < cfg_.num_rows,
+                "row out of range");
+  auto& count = activation_count_[static_cast<std::size_t>(victim_row)];
+  count += activations;
+  std::vector<DramFlip> flips;
+  if (count < cfg_.hammer_threshold) return flips;
+  count = 0;  // flips occurred; cells need re-hammering afterwards
+  for (std::int64_t b = 0; b < cfg_.row_bytes; ++b) {
+    for (int bit = 0; bit < 8; ++bit) {
+      if (susceptible(victim_row, b, bit))
+        flips.push_back({victim_row, b, bit});
+    }
+  }
+  return flips;
+}
+
+bool DramModel::targeted_flip(std::int64_t row, std::int64_t byte_in_row,
+                              int bit, double placement_success, Rng& rng) {
+  RADAR_REQUIRE(row >= 0 && row < cfg_.num_rows, "row out of range");
+  RADAR_REQUIRE(byte_in_row >= 0 && byte_in_row < cfg_.row_bytes,
+                "byte out of range");
+  return rng.bernoulli(placement_success);
+}
+
+std::int64_t DramModel::activations(std::int64_t row) const {
+  RADAR_REQUIRE(row >= 0 && row < cfg_.num_rows, "row out of range");
+  return activation_count_[static_cast<std::size_t>(row)];
+}
+
+std::int64_t apply_dram_flips_to_model(const std::vector<DramFlip>& flips,
+                                       std::int64_t model_base_row,
+                                       const DramConfig& cfg,
+                                       quant::QuantizedModel& qm) {
+  std::int64_t applied = 0;
+  for (const auto& f : flips) {
+    const std::int64_t flat =
+        (f.row - model_base_row) * cfg.row_bytes + f.byte_in_row;
+    if (flat < 0 || flat >= qm.total_weights()) continue;
+    // Locate (layer, index) for the flat byte offset.
+    std::int64_t rem = flat;
+    std::size_t layer = 0;
+    while (rem >= qm.layer(layer).size()) {
+      rem -= qm.layer(layer).size();
+      ++layer;
+    }
+    qm.flip_bit(layer, rem, f.bit);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace radar::sim

@@ -1,0 +1,78 @@
+// DRAM + rowhammer fault-injection model.
+//
+// The paper's attacker flips PBFA-chosen bits through DRAM rowhammer; the
+// defense never sees the mechanism, only the corrupted weights. This model
+// closes that loop for the system-level example: weights live in DRAM
+// rows; hammering an aggressor row flips susceptible bits in its victim
+// neighbours according to a per-cell vulnerability map, and the attacker
+// places target bits by choosing addresses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "quant/qmodel.h"
+
+namespace radar::sim {
+
+struct DramConfig {
+  std::int64_t row_bytes = 8192;   ///< one DRAM row per bank
+  std::int64_t num_rows = 65536;
+  double cell_vulnerability = 5e-4;  ///< fraction of hammer-susceptible cells
+  std::int64_t hammer_threshold = 50000;  ///< activations to induce flips
+  std::uint64_t seed = 99;
+};
+
+/// A bit flip that occurred in DRAM.
+struct DramFlip {
+  std::int64_t row = 0;
+  std::int64_t byte_in_row = 0;
+  int bit = 0;
+};
+
+class DramModel {
+ public:
+  explicit DramModel(const DramConfig& cfg);
+
+  const DramConfig& config() const { return cfg_; }
+
+  /// Map a weight buffer into consecutive rows starting at `base_row`;
+  /// returns the number of rows occupied.
+  std::int64_t map_buffer(std::int64_t base_row, std::int64_t bytes);
+
+  /// Hammer the rows adjacent to `victim_row` `activations` times. Bits in
+  /// the victim row flip where the cell is susceptible. Returns the flips.
+  std::vector<DramFlip> hammer(std::int64_t victim_row,
+                               std::int64_t activations);
+
+  /// Targeted variant (the DeepHammer-style attacker): flip a specific
+  /// bit if and only if its cell is susceptible; returns success. Models
+  /// an attacker who massages memory layout until the target lands on a
+  /// vulnerable cell with probability `placement_success`.
+  bool targeted_flip(std::int64_t row, std::int64_t byte_in_row, int bit,
+                     double placement_success, Rng& rng);
+
+  /// Is the given cell susceptible to rowhammer?
+  bool susceptible(std::int64_t row, std::int64_t byte_in_row, int bit) const;
+
+  std::int64_t activations(std::int64_t row) const;
+
+ private:
+  std::uint64_t cell_hash(std::int64_t row, std::int64_t byte_in_row,
+                          int bit) const;
+
+  DramConfig cfg_;
+  std::vector<std::int64_t> activation_count_;
+  std::uint64_t salt_;
+};
+
+/// Glue: apply a set of DRAM flips to the int8 weight buffers of a model,
+/// given the row where the model's weights start. Returns the number of
+/// flips that landed inside weight storage.
+std::int64_t apply_dram_flips_to_model(const std::vector<DramFlip>& flips,
+                                       std::int64_t model_base_row,
+                                       const DramConfig& cfg,
+                                       quant::QuantizedModel& qm);
+
+}  // namespace radar::sim

@@ -1,0 +1,120 @@
+#include "sim/netdesc.h"
+
+namespace radar::sim {
+
+std::int64_t NetworkShape::total_weights() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.weights();
+  return n;
+}
+
+std::int64_t NetworkShape::total_macs() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.macs();
+  return n;
+}
+
+std::int64_t NetworkShape::total_groups(std::int64_t group_size) const {
+  std::int64_t n = 0;
+  for (const auto& l : layers)
+    n += (l.weights() + group_size - 1) / group_size;
+  return n;
+}
+
+std::int64_t NetworkShape::signature_storage_bytes(std::int64_t group_size,
+                                                   int sig_bits) const {
+  return (total_groups(group_size) * sig_bits + 7) / 8;
+}
+
+std::int64_t NetworkShape::code_storage_bytes(std::int64_t group_size,
+                                              int code_bits) const {
+  return (total_groups(group_size) * code_bits + 7) / 8;
+}
+
+namespace {
+LayerShape conv(std::string name, std::int64_t cin, std::int64_t cout,
+                std::int64_t k, std::int64_t stride, std::int64_t pad,
+                std::int64_t in_h, std::int64_t in_w) {
+  LayerShape l;
+  l.name = std::move(name);
+  l.type = LayerType::kConv;
+  l.in_channels = cin;
+  l.out_channels = cout;
+  l.kernel = k;
+  l.stride = stride;
+  l.padding = pad;
+  l.in_h = in_h;
+  l.in_w = in_w;
+  return l;
+}
+
+LayerShape fc(std::string name, std::int64_t in, std::int64_t out) {
+  LayerShape l;
+  l.name = std::move(name);
+  l.type = LayerType::kFullyConnected;
+  l.in_channels = in;
+  l.out_channels = out;
+  return l;
+}
+
+/// Append one basic block (two 3x3 convs + optional 1x1 projection).
+/// Returns the output spatial size.
+std::int64_t basic_block(NetworkShape& net, const std::string& name,
+                         std::int64_t cin, std::int64_t cout,
+                         std::int64_t stride, std::int64_t in_hw) {
+  net.layers.push_back(
+      conv(name + ".conv1", cin, cout, 3, stride, 1, in_hw, in_hw));
+  const std::int64_t out_hw = net.layers.back().out_h();
+  net.layers.push_back(
+      conv(name + ".conv2", cout, cout, 3, 1, 1, out_hw, out_hw));
+  if (stride != 1 || cin != cout) {
+    net.layers.push_back(
+        conv(name + ".down", cin, cout, 1, stride, 0, in_hw, in_hw));
+  }
+  return out_hw;
+}
+}  // namespace
+
+NetworkShape resnet20_shape() {
+  NetworkShape net;
+  net.name = "resnet20-cifar10";
+  std::int64_t hw = 32;
+  net.layers.push_back(conv("stem", 3, 16, 3, 1, 1, hw, hw));
+  const std::int64_t widths[3] = {16, 32, 64};
+  std::int64_t cin = 16;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int b = 0; b < 3; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      hw = basic_block(net,
+                       "stage" + std::to_string(stage) + ".block" +
+                           std::to_string(b),
+                       cin, widths[stage], stride, hw);
+      cin = widths[stage];
+    }
+  }
+  net.layers.push_back(fc("fc", 64, 10));
+  return net;
+}
+
+NetworkShape resnet18_shape() {
+  NetworkShape net;
+  net.name = "resnet18-imagenet";
+  net.layers.push_back(conv("stem", 3, 64, 7, 2, 3, 224, 224));
+  std::int64_t hw = 56;  // after the 3x3/2 maxpool on the 112x112 stem out
+  const std::int64_t widths[4] = {64, 128, 256, 512};
+  std::int64_t cin = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < 2; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      hw = basic_block(net,
+                       "stage" + std::to_string(stage) + ".block" +
+                           std::to_string(b),
+                       cin, widths[stage], stride, hw);
+      cin = widths[stage];
+    }
+  }
+  net.layers.push_back(fc("fc", 512, 1000));
+  return net;
+}
+
+}  // namespace radar::sim

@@ -1,0 +1,77 @@
+// Network shape descriptors for the timing/storage experiments.
+//
+// Tables IV/V and Fig. 6 of the paper are about the *full-size* networks
+// (ResNet-20 @ 32x32, ResNet-18 @ 224x224 with 11.2M conv/fc weights).
+// The timing simulator consumes these descriptors — independent of the
+// reduced-width models we train — so MAC counts, weight counts and
+// signature storage match the paper's systems exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace radar::sim {
+
+enum class LayerType { kConv, kFullyConnected };
+
+struct LayerShape {
+  std::string name;
+  LayerType type = LayerType::kConv;
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 1;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+  std::int64_t in_h = 0, in_w = 0;  ///< input spatial size (conv only)
+
+  std::int64_t out_h() const {
+    return type == LayerType::kConv
+               ? (in_h + 2 * padding - kernel) / stride + 1
+               : 1;
+  }
+  std::int64_t out_w() const {
+    return type == LayerType::kConv
+               ? (in_w + 2 * padding - kernel) / stride + 1
+               : 1;
+  }
+  /// Weight count (= int8 bytes in DRAM).
+  std::int64_t weights() const {
+    return type == LayerType::kConv
+               ? out_channels * in_channels * kernel * kernel
+               : in_channels * out_channels;
+  }
+  /// Multiply-accumulates for one input sample.
+  std::int64_t macs() const {
+    return type == LayerType::kConv
+               ? out_channels * out_h() * out_w() * in_channels * kernel *
+                     kernel
+               : in_channels * out_channels;
+  }
+};
+
+struct NetworkShape {
+  std::string name;
+  std::vector<LayerShape> layers;
+
+  std::int64_t total_weights() const;
+  std::int64_t total_macs() const;
+  /// Total checksum groups for a given group size (per-layer padding, as
+  /// in the implementation).
+  std::int64_t total_groups(std::int64_t group_size) const;
+  /// Golden-signature bytes for a group size / signature width.
+  std::int64_t signature_storage_bytes(std::int64_t group_size,
+                                       int sig_bits) const;
+  /// Storage bytes for a per-group code of `code_bits` (CRC / Hamming).
+  std::int64_t code_storage_bytes(std::int64_t group_size,
+                                  int code_bits) const;
+};
+
+/// The paper's ResNet-20 on 32x32 CIFAR-10 inputs (0.27M weights).
+NetworkShape resnet20_shape();
+
+/// The paper's ResNet-18 on 224x224 ImageNet inputs (11.2M weights,
+/// 7x7/2 stem + maxpool + 4 stages of 2 basic blocks + fc-1000).
+NetworkShape resnet18_shape();
+
+}  // namespace radar::sim

@@ -1,0 +1,113 @@
+#include "sim/timing.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace radar::sim {
+
+namespace {
+/// Solve [a11 a12; a21 a22] [x; y] = [b1; b2].
+void solve2x2(double a11, double a12, double b1, double a21, double a22,
+              double b2, double& x, double& y) {
+  const double det = a11 * a22 - a12 * a21;
+  RADAR_REQUIRE(std::fabs(det) > 1e-12, "singular calibration system");
+  x = (b1 * a22 - b2 * a12) / det;
+  y = (a11 * b2 - a21 * b1) / det;
+}
+}  // namespace
+
+double TimingSimulator::inference_seconds(const NetworkShape& net) const {
+  const double cycles =
+      cfg_.cycles_per_mac * static_cast<double>(net.total_macs()) +
+      cfg_.cycles_per_weight_load * static_cast<double>(net.total_weights());
+  return cycles / cfg_.freq_hz;
+}
+
+TimingBreakdown TimingSimulator::radar_seconds(const NetworkShape& net,
+                                               std::int64_t group_size,
+                                               bool interleave) const {
+  TimingBreakdown t;
+  t.baseline = inference_seconds(net);
+  const double w = static_cast<double>(net.total_weights());
+  const double groups = static_cast<double>(net.total_groups(group_size));
+  double cycles = cfg_.checksum_cycles_per_weight * w +
+                  cfg_.radar_group_cycles * groups;
+  if (interleave) cycles += cfg_.interleave_cycles_per_weight * w;
+  t.detection = cycles / cfg_.freq_hz;
+  return t;
+}
+
+TimingBreakdown TimingSimulator::crc_seconds(const NetworkShape& net,
+                                             std::int64_t group_size,
+                                             int crc_width) const {
+  (void)crc_width;  // bit-serial cost is width-independent per byte
+  TimingBreakdown t;
+  t.baseline = inference_seconds(net);
+  const double w = static_cast<double>(net.total_weights());
+  const double groups = static_cast<double>(net.total_groups(group_size));
+  t.detection =
+      (cfg_.crc_cycles_per_byte * w + cfg_.crc_group_cycles * groups) /
+      cfg_.freq_hz;
+  return t;
+}
+
+TimingBreakdown TimingSimulator::hamming_seconds(
+    const NetworkShape& net, std::int64_t group_size) const {
+  TimingBreakdown t;
+  t.baseline = inference_seconds(net);
+  const double bits = static_cast<double>(net.total_weights()) * 8.0;
+  const double groups = static_cast<double>(net.total_groups(group_size));
+  t.detection = (cfg_.hamming_cycles_per_bit * bits +
+                 cfg_.hamming_group_cycles * groups) /
+                cfg_.freq_hz;
+  return t;
+}
+
+double TimingSimulator::zero_out_seconds(
+    std::int64_t weights_in_flagged_groups) const {
+  return cfg_.zero_out_cycles_per_weight *
+         static_cast<double>(weights_in_flagged_groups) / cfg_.freq_hz;
+}
+
+double TimingSimulator::reload_seconds(std::int64_t total_weight_bytes) const {
+  return static_cast<double>(total_weight_bytes) /
+         cfg_.reload_bytes_per_cycle / cfg_.freq_hz;
+}
+
+TimingBreakdown TimingSimulator::radar_seconds_batched(
+    const NetworkShape& net, std::int64_t group_size, bool interleave,
+    std::int64_t batch) const {
+  RADAR_REQUIRE(batch > 0, "batch must be positive");
+  TimingBreakdown per_image = radar_seconds(net, group_size, interleave);
+  TimingBreakdown t;
+  t.baseline = per_image.baseline * static_cast<double>(batch);
+  t.detection = per_image.detection;  // weights fetched once per batch
+  return t;
+}
+
+void TimingSimulator::calibrate_baseline(const NetworkShape& a,
+                                         double seconds_a,
+                                         const NetworkShape& b,
+                                         double seconds_b) {
+  solve2x2(static_cast<double>(a.total_macs()),
+           static_cast<double>(a.total_weights()), seconds_a * cfg_.freq_hz,
+           static_cast<double>(b.total_macs()),
+           static_cast<double>(b.total_weights()), seconds_b * cfg_.freq_hz,
+           cfg_.cycles_per_mac, cfg_.cycles_per_weight_load);
+  RADAR_REQUIRE(cfg_.cycles_per_mac > 0, "negative calibrated MAC cost");
+}
+
+void TimingSimulator::calibrate_radar(const NetworkShape& a, std::int64_t ga,
+                                      double overhead_a,
+                                      const NetworkShape& b, std::int64_t gb,
+                                      double overhead_b) {
+  solve2x2(static_cast<double>(a.total_weights()),
+           static_cast<double>(a.total_groups(ga)),
+           overhead_a * cfg_.freq_hz, static_cast<double>(b.total_weights()),
+           static_cast<double>(b.total_groups(gb)),
+           overhead_b * cfg_.freq_hz, cfg_.checksum_cycles_per_weight,
+           cfg_.radar_group_cycles);
+}
+
+}  // namespace radar::sim

@@ -1,0 +1,308 @@
+// Attack library: PBFA behaviour, random baseline, knowledgeable
+// attacker, profile serialization and statistics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "attack/knowledgeable.h"
+#include "attack/pbfa.h"
+#include "attack/profile_stats.h"
+#include "attack/random_attack.h"
+#include "core/checksum.h"
+#include "data/trainer.h"
+#include "nn/loss.h"
+
+namespace radar::attack {
+namespace {
+
+/// Small, quickly trainable setup shared by the attack tests.
+struct Fixture {
+  Fixture() : rng(5), model(spec(), rng) {
+    data::SyntheticSpec ds = data::synthetic_cifar_spec();
+    ds.image_size = 16;
+    ds.num_classes = 4;
+    dataset = std::make_unique<data::SyntheticDataset>(ds, 256, 64);
+    data::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 32;
+    tc.batches_per_epoch = 16;
+    tc.lr = 0.005f;
+    tc.verbose = false;
+    data::train(model, *dataset, tc);
+    qm = std::make_unique<quant::QuantizedModel>(model);
+  }
+
+  static nn::ResNetSpec spec() {
+    nn::ResNetSpec s;
+    s.num_classes = 4;
+    s.base_width = 8;
+    s.blocks_per_stage = {1, 1};
+    s.name = "tiny";
+    return s;
+  }
+
+  Rng rng;
+  nn::ResNet model;
+  std::unique_ptr<data::SyntheticDataset> dataset;
+  std::unique_ptr<quant::QuantizedModel> qm;
+};
+
+Fixture& fixture() {
+  static Fixture f;  // train once for the whole test binary
+  return f;
+}
+
+TEST(Pbfa, IncreasesLossWithEachCommittedFlip) {
+  Fixture& f = fixture();
+  const quant::QSnapshot clean = f.qm->snapshot();
+  data::Batch batch = f.dataset->attack_batch(16, 1);
+  Pbfa pbfa;
+  AttackResult r = pbfa.run(*f.qm, batch, 5);
+  EXPECT_EQ(r.flips.size(), 5u);
+  EXPECT_GT(r.loss_after, r.loss_before);
+  f.qm->restore(clean);
+}
+
+TEST(Pbfa, RecordsAccurateBeforeAfterCodes) {
+  Fixture& f = fixture();
+  const quant::QSnapshot clean = f.qm->snapshot();
+  data::Batch batch = f.dataset->attack_batch(16, 2);
+  Pbfa pbfa;
+  AttackResult r = pbfa.run(*f.qm, batch, 3);
+  for (const auto& flip : r.flips) {
+    EXPECT_EQ(static_cast<std::uint8_t>(flip.before ^ flip.after),
+              1u << flip.bit);
+    EXPECT_EQ(f.qm->get_code(flip.layer, flip.index), flip.after);
+    EXPECT_EQ(clean[flip.layer][static_cast<std::size_t>(flip.index)],
+              flip.before);
+  }
+  f.qm->restore(clean);
+}
+
+TEST(Pbfa, PrefersMsbFlips) {
+  // Observation 1 of the paper: the most damaging admissible bit is
+  // (almost) always the MSB.
+  Fixture& f = fixture();
+  const quant::QSnapshot clean = f.qm->snapshot();
+  data::Batch batch = f.dataset->attack_batch(16, 3);
+  Pbfa pbfa;
+  AttackResult r = pbfa.run(*f.qm, batch, 8);
+  int msb = 0;
+  for (const auto& flip : r.flips)
+    if (flip.flips_msb()) ++msb;
+  EXPECT_GE(msb, 6);
+  f.qm->restore(clean);
+}
+
+TEST(Pbfa, GreedyIsPrefixConsistent) {
+  Fixture& f = fixture();
+  const quant::QSnapshot clean = f.qm->snapshot();
+  data::Batch batch = f.dataset->attack_batch(16, 4);
+  Pbfa pbfa;
+  AttackResult long_run = pbfa.run(*f.qm, batch, 6);
+  f.qm->restore(clean);
+  AttackResult short_run = pbfa.run(*f.qm, batch, 3);
+  f.qm->restore(clean);
+  ASSERT_GE(long_run.flips.size(), 3u);
+  ASSERT_EQ(short_run.flips.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(long_run.flips[i].layer, short_run.flips[i].layer);
+    EXPECT_EQ(long_run.flips[i].index, short_run.flips[i].index);
+    EXPECT_EQ(long_run.flips[i].bit, short_run.flips[i].bit);
+  }
+}
+
+TEST(Pbfa, RestrictedBitsHonored) {
+  Fixture& f = fixture();
+  const quant::QSnapshot clean = f.qm->snapshot();
+  data::Batch batch = f.dataset->attack_batch(16, 5);
+  PbfaConfig cfg;
+  cfg.allowed_bits = {6};  // MSB-1 only (the §VIII attacker)
+  Pbfa pbfa(cfg);
+  AttackResult r = pbfa.run(*f.qm, batch, 4);
+  for (const auto& flip : r.flips) EXPECT_EQ(flip.bit, 6);
+  f.qm->restore(clean);
+}
+
+TEST(Pbfa, Msb1AttackWeakerThanMsb) {
+  // §VIII: restricting to MSB-1 yields less damage per flip.
+  Fixture& f = fixture();
+  const quant::QSnapshot clean = f.qm->snapshot();
+  data::Batch batch = f.dataset->attack_batch(32, 6);
+
+  Pbfa msb_attack;  // unrestricted, will pick MSBs
+  AttackResult r_msb = msb_attack.run(*f.qm, batch, 5);
+  f.qm->restore(clean);
+
+  PbfaConfig cfg;
+  cfg.allowed_bits = {6};
+  Pbfa msb1_attack(cfg);
+  AttackResult r_msb1 = msb1_attack.run(*f.qm, batch, 5);
+  f.qm->restore(clean);
+
+  EXPECT_GT(r_msb.loss_after, r_msb1.loss_after);
+}
+
+TEST(Pbfa, TargetedVariantDrivesPredictionsToTarget) {
+  Fixture& f = fixture();
+  const quant::QSnapshot clean = f.qm->snapshot();
+  data::Batch batch = f.dataset->attack_batch(24, 8);
+
+  auto target_rate = [&](int target) {
+    nn::Tensor logits = f.qm->network().forward(batch.images, nn::Mode::kEval);
+    const auto pred = nn::argmax_rows(logits);
+    int hits = 0;
+    for (const int p : pred)
+      if (p == target) ++hits;
+    return static_cast<double>(hits) / static_cast<double>(pred.size());
+  };
+
+  const int target = 2;
+  const double before = target_rate(target);
+  PbfaConfig cfg;
+  cfg.target_class = target;
+  Pbfa attacker(cfg);
+  attacker.run(*f.qm, batch, 8);
+  const double after = target_rate(target);
+  EXPECT_GT(after, before + 0.2)
+      << "targeted PBFA should herd predictions toward the target class";
+  f.qm->restore(clean);
+}
+
+TEST(RandomAttack, FlipsRequestedCountAtDistinctSites) {
+  Fixture& f = fixture();
+  const quant::QSnapshot clean = f.qm->snapshot();
+  Rng rng(9);
+  AttackResult r = random_bit_flips(*f.qm, 20, rng);
+  EXPECT_EQ(r.flips.size(), 20u);
+  std::set<std::pair<std::size_t, std::int64_t>> sites;
+  for (const auto& flip : r.flips) sites.insert({flip.layer, flip.index});
+  EXPECT_EQ(sites.size(), 20u);
+  f.qm->restore(clean);
+}
+
+TEST(RandomAttack, MsbVariantOnlyTouchesMsb) {
+  Fixture& f = fixture();
+  const quant::QSnapshot clean = f.qm->snapshot();
+  Rng rng(10);
+  AttackResult r = random_msb_flips(*f.qm, 15, rng);
+  for (const auto& flip : r.flips) EXPECT_EQ(flip.bit, 7);
+  f.qm->restore(clean);
+}
+
+TEST(Knowledgeable, DecoysCancelUnmaskedContiguousChecksum) {
+  Fixture& f = fixture();
+  const quant::QSnapshot clean = f.qm->snapshot();
+
+  // Defender's hypothetical naive configuration (what the attacker
+  // assumes): contiguous groups, no masking.
+  const std::int64_t g = 32;
+  KnowledgeableConfig kc;
+  kc.assumed_group_size = g;
+  KnowledgeableAttacker attacker(kc);
+  Rng rng(11);
+  data::Batch batch = f.dataset->attack_batch(16, 7);
+  AttackResult r = attacker.run(*f.qm, batch, 5, rng);
+  EXPECT_GT(r.flips.size(), 5u);  // decoys appended
+
+  // Verify each primary+decoy pair sums to zero under the naive checksum:
+  // recompute per-group sums of the attacked layer vs clean.
+  core::MaskStream no_mask(0, core::MaskStream::Expansion::kRepeat);
+  for (std::size_t li = 0; li < f.qm->num_layers(); ++li) {
+    const auto& ql = f.qm->layer(li);
+    const core::GroupLayout layout = core::GroupLayout::contiguous(ql.size(), g);
+    // Count flips per group in this layer.
+    std::map<std::int64_t, int> flips_per_group;
+    for (const auto& flip : r.flips)
+      if (flip.layer == li) flips_per_group[layout.group_of(flip.index)]++;
+    for (const auto& [grp, count] : flips_per_group) {
+      if (count != 2) continue;  // only paired groups must cancel
+      std::vector<std::int8_t> clean_w(clean[li].begin(), clean[li].end());
+      const std::int64_t m_clean =
+          core::masked_group_sum(clean_w, layout, grp, no_mask);
+      const std::int64_t m_dirty =
+          core::masked_group_sum(ql.q, layout, grp, no_mask);
+      EXPECT_EQ(m_clean, m_dirty) << "layer " << li << " group " << grp;
+    }
+  }
+  f.qm->restore(clean);
+}
+
+TEST(Profiles, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/radar_test_profiles.bin";
+  std::vector<AttackResult> rounds(2);
+  rounds[0].loss_before = 1.0f;
+  rounds[0].loss_after = 9.0f;
+  rounds[0].accuracy_after = 0.25;
+  rounds[0].flips = {{3, 1234, 7, 10, -118}, {0, 7, 6, -5, -69}};
+  rounds[1].flips = {{1, 42, 7, -1, 127}};
+  save_profiles(path, rounds);
+  const auto loaded = load_profiles(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_FLOAT_EQ(loaded[0].loss_after, 9.0f);
+  EXPECT_NEAR(loaded[0].accuracy_after, 0.25, 1e-6);
+  ASSERT_EQ(loaded[0].flips.size(), 2u);
+  EXPECT_EQ(loaded[0].flips[0].layer, 3u);
+  EXPECT_EQ(loaded[0].flips[0].index, 1234);
+  EXPECT_EQ(loaded[0].flips[0].after, -118);
+  EXPECT_EQ(loaded[1].flips[0].after, 127);
+  std::filesystem::remove(path);
+}
+
+TEST(ProfileStats, BitPositionTable) {
+  std::vector<AttackResult> rounds(1);
+  rounds[0].flips = {
+      {0, 0, 7, 10, -118},   // MSB 0->1
+      {0, 1, 7, -118, 10},   // MSB 1->0
+      {0, 2, 6, 0, 64},      // other
+      {0, 3, 7, 5, -123},    // MSB 0->1
+  };
+  const BitPositionStats s = bit_position_stats(rounds);
+  EXPECT_EQ(s.msb_zero_to_one, 2);
+  EXPECT_EQ(s.msb_one_to_zero, 1);
+  EXPECT_EQ(s.others, 1);
+  EXPECT_EQ(s.total(), 4);
+}
+
+TEST(ProfileStats, WeightRangeTable) {
+  std::vector<AttackResult> rounds(1);
+  rounds[0].flips = {
+      {0, 0, 7, -100, 0}, {0, 1, 7, -10, 0}, {0, 2, 7, 5, 0},
+      {0, 3, 7, 100, 0},  {0, 4, 7, -33, 0},
+  };
+  const WeightRangeStats s = weight_range_stats(rounds);
+  EXPECT_EQ(s.counts[0], 2);  // (-128,-32): -100, -33
+  EXPECT_EQ(s.counts[1], 1);  // (-32,0)
+  EXPECT_EQ(s.counts[2], 1);  // (0,32)
+  EXPECT_EQ(s.counts[3], 1);  // (32,127)
+}
+
+TEST(ProfileStats, MultiFlipProportionGrowsWithGroupSize) {
+  // Two flips 100 apart in a 1000-weight layer: same contiguous group only
+  // when G > 100.
+  std::vector<AttackResult> rounds(1);
+  rounds[0].flips = {{0, 100, 7, 0, 0}, {0, 199, 7, 0, 0}};
+  const std::vector<std::int64_t> sizes = {1000};
+  EXPECT_EQ(multi_flip_group_proportion(rounds, sizes, 50, false), 0.0);
+  EXPECT_EQ(multi_flip_group_proportion(rounds, sizes, 500, false), 1.0);
+}
+
+TEST(ProfileStats, InterleaveReducesMultiFlipProportion) {
+  // Clustered flips (adjacent indices): contiguous grouping puts them
+  // together; interleaving scatters them.
+  std::vector<AttackResult> rounds(1);
+  for (std::int64_t i = 0; i < 6; ++i)
+    rounds[0].flips.push_back({0, 512 + i, 7, 0, 0});
+  const std::vector<std::int64_t> sizes = {4096};
+  const double contiguous =
+      multi_flip_group_proportion(rounds, sizes, 64, false);
+  const double interleaved =
+      multi_flip_group_proportion(rounds, sizes, 64, true);
+  EXPECT_GT(contiguous, 0.9);
+  EXPECT_LT(interleaved, 0.1);
+}
+
+}  // namespace
+}  // namespace radar::attack

@@ -1,0 +1,232 @@
+// Checksum + signature properties: Eq. (1) semantics, MSB parity
+// coverage, double-flip behaviour, masking, and the 3-bit variant.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "core/checksum.h"
+
+namespace radar::core {
+namespace {
+
+/// Mask stream that never negates (isolates pure addition checksum).
+MaskStream zero_mask() {
+  return MaskStream(0, MaskStream::Expansion::kRepeat);
+}
+
+TEST(Binarize, MatchesEquationOne) {
+  // SA = floor(M/256) % 2, SB = floor(M/128) % 2, packed (SA<<1)|SB.
+  EXPECT_EQ(binarize(0, 2).bits, 0b00);
+  EXPECT_EQ(binarize(127, 2).bits, 0b00);
+  EXPECT_EQ(binarize(128, 2).bits, 0b01);
+  EXPECT_EQ(binarize(255, 2).bits, 0b01);
+  EXPECT_EQ(binarize(256, 2).bits, 0b10);
+  EXPECT_EQ(binarize(384, 2).bits, 0b11);
+  EXPECT_EQ(binarize(512, 2).bits, 0b00);
+}
+
+TEST(Binarize, FloorSemanticsForNegativeChecksums) {
+  // floor(-1/128) = -1 (odd) and floor(-1/256) = -1 (odd).
+  EXPECT_EQ(binarize(-1, 2).bits, 0b11);
+  // floor(-128/128) = -1 (odd), floor(-128/256) = -1 (odd).
+  EXPECT_EQ(binarize(-128, 2).bits, 0b11);
+  // floor(-129/128) = -2 (even), floor(-129/256) = -1 (odd).
+  EXPECT_EQ(binarize(-129, 2).bits, 0b10);
+  // floor(-256/256) = -1, floor(-256/128) = -2.
+  EXPECT_EQ(binarize(-256, 2).bits, 0b10);
+}
+
+TEST(Binarize, ThreeBitAddsSc) {
+  // SC = floor(M/64) % 2 as the LSB.
+  EXPECT_EQ(binarize(64, 3).bits, 0b001);
+  EXPECT_EQ(binarize(128, 3).bits, 0b010);
+  EXPECT_EQ(binarize(192, 3).bits, 0b011);
+  EXPECT_EQ(binarize(320, 3).bits, 0b101);
+}
+
+TEST(Binarize, RejectsOtherWidths) {
+  EXPECT_THROW(binarize(0, 1), InvalidArgument);
+  EXPECT_THROW(binarize(0, 4), InvalidArgument);
+}
+
+TEST(MaskedSum, PlainAdditionWithZeroMask) {
+  std::vector<std::int8_t> w = {10, -20, 30, 5};
+  const GroupLayout layout = GroupLayout::contiguous(4, 4);
+  EXPECT_EQ(masked_group_sum(w, layout, 0, zero_mask()), 25);
+}
+
+TEST(MaskedSum, MaskNegatesSelectedWeights) {
+  std::vector<std::int8_t> w = {10, -20, 30, 5};
+  const GroupLayout layout = GroupLayout::contiguous(4, 4);
+  // Repeat key 0b0101: positions 0 and 2 negated.
+  MaskStream m(0x5, MaskStream::Expansion::kRepeat);
+  EXPECT_EQ(masked_group_sum(w, layout, 0, m), -10 - 20 - 30 + 5);
+}
+
+TEST(MaskedSum, PaddingContributesZero) {
+  std::vector<std::int8_t> w = {100, 100, 100};  // G=4, one padding slot
+  const GroupLayout layout = GroupLayout::contiguous(3, 4);
+  EXPECT_EQ(masked_group_sum(w, layout, 0, zero_mask()), 300);
+}
+
+TEST(MaskedSum, GroupsUseDistinctMaskPositions) {
+  // Same weights in two groups but the PRF mask positions differ, so the
+  // sums generally differ.
+  std::vector<std::int8_t> w(32, 17);
+  const GroupLayout layout = GroupLayout::contiguous(32, 8);
+  MaskStream m(0x77AA);
+  int distinct = 0;
+  std::int64_t first = masked_group_sum(w, layout, 0, m);
+  for (std::int64_t g = 1; g < 4; ++g)
+    if (masked_group_sum(w, layout, g, m) != first) ++distinct;
+  EXPECT_GT(distinct, 0);
+}
+
+TEST(MaskedSum, SizeMismatchThrows) {
+  std::vector<std::int8_t> w(16, 0);
+  const GroupLayout layout = GroupLayout::contiguous(32, 8);
+  EXPECT_THROW(masked_group_sum(w, layout, 0, zero_mask()),
+               InvalidArgument);
+}
+
+// ---- Detection properties (the security core of the paper) ----
+
+class ChecksumProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  // Random group of 64 int8 weights + PRF mask keyed off the param seed.
+  void SetUp() override {
+    Rng rng(GetParam());
+    weights_.resize(64);
+    for (auto& w : weights_)
+      w = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    mask_ = std::make_unique<MaskStream>(
+        static_cast<std::uint16_t>(rng.bits() & 0xFFFF));
+    layout_ = std::make_unique<GroupLayout>(GroupLayout::contiguous(64, 64));
+  }
+
+  Signature sig(int width = 2) const {
+    return group_signature(weights_, *layout_, 0, *mask_, width);
+  }
+
+  std::vector<std::int8_t> weights_;
+  std::unique_ptr<MaskStream> mask_;
+  std::unique_ptr<GroupLayout> layout_;
+};
+
+TEST_P(ChecksumProperty, SingleMsbFlipAlwaysDetected) {
+  const Signature clean = sig();
+  for (std::size_t i = 0; i < weights_.size(); i += 5) {
+    const std::int8_t saved = weights_[i];
+    weights_[i] = radar::flip_bit(saved, radar::kMsb);
+    EXPECT_FALSE(sig() == clean) << "missed MSB flip at " << i;
+    weights_[i] = saved;
+  }
+}
+
+TEST_P(ChecksumProperty, AnyOddNumberOfMsbFlipsDetected) {
+  const Signature clean = sig();
+  Rng rng(GetParam() ^ 0xDEAD);
+  for (int count : {1, 3, 5, 7}) {
+    auto saved = weights_;
+    const auto sites = rng.sample_without_replacement(weights_.size(),
+                                                      static_cast<std::size_t>(count));
+    for (auto s : sites)
+      weights_[s] = radar::flip_bit(weights_[s], radar::kMsb);
+    EXPECT_FALSE(sig() == clean) << count << " flips escaped";
+    weights_ = saved;
+  }
+}
+
+TEST_P(ChecksumProperty, SingleMsb1FlipDetectedBy3BitSignature) {
+  const Signature clean = sig(3);
+  for (std::size_t i = 0; i < weights_.size(); i += 7) {
+    const std::int8_t saved = weights_[i];
+    weights_[i] = radar::flip_bit(saved, 6);  // MSB-1
+    EXPECT_FALSE(sig(3) == clean) << "missed MSB-1 flip at " << i;
+    weights_[i] = saved;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+TEST(ChecksumBlindSpots, SameDirectionDoublePairCaughtBySa) {
+  // Unmasked: two 0->1 MSB flips each add -128; M shifts by -256, SB is
+  // unchanged but SA toggles (the very reason the paper includes SA).
+  std::vector<std::int8_t> w = {10, 20, 30, 40};
+  const GroupLayout layout = GroupLayout::contiguous(4, 4);
+  const Signature clean = group_signature(w, layout, 0, zero_mask(), 2);
+  w[0] = radar::flip_bit(w[0], radar::kMsb);  // 0->1
+  w[1] = radar::flip_bit(w[1], radar::kMsb);  // 0->1
+  const Signature dirty = group_signature(w, layout, 0, zero_mask(), 2);
+  EXPECT_FALSE(dirty == clean);
+  // And specifically: SB (bit 0) equal, SA (bit 1) differs.
+  EXPECT_EQ((dirty.bits ^ clean.bits) & 0b01, 0);
+  EXPECT_EQ((dirty.bits ^ clean.bits) & 0b10, 0b10);
+}
+
+TEST(ChecksumBlindSpots, OppositePairInvisibleWithoutMask) {
+  // One 0->1 (-128) and one 1->0 (+128): net zero — the documented
+  // weakness that interleaving + masking must address.
+  std::vector<std::int8_t> w = {10, -20, 30, 40};  // w[1] has MSB set
+  const GroupLayout layout = GroupLayout::contiguous(4, 4);
+  const Signature clean = group_signature(w, layout, 0, zero_mask(), 2);
+  w[0] = radar::flip_bit(w[0], radar::kMsb);
+  w[1] = radar::flip_bit(w[1], radar::kMsb);
+  const Signature dirty = group_signature(w, layout, 0, zero_mask(), 2);
+  EXPECT_TRUE(dirty == clean);
+}
+
+TEST(ChecksumBlindSpots, MaskingCanExposeOppositePair) {
+  // With a mask that negates exactly one of the two positions, both flips
+  // push M the same way (±256): detected by SA.
+  std::vector<std::int8_t> w = {10, -20, 30, 40};
+  const GroupLayout layout = GroupLayout::contiguous(4, 4);
+  // Repeat key 0b0010: only position 1 negated.
+  MaskStream m(0x2, MaskStream::Expansion::kRepeat);
+  const Signature clean = group_signature(w, layout, 0, m, 2);
+  w[0] = radar::flip_bit(w[0], radar::kMsb);
+  w[1] = radar::flip_bit(w[1], radar::kMsb);
+  const Signature dirty = group_signature(w, layout, 0, m, 2);
+  EXPECT_FALSE(dirty == clean);
+}
+
+TEST(ChecksumBlindSpots, TwoBitSignatureCanMissMsb1Flip) {
+  // A ±64 change does not necessarily cross a /128 boundary.
+  std::vector<std::int8_t> w = {0, 0, 0, 0};  // M = 0
+  const GroupLayout layout = GroupLayout::contiguous(4, 4);
+  const Signature clean = group_signature(w, layout, 0, zero_mask(), 2);
+  w[0] = radar::flip_bit(w[0], 6);  // +64: M = 64, still floor(64/128)=0
+  const Signature dirty = group_signature(w, layout, 0, zero_mask(), 2);
+  EXPECT_TRUE(dirty == clean);  // 2-bit blind
+  // ... while the 3-bit signature sees it.
+  std::vector<std::int8_t> w2 = {0, 0, 0, 0};
+  const Signature clean3 = group_signature(w2, layout, 0, zero_mask(), 3);
+  w2[0] = radar::flip_bit(w2[0], 6);
+  EXPECT_FALSE(group_signature(w2, layout, 0, zero_mask(), 3) == clean3);
+}
+
+TEST(ChecksumBlindSpots, LowBitFlipsUsuallyInvisible) {
+  // Bits 0..4 change M by at most ±16: far from the /128 threshold in
+  // most states — quantifying why the scheme targets MSBs.
+  Rng rng(4242);
+  int missed = 0, total = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::int8_t> w(16);
+    for (auto& x : w) x = static_cast<std::int8_t>(rng.uniform_int(-40, 40));
+    const GroupLayout layout = GroupLayout::contiguous(16, 16);
+    MaskStream m(static_cast<std::uint16_t>(rng.bits() & 0xFFFF));
+    const Signature clean = group_signature(w, layout, 0, m, 2);
+    const auto i = static_cast<std::size_t>(rng.uniform_int(0, 15));
+    const int bit = static_cast<int>(rng.uniform_int(0, 2));
+    w[i] = radar::flip_bit(w[i], bit);
+    ++total;
+    if (group_signature(w, layout, 0, m, 2) == clean) ++missed;
+  }
+  EXPECT_GT(missed, total / 2);
+}
+
+}  // namespace
+}  // namespace radar::core

@@ -1,0 +1,244 @@
+// Integrity-code baselines: CRC known-answer + property tests, Hamming
+// SEC-DED behaviour, Fletcher/addition checksums.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "codes/crc.h"
+#include "codes/fletcher.h"
+#include "codes/hamming.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace radar::codes {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(Crc, Crc16XmodemKnownAnswer) {
+  // CRC-16/XMODEM (poly 0x1021, init 0, no reflection): "123456789"
+  // -> 0x31C3. Our engine implements exactly that convention.
+  Crc crc(CrcSpec::crc16_ccitt());
+  const auto data = bytes_of("123456789");
+  EXPECT_EQ(crc.compute(data), 0x31C3u);
+}
+
+TEST(Crc, TableMatchesBitwiseAcrossSpecs) {
+  Rng rng(1);
+  std::vector<std::uint8_t> data(257);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+  for (const auto& spec :
+       {CrcSpec::crc7(), CrcSpec::crc10(), CrcSpec::crc13(),
+        CrcSpec::crc16_ccitt(), CrcSpec::crc32()}) {
+    Crc crc(spec);
+    EXPECT_EQ(crc.compute(data), crc.compute_bitwise(data)) << spec.name;
+  }
+}
+
+TEST(Crc, EmptyDataIsZero) {
+  Crc crc(CrcSpec::crc13());
+  EXPECT_EQ(crc.compute({}), 0u);
+}
+
+TEST(Crc, ResultFitsWidth) {
+  Rng rng(2);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+  for (const auto& spec : {CrcSpec::crc7(), CrcSpec::crc10(), CrcSpec::crc13()}) {
+    Crc crc(spec);
+    EXPECT_LT(crc.compute(data), 1u << spec.width) << spec.name;
+  }
+}
+
+class CrcErrorDetection : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrcErrorDetection, DetectsAllSingleBitErrors) {
+  // Any CRC detects every single-bit error.
+  const int size = GetParam();
+  Rng rng(static_cast<std::uint64_t>(size));
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+  Crc crc(CrcSpec::crc13());
+  const auto clean = crc.compute(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc.compute(data), clean)
+          << "missed single error at " << byte << ":" << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST_P(CrcErrorDetection, DetectsSampledDoubleBitErrors) {
+  // HD=3 at these block lengths: every 2-bit error detected (sampled).
+  const int size = GetParam();
+  Rng rng(static_cast<std::uint64_t>(size) * 31);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+  Crc crc(CrcSpec::crc13());
+  const auto clean = crc.compute(data);
+  const std::int64_t total_bits = size * 8;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = rng.uniform_int(0, total_bits - 1);
+    auto b = rng.uniform_int(0, total_bits - 1);
+    if (a == b) b = (b + 1) % total_bits;
+    data[static_cast<std::size_t>(a / 8)] ^=
+        static_cast<std::uint8_t>(1u << (a % 8));
+    data[static_cast<std::size_t>(b / 8)] ^=
+        static_cast<std::uint8_t>(1u << (b % 8));
+    EXPECT_NE(crc.compute(data), clean) << "missed double " << a << "," << b;
+    data[static_cast<std::size_t>(a / 8)] ^=
+        static_cast<std::uint8_t>(1u << (a % 8));
+    data[static_cast<std::size_t>(b / 8)] ^=
+        static_cast<std::uint8_t>(1u << (b % 8));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CrcErrorDetection,
+                         ::testing::Values(8, 64, 512));
+
+TEST(Crc, RejectsBadSpecs) {
+  CrcSpec bad{2, 0x3, "too-narrow"};
+  EXPECT_THROW(Crc{bad}, radar::InvalidArgument);
+  CrcSpec wide_poly{7, 0xFF, "poly-overflow"};
+  EXPECT_THROW(Crc{wide_poly}, radar::InvalidArgument);
+}
+
+TEST(Crc, Crc10DetectsDoubleErrorsAt512Bits) {
+  // CRC-10's role in the paper: protect the 512 MSBs of a G=512 group.
+  // Our generator is primitive (order 1023 > 512), so all double-bit
+  // errors within that span must be caught.
+  Rng rng(77);
+  std::vector<std::uint8_t> data(64);  // 512 bits
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+  Crc crc(CrcSpec::crc10());
+  const auto clean = crc.compute(data);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = rng.uniform_int(0, 511);
+    auto b = rng.uniform_int(0, 511);
+    if (a == b) b = (b + 1) % 512;
+    data[static_cast<std::size_t>(a / 8)] ^= static_cast<std::uint8_t>(1u << (a % 8));
+    data[static_cast<std::size_t>(b / 8)] ^= static_cast<std::uint8_t>(1u << (b % 8));
+    EXPECT_NE(crc.compute(data), clean);
+    data[static_cast<std::size_t>(a / 8)] ^= static_cast<std::uint8_t>(1u << (a % 8));
+    data[static_cast<std::size_t>(b / 8)] ^= static_cast<std::uint8_t>(1u << (b % 8));
+  }
+}
+
+TEST(Crc, DifferentPolynomialsDisagree) {
+  const auto data = bytes_of("radar");
+  Crc a(CrcSpec::crc13()), b(CrcSpec::crc16_ccitt());
+  EXPECT_NE(a.compute(data), b.compute(data));
+}
+
+TEST(Hamming, ParityBitCounts) {
+  // Classic table: 64 data bits -> 7 parity (+1 overall = 8 stored);
+  // 4096 data bits -> 13 parity (the numbers quoted in §VII.B).
+  EXPECT_EQ(HammingSecDed::parity_bits_for(64), 7);
+  EXPECT_EQ(HammingSecDed::parity_bits_for(4096), 13);
+  EXPECT_EQ(HammingSecDed::parity_bits_for(1), 2);
+  EXPECT_EQ(HammingSecDed(64).storage_bits(), 8);
+  EXPECT_EQ(HammingSecDed(4096).storage_bits(), 14);
+}
+
+TEST(Hamming, CleanDataChecksOk) {
+  Rng rng(3);
+  std::vector<std::uint8_t> data(8);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+  HammingSecDed code(64);
+  const auto check = code.encode(data);
+  const auto r = code.check(data, check);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.corrected);
+  EXPECT_FALSE(r.double_error);
+}
+
+TEST(Hamming, SingleErrorFlaggedAsCorrectable) {
+  Rng rng(4);
+  std::vector<std::uint8_t> data(8);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+  HammingSecDed code(64);
+  const auto check = code.encode(data);
+  for (int bit = 0; bit < 64; bit += 5) {
+    data[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto r = code.check(data, check);
+    EXPECT_TRUE(r.corrected) << "bit " << bit;
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.double_error);
+    data[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+TEST(Hamming, DoubleErrorDetectedNotCorrected) {
+  Rng rng(5);
+  std::vector<std::uint8_t> data(8);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+  HammingSecDed code(64);
+  const auto check = code.encode(data);
+  int detected = 0, trials = 0;
+  for (int a = 0; a < 64; a += 7) {
+    for (int b = a + 3; b < 64; b += 11) {
+      data[static_cast<std::size_t>(a / 8)] ^=
+          static_cast<std::uint8_t>(1u << (a % 8));
+      data[static_cast<std::size_t>(b / 8)] ^=
+          static_cast<std::uint8_t>(1u << (b % 8));
+      const auto r = code.check(data, check);
+      ++trials;
+      if (r.double_error) ++detected;
+      EXPECT_FALSE(r.ok);
+      data[static_cast<std::size_t>(a / 8)] ^=
+          static_cast<std::uint8_t>(1u << (a % 8));
+      data[static_cast<std::size_t>(b / 8)] ^=
+          static_cast<std::uint8_t>(1u << (b % 8));
+    }
+  }
+  EXPECT_EQ(detected, trials);
+}
+
+TEST(Hamming, I8ConvenienceMatchesBytes) {
+  std::vector<std::int8_t> w = {-5, 17, -128, 127, 0, 33, -1, 64};
+  HammingSecDed code(64);
+  const auto c1 = code.encode_i8(w);
+  const auto r = code.check_i8(w, c1);
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(Fletcher, KnownAnswers) {
+  // Standard example: "abcde" -> Fletcher-16 = 0xC8F0.
+  EXPECT_EQ(fletcher16(bytes_of("abcde")), 0xC8F0);
+  EXPECT_EQ(fletcher16(bytes_of("abcdef")), 0x2057);
+}
+
+TEST(Fletcher, F32DetectsReordering) {
+  // Position sensitivity is Fletcher's advantage over plain addition.
+  const auto a = bytes_of("AB");
+  const auto b = bytes_of("BA");
+  EXPECT_NE(fletcher32(a), fletcher32(b));
+  EXPECT_EQ(addition_checksum(a, 16), addition_checksum(b, 16));
+}
+
+TEST(AdditionChecksum, WidthMasking) {
+  std::vector<std::uint8_t> data(300, 0xFF);  // sum = 76500
+  EXPECT_EQ(addition_checksum(data, 8), 76500 % 256);
+  EXPECT_EQ(addition_checksum(data, 16), 76500 % 65536);
+  EXPECT_EQ(addition_checksum(data, 32), 76500u);
+  EXPECT_THROW(addition_checksum(data, 0), radar::InvalidArgument);
+}
+
+TEST(AdditionChecksum, BlindToCancellingPair) {
+  // The documented weakness RADAR inherits and mitigates via masking.
+  std::vector<std::uint8_t> data = {10, 20, 30};
+  const auto clean = addition_checksum(data, 16);
+  data[0] += 5;
+  data[1] -= 5;
+  EXPECT_EQ(addition_checksum(data, 16), clean);
+}
+
+}  // namespace
+}  // namespace radar::codes

@@ -1,0 +1,119 @@
+// GEMM kernels vs a naive reference, across transposes, accumulation and
+// threading (parameterized shape sweep).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/gemm.h"
+
+namespace radar::nn {
+namespace {
+
+std::vector<float> random_matrix(std::int64_t n, Rng& rng) {
+  std::vector<float> m(static_cast<std::size_t>(n));
+  for (auto& v : m) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+void naive_gemm(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(GemmShapes, MatchesNaiveReference) {
+  const auto [m, k, n, parallel] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + k * 101 + n));
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
+
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm(a.data(), b.data(), c.data(), m, k, n, false, parallel);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    ASSERT_NEAR(c[i], ref[i], 1e-3f) << "at " << i;
+}
+
+TEST_P(GemmShapes, TransposedBMatchesNaive) {
+  const auto [m, k, n, parallel] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m + k + n));
+  const auto a = random_matrix(m * k, rng);
+  const auto bt = random_matrix(n * k, rng);  // B^T stored [n x k]
+  // Reference: build B from B^T.
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (std::int64_t j = 0; j < n; ++j)
+    for (std::int64_t p = 0; p < k; ++p) b[p * n + j] = bt[j * k + p];
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
+
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm_bt(a.data(), bt.data(), c.data(), m, k, n, false, parallel);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    ASSERT_NEAR(c[i], ref[i], 1e-3f) << "at " << i;
+}
+
+TEST_P(GemmShapes, TransposedAMatchesNaive) {
+  const auto [m, k, n, parallel] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(3 * m + k - n + 1000));
+  const auto at = random_matrix(k * m, rng);  // A^T stored [k x m]
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t p = 0; p < k; ++p) a[i * k + p] = at[p * m + i];
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
+
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm_at(at.data(), b.data(), c.data(), m, k, n, false, parallel);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    ASSERT_NEAR(c[i], ref[i], 1e-3f) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1, false),
+                      std::make_tuple(3, 5, 7, false),
+                      std::make_tuple(16, 16, 16, false),
+                      std::make_tuple(1, 64, 33, false),
+                      std::make_tuple(64, 1, 9, false),
+                      std::make_tuple(37, 41, 43, false),
+                      std::make_tuple(128, 96, 64, true),
+                      std::make_tuple(200, 64, 100, true)));
+
+TEST(Gemm, AccumulateAddsOntoExisting) {
+  Rng rng(1);
+  const auto a = random_matrix(4 * 3, rng);
+  const auto b = random_matrix(3 * 2, rng);
+  std::vector<float> once(8, 0.0f), twice(8, 0.0f);
+  gemm(a.data(), b.data(), once.data(), 4, 3, 2);
+  gemm(a.data(), b.data(), twice.data(), 4, 3, 2, /*accumulate=*/false);
+  gemm(a.data(), b.data(), twice.data(), 4, 3, 2, /*accumulate=*/true);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(twice[i], 2.0f * once[i], 1e-4f);
+}
+
+TEST(Gemm, ParallelAndSerialAgree) {
+  Rng rng(2);
+  const std::int64_t m = 150, k = 70, n = 90;
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> cs(static_cast<std::size_t>(m * n)),
+      cp(static_cast<std::size_t>(m * n));
+  gemm(a.data(), b.data(), cs.data(), m, k, n, false, /*parallel=*/false);
+  gemm(a.data(), b.data(), cp.data(), m, k, n, false, /*parallel=*/true);
+  for (std::size_t i = 0; i < cs.size(); ++i) EXPECT_EQ(cs[i], cp[i]);
+}
+
+}  // namespace
+}  // namespace radar::nn

@@ -1,0 +1,264 @@
+// Forward-pass correctness of the layer zoo against hand-computed or
+// reference results, plus mode/caching semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/layer.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace radar::nn {
+namespace {
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 1, 1, 0, /*bias=*/false, rng);
+  conv.weight().value.fill(1.0f);
+  Tensor x = Tensor::from_vector({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = conv.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), x.shape());
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, KnownSumKernel) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 3, 1, 1, /*bias=*/false, rng);
+  conv.weight().value.fill(1.0f);  // 3x3 box filter
+  Tensor x = Tensor::full({1, 1, 3, 3}, 1.0f);
+  Tensor y = conv.forward(x, Mode::kEval);
+  // Center sees all 9 ones; corners see 4; edges see 6.
+  EXPECT_FLOAT_EQ(y[y.idx4(0, 0, 1, 1)], 9.0f);
+  EXPECT_FLOAT_EQ(y[y.idx4(0, 0, 0, 0)], 4.0f);
+  EXPECT_FLOAT_EQ(y[y.idx4(0, 0, 0, 1)], 6.0f);
+}
+
+TEST(Conv2d, StrideHalvesOutput) {
+  Rng rng(2);
+  Conv2d conv(3, 8, 3, 2, 1, false, rng);
+  Tensor x({2, 3, 8, 8});
+  Tensor y = conv.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 8, 4, 4}));
+}
+
+TEST(Conv2d, MultiChannelAccumulates) {
+  Rng rng(3);
+  Conv2d conv(2, 1, 1, 1, 0, false, rng);
+  conv.weight().value[0] = 2.0f;   // channel 0 weight
+  conv.weight().value[1] = -1.0f;  // channel 1 weight
+  Tensor x({1, 2, 1, 1});
+  x[0] = 5.0f;   // channel 0
+  x[1] = 3.0f;   // channel 1
+  Tensor y = conv.forward(x, Mode::kEval);
+  EXPECT_FLOAT_EQ(y[0], 2.0f * 5.0f - 3.0f);
+}
+
+TEST(Conv2d, BiasAdds) {
+  Rng rng(4);
+  Conv2d conv(1, 2, 1, 1, 0, /*bias=*/true, rng);
+  conv.weight().value.fill(0.0f);
+  conv.bias().value[0] = 1.5f;
+  conv.bias().value[1] = -2.0f;
+  Tensor x({1, 1, 2, 2});
+  Tensor y = conv.forward(x, Mode::kEval);
+  EXPECT_FLOAT_EQ(y[y.idx4(0, 0, 0, 0)], 1.5f);
+  EXPECT_FLOAT_EQ(y[y.idx4(0, 1, 1, 1)], -2.0f);
+}
+
+TEST(Conv2d, MacsFormula) {
+  Rng rng(5);
+  Conv2d conv(16, 32, 3, 1, 1, false, rng);
+  // 32 out-ch * 8*8 spatial * 16 in-ch * 9 taps
+  EXPECT_EQ(conv.macs(8, 8), 32 * 64 * 16 * 9);
+}
+
+TEST(Conv2d, InputChannelMismatchThrows) {
+  Rng rng(6);
+  Conv2d conv(3, 4, 3, 1, 1, false, rng);
+  Tensor x({1, 2, 8, 8});
+  EXPECT_THROW(conv.forward(x, Mode::kEval), InvalidArgument);
+}
+
+TEST(Conv2d, BackwardBeforeForwardThrows) {
+  Rng rng(7);
+  Conv2d conv(1, 1, 3, 1, 1, false, rng);
+  Tensor g({1, 1, 4, 4});
+  EXPECT_THROW(conv.backward(g), InvalidArgument);
+}
+
+TEST(Conv2d, EvalModeDoesNotCache) {
+  Rng rng(8);
+  Conv2d conv(1, 1, 3, 1, 1, false, rng);
+  Tensor x({1, 1, 4, 4});
+  conv.forward(x, Mode::kEval);
+  EXPECT_THROW(conv.backward(Tensor({1, 1, 4, 4})), InvalidArgument);
+}
+
+TEST(Linear, MatchesManualComputation) {
+  Rng rng(9);
+  Linear fc(3, 2, /*bias=*/true, rng);
+  fc.weight().value = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  fc.bias().value = Tensor::from_vector({2}, {0.5f, -0.5f});
+  Tensor x = Tensor::from_vector({1, 3}, {1, 1, 1});
+  Tensor y = fc.forward(x, Mode::kEval);
+  EXPECT_FLOAT_EQ(y[0], 6.5f);
+  EXPECT_FLOAT_EQ(y[1], 14.5f);
+}
+
+TEST(Linear, BatchIndependentRows) {
+  Rng rng(10);
+  Linear fc(4, 3, true, rng);
+  Tensor x1 = Tensor::randn({1, 4}, rng);
+  Tensor x2({2, 4});
+  for (int j = 0; j < 4; ++j) {
+    x2[x2.idx2(0, j)] = x1[j];
+    x2[x2.idx2(1, j)] = -x1[j];
+  }
+  Tensor y1 = fc.forward(x1, Mode::kEval);
+  Tensor y2 = fc.forward(x2, Mode::kEval);
+  for (int j = 0; j < 3; ++j)
+    EXPECT_NEAR(y2[y2.idx2(0, j)], y1[j], 1e-5f);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  Tensor x = Tensor::from_vector({4}, {-1, 0, 2, -3});
+  Tensor y = relu.forward(x, Mode::kEval);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  ReLU relu;
+  Tensor x = Tensor::from_vector({3}, {-1, 1, 2});
+  relu.forward(x, Mode::kTrain);
+  Tensor g = Tensor::from_vector({3}, {10, 20, 30});
+  Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 20.0f);
+  EXPECT_FLOAT_EQ(gx[2], 30.0f);
+}
+
+TEST(Flatten, CollapsesTrailingDims) {
+  Flatten f;
+  Tensor x({2, 3, 4, 5});
+  Tensor y = f.forward(x, Mode::kTrain);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 60}));
+  Tensor gx = f.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(BatchNorm, TrainNormalizesBatch) {
+  BatchNorm2d bn(1);
+  Tensor x = Tensor::from_vector({2, 1, 1, 2}, {1, 2, 3, 4});
+  Tensor y = bn.forward(x, Mode::kTrain);
+  // Batch mean 2.5, so outputs are symmetric around 0 with ~unit var.
+  EXPECT_NEAR(y.sum(), 0.0f, 1e-4f);
+  EXPECT_NEAR(y.sq_norm() / 4.0f, 1.0f, 1e-2f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm2d bn(1, /*momentum=*/1.0f);  // running <- batch immediately
+  Tensor x = Tensor::from_vector({1, 1, 1, 4}, {2, 4, 6, 8});
+  bn.forward(x, Mode::kTrain);
+  // Now eval on different data must use the stats from x (mean 5).
+  Tensor z = Tensor::from_vector({1, 1, 1, 2}, {5, 5});
+  Tensor y = bn.forward(z, Mode::kEval);
+  EXPECT_NEAR(y[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(y[1], 0.0f, 1e-3f);
+}
+
+TEST(BatchNorm, GradModeMatchesEvalForward) {
+  Rng rng(11);
+  BatchNorm2d bn(2);
+  Tensor warm = Tensor::randn({4, 2, 3, 3}, rng);
+  bn.forward(warm, Mode::kTrain);  // populate running stats
+  Tensor x = Tensor::randn({2, 2, 3, 3}, rng);
+  Tensor ye = bn.forward(x, Mode::kEval);
+  Tensor yg = bn.forward(x, Mode::kGrad);
+  EXPECT_LT(max_abs_diff(ye, yg), 1e-6f);
+}
+
+TEST(BatchNorm, GradModeDoesNotUpdateRunningStats) {
+  Rng rng(12);
+  BatchNorm2d bn(1);
+  const float rm_before = bn.running_mean()[0];
+  Tensor x = Tensor::randn({2, 1, 4, 4}, rng, 5.0f);
+  bn.forward(x, Mode::kGrad);
+  EXPECT_EQ(bn.running_mean()[0], rm_before);
+  bn.forward(x, Mode::kTrain);
+  EXPECT_NE(bn.running_mean()[0], rm_before);
+}
+
+TEST(BatchNorm, AffineParamsApply) {
+  BatchNorm2d bn(1, 1.0f);
+  Tensor x = Tensor::from_vector({1, 1, 1, 2}, {0, 0});
+  bn.gamma().value[0] = 3.0f;
+  bn.beta().value[0] = -1.0f;
+  Tensor y = bn.forward(x, Mode::kEval);  // running stats: mean 0, var 1
+  EXPECT_NEAR(y[0], -1.0f, 1e-4f);
+}
+
+TEST(GlobalAvgPool, AveragesSpatial) {
+  GlobalAvgPool pool;
+  Tensor x = Tensor::from_vector({1, 2, 1, 2}, {1, 3, 10, 20});
+  Tensor y = pool.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 15.0f);
+}
+
+TEST(GlobalAvgPool, BackwardSpreadsUniformly) {
+  GlobalAvgPool pool;
+  Tensor x({1, 1, 2, 2});
+  pool.forward(x, Mode::kTrain);
+  Tensor g = Tensor::from_vector({1, 1}, {8.0f});
+  Tensor gx = pool.backward(g);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx[i], 2.0f);
+}
+
+TEST(MaxPool, SelectsWindowMax) {
+  MaxPool2d pool(2, 2, 0);
+  Tensor x = Tensor::from_vector({1, 1, 2, 4}, {1, 5, 2, 0,  //
+                                                3, 4, 7, 6});
+  Tensor y = pool.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 7.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2, 0);
+  Tensor x = Tensor::from_vector({1, 1, 2, 2}, {1, 9, 3, 2});
+  pool.forward(x, Mode::kTrain);
+  Tensor g = Tensor::from_vector({1, 1, 1, 1}, {5.0f});
+  Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 5.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(Sequential, ChainsAndCollects) {
+  Rng rng(13);
+  Sequential seq;
+  seq.emplace<Linear>("fc0", 4, 8, true, rng);
+  seq.emplace<ReLU>("relu0");
+  seq.emplace<Linear>("fc1", 8, 2, true, rng);
+  Tensor x = Tensor::randn({3, 4}, rng);
+  Tensor y = seq.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{3, 2}));
+
+  std::vector<NamedParam> params;
+  seq.collect_params("net", params);
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].name, "net.fc0.weight");
+  EXPECT_EQ(params[3].name, "net.fc1.bias");
+}
+
+}  // namespace
+}  // namespace radar::nn

@@ -1,0 +1,187 @@
+// Softmax cross-entropy and optimizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+
+namespace radar::nn {
+namespace {
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits({4, 10});
+  std::vector<int> labels = {0, 3, 7, 9};
+  const float loss = ce.forward(logits, labels);
+  EXPECT_NEAR(loss, std::log(10.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, ConfidentCorrectIsNearZero) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits({1, 3});
+  logits[0] = 50.0f;  // class 0 overwhelmingly likely
+  const float loss = ce.forward(logits, {0});
+  EXPECT_LT(loss, 1e-4f);
+}
+
+TEST(CrossEntropy, ConfidentWrongIsLarge) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits({1, 3});
+  logits[0] = 50.0f;
+  const float loss = ce.forward(logits, {1});
+  EXPECT_GT(loss, 40.0f);
+}
+
+TEST(CrossEntropy, NumericallyStableForHugeLogits) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits({1, 2});
+  logits[0] = 1e4f;
+  logits[1] = -1e4f;
+  const float loss = ce.forward(logits, {0});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0f, 1e-3f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy ce;
+  Rng rng(3);
+  Tensor logits = Tensor::randn({3, 4}, rng);
+  std::vector<int> labels = {1, 0, 3};
+  ce.forward(logits, labels);
+  Tensor g = ce.backward();
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const float up = ce.forward(logits, labels);
+    logits[i] = saved - eps;
+    const float down = ce.forward(logits, labels);
+    logits[i] = saved;
+    EXPECT_NEAR(g[i], (up - down) / (2 * eps), 1e-3f) << "at " << i;
+  }
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy ce;
+  Rng rng(4);
+  Tensor logits = Tensor::randn({5, 6}, rng);
+  ce.forward(logits, {0, 1, 2, 3, 4});
+  Tensor g = ce.backward();
+  for (int r = 0; r < 5; ++r) {
+    double s = 0.0;
+    for (int c = 0; c < 6; ++c) s += g[g.idx2(r, c)];
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, LabelOutOfRangeThrows) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits({1, 3});
+  EXPECT_THROW(ce.forward(logits, {3}), InvalidArgument);
+  EXPECT_THROW(ce.forward(logits, {-1}), InvalidArgument);
+}
+
+TEST(Accuracy, ArgmaxAndAccuracy) {
+  Tensor logits = Tensor::from_vector({2, 3}, {0, 5, 1,  //
+                                               9, 2, 3});
+  EXPECT_EQ(argmax_rows(logits), (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 2}), 0.0);
+}
+
+/// y = 2x problem: a single linear unit must fit it quickly.
+TEST(Sgd, ConvergesOnLinearRegressionStyleTask) {
+  Rng rng(5);
+  Linear fc(1, 1, true, rng);
+  std::vector<NamedParam> params;
+  fc.collect_params("fc", params);
+  Sgd opt(params, /*lr=*/0.05f, /*momentum=*/0.9f);
+  for (int it = 0; it < 200; ++it) {
+    Tensor x = Tensor::randn({8, 1}, rng);
+    Tensor y = fc.forward(x, Mode::kTrain);
+    // L = mean (y - 2x)^2; dL/dy = 2(y-2x)/N
+    Tensor g({8, 1});
+    for (int i = 0; i < 8; ++i) g[i] = 2.0f * (y[i] - 2.0f * x[i]) / 8.0f;
+    opt.zero_grad();
+    fc.backward(g);
+    opt.step();
+  }
+  EXPECT_NEAR(fc.weight().value[0], 2.0f, 0.05f);
+  EXPECT_NEAR(fc.bias().value[0], 0.0f, 0.05f);
+}
+
+TEST(Adam, ConvergesOnSameTask) {
+  Rng rng(6);
+  Linear fc(1, 1, true, rng);
+  std::vector<NamedParam> params;
+  fc.collect_params("fc", params);
+  Adam opt(params, /*lr=*/0.05f);
+  for (int it = 0; it < 300; ++it) {
+    Tensor x = Tensor::randn({8, 1}, rng);
+    Tensor y = fc.forward(x, Mode::kTrain);
+    Tensor g({8, 1});
+    for (int i = 0; i < 8; ++i) g[i] = 2.0f * (y[i] - 2.0f * x[i]) / 8.0f;
+    opt.zero_grad();
+    fc.backward(g);
+    opt.step();
+  }
+  EXPECT_NEAR(fc.weight().value[0], 2.0f, 0.1f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeightsNotBias) {
+  Rng rng(7);
+  Linear fc(2, 2, true, rng);
+  fc.weight().value.fill(1.0f);
+  fc.bias().value.fill(1.0f);
+  std::vector<NamedParam> params;
+  fc.collect_params("fc", params);
+  Sgd opt(params, /*lr=*/0.1f, /*momentum=*/0.0f, /*weight_decay=*/0.5f);
+  opt.zero_grad();  // zero gradients: only decay acts
+  opt.step();
+  EXPECT_LT(fc.weight().value[0], 1.0f);
+  EXPECT_FLOAT_EQ(fc.bias().value[0], 1.0f);
+}
+
+TEST(Sgd, MomentumAcceleratesConstantGradient) {
+  Rng rng(8);
+  Linear fc(1, 1, false, rng);
+  fc.weight().value[0] = 0.0f;
+  std::vector<NamedParam> params;
+  fc.collect_params("fc", params);
+  Sgd opt(params, /*lr=*/0.1f, /*momentum=*/0.9f);
+  // Apply the same gradient twice: second step must be larger.
+  fc.weight().grad[0] = 1.0f;
+  opt.step();
+  const float after1 = fc.weight().value[0];
+  fc.weight().grad[0] = 1.0f;
+  opt.step();
+  const float delta2 = after1 - fc.weight().value[0];
+  EXPECT_GT(delta2, 0.1f * 1.5f);  // momentum compounding
+}
+
+TEST(Mlp, TrainsXorStyleSeparation) {
+  Rng rng(9);
+  Mlp mlp({2, 16, 2}, rng);
+  SoftmaxCrossEntropy ce;
+  Adam opt(mlp.params(), 0.01f);
+  // XOR dataset.
+  Tensor x = Tensor::from_vector({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  std::vector<int> labels = {0, 1, 1, 0};
+  float last = 0.0f;
+  for (int it = 0; it < 500; ++it) {
+    opt.zero_grad();
+    Tensor logits = mlp.forward(x, Mode::kTrain);
+    last = ce.forward(logits, labels);
+    mlp.backward(ce.backward());
+    opt.step();
+  }
+  EXPECT_LT(last, 0.05f);
+  EXPECT_DOUBLE_EQ(accuracy(mlp.forward(x), labels), 1.0);
+}
+
+}  // namespace
+}  // namespace radar::nn

@@ -1,0 +1,71 @@
+// MaskStream: determinism, expansion modes, balance, key derivation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/mask.h"
+
+namespace radar::core {
+namespace {
+
+TEST(MaskStream, RepeatModeIsKeyPeriodic) {
+  const std::uint16_t key = 0xB00B;
+  MaskStream m(key, MaskStream::Expansion::kRepeat);
+  for (std::int64_t p = 0; p < 256; ++p) {
+    EXPECT_EQ(m.bit(p), static_cast<bool>((key >> (p % 16)) & 1));
+    EXPECT_EQ(m.bit(p), m.bit(p + 16));
+  }
+}
+
+TEST(MaskStream, PrfModeDeterministic) {
+  MaskStream a(0x1234), b(0x1234);
+  for (std::int64_t p = 0; p < 1000; ++p) EXPECT_EQ(a.bit(p), b.bit(p));
+}
+
+TEST(MaskStream, PrfModeNotShortPeriodic) {
+  MaskStream m(0x1234);
+  bool any_diff = false;
+  for (std::int64_t p = 0; p < 64 && !any_diff; ++p)
+    if (m.bit(p) != m.bit(p + 16)) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MaskStream, DifferentKeysDifferentStreams) {
+  MaskStream a(1), b(2);
+  int diff = 0;
+  for (std::int64_t p = 0; p < 256; ++p)
+    if (a.bit(p) != b.bit(p)) ++diff;
+  EXPECT_GT(diff, 64);
+}
+
+TEST(MaskStream, PrfBitsRoughlyBalanced) {
+  MaskStream m(0xBEEF);
+  int ones = 0;
+  const int n = 10000;
+  for (std::int64_t p = 0; p < n; ++p)
+    if (m.bit(p)) ++ones;
+  EXPECT_GT(ones, n / 2 - 300);
+  EXPECT_LT(ones, n / 2 + 300);
+}
+
+TEST(MaskStream, LayerKeysDistinct) {
+  std::set<std::uint16_t> keys;
+  for (std::size_t layer = 0; layer < 64; ++layer)
+    keys.insert(MaskStream::derive_layer_key(0xC0FFEE, layer));
+  // 64 draws from 2^16: collisions are possible but should be rare.
+  EXPECT_GE(keys.size(), 62u);
+}
+
+TEST(MaskStream, LayerKeysDependOnMasterSeed) {
+  EXPECT_NE(MaskStream::derive_layer_key(1, 0),
+            MaskStream::derive_layer_key(2, 0));
+}
+
+TEST(MaskStream, KeyAccessors) {
+  MaskStream m(0xABCD, MaskStream::Expansion::kRepeat);
+  EXPECT_EQ(m.key(), 0xABCD);
+  EXPECT_EQ(m.expansion(), MaskStream::Expansion::kRepeat);
+}
+
+}  // namespace
+}  // namespace radar::core

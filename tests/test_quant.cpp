@@ -1,0 +1,146 @@
+// Quantizer and QuantizedModel: rounding contracts, bit-flip mutation,
+// float-mirror synchronization, snapshots.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/qmodel.h"
+#include "quant/quantizer.h"
+
+namespace radar::quant {
+namespace {
+
+TEST(Quantizer, ScaleFromAbsMax) {
+  nn::Tensor w = nn::Tensor::from_vector({4}, {0.5f, -1.27f, 0.1f, 1.0f});
+  QuantResult r = quantize_symmetric(w);
+  EXPECT_FLOAT_EQ(r.scale, 1.27f / 127.0f);
+  EXPECT_EQ(r.q[1], -127);
+}
+
+TEST(Quantizer, RoundingErrorBounded) {
+  Rng rng(1);
+  nn::Tensor w = nn::Tensor::randn({1000}, rng, 0.05f);
+  QuantResult r = quantize_symmetric(w);
+  // Round-to-nearest: error at most scale/2 (plus fp noise).
+  EXPECT_LE(quantization_error(w, r), r.scale * 0.5f + 1e-6f);
+}
+
+TEST(Quantizer, AllZeroTensor) {
+  nn::Tensor w({16});
+  QuantResult r = quantize_symmetric(w);
+  EXPECT_FLOAT_EQ(r.scale, 1.0f);
+  for (auto q : r.q) EXPECT_EQ(q, 0);
+}
+
+TEST(Quantizer, ExtremesHitFullRange) {
+  nn::Tensor w = nn::Tensor::from_vector({2}, {1.0f, -1.0f});
+  QuantResult r = quantize_symmetric(w);
+  EXPECT_EQ(r.q[0], 127);
+  EXPECT_EQ(r.q[1], -127);
+}
+
+TEST(Quantizer, DequantizeRoundTripIsIdempotent) {
+  Rng rng(2);
+  nn::Tensor w = nn::Tensor::randn({64}, rng);
+  QuantResult r1 = quantize_symmetric(w);
+  nn::Tensor dq({64});
+  dequantize_into(r1.q, r1.scale, dq.data());
+  QuantResult r2 = quantize_symmetric(dq);
+  // Quantizing already-quantized values must be exact.
+  EXPECT_EQ(r1.q, r2.q);
+}
+
+class QuantModelTest : public ::testing::Test {
+ protected:
+  QuantModelTest() : rng_(3), model_(nn::ResNetSpec::resnet20(10), rng_) {}
+  Rng rng_;
+  nn::ResNet model_;
+};
+
+TEST_F(QuantModelTest, QuantizesAllConvAndFcLayers) {
+  QuantizedModel qm(model_);
+  EXPECT_EQ(qm.num_layers(), 22u);
+  EXPECT_EQ(qm.total_weights(), 270896);
+}
+
+TEST_F(QuantModelTest, FloatMirrorMatchesCodes) {
+  QuantizedModel qm(model_);
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+    const auto& l = qm.layer(li);
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(l.size(), 50); ++i) {
+      EXPECT_FLOAT_EQ(l.param->value[i],
+                      dequantize(l.q[static_cast<std::size_t>(i)], l.scale));
+    }
+  }
+}
+
+TEST_F(QuantModelTest, FlipBitUpdatesCodeAndMirror) {
+  QuantizedModel qm(model_);
+  const std::int8_t before = qm.get_code(0, 5);
+  const std::int8_t returned = qm.flip_bit(0, 5, 7);
+  EXPECT_EQ(returned, before);
+  const std::int8_t after = qm.get_code(0, 5);
+  EXPECT_NE(after, before);
+  EXPECT_EQ(static_cast<std::uint8_t>(after ^ before), 0x80);
+  EXPECT_FLOAT_EQ(qm.layer(0).param->value[5],
+                  dequantize(after, qm.layer(0).scale));
+}
+
+TEST_F(QuantModelTest, FlipIsReversible) {
+  QuantizedModel qm(model_);
+  const std::int8_t orig = qm.get_code(3, 17);
+  qm.flip_bit(3, 17, 2);
+  qm.flip_bit(3, 17, 2);
+  EXPECT_EQ(qm.get_code(3, 17), orig);
+}
+
+TEST_F(QuantModelTest, SnapshotRestoreRoundTrip) {
+  QuantizedModel qm(model_);
+  const QSnapshot snap = qm.snapshot();
+  const float mirror_before = qm.layer(1).param->value[0];
+  qm.flip_bit(1, 0, 7);
+  qm.flip_bit(4, 100, 6);
+  qm.restore(snap);
+  EXPECT_EQ(qm.get_code(1, 0), snap[1][0]);
+  EXPECT_FLOAT_EQ(qm.layer(1).param->value[0], mirror_before);
+}
+
+TEST_F(QuantModelTest, ForwardChangesAfterMsbFlips) {
+  QuantizedModel qm(model_);
+  nn::Tensor x = nn::Tensor::randn({1, 3, 32, 32}, rng_);
+  nn::Tensor y0 = qm.forward(x);
+  // Flip MSBs of a few first-layer weights: output must change.
+  for (std::int64_t i = 0; i < 5; ++i) qm.flip_bit(0, i, 7);
+  nn::Tensor y1 = qm.forward(x);
+  EXPECT_GT(nn::max_abs_diff(y0, y1), 0.0f);
+}
+
+TEST_F(QuantModelTest, OutOfRangeAccessThrows) {
+  QuantizedModel qm(model_);
+  EXPECT_THROW(qm.get_code(0, qm.layer(0).size()), InvalidArgument);
+  EXPECT_THROW(qm.flip_bit(0, -1, 7), InvalidArgument);
+  EXPECT_THROW(qm.get_code(99, 0), std::out_of_range);
+}
+
+TEST_F(QuantModelTest, RestoreRejectsForeignSnapshot) {
+  QuantizedModel qm(model_);
+  QSnapshot snap = qm.snapshot();
+  snap.pop_back();
+  EXPECT_THROW(qm.restore(snap), InvalidArgument);
+}
+
+TEST_F(QuantModelTest, QuantizedAccuracyCloseToFloat) {
+  // Quantization of a *random-init* network: outputs should still be
+  // highly correlated (scale-preserving), sanity-checking the pipeline.
+  nn::Tensor x = nn::Tensor::randn({4, 3, 32, 32}, rng_);
+  Rng rng2(3);
+  nn::ResNet fresh(nn::ResNetSpec::resnet20(10), rng2);
+  nn::Tensor y_float = fresh.forward(x);
+  QuantizedModel qm(model_);  // model_ has identical init (same seed)
+  nn::Tensor y_quant = qm.forward(x);
+  EXPECT_LT(nn::max_abs_diff(y_float, y_quant),
+            0.25f * std::max(1.0f, y_float.abs_max()));
+}
+
+}  // namespace
+}  // namespace radar::quant

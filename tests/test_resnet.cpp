@@ -1,0 +1,151 @@
+// ResNet builders: topology, parameter accounting, forward shapes,
+// determinism and checkpointing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "nn/model_io.h"
+#include "nn/resnet.h"
+
+namespace radar::nn {
+namespace {
+
+TEST(ResNetSpec, PaperConfigurations) {
+  const auto r20 = ResNetSpec::resnet20();
+  EXPECT_EQ(r20.blocks_per_stage, (std::vector<std::int64_t>{3, 3, 3}));
+  EXPECT_EQ(r20.base_width, 16);
+  const auto r18 = ResNetSpec::resnet18();
+  EXPECT_EQ(r18.blocks_per_stage, (std::vector<std::int64_t>{2, 2, 2, 2}));
+}
+
+TEST(ResNet, Resnet20QuantizableWeightCountMatchesPaperArchitecture) {
+  Rng rng(1);
+  ResNet net(ResNetSpec::resnet20(10), rng);
+  std::int64_t conv_fc_weights = 0;
+  int conv_fc_layers = 0;
+  for (auto& np : net.params()) {
+    if (np.param->kind == ParamKind::kConvWeight ||
+        np.param->kind == ParamKind::kLinearWeight) {
+      conv_fc_weights += np.param->value.numel();
+      ++conv_fc_layers;
+    }
+  }
+  // Hand-derived for CIFAR ResNet-20 (stem + 9 blocks + 2 projections + fc).
+  EXPECT_EQ(conv_fc_weights, 270896);
+  EXPECT_EQ(conv_fc_layers, 22);
+}
+
+TEST(ResNet, ForwardOutputShape) {
+  Rng rng(2);
+  ResNet net(ResNetSpec::resnet20(10), rng);
+  Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+  Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 10}));
+}
+
+TEST(ResNet, Resnet18ReducedWidthForward) {
+  Rng rng(3);
+  ResNet net(ResNetSpec::resnet18(20, 16), rng);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{1, 20}));
+}
+
+TEST(ResNet, DeterministicInitAndForward) {
+  Rng rng_a(7), rng_b(7);
+  ResNet a(ResNetSpec::resnet20(10), rng_a);
+  ResNet b(ResNetSpec::resnet20(10), rng_b);
+  Rng xr(9);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, xr);
+  EXPECT_EQ(max_abs_diff(a.forward(x), b.forward(x)), 0.0f);
+}
+
+TEST(ResNet, ParamNamesUniqueAndHierarchical) {
+  Rng rng(4);
+  ResNet net(ResNetSpec::resnet20(10), rng);
+  std::set<std::string> names;
+  bool found_block_conv = false;
+  for (auto& np : net.params()) {
+    EXPECT_TRUE(names.insert(np.name).second) << "duplicate " << np.name;
+    if (np.name == "stage1.block0.conv1.weight") found_block_conv = true;
+  }
+  EXPECT_TRUE(found_block_conv);
+}
+
+TEST(ResNet, ProjectionOnlyWhereShapeChanges) {
+  Rng rng(5);
+  // Stage 0 blocks keep 16 channels at stride 1: no projection.
+  BasicBlock plain(16, 16, 1, rng);
+  EXPECT_FALSE(plain.has_projection());
+  BasicBlock strided(16, 32, 2, rng);
+  EXPECT_TRUE(strided.has_projection());
+  BasicBlock widened(16, 32, 1, rng);
+  EXPECT_TRUE(widened.has_projection());
+}
+
+TEST(ResNet, ZeroGradClearsAllGradients) {
+  Rng rng(6);
+  ResNet net(ResNetSpec::resnet20(10), rng);
+  Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+  Tensor y = net.forward(x, Mode::kTrain);
+  Tensor g = Tensor::full(y.shape(), 1.0f);
+  net.backward(g);
+  float grad_norm = 0.0f;
+  for (auto& np : net.params()) grad_norm += np.param->grad.sq_norm();
+  EXPECT_GT(grad_norm, 0.0f);
+  net.zero_grad();
+  grad_norm = 0.0f;
+  for (auto& np : net.params()) grad_norm += np.param->grad.sq_norm();
+  EXPECT_EQ(grad_norm, 0.0f);
+}
+
+TEST(ResNet, BackwardProducesInputGradient) {
+  Rng rng(8);
+  ResNet net(ResNetSpec::resnet20(10), rng);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  Tensor y = net.forward(x, Mode::kGrad);
+  Tensor g({1, 10});
+  g[3] = 1.0f;
+  Tensor gx = net.backward(g);
+  EXPECT_EQ(gx.shape(), x.shape());
+  EXPECT_GT(gx.sq_norm(), 0.0f);
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/radar_test_ckpt.bin";
+  Rng rng_a(10), rng_b(11);  // different init
+  ResNet a(ResNetSpec::resnet20(10), rng_a);
+  ResNet b(ResNetSpec::resnet20(10), rng_b);
+  Rng xr(1);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, xr);
+  EXPECT_GT(max_abs_diff(a.forward(x), b.forward(x)), 0.0f);
+
+  save_checkpoint(path, a.params(), a.buffers());
+  load_checkpoint(path, b.params(), b.buffers());
+  EXPECT_EQ(max_abs_diff(a.forward(x), b.forward(x)), 0.0f);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, ShapeMismatchRejected) {
+  const std::string path = "/tmp/radar_test_ckpt_mismatch.bin";
+  Rng rng(12);
+  ResNet small(ResNetSpec::resnet20(10), rng);
+  ResNet wide(ResNetSpec::resnet18(10, 16), rng);
+  save_checkpoint(path, small.params(), small.buffers());
+  EXPECT_THROW(load_checkpoint(path, wide.params(), wide.buffers()),
+               SerializationError);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Rng rng(13);
+  ResNet net(ResNetSpec::resnet20(10), rng);
+  EXPECT_THROW(
+      load_checkpoint("/tmp/no_such_ckpt.bin", net.params(), net.buffers()),
+      SerializationError);
+}
+
+}  // namespace
+}  // namespace radar::nn

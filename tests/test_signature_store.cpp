@@ -1,0 +1,80 @@
+// SignatureStore: bit-packing round trips and storage accounting.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/signature_store.h"
+
+namespace radar::core {
+namespace {
+
+class StoreWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(StoreWidth, RoundTripsAllPatterns) {
+  const int width = GetParam();
+  const std::int64_t n = 1000;
+  SignatureStore store(n, width);
+  Rng rng(width);
+  std::vector<std::uint8_t> expected(static_cast<std::size_t>(n));
+  for (std::int64_t g = 0; g < n; ++g) {
+    Signature s;
+    s.width = width;
+    s.bits = static_cast<std::uint8_t>(rng.bits() & ((1u << width) - 1u));
+    expected[static_cast<std::size_t>(g)] = s.bits;
+    store.set(g, s);
+  }
+  for (std::int64_t g = 0; g < n; ++g) {
+    const Signature s = store.get(g);
+    EXPECT_EQ(s.bits, expected[static_cast<std::size_t>(g)]) << "group " << g;
+    EXPECT_EQ(s.width, width);
+  }
+}
+
+TEST_P(StoreWidth, OverwriteIsClean) {
+  const int width = GetParam();
+  SignatureStore store(10, width);
+  Signature all_ones{static_cast<std::uint8_t>((1u << width) - 1u), width};
+  Signature zero{0, width};
+  store.set(5, all_ones);
+  store.set(5, zero);
+  EXPECT_EQ(store.get(5).bits, 0);
+  // Neighbours untouched.
+  EXPECT_EQ(store.get(4).bits, 0);
+  EXPECT_EQ(store.get(6).bits, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, StoreWidth, ::testing::Values(2, 3));
+
+TEST(SignatureStore, StorageBytesRoundUp) {
+  EXPECT_EQ(SignatureStore(4, 2).storage_bytes(), 1);    // 8 bits
+  EXPECT_EQ(SignatureStore(5, 2).storage_bytes(), 2);    // 10 bits
+  EXPECT_EQ(SignatureStore(8, 3).storage_bytes(), 3);    // 24 bits
+  EXPECT_EQ(SignatureStore(0, 2).storage_bytes(), 0);
+}
+
+TEST(SignatureStore, StaticStorageFormula) {
+  // ResNet-18-scale: 11.17M weights at G=512, 2-bit signatures ≈ 5.4 KB
+  // (per-layer padding pushes the real system slightly above this).
+  const std::int64_t bytes =
+      SignatureStore::storage_bytes_for(11166912, 512, 2);
+  EXPECT_NEAR(static_cast<double>(bytes), 5454.0, 2.0);
+  // ResNet-20-scale at G=8: ≈ 8.3 KB.
+  const std::int64_t bytes20 = SignatureStore::storage_bytes_for(270896, 8, 2);
+  EXPECT_NEAR(static_cast<double>(bytes20), 8466.0, 2.0);
+}
+
+TEST(SignatureStore, WidthMismatchRejected) {
+  SignatureStore store(4, 2);
+  Signature s3{0, 3};
+  EXPECT_THROW(store.set(0, s3), InvalidArgument);
+}
+
+TEST(SignatureStore, RangeChecks) {
+  SignatureStore store(4, 2);
+  Signature s{0, 2};
+  EXPECT_THROW(store.set(4, s), InvalidArgument);
+  EXPECT_THROW(store.get(-1), InvalidArgument);
+  EXPECT_THROW(SignatureStore(4, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace radar::core

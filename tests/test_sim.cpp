@@ -1,0 +1,278 @@
+// Timing simulator + network descriptors + DRAM/rowhammer model.
+#include <gtest/gtest.h>
+
+#include "nn/resnet.h"
+#include "quant/qmodel.h"
+#include "sim/dram.h"
+#include "sim/netdesc.h"
+#include "sim/timing.h"
+
+namespace radar::sim {
+namespace {
+
+TEST(NetDesc, Resnet20MatchesHandCount) {
+  const NetworkShape net = resnet20_shape();
+  EXPECT_EQ(net.total_weights(), 270896);  // conv+fc weights, CIFAR ResNet-20
+  // ~40.5M MACs for one 32x32 image (well-known figure ~41M).
+  EXPECT_NEAR(static_cast<double>(net.total_macs()), 40.5e6, 1.5e6);
+}
+
+TEST(NetDesc, Resnet18MatchesImagenetArchitecture) {
+  const NetworkShape net = resnet18_shape();
+  EXPECT_EQ(net.total_weights(), 11678912);  // 11.7M conv+fc weights
+  // ~1.8G MACs at 224x224 (the canonical ResNet-18 figure).
+  EXPECT_NEAR(static_cast<double>(net.total_macs()), 1.82e9, 0.1e9);
+}
+
+TEST(NetDesc, SignatureStorageMatchesPaperFig6) {
+  // Paper: ResNet-18 @ G=512, 2-bit -> 5.6 KB; ResNet-20 @ G=8 -> 8.2 KB.
+  const NetworkShape r18 = resnet18_shape();
+  const double kb18 =
+      static_cast<double>(r18.signature_storage_bytes(512, 2)) / 1024.0;
+  EXPECT_NEAR(kb18, 5.6, 0.2);
+  const NetworkShape r20 = resnet20_shape();
+  const double kb20 =
+      static_cast<double>(r20.signature_storage_bytes(8, 2)) / 1024.0;
+  EXPECT_NEAR(kb20, 8.2, 0.15);
+}
+
+TEST(NetDesc, CrcStorageMatchesPaperTableV) {
+  // CRC-13 @ G=512 on ResNet-18: 36.4 KB; @ G=8 on ResNet-20: 28.7 KB
+  // (13/2 x the signature storage... 6.5x, computed directly).
+  const NetworkShape r18 = resnet18_shape();
+  EXPECT_NEAR(static_cast<double>(r18.code_storage_bytes(512, 13)) / 1024.0,
+              36.4, 1.0);
+  const NetworkShape r20 = resnet20_shape();
+  EXPECT_NEAR(static_cast<double>(r20.code_storage_bytes(8, 7)) / 1024.0,
+              28.7, 1.0);
+}
+
+TEST(NetDesc, LayerShapeFormulas) {
+  LayerShape conv;
+  conv.type = LayerType::kConv;
+  conv.in_channels = 16;
+  conv.out_channels = 32;
+  conv.kernel = 3;
+  conv.stride = 2;
+  conv.padding = 1;
+  conv.in_h = conv.in_w = 32;
+  EXPECT_EQ(conv.out_h(), 16);
+  EXPECT_EQ(conv.weights(), 32 * 16 * 9);
+  EXPECT_EQ(conv.macs(), 32 * 16 * 16 * 16 * 9);
+
+  LayerShape fc;
+  fc.type = LayerType::kFullyConnected;
+  fc.in_channels = 512;
+  fc.out_channels = 1000;
+  EXPECT_EQ(fc.weights(), 512000);
+  EXPECT_EQ(fc.macs(), 512000);
+}
+
+TEST(Timing, DefaultsReproducePaperTableIvBaselines) {
+  TimingSimulator sim;
+  // Paper Table IV: ResNet-20 66.3 ms, ResNet-18 3.268 s. A single
+  // cycles/MAC constant cannot hit both exactly (different platform
+  // efficiency per net); defaults land within ~6%.
+  EXPECT_NEAR(sim.inference_seconds(resnet20_shape()), 0.0663, 0.006);
+  EXPECT_NEAR(sim.inference_seconds(resnet18_shape()), 3.268, 0.17);
+}
+
+TEST(Timing, DefaultsReproducePaperTableIvRadarOverheads) {
+  TimingSimulator sim;
+  // Paper Table IV deltas: ResNet-20 G=8 2.4 ms (3.5 ms interleaved),
+  // ResNet-18 G=512 19 ms (60 ms interleaved).
+  EXPECT_NEAR(sim.radar_seconds(resnet20_shape(), 8, false).detection,
+              0.0024, 0.0002);
+  EXPECT_NEAR(sim.radar_seconds(resnet20_shape(), 8, true).detection,
+              0.0035, 0.0003);
+  EXPECT_NEAR(sim.radar_seconds(resnet18_shape(), 512, false).detection,
+              0.019, 0.001);
+  EXPECT_NEAR(sim.radar_seconds(resnet18_shape(), 512, true).detection,
+              0.060, 0.005);
+}
+
+TEST(Timing, DefaultsReproducePaperTableVCrcOverheads) {
+  TimingSimulator sim;
+  // Paper Table V deltas: 17.9 ms (ResNet-20, G=8), 317 ms (ResNet-18,
+  // G=512).
+  EXPECT_NEAR(sim.crc_seconds(resnet20_shape(), 8, 7).detection, 0.0179,
+              0.001);
+  EXPECT_NEAR(sim.crc_seconds(resnet18_shape(), 512, 13).detection, 0.317,
+              0.01);
+}
+
+TEST(Timing, RadarOverheadUnderTwoPercentForResnet18) {
+  TimingSimulator sim;
+  const auto t = sim.radar_seconds(resnet18_shape(), 512, true);
+  EXPECT_LT(t.overhead_pct(), 2.5);
+  EXPECT_GT(t.overhead_pct(), 0.5);
+}
+
+TEST(Timing, InterleaveCostsExtra) {
+  TimingSimulator sim;
+  const auto plain = sim.radar_seconds(resnet18_shape(), 512, false);
+  const auto inter = sim.radar_seconds(resnet18_shape(), 512, true);
+  EXPECT_GT(inter.detection, plain.detection);
+  EXPECT_EQ(inter.baseline, plain.baseline);
+}
+
+TEST(Timing, CrcSlowerThanRadar) {
+  TimingSimulator sim;
+  const auto radar = sim.radar_seconds(resnet18_shape(), 512, true);
+  const auto crc = sim.crc_seconds(resnet18_shape(), 512, 13);
+  EXPECT_GT(crc.detection, radar.detection * 3.0);
+}
+
+TEST(Timing, SmallerGroupsCostMore) {
+  TimingSimulator sim;
+  const auto g8 = sim.radar_seconds(resnet20_shape(), 8, true);
+  const auto g64 = sim.radar_seconds(resnet20_shape(), 64, true);
+  EXPECT_GT(g8.detection, g64.detection);
+}
+
+TEST(Timing, BatchedInferenceAmortizesDetection) {
+  TimingSimulator sim;
+  const auto single = sim.radar_seconds(resnet18_shape(), 512, true);
+  const auto batched = sim.radar_seconds_batched(resnet18_shape(), 512, true, 8);
+  EXPECT_NEAR(batched.baseline, 8.0 * single.baseline, 1e-9);
+  EXPECT_EQ(batched.detection, single.detection);
+  EXPECT_LT(batched.overhead_pct(), single.overhead_pct());
+}
+
+TEST(Timing, CalibrationHitsTargetsExactly) {
+  TimingSimulator sim;
+  sim.calibrate_baseline(resnet20_shape(), 0.0663, resnet18_shape(), 3.268);
+  EXPECT_NEAR(sim.inference_seconds(resnet20_shape()), 0.0663, 1e-6);
+  EXPECT_NEAR(sim.inference_seconds(resnet18_shape()), 3.268, 1e-5);
+  sim.calibrate_radar(resnet20_shape(), 8, 0.0024, resnet18_shape(), 512,
+                      0.019);
+  EXPECT_NEAR(sim.radar_seconds(resnet20_shape(), 8, false).detection,
+              0.0024, 1e-6);
+  EXPECT_NEAR(sim.radar_seconds(resnet18_shape(), 512, false).detection,
+              0.019, 1e-5);
+}
+
+TEST(Timing, RecoveryCosts) {
+  TimingSimulator sim;
+  EXPECT_GT(sim.reload_seconds(11678912), sim.zero_out_seconds(512));
+  EXPECT_NEAR(sim.zero_out_seconds(512), 512e-9, 1e-10);
+}
+
+TEST(Dram, SusceptibleCellsAreRareAndDeterministic) {
+  DramConfig cfg;
+  cfg.cell_vulnerability = 1e-3;
+  DramModel dram(cfg);
+  std::int64_t weak = 0;
+  const std::int64_t probes = 200000;
+  for (std::int64_t i = 0; i < probes; ++i) {
+    const std::int64_t row = i % 100;
+    const std::int64_t byte = (i / 100) % cfg.row_bytes;
+    const int bit = static_cast<int>(i % 8);
+    if (dram.susceptible(row, byte, bit)) ++weak;
+    // Determinism: asking twice gives the same answer.
+    EXPECT_EQ(dram.susceptible(row, byte, bit),
+              dram.susceptible(row, byte, bit));
+  }
+  const double rate = static_cast<double>(weak) / static_cast<double>(probes);
+  EXPECT_NEAR(rate, 1e-3, 4e-4);
+}
+
+TEST(Dram, HammerRequiresThresholdActivations) {
+  DramConfig cfg;
+  cfg.cell_vulnerability = 0.01;
+  DramModel dram(cfg);
+  EXPECT_TRUE(dram.hammer(5, cfg.hammer_threshold / 2).empty());
+  EXPECT_FALSE(dram.hammer(5, cfg.hammer_threshold / 2 + 1).empty());
+}
+
+TEST(Dram, ActivationCountersAccumulateAndReset) {
+  DramConfig cfg;
+  cfg.cell_vulnerability = 0.05;
+  DramModel dram(cfg);
+  dram.hammer(9, 100);
+  dram.hammer(9, 200);
+  EXPECT_EQ(dram.activations(9), 300);
+  EXPECT_EQ(dram.activations(10), 0);
+  // Crossing the threshold flips bits and resets the counter.
+  dram.hammer(9, cfg.hammer_threshold);
+  EXPECT_EQ(dram.activations(9), 0);
+}
+
+TEST(Dram, TargetedFlipRespectsPlacementProbability) {
+  DramConfig cfg;
+  DramModel dram(cfg);
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (dram.targeted_flip(1, 0, 7, 0.7, rng)) ++hits;
+  EXPECT_NEAR(hits, 700, 60);
+  EXPECT_FALSE(dram.targeted_flip(1, 0, 7, 0.0, rng));
+}
+
+TEST(Dram, DifferentSeedsGiveDifferentVulnerabilityMaps) {
+  DramConfig a, b;
+  a.cell_vulnerability = b.cell_vulnerability = 0.2;
+  b.seed = a.seed + 1;
+  DramModel da(a), db(b);
+  int diff = 0;
+  for (std::int64_t i = 0; i < 500; ++i)
+    if (da.susceptible(0, i, 0) != db.susceptible(0, i, 0)) ++diff;
+  EXPECT_GT(diff, 50);
+}
+
+TEST(Timing, HammingBetweenRadarAndBitSerialCrc) {
+  TimingSimulator sim;
+  const auto radar = sim.radar_seconds(resnet18_shape(), 512, false);
+  const auto hamming = sim.hamming_seconds(resnet18_shape(), 512);
+  const auto crc = sim.crc_seconds(resnet18_shape(), 512, 13);
+  EXPECT_GT(hamming.detection, radar.detection);
+  EXPECT_LT(hamming.detection, crc.detection);
+}
+
+TEST(Timing, CalibrationRejectsSingularSystems) {
+  TimingSimulator sim;
+  EXPECT_THROW(sim.calibrate_baseline(resnet20_shape(), 0.01,
+                                      resnet20_shape(), 0.02),
+               radar::InvalidArgument);
+}
+
+TEST(Dram, MapBufferBoundsChecked) {
+  DramConfig cfg;
+  DramModel dram(cfg);
+  EXPECT_EQ(dram.map_buffer(0, cfg.row_bytes * 3 + 1), 4);
+  EXPECT_THROW(dram.map_buffer(cfg.num_rows - 1, cfg.row_bytes * 2),
+               radar::InvalidArgument);
+}
+
+TEST(Dram, FlipsLandInModelWeights) {
+  Rng rng(1);
+  nn::ResNetSpec spec;
+  spec.num_classes = 4;
+  spec.base_width = 8;
+  spec.blocks_per_stage = {1};
+  nn::ResNet model(spec, rng);
+  quant::QuantizedModel qm(model);
+
+  DramConfig cfg;
+  const std::vector<DramFlip> flips = {{0, 3, 7}, {0, 10, 6}};
+  const auto before3 = qm.get_code(0, 3);
+  const std::int64_t applied = apply_dram_flips_to_model(flips, 0, cfg, qm);
+  EXPECT_EQ(applied, 2);
+  EXPECT_EQ(static_cast<std::uint8_t>(qm.get_code(0, 3) ^ before3), 0x80);
+}
+
+TEST(Dram, FlipsOutsideModelIgnored) {
+  Rng rng(2);
+  nn::ResNetSpec spec;
+  spec.num_classes = 4;
+  spec.base_width = 8;
+  spec.blocks_per_stage = {1};
+  nn::ResNet model(spec, rng);
+  quant::QuantizedModel qm(model);
+  DramConfig cfg;
+  const std::vector<DramFlip> flips = {{5000, 0, 0}};
+  EXPECT_EQ(apply_dram_flips_to_model(flips, 0, cfg, qm), 0);
+}
+
+}  // namespace
+}  // namespace radar::sim

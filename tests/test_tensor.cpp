@@ -1,0 +1,134 @@
+// Tensor container: shapes, arithmetic, factories, invariants.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "nn/tensor.h"
+
+namespace radar::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({4, 3, 2, 5});
+  EXPECT_EQ(t.rank(), 4u);
+  EXPECT_EQ(t.dim(0), 4);
+  EXPECT_EQ(t.dim(3), 5);
+  EXPECT_EQ(t.numel(), 120);
+  EXPECT_EQ(t.shape_str(), "[4, 3, 2, 5]");
+  EXPECT_THROW(t.dim(4), InvalidArgument);
+}
+
+TEST(Tensor, Idx4RowMajor) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.idx4(0, 0, 0, 0), 0);
+  EXPECT_EQ(t.idx4(0, 0, 0, 1), 1);
+  EXPECT_EQ(t.idx4(0, 0, 1, 0), 5);
+  EXPECT_EQ(t.idx4(0, 1, 0, 0), 20);
+  EXPECT_EQ(t.idx4(1, 0, 0, 0), 60);
+  EXPECT_EQ(t.idx4(1, 2, 3, 4), 119);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t[t.idx2(2, 1)], 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), InvalidArgument);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({3, 3});
+  t.fill(2.5f);
+  EXPECT_FLOAT_EQ(t.sum(), 22.5f);
+  t.zero();
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a = Tensor::from_vector({3}, {1, 2, 3});
+  Tensor b = Tensor::from_vector({3}, {10, 20, 30});
+  Tensor c = a + b;
+  EXPECT_FLOAT_EQ(c[0], 11.0f);
+  EXPECT_FLOAT_EQ(c[2], 33.0f);
+  Tensor d = b - a;
+  EXPECT_FLOAT_EQ(d[1], 18.0f);
+  Tensor e = 2.0f * a;
+  EXPECT_FLOAT_EQ(e[2], 6.0f);
+  a.axpy_(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2, 2}), b({4});
+  EXPECT_THROW(a.add_(b), InvalidArgument);
+  EXPECT_THROW(a.sub_(b), InvalidArgument);
+  EXPECT_THROW(a.axpy_(1.0f, b), InvalidArgument);
+  EXPECT_THROW(max_abs_diff(a, b), InvalidArgument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t = Tensor::from_vector({4}, {-3, 1, 2, -0.5f});
+  EXPECT_FLOAT_EQ(t.min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.max(), 2.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 3.0f);
+  EXPECT_FLOAT_EQ(t.mean(), -0.125f);
+  EXPECT_FLOAT_EQ(t.sq_norm(), 9.0f + 1.0f + 4.0f + 0.25f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(123);
+  Tensor t = Tensor::randn({10000}, rng, 2.0f);
+  EXPECT_NEAR(t.mean(), 0.0f, 0.1f);
+  const float var = t.sq_norm() / 10000.0f;
+  EXPECT_NEAR(var, 4.0f, 0.3f);
+}
+
+TEST(Tensor, KaimingScalesWithFanIn) {
+  Rng rng(5);
+  Tensor t = Tensor::kaiming({64, 32}, 32, rng);
+  const float var = t.sq_norm() / static_cast<float>(t.numel());
+  EXPECT_NEAR(var, 2.0f / 32.0f, 0.02f);
+}
+
+TEST(Tensor, UniformBounds) {
+  Rng rng(9);
+  Tensor t = Tensor::uniform({1000}, rng, -1.0f, 2.0f);
+  EXPECT_GE(t.min(), -1.0f);
+  EXPECT_LE(t.max(), 2.0f);
+  EXPECT_GT(t.max(), 1.0f);  // should reach near the upper bound
+}
+
+TEST(Tensor, FromVectorValidatesCount) {
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1, 2, 3}), InvalidArgument);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({3});
+  EXPECT_THROW(t.at(3), InvalidArgument);
+  EXPECT_THROW(t.at(-1), InvalidArgument);
+  EXPECT_NO_THROW(t.at(2));
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a = Tensor::from_vector({3}, {1, 2, 3});
+  Tensor b = Tensor::from_vector({3}, {1, 2.5f, 2});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 1.0f);
+}
+
+TEST(Tensor, NegativeDimensionThrows) {
+  EXPECT_THROW(Tensor({2, -1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace radar::nn

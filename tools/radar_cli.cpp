@@ -1,0 +1,208 @@
+// radar_cli — command-line front end for the RADAR deployment workflow.
+//
+//   radar_cli sign   <pkg> [--model tiny|resnet20|resnet18] [--group N]
+//                          [--bits 2|3] [--no-interleave]
+//       Train (or load from cache) the reference model, attach RADAR and
+//       write a signed deployment package.
+//
+//   radar_cli info   <pkg>
+//       Print package metadata (no verification).
+//
+//   radar_cli verify <pkg> [--model ...]
+//       Load the package into a fresh model and verify CRC + signatures;
+//       exit code 0 only when the artifact is intact.
+//
+//   radar_cli attack <pkg> [--model ...] [--flips N] [--pbfa]
+//       Corrupt the package the way a rowhammer adversary would corrupt
+//       DRAM (random MSB flips, or gradient-guided PBFA with --pbfa) and
+//       re-save it — the golden signatures are preserved, so `verify`
+//       exposes the tampering.
+//
+//   radar_cli recover <pkg> [--model ...]
+//       Load, zero out every flagged group, re-sign and save: the
+//       offline analogue of the run-time recovery path.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "attack/pbfa.h"
+#include "attack/random_attack.h"
+#include "core/package.h"
+#include "exp/workspace.h"
+
+namespace {
+
+using namespace radar;
+
+struct Args {
+  std::string command;
+  std::string package;
+  std::string model = "tiny";
+  std::int64_t group = 32;
+  int bits = 2;
+  bool interleave = true;
+  int flips = 10;
+  bool use_pbfa = false;
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  if (argc < 3) return false;
+  args.command = argv[1];
+  args.package = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--model") {
+      args.model = next("--model");
+    } else if (a == "--group") {
+      args.group = std::atoll(next("--group"));
+    } else if (a == "--bits") {
+      args.bits = std::atoi(next("--bits"));
+    } else if (a == "--no-interleave") {
+      args.interleave = false;
+    } else if (a == "--flips") {
+      args.flips = std::atoi(next("--flips"));
+    } else if (a == "--pbfa") {
+      args.use_pbfa = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_report(const core::PackageLoadReport& report) {
+  std::printf("model:       %s\n", report.info.model_name.c_str());
+  std::printf("layers:      %zu (%lld weights)\n", report.info.num_layers,
+              static_cast<long long>(report.info.total_weights));
+  std::printf("config:      G=%lld %s %d-bit signatures\n",
+              static_cast<long long>(report.info.config.group_size),
+              report.info.config.interleave ? "interleaved" : "contiguous",
+              report.info.config.signature_bits);
+  std::printf("payload CRC: %s\n", report.crc_ok ? "ok" : "MISMATCH");
+  std::printf("signatures:  %s\n",
+              report.signatures_ok ? "ok" : "TAMPERING DETECTED");
+  if (!report.signatures_ok) {
+    for (std::size_t li = 0; li < report.tamper.flagged.size(); ++li) {
+      if (report.tamper.flagged[li].empty()) continue;
+      std::printf("  layer %zu: %zu flagged group(s)\n", li,
+                  report.tamper.flagged[li].size());
+    }
+  }
+}
+
+int cmd_sign(const Args& args) {
+  exp::ModelBundle bundle = exp::load_or_train(args.model);
+  core::RadarConfig cfg;
+  cfg.group_size = args.group;
+  cfg.signature_bits = args.bits;
+  cfg.interleave = args.interleave;
+  core::RadarScheme scheme(cfg);
+  scheme.attach(*bundle.qmodel);
+  core::save_package(args.package, *bundle.qmodel, scheme, args.model);
+  std::printf("signed %s: %lld weights, %lld signature bytes -> %s\n",
+              args.model.c_str(),
+              static_cast<long long>(bundle.qmodel->total_weights()),
+              static_cast<long long>(scheme.signature_storage_bytes()),
+              args.package.c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const core::PackageInfo info = core::read_package_info(args.package);
+  std::printf("model:   %s\n", info.model_name.c_str());
+  std::printf("layers:  %zu (%lld weights)\n", info.num_layers,
+              static_cast<long long>(info.total_weights));
+  std::printf("config:  G=%lld %s %d-bit signatures\n",
+              static_cast<long long>(info.config.group_size),
+              info.config.interleave ? "interleaved" : "contiguous",
+              info.config.signature_bits);
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  exp::ModelBundle bundle = exp::load_or_train(args.model);
+  core::RadarScheme scheme({});
+  const auto report =
+      core::load_package(args.package, *bundle.qmodel, scheme);
+  print_report(report);
+  return report.verified() ? 0 : 1;
+}
+
+int cmd_attack(const Args& args) {
+  exp::ModelBundle bundle = exp::load_or_train(args.model);
+  core::RadarScheme scheme({});
+  const auto report =
+      core::load_package(args.package, *bundle.qmodel, scheme);
+  if (!report.crc_ok)
+    std::fprintf(stderr, "warning: package CRC already invalid\n");
+  if (args.use_pbfa) {
+    attack::Pbfa pbfa;
+    data::Batch batch = bundle.dataset->attack_batch(16, 0xA77);
+    const auto result = pbfa.run(*bundle.qmodel, batch, args.flips);
+    std::printf("PBFA committed %zu flips (loss %.3f -> %.3f)\n",
+                result.flips.size(), result.loss_before, result.loss_after);
+  } else {
+    Rng rng(0xBAD);
+    attack::random_msb_flips(*bundle.qmodel, args.flips, rng);
+    std::printf("flipped %d random MSBs\n", args.flips);
+  }
+  // Re-save with the ORIGINAL golden signatures: the attacker cannot
+  // forge them without the master key.
+  core::save_package(args.package, *bundle.qmodel, scheme,
+                     report.info.model_name);
+  std::printf("tampered package written to %s\n", args.package.c_str());
+  return 0;
+}
+
+int cmd_recover(const Args& args) {
+  exp::ModelBundle bundle = exp::load_or_train(args.model);
+  core::RadarScheme scheme({});
+  auto report = core::load_package(args.package, *bundle.qmodel, scheme);
+  print_report(report);
+  if (report.signatures_ok) {
+    std::printf("nothing to recover\n");
+    return 0;
+  }
+  scheme.recover(*bundle.qmodel, report.tamper,
+                 core::RecoveryPolicy::kZeroOut);
+  scheme.resign(*bundle.qmodel);
+  core::save_package(args.package, *bundle.qmodel, scheme,
+                     report.info.model_name);
+  const double acc = exp::accuracy_on_subset(bundle, 256);
+  std::printf("zeroed %lld group(s), re-signed; accuracy now %.2f%%\n",
+              static_cast<long long>(report.tamper.num_flagged_groups()),
+              100.0 * acc);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: radar_cli {sign|info|verify|attack|recover} "
+                 "<package> [options]\n");
+    return 2;
+  }
+  try {
+    if (args.command == "sign") return cmd_sign(args);
+    if (args.command == "info") return cmd_info(args);
+    if (args.command == "verify") return cmd_verify(args);
+    if (args.command == "attack") return cmd_attack(args);
+    if (args.command == "recover") return cmd_recover(args);
+    std::fprintf(stderr, "unknown command %s\n", args.command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
