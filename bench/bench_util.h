@@ -1,13 +1,20 @@
-// Shared console-table formatting for the experiment binaries.
+// Shared console-table formatting + machine-readable output for the
+// experiment binaries.
 //
 // Every bench prints (a) the measured series in the same row/column
 // structure as the paper's table or figure and (b) the paper's reported
 // numbers next to them, so EXPERIMENTS.md can be filled by reading the
-// output directly.
+// output directly. Benches additionally record measurements into a
+// JsonReport, which lands as BENCH_<bench>.json (name, ns/op, bytes/s per
+// entry) so CI can track a perf trajectory across PRs.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace radar::bench {
 
@@ -24,5 +31,74 @@ inline void note(const std::string& text) {
 inline void rule() {
   std::printf("----------------------------------------------------------------\n");
 }
+
+/// ns per call of `fn`, repeated until `min_seconds` of wall time (at
+/// least `min_reps` calls) so short operations are timed meaningfully.
+template <typename F>
+double measure_ns_per_op(F&& fn, int min_reps = 3,
+                         double min_seconds = 0.05) {
+  using clock = std::chrono::steady_clock;
+  std::int64_t reps = 0;
+  const auto t0 = clock::now();
+  auto t1 = t0;
+  do {
+    fn();
+    ++reps;
+    t1 = clock::now();
+  } while (reps < min_reps ||
+           std::chrono::duration<double>(t1 - t0).count() < min_seconds);
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(reps);
+}
+
+/// Machine-readable bench results: one entry per measurement, written as
+/// BENCH_<bench>.json into RADAR_BENCH_JSON_DIR (default: cwd).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Record one measurement. `bytes_per_op` of 0 means "not byte-oriented"
+  /// and suppresses the bytes/s field for that entry.
+  void add(const std::string& name, double ns_per_op,
+           double bytes_per_op = 0.0) {
+    entries_.push_back({name, ns_per_op, bytes_per_op});
+  }
+
+  /// Write BENCH_<bench>.json; returns the path ("" on failure).
+  std::string write() const {
+    const char* dir = std::getenv("RADAR_BENCH_JSON_DIR");
+    const std::string path =
+        (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+        "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 bench_name_.c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const auto& e = entries_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.3f",
+                   e.name.c_str(), e.ns_per_op);
+      if (e.bytes_per_op > 0.0) {
+        std::fprintf(f, ", \"bytes_per_sec\": %.0f",
+                     1e9 * e.bytes_per_op / e.ns_per_op);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("  json: %s (%zu entries)\n", path.c_str(), entries_.size());
+    return path;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op;
+    double bytes_per_op;
+  };
+  std::string bench_name_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace radar::bench

@@ -1,19 +1,18 @@
-// Microbenchmarks of the detection primitives (google-benchmark).
+// Microbenchmarks of the detection primitives (self-timed, JSON output).
 //
 // Ground truth for the cost ranking assumed by the timing model: the
 // masked addition checksum must be substantially cheaper per byte than
-// CRC (table-driven or bit-serial) and Hamming SEC-DED.
-#include <benchmark/benchmark.h>
-
+// CRC (table-driven or bit-serial) and Hamming SEC-DED. Emits
+// BENCH_micro_codes.json for the CI perf trajectory.
 #include <vector>
 
+#include "bench_util.h"
 #include "codes/crc.h"
 #include "codes/fletcher.h"
 #include "codes/hamming.h"
 #include "common/rng.h"
 #include "core/checksum.h"
 #include "core/scanner.h"
-#include "core/scheme.h"
 
 namespace {
 
@@ -26,99 +25,79 @@ std::vector<std::int8_t> make_weights(std::size_t n) {
   return w;
 }
 
-void BM_MaskedChecksum512(benchmark::State& state) {
-  const auto w = make_weights(1 << 16);
-  const core::GroupLayout layout =
-      core::GroupLayout::interleaved(1 << 16, 512, 3);
-  const core::MaskStream mask(0xBEEF);
-  for (auto _ : state) {
-    std::int64_t acc = 0;
-    for (std::int64_t g = 0; g < layout.num_groups(); ++g)
-      acc += core::masked_group_sum(w, layout, g, mask);
-    benchmark::DoNotOptimize(acc);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          (1 << 16));
-}
-BENCHMARK(BM_MaskedChecksum512);
-
-void BM_SignatureScanFullLayer(benchmark::State& state) {
-  const auto w = make_weights(1 << 16);
-  const core::GroupLayout layout =
-      core::GroupLayout::interleaved(1 << 16, 512, 3);
-  const core::MaskStream mask(0xBEEF);
-  for (auto _ : state) {
-    unsigned acc = 0;
-    for (std::int64_t g = 0; g < layout.num_groups(); ++g)
-      acc += core::group_signature(w, layout, g, mask, 2).bits;
-    benchmark::DoNotOptimize(acc);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          (1 << 16));
-}
-BENCHMARK(BM_SignatureScanFullLayer);
-
-void BM_StreamingScan512(benchmark::State& state) {
-  // The production scan path: precomputed group/mask tables, one pass.
-  const auto w = make_weights(1 << 16);
-  const core::GroupLayout layout =
-      core::GroupLayout::interleaved(1 << 16, 512, 3);
-  const core::MaskStream mask(0xBEEF);
-  const core::LayerScanner scanner(layout, mask, 2);
-  for (auto _ : state) {
-    auto sigs = scanner.scan(w);
-    benchmark::DoNotOptimize(sigs);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          (1 << 16));
-}
-BENCHMARK(BM_StreamingScan512);
-
-void BM_CrcTable(benchmark::State& state) {
-  const auto w = make_weights(1 << 16);
-  codes::Crc crc(codes::CrcSpec::crc13());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        crc.compute_i8(std::span<const std::int8_t>(w.data(), w.size())));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          (1 << 16));
-}
-BENCHMARK(BM_CrcTable);
-
-void BM_CrcBitSerial(benchmark::State& state) {
-  const auto w = make_weights(1 << 14);
-  codes::Crc crc(codes::CrcSpec::crc13());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(crc.compute_bitwise(std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(w.data()), w.size())));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          (1 << 14));
-}
-BENCHMARK(BM_CrcBitSerial);
-
-void BM_HammingSecDed512(benchmark::State& state) {
-  const auto w = make_weights(512);
-  codes::HammingSecDed code(512 * 8);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        code.encode_i8(std::span<const std::int8_t>(w.data(), w.size())));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          512);
-}
-BENCHMARK(BM_HammingSecDed512);
-
-void BM_Fletcher32(benchmark::State& state) {
-  const auto w = make_weights(1 << 16);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(codes::fletcher32(std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(w.data()), w.size())));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          (1 << 16));
-}
-BENCHMARK(BM_Fletcher32);
+volatile std::int64_t g_sink = 0;
 
 }  // namespace
+
+int main() {
+  bench::heading("micro_codes", "detection primitives, ns/byte");
+  bench::JsonReport json("micro_codes");
+
+  const std::size_t kBuf = 1 << 16;
+  const auto w = make_weights(kBuf);
+  const auto bytes = static_cast<double>(kBuf);
+  const core::GroupLayout layout = core::GroupLayout::interleaved(
+      static_cast<std::int64_t>(kBuf), 512, 3);
+  const core::MaskStream mask(0xBEEF);
+  const std::span<const std::int8_t> wspan(w.data(), w.size());
+  const std::span<const std::uint8_t> uspan(
+      reinterpret_cast<const std::uint8_t*>(w.data()), w.size());
+
+  struct Row {
+    const char* name;
+    double ns_per_op;
+    double bytes_per_op;
+  };
+  std::vector<Row> rows;
+  auto run = [&](const char* name, double per_op_bytes, auto&& fn) {
+    const double ns = bench::measure_ns_per_op(fn);
+    rows.push_back({name, ns, per_op_bytes});
+    json.add(name, ns, per_op_bytes);
+  };
+
+  run("masked_checksum_512", bytes, [&] {
+    std::int64_t acc = 0;
+    for (std::int64_t g = 0; g < layout.num_groups(); ++g)
+      acc += core::masked_group_sum(wspan, layout, g, mask);
+    g_sink = g_sink +acc;
+  });
+  run("signature_scan_reference", bytes, [&] {
+    unsigned acc = 0;
+    for (std::int64_t g = 0; g < layout.num_groups(); ++g)
+      acc += core::group_signature(wspan, layout, g, mask, 2).bits;
+    g_sink = g_sink +acc;
+  });
+  {
+    // The production scan path: precomputed group/mask tables, one pass.
+    const core::LayerScanner scanner(layout, mask, 2);
+    run("streaming_scan_512", bytes, [&] {
+      auto sigs = scanner.scan(wspan);
+      g_sink = g_sink +sigs.size();
+    });
+  }
+  {
+    codes::Crc crc13(codes::CrcSpec::crc13());
+    run("crc13_table", bytes, [&] { g_sink = g_sink +crc13.compute_i8(wspan); });
+    run("crc13_bitserial", bytes,
+        [&] { g_sink = g_sink +crc13.compute_bitwise(uspan); });
+  }
+  {
+    codes::HammingSecDed code(512 * 8);
+    const std::span<const std::int8_t> block(w.data(), 512);
+    run("hamming_secded_512", 512.0,
+        [&] { g_sink = g_sink +code.encode_i8(block); });
+  }
+  run("fletcher32", bytes, [&] { g_sink = g_sink +codes::fletcher32(uspan); });
+
+  std::printf("  %-26s %14s %12s\n", "primitive", "ns/op", "ns/byte");
+  bench::rule();
+  for (const auto& row : rows) {
+    std::printf("  %-26s %14.1f %12.3f\n", row.name, row.ns_per_op,
+                row.ns_per_op / row.bytes_per_op);
+  }
+  bench::note(
+      "claim reproduced if the streaming masked scan is cheapest per byte "
+      "and bit-serial CRC is the most expensive");
+  json.write();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/protected_model.h"
+#include "core/scheme.h"
 
 namespace {
 

@@ -56,5 +56,17 @@ int main() {
   std::printf(
       "claim reproduced if single-batch overhead is <2%% for ResNet-18 and "
       "<6%% for ResNet-20, shrinking with batch size.\n");
+
+  bench::JsonReport json("table4_time_overhead");
+  for (const auto& row : rows) {
+    const auto plain = sim.radar_seconds(row.shape, row.g, false);
+    const auto inter = sim.radar_seconds(row.shape, row.g, true);
+    json.add(std::string("model/") + row.id + "/baseline",
+             1e9 * plain.baseline);
+    json.add(std::string("model/") + row.id + "/radar", 1e9 * plain.total());
+    json.add(std::string("model/") + row.id + "/radar_interleaved",
+             1e9 * inter.total());
+  }
+  json.write();
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "attack/pbfa.h"
 #include "core/protected_model.h"
+#include "core/scheme_registry.h"
 #include "data/trainer.h"
 #include "sim/dram.h"
 #include "sim/netdesc.h"
@@ -57,14 +58,13 @@ int main() {
   // per layer and raise the chance that two flips land in one group with
   // canceling masked contributions. The 3-bit signature additionally
   // covers MSB-1 flips (paper §VIII).
-  core::RadarConfig rc;
-  rc.group_size = 16;
-  rc.signature_bits = 3;
-  core::RadarScheme scheme(rc);
-  scheme.attach(qm);
-  core::ProtectedModel pm(qm, scheme);
+  core::SchemeParams params;
+  params.group_size = 16;
+  auto scheme = core::SchemeRegistry::instance().create("radar3", params);
+  scheme->attach(qm);
+  core::ProtectedModel pm(qm, *scheme);
   std::printf("RADAR attached: %lld signature bytes in on-chip SRAM\n\n",
-              static_cast<long long>(scheme.signature_storage_bytes()));
+              static_cast<long long>(scheme->signature_storage_bytes()));
 
   // ---- Serving loop under attack ----
   // The attacker alternates between blind hammering (soft-error-like

@@ -10,6 +10,7 @@
 
 #include "attack/pbfa.h"
 #include "core/protected_model.h"
+#include "core/scheme_registry.h"
 #include "data/trainer.h"
 
 int main() {
@@ -45,17 +46,17 @@ int main() {
   std::printf("quantized %zu weight tensors, %lld int8 weights\n",
               qm.num_layers(), static_cast<long long>(qm.total_weights()));
 
-  // 3. Attach RADAR.
-  core::RadarConfig rc;
-  rc.group_size = 16;  // fine groups: tiny models have little redundancy
-  rc.interleave = true;      // groups of originally-interspersed weights
-  rc.signature_bits = 2;     // SA, SB of Eq. (1)
-  core::RadarScheme scheme(rc);
-  scheme.attach(qm);
+  // 3. Attach RADAR by registry name ("radar2" = the 2-bit signatures of
+  // Eq. (1); swap in "radar3", "crc13", "fletcher", ... to compare).
+  core::SchemeParams params;
+  params.group_size = 16;  // fine groups: tiny models have little redundancy
+  params.interleave = true;  // groups of originally-interspersed weights
+  auto scheme = core::SchemeRegistry::instance().create("radar2", params);
+  scheme->attach(qm);
   std::printf("golden signatures: %lld bytes of secure on-chip storage\n",
-              static_cast<long long>(scheme.signature_storage_bytes()));
+              static_cast<long long>(scheme->signature_storage_bytes()));
 
-  core::ProtectedModel protected_model(qm, scheme);
+  core::ProtectedModel protected_model(qm, *scheme);
   protected_model.set_alarm([](const core::DetectionReport& r) {
     std::printf("  !! alarm: %lld group(s) corrupted\n",
                 static_cast<long long>(r.num_flagged_groups()));

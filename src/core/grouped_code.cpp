@@ -1,0 +1,148 @@
+#include "core/grouped_code.h"
+
+#include "codes/crc.h"
+#include "codes/fletcher.h"
+#include "codes/hamming.h"
+
+namespace radar::core {
+
+namespace {
+
+class CrcBlockCode : public BlockCode {
+ public:
+  explicit CrcBlockCode(const codes::CrcSpec& spec) : crc_(spec) {}
+  int code_bits() const override { return crc_.storage_bits(); }
+  std::uint32_t compute(std::span<const std::int8_t> block) const override {
+    return crc_.compute_i8(block);
+  }
+
+ private:
+  codes::Crc crc_;
+};
+
+class Fletcher16BlockCode : public BlockCode {
+ public:
+  int code_bits() const override { return 16; }
+  std::uint32_t compute(std::span<const std::int8_t> block) const override {
+    return codes::fletcher16(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(block.data()), block.size()));
+  }
+};
+
+class HammingBlockCode : public BlockCode {
+ public:
+  explicit HammingBlockCode(std::int64_t group_size)
+      : code_(group_size * 8) {}
+  int code_bits() const override { return code_.storage_bits(); }
+  std::uint32_t compute(std::span<const std::int8_t> block) const override {
+    return code_.encode_i8(block);
+  }
+
+ private:
+  codes::HammingSecDed code_;
+};
+
+}  // namespace
+
+BlockCodeFactory crc_block_code(int width) {
+  codes::CrcSpec spec;
+  switch (width) {
+    case 7:  spec = codes::CrcSpec::crc7(); break;
+    case 10: spec = codes::CrcSpec::crc10(); break;
+    case 13: spec = codes::CrcSpec::crc13(); break;
+    case 16: spec = codes::CrcSpec::crc16_ccitt(); break;
+    default:
+      RADAR_REQUIRE(false, "no CRC preset of width " + std::to_string(width));
+  }
+  return [spec](std::int64_t) { return std::make_unique<CrcBlockCode>(spec); };
+}
+
+BlockCodeFactory fletcher16_block_code() {
+  return [](std::int64_t) { return std::make_unique<Fletcher16BlockCode>(); };
+}
+
+BlockCodeFactory hamming_secded_block_code() {
+  return [](std::int64_t group_size) {
+    return std::make_unique<HammingBlockCode>(group_size);
+  };
+}
+
+GroupedCodeScheme::GroupedCodeScheme(std::string id,
+                                     const SchemeParams& params,
+                                     BlockCodeFactory make_code)
+    : SchemeBase(std::move(id), params), make_code_(std::move(make_code)) {
+  RADAR_REQUIRE(make_code_ != nullptr, "null block code factory");
+}
+
+void GroupedCodeScheme::attach(const quant::QuantizedModel& qm, bool sign) {
+  attach_layouts(qm);
+  code_ = make_code_(params_.group_size);
+  golden_.clear();
+  for (const auto& layout : layouts_)
+    golden_.emplace_back(layout.num_groups(), code_->code_bits());
+  if (sign) resign(qm);
+}
+
+void GroupedCodeScheme::gather(const quant::QuantizedModel& qm,
+                               std::size_t layer, std::int64_t group,
+                               std::vector<std::int8_t>& block) const {
+  const auto& layout = layouts_[layer];
+  const auto& q = qm.layer(layer).q;
+  block.assign(static_cast<std::size_t>(layout.group_size()), 0);
+  for (std::int64_t slot = 0; slot < layout.group_size(); ++slot) {
+    const std::int64_t i = layout.member(group, slot);
+    if (i >= 0) block[static_cast<std::size_t>(slot)] =
+        q[static_cast<std::size_t>(i)];
+  }
+}
+
+std::vector<std::int64_t> GroupedCodeScheme::scan_layer(
+    const quant::QuantizedModel& qm, std::size_t layer) const {
+  RADAR_REQUIRE(attached(), "scan before attach");
+  RADAR_REQUIRE(layouts_.size() == qm.num_layers(),
+                "scheme not attached to this model");
+  std::vector<std::int64_t> flagged;
+  std::vector<std::int8_t> block;
+  for (std::int64_t g = 0; g < layouts_[layer].num_groups(); ++g) {
+    gather(qm, layer, g, block);
+    if (code_->compute(block) != golden_[layer].get(g)) flagged.push_back(g);
+  }
+  return flagged;
+}
+
+void GroupedCodeScheme::resign_layer(const quant::QuantizedModel& qm,
+                                     std::size_t layer) {
+  RADAR_REQUIRE(layouts_.size() == qm.num_layers(),
+                "scheme not attached to this model");
+  RADAR_REQUIRE(layer < layouts_.size(), "layer out of range");
+  std::vector<std::int8_t> block;
+  for (std::int64_t g = 0; g < layouts_[layer].num_groups(); ++g) {
+    gather(qm, layer, g, block);
+    golden_[layer].set(g, code_->compute(block));
+  }
+}
+
+std::int64_t GroupedCodeScheme::signature_storage_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& store : golden_) bytes += store.storage_bytes();
+  return bytes;
+}
+
+std::vector<std::vector<std::uint8_t>> GroupedCodeScheme::export_golden()
+    const {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(golden_.size());
+  for (const auto& store : golden_) out.push_back(store.packed());
+  return out;
+}
+
+void GroupedCodeScheme::import_golden(
+    std::vector<std::vector<std::uint8_t>> packed) {
+  RADAR_REQUIRE(attached(), "import_golden before attach");
+  RADAR_REQUIRE(packed.size() == golden_.size(),
+                "golden layer count mismatch");
+  for (std::size_t li = 0; li < golden_.size(); ++li)
+    golden_[li].set_packed(std::move(packed[li]));
+}
+
+}  // namespace radar::core

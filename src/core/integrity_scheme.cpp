@@ -1,0 +1,88 @@
+#include "core/integrity_scheme.h"
+
+#include <algorithm>
+
+namespace radar::core {
+
+bool DetectionReport::is_flagged(std::size_t layer,
+                                 std::int64_t group) const {
+  if (layer >= flagged.size()) return false;
+  const auto& f = flagged[layer];
+  return std::binary_search(f.begin(), f.end(), group);
+}
+
+SchemeBase::SchemeBase(std::string id, const SchemeParams& params)
+    : id_(std::move(id)), params_(params) {
+  RADAR_REQUIRE(params.group_size > 0, "group size must be positive");
+}
+
+GroupLayout SchemeBase::make_layout(std::int64_t num_weights) const {
+  return params_.interleave
+             ? GroupLayout::interleaved(num_weights, params_.group_size,
+                                        params_.skew)
+             : GroupLayout::contiguous(num_weights, params_.group_size);
+}
+
+void SchemeBase::attach_layouts(const quant::QuantizedModel& qm) {
+  layouts_.clear();
+  for (std::size_t li = 0; li < qm.num_layers(); ++li)
+    layouts_.push_back(make_layout(qm.layer(li).size()));
+  clean_snapshot_ = qm.snapshot();
+}
+
+DetectionReport SchemeBase::scan(const quant::QuantizedModel& qm) const {
+  RADAR_REQUIRE(layouts_.size() == qm.num_layers(),
+                "scheme not attached to this model");
+  DetectionReport report;
+  report.flagged.resize(qm.num_layers());
+  for (std::size_t li = 0; li < qm.num_layers(); ++li)
+    report.flagged[li] = scan_layer(qm, li);
+  return report;
+}
+
+void SchemeBase::recover(quant::QuantizedModel& qm,
+                         const DetectionReport& report,
+                         RecoveryPolicy policy) const {
+  RADAR_REQUIRE(report.flagged.size() == qm.num_layers(),
+                "report does not match model");
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+    for (const std::int64_t g : report.flagged[li]) {
+      for (const std::int64_t idx : layouts_[li].group_members(g)) {
+        switch (policy) {
+          case RecoveryPolicy::kZeroOut:
+            qm.set_code(li, idx, 0);
+            break;
+          case RecoveryPolicy::kReloadClean:
+            qm.set_code(li, idx,
+                        clean_snapshot_[li][static_cast<std::size_t>(idx)]);
+            break;
+        }
+      }
+    }
+  }
+}
+
+void SchemeBase::resign(const quant::QuantizedModel& qm) {
+  RADAR_REQUIRE(layouts_.size() == qm.num_layers(),
+                "scheme not attached to this model");
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) resign_layer(qm, li);
+}
+
+std::int64_t SchemeBase::total_groups() const {
+  std::int64_t n = 0;
+  for (const auto& l : layouts_) n += l.num_groups();
+  return n;
+}
+
+std::int64_t count_detected_flips(
+    const IntegrityScheme& scheme, const DetectionReport& report,
+    const std::vector<std::pair<std::size_t, std::int64_t>>& flips) {
+  std::int64_t detected = 0;
+  for (const auto& [layer, idx] : flips) {
+    const std::int64_t group = scheme.layout(layer).group_of(idx);
+    if (report.is_flagged(layer, group)) ++detected;
+  }
+  return detected;
+}
+
+}  // namespace radar::core

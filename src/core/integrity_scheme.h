@@ -1,0 +1,153 @@
+// IntegrityScheme: the scheme-agnostic protection API.
+//
+// Every weight-integrity code in this repo — the paper's 2/3-bit RADAR
+// group signatures as well as the CRC / Fletcher / Hamming baselines it is
+// compared against (Table V) — plugs into the run-time path through this
+// interface: attach to a quantized model, scan (whole model or one layer),
+// recover flagged groups, re-sign after authorized updates, and round-trip
+// the golden codes through a deployment package. SchemeBase supplies the
+// plumbing every grouped code shares: per-layer GroupLayouts, the clean
+// snapshot backing kReloadClean recovery, and the layer-loop defaults for
+// scan / resign. Concrete schemes are created by name through
+// SchemeRegistry; whole-model scans parallelize through ScanSession.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/interleave.h"
+#include "core/mask.h"
+#include "quant/qmodel.h"
+
+namespace radar::core {
+
+/// Scheme-agnostic tunables, serialized into deployment packages. Fields a
+/// scheme does not use (e.g. `expansion` for CRC) are carried but ignored.
+struct SchemeParams {
+  std::int64_t group_size = 512;
+  bool interleave = true;
+  std::int64_t skew = 3;          ///< paper uses an offset of 3
+  MaskStream::Expansion expansion = MaskStream::Expansion::kPrf;
+  std::uint64_t master_key = 0xC0FFEE5EC0DEULL;
+};
+
+/// What to do with a flagged group.
+enum class RecoveryPolicy {
+  kZeroOut,      ///< paper: set all weights of the group to zero
+  kReloadClean,  ///< halt & reload a clean copy (costlier, exact)
+};
+
+/// Result of one scan over all layers.
+struct DetectionReport {
+  /// Flagged group ids per layer, sorted ascending.
+  std::vector<std::vector<std::int64_t>> flagged;
+
+  bool attack_detected() const {
+    for (const auto& f : flagged)
+      if (!f.empty()) return true;
+    return false;
+  }
+  std::int64_t num_flagged_groups() const {
+    std::int64_t n = 0;
+    for (const auto& f : flagged) n += static_cast<std::int64_t>(f.size());
+    return n;
+  }
+  bool is_flagged(std::size_t layer, std::int64_t group) const;
+};
+
+/// Runtime-polymorphic protection scheme. See the file comment for the
+/// lifecycle; all scan/recover entry points require attach() first.
+class IntegrityScheme {
+ public:
+  virtual ~IntegrityScheme() = default;
+
+  /// Registry id this scheme was created under ("radar2", "crc13", ...).
+  virtual const std::string& id() const = 0;
+  /// The parameters the scheme was built with (round-tripped by packages).
+  virtual const SchemeParams& params() const = 0;
+
+  /// Build layouts / golden codes for `qm`; also snapshots the clean
+  /// weights for the kReloadClean recovery policy. Pass `sign = false`
+  /// when the golden codes will be replaced via import_golden() anyway
+  /// (package loads), skipping one full code computation.
+  virtual void attach(const quant::QuantizedModel& qm, bool sign = true) = 0;
+  virtual bool attached() const = 0;
+  virtual std::size_t num_layers() const = 0;
+  virtual const GroupLayout& layout(std::size_t layer) const = 0;
+
+  /// Recompute every group's code and compare with the golden ones.
+  virtual DetectionReport scan(const quant::QuantizedModel& qm) const = 0;
+
+  /// Scan a single layer (run-time per-layer embedding, §IV); returns the
+  /// flagged group ids, sorted ascending.
+  virtual std::vector<std::int64_t> scan_layer(
+      const quant::QuantizedModel& qm, std::size_t layer) const = 0;
+
+  /// Apply recovery to every flagged group.
+  virtual void recover(quant::QuantizedModel& qm,
+                       const DetectionReport& report,
+                       RecoveryPolicy policy = RecoveryPolicy::kZeroOut)
+      const = 0;
+
+  /// Recompute golden codes (after an authorized weight update).
+  virtual void resign(const quant::QuantizedModel& qm) = 0;
+  /// Recompute golden codes of a single layer only.
+  virtual void resign_layer(const quant::QuantizedModel& qm,
+                            std::size_t layer) = 0;
+
+  /// Total golden-code bytes across layers (paper Fig. 6 x-axis).
+  virtual std::int64_t signature_storage_bytes() const = 0;
+  /// Codes recomputed in one scan (equals total group count).
+  virtual std::int64_t total_groups() const = 0;
+
+  /// Export the packed golden codes (deployment artifact payload).
+  virtual std::vector<std::vector<std::uint8_t>> export_golden() const = 0;
+  /// Replace the golden codes with previously exported ones (e.g. loaded
+  /// from a signed package). A subsequent scan then reveals any weight
+  /// tampering that happened since the export.
+  virtual void import_golden(
+      std::vector<std::vector<std::uint8_t>> packed) = 0;
+};
+
+/// Shared plumbing of grouped schemes: per-layer GroupLayouts derived from
+/// SchemeParams, the clean snapshot, and the layer-loop defaults.
+class SchemeBase : public IntegrityScheme {
+ public:
+  const std::string& id() const override { return id_; }
+  const SchemeParams& params() const override { return params_; }
+  bool attached() const override { return !layouts_.empty(); }
+  std::size_t num_layers() const override { return layouts_.size(); }
+  const GroupLayout& layout(std::size_t layer) const override {
+    return layouts_.at(layer);
+  }
+
+  DetectionReport scan(const quant::QuantizedModel& qm) const override;
+  void recover(quant::QuantizedModel& qm, const DetectionReport& report,
+               RecoveryPolicy policy = RecoveryPolicy::kZeroOut)
+      const override;
+  void resign(const quant::QuantizedModel& qm) override;
+  std::int64_t total_groups() const override;
+
+ protected:
+  SchemeBase(std::string id, const SchemeParams& params);
+
+  /// Layout for one layer of `num_weights` weights per params().
+  GroupLayout make_layout(std::int64_t num_weights) const;
+  /// Rebuild layouts_ for every layer of `qm` and snapshot the weights.
+  void attach_layouts(const quant::QuantizedModel& qm);
+
+  std::string id_;
+  SchemeParams params_;
+  std::vector<GroupLayout> layouts_;
+  quant::QSnapshot clean_snapshot_;
+};
+
+/// Number of attack flips that land in groups flagged by `report` — the
+/// paper's "detected bit-flips out of N" metric. Flips are (layer, index)
+/// pairs.
+std::int64_t count_detected_flips(
+    const IntegrityScheme& scheme, const DetectionReport& report,
+    const std::vector<std::pair<std::size_t, std::int64_t>>& flips);
+
+}  // namespace radar::core

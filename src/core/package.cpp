@@ -2,11 +2,14 @@
 
 #include "codes/crc.h"
 #include "common/serialize.h"
+#include "core/scan_session.h"
+#include "core/scheme_registry.h"
 
 namespace radar::core {
 
 namespace {
-constexpr std::uint32_t kPackageVersion = 1;
+// v2: RadarConfig replaced by a scheme registry id + SchemeParams.
+constexpr std::uint32_t kPackageVersion = 2;
 
 std::uint32_t weights_crc(const quant::QuantizedModel& qm) {
   codes::Crc crc(codes::CrcSpec::crc32());
@@ -20,36 +23,36 @@ std::uint32_t weights_crc(const quant::QuantizedModel& qm) {
   return acc;
 }
 
-void write_config(BinaryWriter& w, const RadarConfig& cfg) {
-  w.write_i64(cfg.group_size);
-  w.write_u8(cfg.interleave ? 1 : 0);
-  w.write_i64(cfg.skew);
-  w.write_u8(static_cast<std::uint8_t>(cfg.signature_bits));
-  w.write_u8(cfg.expansion == MaskStream::Expansion::kRepeat ? 0 : 1);
-  w.write_u64(cfg.master_key);
+void write_scheme(BinaryWriter& w, const std::string& id,
+                  const SchemeParams& p) {
+  w.write_string(id);
+  w.write_i64(p.group_size);
+  w.write_u8(p.interleave ? 1 : 0);
+  w.write_i64(p.skew);
+  w.write_u8(p.expansion == MaskStream::Expansion::kRepeat ? 0 : 1);
+  w.write_u64(p.master_key);
 }
 
-RadarConfig read_config(BinaryReader& r) {
-  RadarConfig cfg;
-  cfg.group_size = r.read_i64();
-  cfg.interleave = r.read_u8() != 0;
-  cfg.skew = r.read_i64();
-  cfg.signature_bits = static_cast<int>(r.read_u8());
-  cfg.expansion = r.read_u8() == 0 ? MaskStream::Expansion::kRepeat
-                                   : MaskStream::Expansion::kPrf;
-  cfg.master_key = r.read_u64();
-  return cfg;
+void read_scheme(BinaryReader& r, std::string& id, SchemeParams& p) {
+  id = r.read_string();
+  p.group_size = r.read_i64();
+  p.interleave = r.read_u8() != 0;
+  p.skew = r.read_i64();
+  p.expansion = r.read_u8() == 0 ? MaskStream::Expansion::kRepeat
+                                 : MaskStream::Expansion::kPrf;
+  p.master_key = r.read_u64();
 }
 }  // namespace
 
 void save_package(const std::string& path, const quant::QuantizedModel& qm,
-                  const RadarScheme& scheme, const std::string& model_name) {
+                  const IntegrityScheme& scheme,
+                  const std::string& model_name) {
   RADAR_REQUIRE(scheme.attached(), "scheme must be attached before save");
   RADAR_REQUIRE(scheme.num_layers() == qm.num_layers(),
                 "scheme does not match model");
   BinaryWriter w(path, kPackageVersion);
   w.write_string(model_name);
-  write_config(w, scheme.config());
+  write_scheme(w, scheme.id(), scheme.params());
   w.write_u32(weights_crc(qm));
   w.write_u64(qm.num_layers());
   const auto golden = scheme.export_golden();
@@ -68,7 +71,7 @@ PackageInfo read_package_info(const std::string& path) {
   BinaryReader r(path, kPackageVersion);
   PackageInfo info;
   info.model_name = r.read_string();
-  info.config = read_config(r);
+  read_scheme(r, info.scheme_id, info.params);
   r.read_u32();  // payload CRC
   info.num_layers = r.read_u64();
   for (std::size_t li = 0; li < info.num_layers; ++li) {
@@ -84,11 +87,12 @@ PackageInfo read_package_info(const std::string& path) {
 
 PackageLoadReport load_package(const std::string& path,
                                quant::QuantizedModel& qm,
-                               RadarScheme& scheme) {
+                               std::unique_ptr<IntegrityScheme>& scheme,
+                               std::size_t threads) {
   BinaryReader r(path, kPackageVersion);
   PackageLoadReport report;
   report.info.model_name = r.read_string();
-  report.info.config = read_config(r);
+  read_scheme(r, report.info.scheme_id, report.info.params);
   const std::uint32_t stored_crc = r.read_u32();
   report.info.num_layers = r.read_u64();
   RADAR_REQUIRE(report.info.num_layers == qm.num_layers(),
@@ -113,12 +117,13 @@ PackageLoadReport load_package(const std::string& path,
 
   report.crc_ok = (weights_crc(qm) == stored_crc);
 
-  // Rebuild the scheme from the stored config, then substitute the stored
-  // golden signatures and scan: mismatches localize tampering.
-  scheme = RadarScheme(report.info.config);
-  scheme.attach(qm);
-  scheme.import_golden(std::move(golden));
-  report.tamper = scheme.scan(qm);
+  // Rebuild the scheme from the stored id + params, then substitute the
+  // stored golden codes and scan: mismatches localize tampering.
+  scheme = SchemeRegistry::instance().create(report.info.scheme_id,
+                                             report.info.params);
+  scheme->attach(qm, /*sign=*/false);
+  scheme->import_golden(std::move(golden));
+  report.tamper = ScanSession(*scheme, threads).scan(qm);
   report.signatures_ok = !report.tamper.attack_detected();
   return report;
 }

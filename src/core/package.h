@@ -1,19 +1,21 @@
 // RadarPackage: the signed deployment artifact.
 //
 // Bundles everything a device needs to deploy a protected model: the int8
-// weight tensors with their scales, the RADAR configuration (group size,
-// interleave, signature width, mask expansion — the master key itself is
-// provisioned out of band), the golden signatures, and a whole-file
-// CRC-32. Loading re-derives signatures from the (possibly tampered)
-// weights and compares them against the stored golden set, so any
-// modification of the weight payload since signing is localized to the
-// affected groups — the offline analogue of the run-time scan.
+// weight tensors with their scales, the protection scheme's registry id
+// and parameters (group size, interleave, skew, mask expansion — the
+// master key itself is provisioned out of band), the golden codes, and a
+// whole-file CRC-32. Loading rebuilds the scheme by name through
+// SchemeRegistry, re-derives codes from the (possibly tampered) weights
+// and compares them against the stored golden set, so any modification of
+// the weight payload since signing is localized to the affected groups —
+// the offline analogue of the run-time scan.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/scheme.h"
+#include "core/integrity_scheme.h"
 
 namespace radar::core {
 
@@ -22,13 +24,14 @@ struct PackageInfo {
   std::string model_name;
   std::int64_t total_weights = 0;
   std::size_t num_layers = 0;
-  RadarConfig config;
+  std::string scheme_id = "radar2";  ///< SchemeRegistry id
+  SchemeParams params;
 };
 
 /// Result of a verified load.
 struct PackageLoadReport {
   bool crc_ok = false;        ///< whole-file CRC-32 over the weight payload
-  bool signatures_ok = false; ///< every group matches its golden signature
+  bool signatures_ok = false; ///< every group matches its golden code
   DetectionReport tamper;     ///< flagged groups when signatures_ok == false
   PackageInfo info;
 
@@ -38,17 +41,21 @@ struct PackageLoadReport {
 /// Write the deployment package for a quantized model protected by an
 /// attached scheme. `model_name` is free-form metadata.
 void save_package(const std::string& path, const quant::QuantizedModel& qm,
-                  const RadarScheme& scheme, const std::string& model_name);
+                  const IntegrityScheme& scheme,
+                  const std::string& model_name);
 
 /// Read metadata only (no model required).
 PackageInfo read_package_info(const std::string& path);
 
-/// Load the package into `qm` (must have the same layer structure) and
-/// re-attach `scheme` with the stored config + golden signatures, then
-/// verify. Tampered groups are reported, not repaired — callers decide
-/// between zero-out recovery and rejecting the artifact.
+/// Load the package into `qm` (must have the same layer structure),
+/// rebuild the stored scheme via SchemeRegistry into `scheme` (replacing
+/// whatever it held) with the stored golden codes, then verify. The scan
+/// fans out over `threads` workers (1 = serial; 0 = hardware concurrency).
+/// Tampered groups are reported, not repaired — callers decide between
+/// zero-out recovery and rejecting the artifact.
 PackageLoadReport load_package(const std::string& path,
                                quant::QuantizedModel& qm,
-                               RadarScheme& scheme);
+                               std::unique_ptr<IntegrityScheme>& scheme,
+                               std::size_t threads = 1);
 
 }  // namespace radar::core

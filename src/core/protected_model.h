@@ -1,22 +1,27 @@
-// ProtectedModel: RADAR embedded in the inference path (paper §IV/§V).
+// ProtectedModel: an IntegrityScheme embedded in the inference path
+// (paper §IV/§V).
 //
 // Every inference first verifies the weight stream (as the paper does on
 // each DRAM→cache fetch), recovers flagged groups, then runs the forward
-// pass. Counters expose how often scans, detections and recoveries
-// happened, which the examples surface as a run-time security log.
+// pass. Works with any registered scheme — RADAR signatures or the CRC /
+// Fletcher / Hamming baselines. Counters expose how often scans,
+// detections and recoveries happened, which the examples surface as a
+// run-time security log. Whole-model scans optionally fan out across
+// layers via ScanSession (set_scan_threads).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
-#include "core/scheme.h"
+#include "core/integrity_scheme.h"
+#include "core/scan_session.h"
 
 namespace radar::core {
 
 class ProtectedModel {
  public:
   /// Wraps (and holds references to) an attached scheme and model.
-  ProtectedModel(quant::QuantizedModel& qm, RadarScheme& scheme,
+  ProtectedModel(quant::QuantizedModel& qm, IntegrityScheme& scheme,
                  RecoveryPolicy policy = RecoveryPolicy::kZeroOut)
       : qm_(&qm), scheme_(&scheme), policy_(policy) {
     RADAR_REQUIRE(scheme.attached(), "scheme must be attached first");
@@ -35,6 +40,10 @@ class ProtectedModel {
   /// Scan + recover without running inference; returns the report.
   DetectionReport check_and_recover();
 
+  /// Route whole-model scans through a ScanSession over `threads` worker
+  /// threads (0 = hardware concurrency, 1 = back to serial scans).
+  void set_scan_threads(std::size_t threads);
+
   // ---- telemetry ----
   std::int64_t scans() const { return scans_; }
   std::int64_t detections() const { return detections_; }
@@ -46,7 +55,7 @@ class ProtectedModel {
   }
 
   quant::QuantizedModel& model() { return *qm_; }
-  RadarScheme& scheme() { return *scheme_; }
+  IntegrityScheme& scheme() { return *scheme_; }
 
  private:
   /// Quantized-layer indices consumed by each Sequential stage (built
@@ -56,8 +65,9 @@ class ProtectedModel {
   bool check_layer(std::size_t qlayer);
 
   quant::QuantizedModel* qm_;
-  RadarScheme* scheme_;
+  IntegrityScheme* scheme_;
   RecoveryPolicy policy_;
+  std::unique_ptr<ScanSession> session_;  ///< null: serial whole-model scan
   std::function<void(const DetectionReport&)> alarm_;
   std::vector<std::vector<std::size_t>> stage_map_;
   bool stage_map_built_ = false;

@@ -1,0 +1,42 @@
+#include "core/scan_session.h"
+
+#include <atomic>
+#include <exception>
+
+namespace radar::core {
+
+ScanSession::ScanSession(const IntegrityScheme& scheme, std::size_t threads)
+    : scheme_(&scheme) {
+  if (threads != 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+DetectionReport ScanSession::scan(const quant::QuantizedModel& qm) const {
+  RADAR_REQUIRE(scheme_->attached(), "scan before attach");
+  RADAR_REQUIRE(scheme_->num_layers() == qm.num_layers(),
+                "scheme not attached to this model");
+  DetectionReport report;
+  report.flagged.resize(qm.num_layers());
+  if (!pool_) {
+    for (std::size_t li = 0; li < qm.num_layers(); ++li)
+      report.flagged[li] = scheme_->scan_layer(qm, li);
+    return report;
+  }
+  // One work item per layer; the first exception (if any) is rethrown on
+  // the calling thread after the pool drains.
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+    pool_->submit([this, &qm, &report, &error, &failed, li] {
+      try {
+        report.flagged[li] = scheme_->scan_layer(qm, li);
+      } catch (...) {
+        if (!failed.exchange(true)) error = std::current_exception();
+      }
+    });
+  }
+  pool_->wait();
+  if (error) std::rethrow_exception(error);
+  return report;
+}
+
+}  // namespace radar::core

@@ -1,0 +1,36 @@
+// ScanSession: whole-model scans batched across layers on a thread pool.
+//
+// A scan of an N-layer model is N independent per-layer work items (each
+// scheme's scan_layer touches only that layer's weights and golden codes),
+// so the session fans them out over a radar::ThreadPool and merges the
+// per-layer flag lists into one DetectionReport. Results are bit-identical
+// to the serial scan: each work item writes its own report slot and the
+// per-layer flag order is deterministic. `threads == 1` runs inline with
+// no pool; `threads == 0` uses one thread per hardware core.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "core/integrity_scheme.h"
+
+namespace radar::core {
+
+class ScanSession {
+ public:
+  /// The scheme must stay alive (and attached) for the session lifetime.
+  explicit ScanSession(const IntegrityScheme& scheme,
+                       std::size_t threads = 0);
+
+  std::size_t threads() const { return pool_ ? pool_->size() : 1; }
+
+  /// Parallel whole-model scan; equals scheme.scan(qm) bit for bit.
+  DetectionReport scan(const quant::QuantizedModel& qm) const;
+
+ private:
+  const IntegrityScheme* scheme_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when running serially
+};
+
+}  // namespace radar::core

@@ -1,35 +1,48 @@
 #include "core/scheme.h"
 
-#include <algorithm>
-
 namespace radar::core {
 
-bool DetectionReport::is_flagged(std::size_t layer,
-                                 std::int64_t group) const {
-  if (layer >= flagged.size()) return false;
-  const auto& f = flagged[layer];
-  return std::binary_search(f.begin(), f.end(), group);
+RadarConfig RadarConfig::from_params(const SchemeParams& p, int bits) {
+  RadarConfig cfg;
+  cfg.group_size = p.group_size;
+  cfg.interleave = p.interleave;
+  cfg.skew = p.skew;
+  cfg.signature_bits = bits;
+  cfg.expansion = p.expansion;
+  cfg.master_key = p.master_key;
+  return cfg;
 }
 
-void RadarScheme::attach(const quant::QuantizedModel& qm) {
-  layouts_.clear();
+SchemeParams RadarConfig::to_params() const {
+  SchemeParams p;
+  p.group_size = group_size;
+  p.interleave = interleave;
+  p.skew = skew;
+  p.expansion = expansion;
+  p.master_key = master_key;
+  return p;
+}
+
+RadarScheme::RadarScheme(const RadarConfig& cfg)
+    : SchemeBase(cfg.signature_bits == 3 ? "radar3" : "radar2",
+                 cfg.to_params()),
+      sig_bits_(cfg.signature_bits) {
+  RADAR_REQUIRE(cfg.signature_bits == 2 || cfg.signature_bits == 3,
+                "signature width must be 2 or 3");
+}
+
+void RadarScheme::attach(const quant::QuantizedModel& qm, bool sign) {
+  attach_layouts(qm);
   masks_.clear();
   scanners_.clear();
   golden_.clear();
   for (std::size_t li = 0; li < qm.num_layers(); ++li) {
-    const auto& ql = qm.layer(li);
-    layouts_.push_back(
-        cfg_.interleave
-            ? GroupLayout::interleaved(ql.size(), cfg_.group_size, cfg_.skew)
-            : GroupLayout::contiguous(ql.size(), cfg_.group_size));
-    masks_.emplace_back(MaskStream::derive_layer_key(cfg_.master_key, li),
-                        cfg_.expansion);
-    scanners_.emplace_back(layouts_.back(), masks_.back(),
-                           cfg_.signature_bits);
-    golden_.emplace_back(layouts_.back().num_groups(), cfg_.signature_bits);
+    masks_.emplace_back(MaskStream::derive_layer_key(params_.master_key, li),
+                        params_.expansion);
+    scanners_.emplace_back(layouts_[li], masks_.back(), sig_bits_);
+    golden_.emplace_back(layouts_[li].num_groups(), sig_bits_);
   }
-  clean_snapshot_ = qm.snapshot();
-  resign(qm);
+  if (sign) resign(qm);
 }
 
 Signature RadarScheme::compute_signature(const quant::QuantizedModel& qm,
@@ -38,7 +51,7 @@ Signature RadarScheme::compute_signature(const quant::QuantizedModel& qm,
   const auto& ql = qm.layer(layer);
   return group_signature(
       std::span<const std::int8_t>(ql.q.data(), ql.q.size()),
-      layouts_[layer], group, masks_[layer], cfg_.signature_bits);
+      layouts_[layer], group, masks_[layer], sig_bits_);
 }
 
 void RadarScheme::resign_layer(const quant::QuantizedModel& qm,
@@ -51,12 +64,6 @@ void RadarScheme::resign_layer(const quant::QuantizedModel& qm,
       std::span<const std::int8_t>(ql.q.data(), ql.q.size()));
   for (std::int64_t g = 0; g < layouts_[layer].num_groups(); ++g)
     golden_[layer].set(g, sigs[static_cast<std::size_t>(g)]);
-}
-
-void RadarScheme::resign(const quant::QuantizedModel& qm) {
-  RADAR_REQUIRE(layouts_.size() == qm.num_layers(),
-                "scheme not attached to this model");
-  for (std::size_t li = 0; li < qm.num_layers(); ++li) resign_layer(qm, li);
 }
 
 std::vector<std::int64_t> RadarScheme::scan_layer(
@@ -73,48 +80,10 @@ std::vector<std::int64_t> RadarScheme::scan_layer(
   return flagged;
 }
 
-DetectionReport RadarScheme::scan(const quant::QuantizedModel& qm) const {
-  RADAR_REQUIRE(layouts_.size() == qm.num_layers(),
-                "scheme not attached to this model");
-  DetectionReport report;
-  report.flagged.resize(qm.num_layers());
-  for (std::size_t li = 0; li < qm.num_layers(); ++li)
-    report.flagged[li] = scan_layer(qm, li);
-  return report;
-}
-
-void RadarScheme::recover(quant::QuantizedModel& qm,
-                          const DetectionReport& report,
-                          RecoveryPolicy policy) const {
-  RADAR_REQUIRE(report.flagged.size() == qm.num_layers(),
-                "report does not match model");
-  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
-    for (const std::int64_t g : report.flagged[li]) {
-      for (const std::int64_t idx : layouts_[li].group_members(g)) {
-        switch (policy) {
-          case RecoveryPolicy::kZeroOut:
-            qm.set_code(li, idx, 0);
-            break;
-          case RecoveryPolicy::kReloadClean:
-            qm.set_code(li, idx,
-                        clean_snapshot_[li][static_cast<std::size_t>(idx)]);
-            break;
-        }
-      }
-    }
-  }
-}
-
 std::int64_t RadarScheme::signature_storage_bytes() const {
   std::int64_t bytes = 0;
   for (const auto& store : golden_) bytes += store.storage_bytes();
   return bytes;
-}
-
-std::int64_t RadarScheme::total_groups() const {
-  std::int64_t n = 0;
-  for (const auto& l : layouts_) n += l.num_groups();
-  return n;
 }
 
 std::vector<std::vector<std::uint8_t>> RadarScheme::export_golden() const {
@@ -131,17 +100,6 @@ void RadarScheme::import_golden(
                 "golden layer count mismatch");
   for (std::size_t li = 0; li < golden_.size(); ++li)
     golden_[li].set_packed(std::move(packed[li]));
-}
-
-std::int64_t count_detected_flips(
-    const RadarScheme& scheme, const DetectionReport& report,
-    const std::vector<std::pair<std::size_t, std::int64_t>>& flips) {
-  std::int64_t detected = 0;
-  for (const auto& [layer, idx] : flips) {
-    const std::int64_t group = scheme.layout(layer).group_of(idx);
-    if (report.is_flagged(layer, group)) ++detected;
-  }
-  return detected;
 }
 
 }  // namespace radar::core

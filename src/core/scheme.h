@@ -1,4 +1,5 @@
-// RadarScheme: the complete detection + recovery pipeline of the paper.
+// RadarScheme: the paper's detection + recovery pipeline as one
+// IntegrityScheme implementation (registry ids "radar2" / "radar3").
 //
 // attach() derives per-layer group layouts, per-layer 16-bit mask keys and
 // golden signatures from a quantized model; scan() recomputes signatures
@@ -8,18 +9,18 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
-#include "core/interleave.h"
+#include "core/integrity_scheme.h"
 #include "core/mask.h"
 #include "core/scanner.h"
 #include "core/signature_store.h"
-#include "quant/qmodel.h"
 
 namespace radar::core {
 
-/// Tunable parameters of the scheme (paper defaults).
+/// Tunable parameters of the scheme (paper defaults). The grouping fields
+/// mirror SchemeParams; signature_bits picks the 2-bit scheme or the §VIII
+/// 3-bit MSB-1 variant.
 struct RadarConfig {
   std::int64_t group_size = 512;
   bool interleave = true;
@@ -27,100 +28,37 @@ struct RadarConfig {
   int signature_bits = 2;         ///< 3 enables the §VIII MSB-1 variant
   MaskStream::Expansion expansion = MaskStream::Expansion::kPrf;
   std::uint64_t master_key = 0xC0FFEE5EC0DEULL;
+
+  static RadarConfig from_params(const SchemeParams& p, int bits);
+  SchemeParams to_params() const;
 };
 
-/// What to do with a flagged group.
-enum class RecoveryPolicy {
-  kZeroOut,      ///< paper: set all weights of the group to zero
-  kReloadClean,  ///< halt & reload a clean copy (costlier, exact)
-};
-
-/// Result of one scan over all layers.
-struct DetectionReport {
-  /// Flagged group ids per layer, sorted ascending.
-  std::vector<std::vector<std::int64_t>> flagged;
-
-  bool attack_detected() const {
-    for (const auto& f : flagged)
-      if (!f.empty()) return true;
-    return false;
-  }
-  std::int64_t num_flagged_groups() const {
-    std::int64_t n = 0;
-    for (const auto& f : flagged) n += static_cast<std::int64_t>(f.size());
-    return n;
-  }
-  bool is_flagged(std::size_t layer, std::int64_t group) const;
-};
-
-class RadarScheme {
+class RadarScheme : public SchemeBase {
  public:
-  explicit RadarScheme(const RadarConfig& cfg) : cfg_(cfg) {
-    RADAR_REQUIRE(cfg.group_size > 0, "group size must be positive");
-    RADAR_REQUIRE(cfg.signature_bits == 2 || cfg.signature_bits == 3,
-                  "signature width must be 2 or 3");
-  }
+  explicit RadarScheme(const RadarConfig& cfg);
+  /// Registry-factory form: grouping from `params`, width from `bits`.
+  RadarScheme(const SchemeParams& params, int bits)
+      : RadarScheme(RadarConfig::from_params(params, bits)) {}
 
-  /// Build layouts / keys / golden signatures for `qm`. Also stores a
-  /// clean snapshot for the kReloadClean policy.
-  void attach(const quant::QuantizedModel& qm);
+  int signature_bits() const { return sig_bits_; }
 
-  bool attached() const { return !layouts_.empty(); }
-  std::size_t num_layers() const { return layouts_.size(); }
-  const GroupLayout& layout(std::size_t layer) const {
-    return layouts_.at(layer);
-  }
-  const RadarConfig& config() const { return cfg_; }
-
-  /// Recompute signatures of every group and compare with the golden ones.
-  DetectionReport scan(const quant::QuantizedModel& qm) const;
-
-  /// Scan a single layer (run-time per-layer embedding, §IV).
+  void attach(const quant::QuantizedModel& qm, bool sign = true) override;
   std::vector<std::int64_t> scan_layer(const quant::QuantizedModel& qm,
-                                       std::size_t layer) const;
-
-  /// Apply recovery to every flagged group.
-  void recover(quant::QuantizedModel& qm, const DetectionReport& report,
-               RecoveryPolicy policy = RecoveryPolicy::kZeroOut) const;
-
-  /// Recompute golden signatures (after an authorized weight update).
-  void resign(const quant::QuantizedModel& qm);
-
-  /// Recompute golden signatures of a single layer (used by the per-layer
-  /// run-time embedding, where other layers may not have been scanned yet).
-  void resign_layer(const quant::QuantizedModel& qm, std::size_t layer);
-
-  /// Total golden-signature bytes across layers (paper Fig. 6 x-axis).
-  std::int64_t signature_storage_bytes() const;
-
-  /// Signatures recomputed in one scan (equals total group count).
-  std::int64_t total_groups() const;
-
-  /// Export the packed golden signatures (deployment artifact payload).
-  std::vector<std::vector<std::uint8_t>> export_golden() const;
-
-  /// Replace the golden signatures with previously exported ones (e.g.
-  /// loaded from a signed package). A subsequent scan then reveals any
-  /// weight tampering that happened since the export.
-  void import_golden(std::vector<std::vector<std::uint8_t>> packed);
+                                       std::size_t layer) const override;
+  void resign_layer(const quant::QuantizedModel& qm,
+                    std::size_t layer) override;
+  std::int64_t signature_storage_bytes() const override;
+  std::vector<std::vector<std::uint8_t>> export_golden() const override;
+  void import_golden(std::vector<std::vector<std::uint8_t>> packed) override;
 
  private:
   Signature compute_signature(const quant::QuantizedModel& qm,
                               std::size_t layer, std::int64_t group) const;
 
-  RadarConfig cfg_;
-  std::vector<GroupLayout> layouts_;
+  int sig_bits_;  ///< grouping/key fields live in SchemeBase::params_
   std::vector<MaskStream> masks_;
   std::vector<LayerScanner> scanners_;  ///< streaming scan tables
   std::vector<SignatureStore> golden_;
-  quant::QSnapshot clean_snapshot_;
 };
-
-/// Number of attack flips that land in groups flagged by `report` — the
-/// paper's "detected bit-flips out of N" metric. Flips are (layer, index)
-/// pairs.
-std::int64_t count_detected_flips(
-    const RadarScheme& scheme, const DetectionReport& report,
-    const std::vector<std::pair<std::size_t, std::int64_t>>& flips);
 
 }  // namespace radar::core

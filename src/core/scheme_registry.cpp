@@ -1,0 +1,77 @@
+#include "core/scheme_registry.h"
+
+#include <algorithm>
+
+#include "core/grouped_code.h"
+#include "core/scheme.h"
+
+namespace radar::core {
+
+SchemeRegistry::SchemeRegistry() {
+  register_scheme("radar2", [](const SchemeParams& p) {
+    return std::make_unique<RadarScheme>(p, 2);
+  });
+  register_scheme("radar3", [](const SchemeParams& p) {
+    return std::make_unique<RadarScheme>(p, 3);
+  });
+  for (const int width : {7, 10, 13, 16}) {
+    register_scheme("crc" + std::to_string(width),
+                    [width](const SchemeParams& p) {
+                      return std::make_unique<GroupedCodeScheme>(
+                          "crc" + std::to_string(width), p,
+                          crc_block_code(width));
+                    });
+  }
+  register_scheme("fletcher", [](const SchemeParams& p) {
+    return std::make_unique<GroupedCodeScheme>("fletcher", p,
+                                               fletcher16_block_code());
+  });
+  register_scheme("hamming-secded", [](const SchemeParams& p) {
+    return std::make_unique<GroupedCodeScheme>("hamming-secded", p,
+                                               hamming_secded_block_code());
+  });
+}
+
+SchemeRegistry& SchemeRegistry::instance() {
+  static SchemeRegistry registry;
+  return registry;
+}
+
+void SchemeRegistry::register_scheme(const std::string& id,
+                                     Factory factory) {
+  RADAR_REQUIRE(!id.empty(), "empty scheme id");
+  RADAR_REQUIRE(factory != nullptr, "null scheme factory");
+  for (auto& [name, f] : factories_) {
+    if (name == id) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(id, std::move(factory));
+}
+
+bool SchemeRegistry::contains(const std::string& id) const {
+  return std::any_of(factories_.begin(), factories_.end(),
+                     [&](const auto& e) { return e.first == id; });
+}
+
+std::unique_ptr<IntegrityScheme> SchemeRegistry::create(
+    const std::string& id, const SchemeParams& params) const {
+  for (const auto& [name, factory] : factories_) {
+    if (name == id) return factory(params);
+  }
+  std::string known;
+  for (const auto& i : ids()) known += (known.empty() ? "" : ", ") + i;
+  throw InvalidArgument("unknown scheme id \"" + id + "\" (registered: " +
+                        known + ")");
+}
+
+std::vector<std::string> SchemeRegistry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace radar::core

@@ -46,4 +46,47 @@ Signature SignatureStore::get(std::int64_t group) const {
   return s;
 }
 
+PackedWordStore::PackedWordStore(std::int64_t num_groups, int width)
+    : num_groups_(num_groups), width_(width) {
+  RADAR_REQUIRE(num_groups >= 0, "negative group count");
+  RADAR_REQUIRE(width >= 1 && width <= 32,
+                "code word width must be in [1, 32]");
+  bits_.assign(static_cast<std::size_t>((num_groups * width + 7) / 8), 0);
+}
+
+void PackedWordStore::set(std::int64_t group, std::uint32_t word) {
+  RADAR_REQUIRE(group >= 0 && group < num_groups_, "group out of range");
+  RADAR_REQUIRE(width_ == 32 || word < (1u << width_),
+                "code word exceeds store width");
+  const std::int64_t base = group * width_;
+  for (int b = 0; b < width_; ++b) {
+    const std::int64_t pos = base + b;
+    const auto byte = static_cast<std::size_t>(pos / 8);
+    const int off = static_cast<int>(pos % 8);
+    if ((word >> b) & 1u)
+      bits_[byte] = static_cast<std::uint8_t>(bits_[byte] | (1u << off));
+    else
+      bits_[byte] = static_cast<std::uint8_t>(bits_[byte] & ~(1u << off));
+  }
+}
+
+std::uint32_t PackedWordStore::get(std::int64_t group) const {
+  RADAR_REQUIRE(group >= 0 && group < num_groups_, "group out of range");
+  std::uint32_t word = 0;
+  const std::int64_t base = group * width_;
+  for (int b = 0; b < width_; ++b) {
+    const std::int64_t pos = base + b;
+    const auto byte = static_cast<std::size_t>(pos / 8);
+    const int off = static_cast<int>(pos % 8);
+    if ((bits_[byte] >> off) & 1) word |= (1u << b);
+  }
+  return word;
+}
+
+void PackedWordStore::set_packed(std::vector<std::uint8_t> bytes) {
+  RADAR_REQUIRE(static_cast<std::int64_t>(bytes.size()) == storage_bytes(),
+                "packed code word size mismatch");
+  bits_ = std::move(bytes);
+}
+
 }  // namespace radar::core

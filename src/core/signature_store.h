@@ -46,4 +46,34 @@ class SignatureStore {
   std::vector<std::uint8_t> bits_;
 };
 
+/// Bit-packed storage of one fixed-width code word per group, for the
+/// wider baseline codes (CRC-7..CRC-16, Fletcher, Hamming SEC-DED check
+/// words). Same packing discipline as SignatureStore but word-valued.
+class PackedWordStore {
+ public:
+  PackedWordStore() = default;
+  /// `width` in [1, 32] bits per group.
+  PackedWordStore(std::int64_t num_groups, int width);
+
+  std::int64_t num_groups() const { return num_groups_; }
+  int width() const { return width_; }
+
+  void set(std::int64_t group, std::uint32_t word);
+  std::uint32_t get(std::int64_t group) const;
+
+  /// Bytes needed to hold all words (bit-packed, rounded up).
+  std::int64_t storage_bytes() const {
+    return (num_groups_ * width_ + 7) / 8;
+  }
+
+  const std::vector<std::uint8_t>& packed() const { return bits_; }
+  /// Replace the packed bytes (must match storage_bytes()).
+  void set_packed(std::vector<std::uint8_t> bytes);
+
+ private:
+  std::int64_t num_groups_ = 0;
+  int width_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
 }  // namespace radar::core

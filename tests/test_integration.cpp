@@ -8,6 +8,7 @@
 #include "attack/pbfa.h"
 #include "attack/random_attack.h"
 #include "core/protected_model.h"
+#include "core/scheme.h"
 #include "data/trainer.h"
 
 namespace radar {

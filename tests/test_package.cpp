@@ -1,11 +1,13 @@
 // RadarPackage: signed deployment artifact round trips and tamper
-// evidence.
+// evidence, with the scheme id + params carried in the artifact.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 
 #include "common/bits.h"
 #include "core/package.h"
+#include "core/scheme.h"
+#include "core/scheme_registry.h"
 
 namespace radar::core {
 namespace {
@@ -51,21 +53,24 @@ TEST_F(PackageTest, SaveLoadRoundTripVerifies) {
   Rng rng2(99);
   nn::ResNet other(tiny_spec(), rng2);
   quant::QuantizedModel qm2(other);
-  RadarScheme scheme2({});
+  std::unique_ptr<IntegrityScheme> scheme2;
   const PackageLoadReport report = load_package(path_, qm2, scheme2);
   EXPECT_TRUE(report.crc_ok);
   EXPECT_TRUE(report.signatures_ok);
   EXPECT_TRUE(report.verified());
   EXPECT_EQ(report.info.model_name, "tiny-v1");
+  EXPECT_EQ(report.info.scheme_id, "radar2");
   EXPECT_EQ(report.info.total_weights, qm_.total_weights());
   // Weights restored exactly.
   for (std::size_t li = 0; li < qm_.num_layers(); ++li)
     EXPECT_EQ(qm2.layer(li).q, qm_.layer(li).q);
   // The rebuilt scheme works: clean scan after load.
-  EXPECT_FALSE(scheme2.scan(qm2).attack_detected());
+  ASSERT_NE(scheme2, nullptr);
+  EXPECT_EQ(scheme2->id(), "radar2");
+  EXPECT_FALSE(scheme2->scan(qm2).attack_detected());
 }
 
-TEST_F(PackageTest, ConfigSurvivesRoundTrip) {
+TEST_F(PackageTest, SchemeParamsSurviveRoundTrip) {
   RadarConfig cfg;
   cfg.group_size = 16;
   cfg.interleave = false;
@@ -77,12 +82,32 @@ TEST_F(PackageTest, ConfigSurvivesRoundTrip) {
   scheme.attach(qm_);
   save_package(path_, qm_, scheme, "cfg-test");
   const PackageInfo info = read_package_info(path_);
-  EXPECT_EQ(info.config.group_size, 16);
-  EXPECT_FALSE(info.config.interleave);
-  EXPECT_EQ(info.config.signature_bits, 3);
-  EXPECT_EQ(info.config.skew, 5);
-  EXPECT_EQ(info.config.expansion, MaskStream::Expansion::kRepeat);
-  EXPECT_EQ(info.config.master_key, 0x1234u);
+  EXPECT_EQ(info.scheme_id, "radar3");
+  EXPECT_EQ(info.params.group_size, 16);
+  EXPECT_FALSE(info.params.interleave);
+  EXPECT_EQ(info.params.skew, 5);
+  EXPECT_EQ(info.params.expansion, MaskStream::Expansion::kRepeat);
+  EXPECT_EQ(info.params.master_key, 0x1234u);
+}
+
+TEST_F(PackageTest, EverySchemeRoundTripsThroughPackage) {
+  SchemeParams params;
+  params.group_size = 32;
+  for (const auto& id : SchemeRegistry::instance().ids()) {
+    auto scheme = SchemeRegistry::instance().create(id, params);
+    scheme->attach(qm_);
+    save_package(path_, qm_, *scheme, "rt-" + id);
+
+    Rng rng2(7);
+    nn::ResNet other(tiny_spec(), rng2);
+    quant::QuantizedModel qm2(other);
+    std::unique_ptr<IntegrityScheme> loaded;
+    const PackageLoadReport report = load_package(path_, qm2, loaded);
+    EXPECT_TRUE(report.verified()) << id;
+    EXPECT_EQ(report.info.scheme_id, id);
+    ASSERT_NE(loaded, nullptr) << id;
+    EXPECT_EQ(loaded->id(), id);
+  }
 }
 
 TEST_F(PackageTest, TamperedWeightsAreLocalized) {
@@ -99,24 +124,49 @@ TEST_F(PackageTest, TamperedWeightsAreLocalized) {
     Rng r(1);
     nn::ResNet scratch(tiny_spec(), r);
     quant::QuantizedModel qm_scratch(scratch);
-    RadarScheme s2({});
+    std::unique_ptr<IntegrityScheme> s2;
     load_package(path_, qm_scratch, s2);  // original content
     qm_scratch.flip_bit(2, 7, kMsb);
-    save_package(path_, qm_scratch, s2, "tiny-v1");
+    save_package(path_, qm_scratch, *s2, "tiny-v1");
     // save_package exports s2's golden, which is the original one.
   }
 
   Rng rng2(5);
   nn::ResNet fresh(tiny_spec(), rng2);
   quant::QuantizedModel qm2(fresh);
-  RadarScheme scheme2({});
+  std::unique_ptr<IntegrityScheme> scheme2;
   const PackageLoadReport report = load_package(path_, qm2, scheme2);
   EXPECT_FALSE(report.signatures_ok);
   EXPECT_FALSE(report.verified());
   // The tampered group is localized.
   EXPECT_TRUE(report.tamper.is_flagged(
-      2, scheme2.layout(2).group_of(7)));
+      2, scheme2->layout(2).group_of(7)));
   EXPECT_EQ(report.tamper.num_flagged_groups(), 1);
+}
+
+TEST_F(PackageTest, ParallelLoadMatchesSerial) {
+  RadarScheme scheme = make_signed_scheme();
+  save_package(path_, qm_, scheme, "tiny-v1");
+  qm_.flip_bit(1, 3, kMsb);
+  {
+    Rng r(1);
+    nn::ResNet scratch(tiny_spec(), r);
+    quant::QuantizedModel qm_scratch(scratch);
+    std::unique_ptr<IntegrityScheme> s2;
+    load_package(path_, qm_scratch, s2);
+    qm_scratch.flip_bit(1, 3, kMsb);
+    save_package(path_, qm_scratch, *s2, "tiny-v1");
+  }
+
+  Rng rng2(5);
+  nn::ResNet fresh(tiny_spec(), rng2);
+  quant::QuantizedModel qm2(fresh);
+  std::unique_ptr<IntegrityScheme> serial_scheme;
+  const auto serial = load_package(path_, qm2, serial_scheme, 1);
+  std::unique_ptr<IntegrityScheme> parallel_scheme;
+  const auto parallel = load_package(path_, qm2, parallel_scheme, 4);
+  EXPECT_EQ(serial.tamper.flagged, parallel.tamper.flagged);
+  EXPECT_FALSE(parallel.signatures_ok);
 }
 
 TEST_F(PackageTest, LayerCountMismatchRejected) {
@@ -127,7 +177,7 @@ TEST_F(PackageTest, LayerCountMismatchRejected) {
   Rng rng2(3);
   nn::ResNet other(other_spec, rng2);
   quant::QuantizedModel qm2(other);
-  RadarScheme scheme2({});
+  std::unique_ptr<IntegrityScheme> scheme2;
   EXPECT_THROW(load_package(path_, qm2, scheme2), InvalidArgument);
 }
 

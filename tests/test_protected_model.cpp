@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/protected_model.h"
+#include "core/scheme.h"
 
 namespace radar::core {
 namespace {

@@ -1,0 +1,96 @@
+// ScanSession: parallel whole-model scans must be bit-identical to the
+// serial scan, for every registered scheme, clean or corrupted.
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "core/protected_model.h"
+#include "core/scan_session.h"
+#include "core/scheme_registry.h"
+
+namespace radar::core {
+namespace {
+
+nn::ResNetSpec tiny_spec() {
+  nn::ResNetSpec s;
+  s.num_classes = 4;
+  s.base_width = 8;
+  s.blocks_per_stage = {1, 1};
+  s.name = "tiny";
+  return s;
+}
+
+class ScanSessionTest : public ::testing::Test {
+ protected:
+  ScanSessionTest() : rng_(11), model_(tiny_spec(), rng_), qm_(model_) {}
+
+  Rng rng_;
+  nn::ResNet model_;
+  quant::QuantizedModel qm_;
+};
+
+TEST_F(ScanSessionTest, ParallelEqualsSerialForEveryScheme) {
+  SchemeParams params;
+  params.group_size = 32;
+  for (const auto& id : SchemeRegistry::instance().ids()) {
+    auto scheme = SchemeRegistry::instance().create(id, params);
+    scheme->attach(qm_);
+    const quant::QSnapshot clean = qm_.snapshot();
+
+    // Corrupt several layers so the merged report is non-trivial.
+    qm_.flip_bit(0, 1, kMsb);
+    qm_.flip_bit(1, 3, kMsb);
+    qm_.flip_bit(4, 9, kMsb);
+
+    const DetectionReport serial = scheme->scan(qm_);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      ScanSession session(*scheme, threads);
+      const DetectionReport parallel = session.scan(qm_);
+      EXPECT_EQ(serial.flagged, parallel.flagged)
+          << id << " with " << threads << " threads";
+    }
+    qm_.restore(clean);
+  }
+}
+
+TEST_F(ScanSessionTest, CleanModelScansCleanInParallel) {
+  auto scheme = SchemeRegistry::instance().create("radar2", SchemeParams{
+      .group_size = 32});
+  scheme->attach(qm_);
+  ScanSession session(*scheme, 4);
+  EXPECT_FALSE(session.scan(qm_).attack_detected());
+}
+
+TEST_F(ScanSessionTest, SerialSessionRunsWithoutPool) {
+  auto scheme = SchemeRegistry::instance().create("radar2", SchemeParams{
+      .group_size = 32});
+  scheme->attach(qm_);
+  ScanSession session(*scheme, 1);
+  EXPECT_EQ(session.threads(), 1u);
+  qm_.flip_bit(1, 3, kMsb);
+  EXPECT_EQ(session.scan(qm_).flagged, scheme->scan(qm_).flagged);
+  qm_.flip_bit(1, 3, kMsb);
+}
+
+TEST_F(ScanSessionTest, UnattachedSchemeRejected) {
+  auto scheme = SchemeRegistry::instance().create("radar2", SchemeParams{});
+  ScanSession session(*scheme, 2);
+  EXPECT_THROW(session.scan(qm_), InvalidArgument);
+}
+
+TEST_F(ScanSessionTest, ProtectedModelUsesSessionForWholeModelScans) {
+  auto scheme = SchemeRegistry::instance().create("radar2", SchemeParams{
+      .group_size = 32});
+  scheme->attach(qm_);
+  ProtectedModel pm(qm_, *scheme);
+  pm.set_scan_threads(4);
+  qm_.flip_bit(1, 3, kMsb);
+  pm.check_and_recover();
+  EXPECT_EQ(pm.detections(), 1);
+  EXPECT_EQ(qm_.get_code(1, 3), 0);
+  // Recovered state was re-signed: next parallel scan is clean.
+  pm.check_and_recover();
+  EXPECT_EQ(pm.detections(), 1);
+}
+
+}  // namespace
+}  // namespace radar::core

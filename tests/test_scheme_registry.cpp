@@ -1,0 +1,166 @@
+// The registry contract every IntegrityScheme must honor: creatable by
+// name, detects any single MSB flip, survives an export/import golden
+// round-trip, and zero-out recovery clears all flagged groups.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "core/scheme.h"
+#include "core/scheme_registry.h"
+
+namespace radar::core {
+namespace {
+
+nn::ResNetSpec tiny_spec() {
+  nn::ResNetSpec s;
+  s.num_classes = 4;
+  s.base_width = 8;
+  s.blocks_per_stage = {1, 1};
+  s.name = "tiny";
+  return s;
+}
+
+SchemeParams test_params() {
+  SchemeParams p;
+  p.group_size = 32;
+  return p;
+}
+
+class SchemeContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  SchemeContractTest() : rng_(42), model_(tiny_spec(), rng_), qm_(model_) {}
+
+  std::unique_ptr<IntegrityScheme> make_attached() {
+    auto scheme =
+        SchemeRegistry::instance().create(GetParam(), test_params());
+    scheme->attach(qm_);
+    return scheme;
+  }
+
+  Rng rng_;
+  nn::ResNet model_;
+  quant::QuantizedModel qm_;
+};
+
+TEST_P(SchemeContractTest, ReportsItsRegistryId) {
+  auto scheme = make_attached();
+  EXPECT_EQ(scheme->id(), GetParam());
+  EXPECT_EQ(scheme->params().group_size, 32);
+  EXPECT_EQ(scheme->num_layers(), qm_.num_layers());
+  EXPECT_GT(scheme->signature_storage_bytes(), 0);
+  EXPECT_GT(scheme->total_groups(), 0);
+}
+
+TEST_P(SchemeContractTest, CleanModelScansClean) {
+  auto scheme = make_attached();
+  EXPECT_FALSE(scheme->scan(qm_).attack_detected());
+}
+
+TEST_P(SchemeContractTest, DetectsAnySingleMsbFlip) {
+  auto scheme = make_attached();
+  const quant::QSnapshot clean = qm_.snapshot();
+  for (std::size_t layer : {std::size_t{0}, std::size_t{2}}) {
+    const std::int64_t last = qm_.layer(layer).size() - 1;
+    for (const std::int64_t idx : {std::int64_t{0}, last / 2, last}) {
+      qm_.flip_bit(layer, idx, kMsb);
+      const DetectionReport report = scheme->scan(qm_);
+      EXPECT_TRUE(report.attack_detected())
+          << GetParam() << " missed MSB flip at layer " << layer
+          << " index " << idx;
+      EXPECT_TRUE(report.is_flagged(layer,
+                                    scheme->layout(layer).group_of(idx)))
+          << GetParam() << " flagged the wrong group";
+      qm_.restore(clean);
+    }
+  }
+}
+
+TEST_P(SchemeContractTest, GoldenExportImportRoundTrips) {
+  auto scheme = make_attached();
+  const auto golden = scheme->export_golden();
+  ASSERT_EQ(golden.size(), qm_.num_layers());
+
+  // A freshly attached scheme of the same id/params accepts the exported
+  // golden codes and still scans the clean model clean...
+  auto fresh = SchemeRegistry::instance().create(GetParam(), test_params());
+  fresh->attach(qm_);
+  fresh->import_golden(golden);
+  EXPECT_FALSE(fresh->scan(qm_).attack_detected());
+
+  // ...and reveals tampering that happens after the import.
+  qm_.flip_bit(1, 3, kMsb);
+  EXPECT_TRUE(fresh->scan(qm_).attack_detected());
+  qm_.flip_bit(1, 3, kMsb);
+}
+
+TEST_P(SchemeContractTest, ZeroOutRecoveryClearsFlaggedGroups) {
+  auto scheme = make_attached();
+  const quant::QSnapshot clean = qm_.snapshot();
+  qm_.flip_bit(1, 3, kMsb);
+  qm_.flip_bit(2, 9, kMsb);
+  const DetectionReport report = scheme->scan(qm_);
+  ASSERT_TRUE(report.attack_detected());
+
+  scheme->recover(qm_, report, RecoveryPolicy::kZeroOut);
+  for (std::size_t li = 0; li < qm_.num_layers(); ++li) {
+    for (const std::int64_t g : report.flagged[li]) {
+      for (const std::int64_t idx : scheme->layout(li).group_members(g))
+        EXPECT_EQ(qm_.get_code(li, idx), 0)
+            << GetParam() << " left layer " << li << " index " << idx;
+    }
+  }
+  // After re-signing the zeroed state, the next scan is clean.
+  scheme->resign(qm_);
+  EXPECT_FALSE(scheme->scan(qm_).attack_detected());
+  qm_.restore(clean);
+}
+
+TEST_P(SchemeContractTest, ReloadCleanRecoveryRestoresWeights) {
+  auto scheme = make_attached();
+  const quant::QSnapshot clean = qm_.snapshot();
+  qm_.flip_bit(1, 3, kMsb);
+  const DetectionReport report = scheme->scan(qm_);
+  ASSERT_TRUE(report.attack_detected());
+  scheme->recover(qm_, report, RecoveryPolicy::kReloadClean);
+  EXPECT_EQ(qm_.snapshot(), clean);
+  EXPECT_FALSE(scheme->scan(qm_).attack_detected());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredSchemes, SchemeContractTest,
+    ::testing::ValuesIn(SchemeRegistry::instance().ids()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(SchemeRegistry, KnowsTheBuiltins) {
+  auto& reg = SchemeRegistry::instance();
+  for (const char* id : {"radar2", "radar3", "crc7", "crc10", "crc13",
+                         "crc16", "fletcher", "hamming-secded"})
+    EXPECT_TRUE(reg.contains(id)) << id;
+}
+
+TEST(SchemeRegistry, UnknownIdThrowsWithKnownIdsListed) {
+  try {
+    SchemeRegistry::instance().create("no-such-scheme", SchemeParams{});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("radar2"), std::string::npos);
+  }
+}
+
+TEST(SchemeRegistry, CustomSchemesCanRegister) {
+  auto& reg = SchemeRegistry::instance();
+  reg.register_scheme("custom-radar", [](const SchemeParams& p) {
+    return std::make_unique<RadarScheme>(p, 2);
+  });
+  EXPECT_TRUE(reg.contains("custom-radar"));
+  auto scheme = reg.create("custom-radar", SchemeParams{});
+  ASSERT_NE(scheme, nullptr);
+}
+
+}  // namespace
+}  // namespace radar::core

@@ -1,33 +1,42 @@
 // radar_cli — command-line front end for the RADAR deployment workflow.
 //
 //   radar_cli sign   <pkg> [--model tiny|resnet20|resnet18] [--group N]
-//                          [--bits 2|3] [--no-interleave]
-//       Train (or load from cache) the reference model, attach RADAR and
-//       write a signed deployment package.
+//                          [--scheme NAME] [--bits 2|3] [--no-interleave]
+//       Train (or load from cache) the reference model, attach the chosen
+//       protection scheme and write a signed deployment package. --scheme
+//       accepts any registered id (see `radar_cli schemes`); --bits 2|3 is
+//       shorthand for --scheme radar2|radar3.
 //
 //   radar_cli info   <pkg>
-//       Print package metadata (no verification).
+//       Print package metadata, including the stored scheme id (no
+//       verification).
 //
-//   radar_cli verify <pkg> [--model ...]
-//       Load the package into a fresh model and verify CRC + signatures;
-//       exit code 0 only when the artifact is intact.
+//   radar_cli verify <pkg> [--model ...] [--threads N]
+//       Load the package into a fresh model and verify CRC + golden codes
+//       (scanning across N worker threads); exit code 0 only when the
+//       artifact is intact.
 //
 //   radar_cli attack <pkg> [--model ...] [--flips N] [--pbfa]
 //       Corrupt the package the way a rowhammer adversary would corrupt
 //       DRAM (random MSB flips, or gradient-guided PBFA with --pbfa) and
-//       re-save it — the golden signatures are preserved, so `verify`
-//       exposes the tampering.
+//       re-save it — the golden codes are preserved, so `verify` exposes
+//       the tampering.
 //
-//   radar_cli recover <pkg> [--model ...]
+//   radar_cli recover <pkg> [--model ...] [--threads N]
 //       Load, zero out every flagged group, re-sign and save: the
 //       offline analogue of the run-time recovery path.
+//
+//   radar_cli schemes
+//       List the registered scheme ids.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "attack/pbfa.h"
 #include "attack/random_attack.h"
 #include "core/package.h"
+#include "core/scheme_registry.h"
 #include "exp/workspace.h"
 
 namespace {
@@ -38,18 +47,25 @@ struct Args {
   std::string command;
   std::string package;
   std::string model = "tiny";
+  std::string scheme;  ///< empty: derived from --bits
   std::int64_t group = 32;
   int bits = 2;
   bool interleave = true;
   int flips = 10;
   bool use_pbfa = false;
+  std::size_t threads = 1;
 };
 
 bool parse(int argc, char** argv, Args& args) {
-  if (argc < 3) return false;
+  if (argc < 2) return false;
   args.command = argv[1];
-  args.package = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  int first_opt = 2;
+  if (args.command != "schemes") {
+    if (argc < 3) return false;
+    args.package = argv[2];
+    first_opt = 3;
+  }
+  for (int i = first_opt; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&](const char* what) -> const char* {
       if (i + 1 >= argc) {
@@ -60,6 +76,8 @@ bool parse(int argc, char** argv, Args& args) {
     };
     if (a == "--model") {
       args.model = next("--model");
+    } else if (a == "--scheme") {
+      args.scheme = next("--scheme");
     } else if (a == "--group") {
       args.group = std::atoll(next("--group"));
     } else if (a == "--bits") {
@@ -70,22 +88,38 @@ bool parse(int argc, char** argv, Args& args) {
       args.flips = std::atoi(next("--flips"));
     } else if (a == "--pbfa") {
       args.use_pbfa = true;
+    } else if (a == "--threads") {
+      const int threads = std::atoi(next("--threads"));
+      if (threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0 (0 = all cores)\n");
+        return false;
+      }
+      args.threads = static_cast<std::size_t>(threads);
     } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return false;
     }
   }
+  if (args.bits != 2 && args.bits != 3) {
+    std::fprintf(stderr, "--bits must be 2 or 3\n");
+    return false;
+  }
   return true;
+}
+
+std::string scheme_id(const Args& args) {
+  if (!args.scheme.empty()) return args.scheme;
+  return args.bits == 3 ? "radar3" : "radar2";
 }
 
 void print_report(const core::PackageLoadReport& report) {
   std::printf("model:       %s\n", report.info.model_name.c_str());
   std::printf("layers:      %zu (%lld weights)\n", report.info.num_layers,
               static_cast<long long>(report.info.total_weights));
-  std::printf("config:      G=%lld %s %d-bit signatures\n",
-              static_cast<long long>(report.info.config.group_size),
-              report.info.config.interleave ? "interleaved" : "contiguous",
-              report.info.config.signature_bits);
+  std::printf("scheme:      %s (G=%lld %s)\n",
+              report.info.scheme_id.c_str(),
+              static_cast<long long>(report.info.params.group_size),
+              report.info.params.interleave ? "interleaved" : "contiguous");
   std::printf("payload CRC: %s\n", report.crc_ok ? "ok" : "MISMATCH");
   std::printf("signatures:  %s\n",
               report.signatures_ok ? "ok" : "TAMPERING DETECTED");
@@ -100,17 +134,17 @@ void print_report(const core::PackageLoadReport& report) {
 
 int cmd_sign(const Args& args) {
   exp::ModelBundle bundle = exp::load_or_train(args.model);
-  core::RadarConfig cfg;
-  cfg.group_size = args.group;
-  cfg.signature_bits = args.bits;
-  cfg.interleave = args.interleave;
-  core::RadarScheme scheme(cfg);
-  scheme.attach(*bundle.qmodel);
-  core::save_package(args.package, *bundle.qmodel, scheme, args.model);
-  std::printf("signed %s: %lld weights, %lld signature bytes -> %s\n",
-              args.model.c_str(),
+  core::SchemeParams params;
+  params.group_size = args.group;
+  params.interleave = args.interleave;
+  const std::string id = scheme_id(args);
+  auto scheme = core::SchemeRegistry::instance().create(id, params);
+  scheme->attach(*bundle.qmodel);
+  core::save_package(args.package, *bundle.qmodel, *scheme, args.model);
+  std::printf("signed %s with %s: %lld weights, %lld golden-code bytes -> %s\n",
+              args.model.c_str(), id.c_str(),
               static_cast<long long>(bundle.qmodel->total_weights()),
-              static_cast<long long>(scheme.signature_storage_bytes()),
+              static_cast<long long>(scheme->signature_storage_bytes()),
               args.package.c_str());
   return 0;
 }
@@ -120,25 +154,26 @@ int cmd_info(const Args& args) {
   std::printf("model:   %s\n", info.model_name.c_str());
   std::printf("layers:  %zu (%lld weights)\n", info.num_layers,
               static_cast<long long>(info.total_weights));
-  std::printf("config:  G=%lld %s %d-bit signatures\n",
-              static_cast<long long>(info.config.group_size),
-              info.config.interleave ? "interleaved" : "contiguous",
-              info.config.signature_bits);
+  std::printf("scheme:  %s\n", info.scheme_id.c_str());
+  std::printf("config:  G=%lld %s skew=%lld\n",
+              static_cast<long long>(info.params.group_size),
+              info.params.interleave ? "interleaved" : "contiguous",
+              static_cast<long long>(info.params.skew));
   return 0;
 }
 
 int cmd_verify(const Args& args) {
   exp::ModelBundle bundle = exp::load_or_train(args.model);
-  core::RadarScheme scheme({});
-  const auto report =
-      core::load_package(args.package, *bundle.qmodel, scheme);
+  std::unique_ptr<core::IntegrityScheme> scheme;
+  const auto report = core::load_package(args.package, *bundle.qmodel,
+                                         scheme, args.threads);
   print_report(report);
   return report.verified() ? 0 : 1;
 }
 
 int cmd_attack(const Args& args) {
   exp::ModelBundle bundle = exp::load_or_train(args.model);
-  core::RadarScheme scheme({});
+  std::unique_ptr<core::IntegrityScheme> scheme;
   const auto report =
       core::load_package(args.package, *bundle.qmodel, scheme);
   if (!report.crc_ok)
@@ -154,9 +189,9 @@ int cmd_attack(const Args& args) {
     attack::random_msb_flips(*bundle.qmodel, args.flips, rng);
     std::printf("flipped %d random MSBs\n", args.flips);
   }
-  // Re-save with the ORIGINAL golden signatures: the attacker cannot
-  // forge them without the master key.
-  core::save_package(args.package, *bundle.qmodel, scheme,
+  // Re-save with the ORIGINAL golden codes: the attacker cannot forge
+  // them without the master key.
+  core::save_package(args.package, *bundle.qmodel, *scheme,
                      report.info.model_name);
   std::printf("tampered package written to %s\n", args.package.c_str());
   return 0;
@@ -164,22 +199,29 @@ int cmd_attack(const Args& args) {
 
 int cmd_recover(const Args& args) {
   exp::ModelBundle bundle = exp::load_or_train(args.model);
-  core::RadarScheme scheme({});
-  auto report = core::load_package(args.package, *bundle.qmodel, scheme);
+  std::unique_ptr<core::IntegrityScheme> scheme;
+  auto report = core::load_package(args.package, *bundle.qmodel, scheme,
+                                   args.threads);
   print_report(report);
   if (report.signatures_ok) {
     std::printf("nothing to recover\n");
     return 0;
   }
-  scheme.recover(*bundle.qmodel, report.tamper,
-                 core::RecoveryPolicy::kZeroOut);
-  scheme.resign(*bundle.qmodel);
-  core::save_package(args.package, *bundle.qmodel, scheme,
+  scheme->recover(*bundle.qmodel, report.tamper,
+                  core::RecoveryPolicy::kZeroOut);
+  scheme->resign(*bundle.qmodel);
+  core::save_package(args.package, *bundle.qmodel, *scheme,
                      report.info.model_name);
   const double acc = exp::accuracy_on_subset(bundle, 256);
   std::printf("zeroed %lld group(s), re-signed; accuracy now %.2f%%\n",
               static_cast<long long>(report.tamper.num_flagged_groups()),
               100.0 * acc);
+  return 0;
+}
+
+int cmd_schemes() {
+  for (const auto& id : core::SchemeRegistry::instance().ids())
+    std::printf("%s\n", id.c_str());
   return 0;
 }
 
@@ -190,7 +232,8 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, args)) {
     std::fprintf(stderr,
                  "usage: radar_cli {sign|info|verify|attack|recover} "
-                 "<package> [options]\n");
+                 "<package> [options]\n"
+                 "       radar_cli schemes\n");
     return 2;
   }
   try {
@@ -199,6 +242,7 @@ int main(int argc, char** argv) {
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "attack") return cmd_attack(args);
     if (args.command == "recover") return cmd_recover(args);
+    if (args.command == "schemes") return cmd_schemes();
     std::fprintf(stderr, "unknown command %s\n", args.command.c_str());
     return 2;
   } catch (const std::exception& e) {
