@@ -4,10 +4,14 @@
 // Paper: ResNet-20 detection falls from ~10/10 at small G to ~7/10 at
 // G=64 without interleaving; interleaving keeps it high. ResNet-18 stays
 // at ~9.5/10 with interleaving across G = 64..1024.
+//
+// Declared over the campaign engine: one PBFA attacker column against a
+// radar2 scheme column per (G, interleave) point, detection only.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "campaign/campaign.h"
 #include "common/env.h"
 #include "exp/workspace.h"
 
@@ -28,26 +32,37 @@ int main() {
   };
 
   for (const auto& cfg : configs) {
-    exp::ModelBundle bundle = exp::load_or_train(cfg.id);
-    const auto profiles = exp::load_or_run_pbfa(bundle, 10, rounds);
+    campaign::CampaignSpec spec;
+    spec.name = std::string("fig4/") + cfg.id;
+    spec.model = cfg.id;
+    spec.trials = rounds;
+    spec.eval_subset = 0;
+    spec.cache_tag = "fig4";
+    spec.attackers = {{.kind = "pbfa", .flips = 10}};
+    for (const auto g : cfg.gs) {
+      for (const bool ilv : {false, true}) {
+        campaign::SchemeSpec s;
+        s.id = "radar2";
+        s.params.group_size = exp::paper_group(cfg.id, g);
+        s.params.interleave = ilv;
+        spec.schemes.push_back(s);
+      }
+    }
+    const auto report =
+        campaign::CampaignRunner(bench_threads()).run(spec);
+
     std::printf("\n%s:%s\n", cfg.id,
-                bundle.group_scale != 1
+                exp::group_scale_for(cfg.id) != 1
                     ? " (paper G mapped to G/16 for the reduced model)"
                     : "");
     std::printf("  %-8s %20s %20s\n", "G", "detected (w/o ilv)",
                 "detected (ilv)");
     bench::rule();
-    for (const auto g : cfg.gs) {
-      core::RadarConfig rc;
-      rc.group_size = bundle.scaled_group(g);
-      rc.interleave = false;
-      const auto plain =
-          exp::summarize_recovery(bundle, profiles, rc, 10, /*eval=*/0);
-      rc.interleave = true;
-      const auto inter =
-          exp::summarize_recovery(bundle, profiles, rc, 10, /*eval=*/0);
+    for (std::size_t gi = 0; gi < cfg.gs.size(); ++gi) {
+      const auto& plain = report.cell(0, 0, 2 * gi);
+      const auto& inter = report.cell(0, 0, 2 * gi + 1);
       std::printf("  %-8lld %17.2f/10 %17.2f/10\n",
-                  static_cast<long long>(g), plain.mean_detected,
+                  static_cast<long long>(cfg.gs[gi]), plain.mean_detected,
                   inter.mean_detected);
     }
   }

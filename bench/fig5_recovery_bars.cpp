@@ -3,10 +3,14 @@
 // Paper: clean 69.79%; NBF=5 attack -> 5.66%, NBF=10 -> 0.18%; recovery
 // with interleave at G=128/256/512 returns to ~60-67% (Δ = 57.21% and
 // 60.51% over the unprotected model at G=128).
+//
+// Declared over the campaign engine: two PBFA attacker columns (NBF 5 and
+// 10) against an interleaved radar2 column per paper G.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "campaign/campaign.h"
 #include "common/env.h"
 #include "exp/workspace.h"
 
@@ -16,41 +20,44 @@ int main() {
   bench::heading("Fig. 5", "ResNet-18 recovery bars (interleaved)");
   bench::note("rounds = " + std::to_string(rounds));
 
-  exp::ModelBundle bundle = exp::load_or_train("resnet18");
-  const auto profiles = exp::load_or_run_pbfa(bundle, 10, rounds);
   const std::vector<std::int64_t> gs = {128, 256, 512};
+  const std::int64_t scale = exp::group_scale_for("resnet18");
+  campaign::CampaignSpec spec;
+  spec.name = "fig5";
+  spec.model = "resnet18";
+  spec.trials = rounds;
+  spec.eval_subset = 256;
+  spec.cache_tag = "fig5";
+  spec.attackers = {{.kind = "pbfa", .flips = 5},
+                    {.kind = "pbfa", .flips = 10}};
+  for (const auto g : gs) {
+    campaign::SchemeSpec s;
+    s.id = "radar2";
+    s.params.group_size = exp::paper_group("resnet18", g);
+    s.params.interleave = true;
+    spec.schemes.push_back(s);
+  }
+  const auto report =
+      campaign::CampaignRunner(bench_threads()).run(spec);
 
   std::printf("  clean accuracy: %.2f%% (paper 69.79%%)\n",
-              100.0 * bundle.clean_accuracy);
+              100.0 * report.clean_accuracy);
   std::printf("  (paper G mapped to G/%lld for the reduced-width model)\n\n",
-              static_cast<long long>(bundle.group_scale));
+              static_cast<long long>(scale));
   std::printf("  %-6s %10s", "NBF", "w/o RADAR");
   for (const auto g : gs)
     std::printf("   G=%-6lld", static_cast<long long>(g));
   std::printf("  delta(G=128)\n");
   bench::rule();
-  for (const int nbf : {5, 10}) {
-    double attacked = 0.0;
-    std::vector<double> recovered(gs.size(), 0.0);
-    for (const auto& round : profiles) {
-      bool measured = false;
-      for (std::size_t gi = 0; gi < gs.size(); ++gi) {
-        core::RadarConfig rc;
-        rc.group_size = bundle.scaled_group(gs[gi]);
-        rc.interleave = true;
-        const auto o = exp::replay_and_recover(bundle, round, rc, nbf, 256,
-                                               !measured);
-        recovered[gi] += o.accuracy_recovered;
-        if (!measured) {
-          attacked += o.accuracy_attacked;
-          measured = true;
-        }
-      }
-    }
-    const double n = static_cast<double>(profiles.size());
-    std::printf("  %-6d %9.2f%%", nbf, 100.0 * attacked / n);
-    for (const double r : recovered) std::printf("   %7.2f%%", 100.0 * r / n);
-    std::printf("   %7.2f%%\n", 100.0 * (recovered[0] - attacked) / n);
+  const int nbfs[] = {5, 10};
+  for (std::size_t ai = 0; ai < 2; ++ai) {
+    const double attacked = report.cell(ai, 0, 0).mean_acc_attacked;
+    std::printf("  %-6d %9.2f%%", nbfs[ai], 100.0 * attacked);
+    for (std::size_t gi = 0; gi < gs.size(); ++gi)
+      std::printf("   %7.2f%%",
+                  100.0 * report.cell(ai, 0, gi).mean_acc_recovered);
+    std::printf("   %7.2f%%\n",
+                100.0 * (report.cell(ai, 0, 0).mean_acc_recovered - attacked));
   }
   bench::rule();
   std::printf(

@@ -8,10 +8,15 @@
 // Absolute accuracies differ on our synthetic stand-in datasets; the shape
 // (catastrophic drop -> near-clean recovery, better with interleave and
 // smaller G) is what this bench reproduces.
+//
+// Declared over the campaign engine: PBFA attacker columns (NBF 5, 10)
+// against a radar2 column per (G, interleave) point, with accuracy
+// evaluation on kEvalSubset test images.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "campaign/campaign.h"
 #include "common/env.h"
 #include "exp/workspace.h"
 
@@ -47,49 +52,46 @@ int main() {
   };
 
   for (const auto& cfg : configs) {
-    exp::ModelBundle bundle = exp::load_or_train(cfg.id);
-    const auto profiles = exp::load_or_run_pbfa(bundle, 10, rounds);
+    campaign::CampaignSpec spec;
+    spec.name = std::string("table3/") + cfg.id;
+    spec.model = cfg.id;
+    spec.trials = rounds;
+    spec.eval_subset = kEvalSubset;
+    spec.cache_tag = "table3";
+    spec.attackers = {{.kind = "pbfa", .flips = 5},
+                      {.kind = "pbfa", .flips = 10}};
+    for (const auto g : cfg.gs) {
+      for (const bool ilv : {false, true}) {
+        campaign::SchemeSpec s;
+        s.id = "radar2";
+        s.params.group_size = exp::paper_group(cfg.id, g);
+        s.params.interleave = ilv;
+        spec.schemes.push_back(s);
+      }
+    }
+    const auto report =
+        campaign::CampaignRunner(bench_threads()).run(spec);
+
+    const std::int64_t scale = exp::group_scale_for(cfg.id);
     std::printf("\n%s: clean accuracy %.2f%%  (paper clean %s%%)\n",
-                cfg.id, 100.0 * bundle.clean_accuracy, cfg.paper_clean);
-    if (bundle.group_scale != 1)
+                cfg.id, 100.0 * report.clean_accuracy, cfg.paper_clean);
+    if (scale != 1)
       std::printf("  (reduced-width model: paper G mapped to G/%lld — same "
                   "groups-per-layer granularity)\n",
-                  static_cast<long long>(bundle.group_scale));
+                  static_cast<long long>(scale));
     std::printf("  %-5s %10s", "NBF", "attacked");
     for (const auto g : cfg.gs)
       std::printf("     G=%-4lld w/o / ilv", static_cast<long long>(g));
     std::printf("\n");
     bench::rule();
-    for (const int nbf : {5, 10}) {
-      // Attacked accuracy is independent of (G, interleave): average the
-      // per-round replays once.
-      double attacked = 0.0;
-      std::vector<std::vector<double>> recovered(
-          cfg.gs.size(), std::vector<double>(2, 0.0));
-      for (const auto& round : profiles) {
-        bool attacked_done = false;
-        for (std::size_t gi = 0; gi < cfg.gs.size(); ++gi) {
-          for (int ilv = 0; ilv < 2; ++ilv) {
-            core::RadarConfig rc;
-            rc.group_size = bundle.scaled_group(cfg.gs[gi]);
-            rc.interleave = (ilv == 1);
-            const exp::RecoveryOutcome o = exp::replay_and_recover(
-                bundle, round, rc, nbf, kEvalSubset,
-                /*measure_attacked=*/!attacked_done);
-            recovered[gi][static_cast<std::size_t>(ilv)] +=
-                o.accuracy_recovered;
-            if (!attacked_done) {
-              attacked += o.accuracy_attacked;
-              attacked_done = true;
-            }
-          }
-        }
-      }
-      const double n = static_cast<double>(profiles.size());
-      std::printf("  %-5d %9.2f%%", nbf, 100.0 * attacked / n);
+    const int nbfs[] = {5, 10};
+    for (std::size_t ai = 0; ai < 2; ++ai) {
+      std::printf("  %-5d %9.2f%%", nbfs[ai],
+                  100.0 * report.cell(ai, 0, 0).mean_acc_attacked);
       for (std::size_t gi = 0; gi < cfg.gs.size(); ++gi)
-        std::printf("     %6.2f%% / %6.2f%%", 100.0 * recovered[gi][0] / n,
-                    100.0 * recovered[gi][1] / n);
+        std::printf("     %6.2f%% / %6.2f%%",
+                    100.0 * report.cell(ai, 0, 2 * gi).mean_acc_recovered,
+                    100.0 * report.cell(ai, 0, 2 * gi + 1).mean_acc_recovered);
       std::printf("\n");
     }
     std::printf("  paper NBF=5 : %s\n", cfg.paper_row5);

@@ -31,12 +31,18 @@ void save_profiles(const std::string& path,
 std::vector<AttackResult> load_profiles(const std::string& path) {
   BinaryReader r(path, kProfileVersion);
   const auto n = r.read_u64();
+  // Each round is at least 20 bytes on disk; a corrupted count cannot ask
+  // for more rounds than the file could hold.
+  if (n > r.remaining() / 20)
+    throw SerializationError("corrupt round count in " + path);
   std::vector<AttackResult> rounds(n);
   for (auto& round : rounds) {
     round.loss_before = r.read_f32();
     round.loss_after = r.read_f32();
     round.accuracy_after = r.read_f32();
     const auto nf = r.read_u64();
+    if (nf > r.remaining() / 19)  // 19 bytes per serialized flip
+      throw SerializationError("corrupt flip count in " + path);
     round.flips.resize(nf);
     for (auto& f : round.flips) {
       f.layer = r.read_u64();

@@ -1,0 +1,364 @@
+#include "campaign/campaign.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "attack/knowledgeable.h"
+#include "attack/pbfa.h"
+#include "attack/random_attack.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "common/thread_pool.h"
+#include "core/scan_session.h"
+#include "core/scheme_registry.h"
+#include "exp/workspace.h"
+
+namespace radar::campaign {
+
+namespace {
+
+/// One worker's private model copy. Replicas are bit-identical (same init
+/// seed or same cached checkpoint), so any replica may run any unit.
+struct Replica {
+  exp::ModelBundle bundle;
+  quant::QSnapshot clean;
+};
+
+Replica make_replica(const CampaignSpec& spec, bool eval_clean = false) {
+  Replica r{exp::make_bundle(spec.model, spec.train,
+                             eval_clean && spec.eval_subset > 0),
+            {}};
+  r.clean = r.bundle.qmodel->snapshot();
+  return r;
+}
+
+/// Result slots of one evaluation unit (cell × trial).
+struct TrialOutcome {
+  std::int64_t flips = 0, detected = 0, flagged = 0;
+  bool any_detected = false;
+  double acc_recovered = -1.0;
+};
+
+/// Per-chunk context of the evaluation phase: the scheme (and its scan
+/// session) is re-attached only when the chunk crosses a cell boundary.
+struct EvalContext {
+  std::size_t cell = static_cast<std::size_t>(-1);
+  std::unique_ptr<core::IntegrityScheme> scheme;
+  std::unique_ptr<core::ScanSession> session;
+};
+
+/// Fan fn(replica, context, unit) out over `pool` in contiguous chunks
+/// (inline on `primary` when pool is null). Each chunk gets a fresh
+/// replica + context; the first exception is rethrown on the caller.
+template <typename Context, typename Fn>
+void for_each_unit(std::size_t n, ThreadPool* pool, Replica& primary,
+                   const CampaignSpec& spec, Fn&& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || n == 1) {
+    Context ctx;
+    for (std::size_t u = 0; u < n; ++u) fn(primary, ctx, u);
+    return;
+  }
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+  pool->parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+    try {
+      Replica replica = make_replica(spec);
+      Context ctx;
+      for (std::size_t u = begin; u < end; ++u) fn(replica, ctx, u);
+    } catch (...) {
+      if (!failed.exchange(true)) error = std::current_exception();
+    }
+  });
+  if (error) std::rethrow_exception(error);
+}
+
+std::string sanitize(const std::string& s) {
+  std::string out;
+  for (const char c : s)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '-';
+  return out;
+}
+
+/// Content signature of one profile group (attacker × fault rate): every
+/// spec field that shapes the recorded flips, and nothing positional. The
+/// profile RNG streams and the disk cache both key off it, so a cached
+/// group stays valid when the spec matrix around it is edited — the
+/// display label alone would collide for attackers differing only in
+/// attack_batch, allowed_bits, or the train flag.
+std::string profile_signature(const CampaignSpec& spec, std::size_t ai,
+                              std::size_t fi) {
+  const AttackerSpec& atk = spec.attackers[ai];
+  std::string bits;
+  for (const int b : atk.allowed_bits) bits += std::to_string(b);
+  char rate[40];
+  // Round-trip precision: rates differing in any bit must key apart.
+  std::snprintf(rate, sizeof(rate), "%.17g", spec.fault_rates[fi]);
+  return sanitize(spec.model) + (spec.train ? "" : "-raw") + "_" +
+         sanitize(atk.label()) + "_b" + std::to_string(atk.attack_batch) +
+         (bits.empty() ? std::string() : "_bits" + bits) + "_f" +
+         sanitize(rate);
+}
+
+/// FNV-1a of the signature — the `unit` fed to derive_seed.
+std::uint64_t signature_hash(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string profile_cache_path(const CampaignSpec& spec, std::size_t ai,
+                               std::size_t fi) {
+  return model_cache_dir() + "/campaign_" + sanitize(spec.cache_tag) + "_" +
+         profile_signature(spec, ai, fi) + "_T" +
+         std::to_string(spec.trials) + "_e" +
+         std::to_string(spec.eval_subset) + "_s" +
+         std::to_string(spec.seed) + ".bin";
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t phase,
+                          std::uint64_t unit) {
+  std::uint64_t s = splitmix64(seed ^ 0x5241444152CA3DULL);
+  s = splitmix64(s ^ phase);
+  return splitmix64(s ^ unit);
+}
+
+CampaignRunner::CampaignRunner(std::size_t threads, std::size_t scan_threads)
+    : threads_(threads == 0
+                   ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                   : threads),
+      scan_threads_(scan_threads) {}
+
+CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
+  using clock = std::chrono::steady_clock;
+  spec.validate();
+
+  const auto T = static_cast<std::size_t>(spec.trials);
+  const std::size_t A = spec.attackers.size();
+  const std::size_t F = spec.fault_rates.size();
+  const std::size_t S = spec.schemes.size();
+  const std::size_t n_profiles = A * F * T;
+  const std::size_t n_units = A * F * S * T;
+
+  // The primary replica is built serially first: it trains (or loads) the
+  // checkpoint before worker replicas race to read it, serves as the
+  // inline worker, and supplies the clean accuracy.
+  Replica primary = make_replica(spec, /*eval_clean=*/true);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads_ > 1) pool = std::make_unique<ThreadPool>(threads_);
+
+  RADAR_LOG(kInfo) << "campaign " << spec.name << ": " << n_units
+                   << " trials (" << n_profiles << " profiles) on "
+                   << threads_ << " thread(s)";
+
+  // ---- phase 1: attack profiles, one per (attacker, fault, trial) ----
+  const auto t0 = clock::now();
+  std::vector<attack::AttackResult> profiles(n_profiles);
+  std::vector<bool> group_cached(A * F, false);
+  if (!spec.cache_tag.empty()) {
+    for (std::size_t ai = 0; ai < A; ++ai)
+      for (std::size_t fi = 0; fi < F; ++fi) {
+        const std::string path = profile_cache_path(spec, ai, fi);
+        if (!file_exists(path)) continue;
+        std::vector<attack::AttackResult> loaded;
+        try {
+          loaded = attack::load_profiles(path);
+        } catch (const Error&) {
+          continue;  // corrupt/truncated cache (killed run): recompute
+        }
+        if (loaded.size() != T) continue;  // stale: recompute
+        for (std::size_t t = 0; t < T; ++t)
+          profiles[(ai * F + fi) * T + t] = std::move(loaded[t]);
+        group_cached[ai * F + fi] = true;
+      }
+  }
+  std::vector<std::size_t> pending;
+  pending.reserve(n_profiles);
+  for (std::size_t p = 0; p < n_profiles; ++p)
+    if (!group_cached[p / T]) pending.push_back(p);
+
+  // Content-derived stream ids: the RNG of trial t of a profile group
+  // depends on what the group *is*, not where it sits in the matrix, so
+  // cached groups stay valid when the spec is edited around them.
+  std::vector<std::uint64_t> group_hash(A * F);
+  for (std::size_t ai = 0; ai < A; ++ai)
+    for (std::size_t fi = 0; fi < F; ++fi)
+      group_hash[ai * F + fi] =
+          signature_hash(profile_signature(spec, ai, fi));
+
+  auto run_profile = [&](Replica& rep, std::size_t p) {
+    const std::size_t t = p % T;
+    const std::size_t fi = (p / T) % F;
+    const std::size_t ai = p / (T * F);
+    const std::uint64_t unit =
+        group_hash[ai * F + fi] +
+        0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(t + 1);
+    const AttackerSpec& atk = spec.attackers[ai];
+    quant::QuantizedModel& qm = *rep.bundle.qmodel;
+    qm.restore(rep.clean);
+    Rng rng(derive_seed(spec.seed, 1, unit));
+    attack::AttackResult res;
+    if (atk.kind == "random") {
+      res = attack::random_bit_flips(qm, atk.flips, rng);
+    } else if (atk.kind == "random_msb") {
+      res = attack::random_msb_flips(qm, atk.flips, rng);
+    } else if (atk.kind == "pbfa") {
+      attack::PbfaConfig pc;
+      if (!atk.allowed_bits.empty()) pc.allowed_bits = atk.allowed_bits;
+      attack::Pbfa pbfa(pc);
+      const data::Batch batch = rep.bundle.dataset->attack_batch(
+          atk.attack_batch, derive_seed(spec.seed, 2, unit));
+      res = pbfa.run(qm, batch, atk.flips);
+    } else {  // "knowledgeable"
+      attack::KnowledgeableConfig kc;
+      kc.assumed_group_size = atk.assumed_group_size;
+      if (!atk.allowed_bits.empty()) kc.pbfa.allowed_bits = atk.allowed_bits;
+      attack::KnowledgeableAttacker attacker(kc);
+      const data::Batch batch = rep.bundle.dataset->attack_batch(
+          atk.attack_batch, derive_seed(spec.seed, 2, unit));
+      res = attacker.run(qm, batch, atk.flips, rng);
+    }
+    // Ambient faults: independent MSB flips at the cell's fault rate.
+    const double rate = spec.fault_rates[fi];
+    const auto n_faults = static_cast<int>(
+        std::llround(rate * static_cast<double>(qm.total_weights())));
+    if (n_faults > 0) {
+      Rng frng(derive_seed(spec.seed, 3, unit));
+      const auto faults = attack::random_msb_flips(qm, n_faults, frng);
+      res.flips.insert(res.flips.end(), faults.flips.begin(),
+                       faults.flips.end());
+    }
+    if (spec.eval_subset > 0)
+      res.accuracy_after =
+          exp::accuracy_on_subset(rep.bundle, spec.eval_subset);
+    qm.restore(rep.clean);
+    profiles[p] = std::move(res);
+  };
+  struct NoContext {};
+  for_each_unit<NoContext>(
+      pending.size(), pool.get(), primary, spec,
+      [&](Replica& rep, NoContext&, std::size_t k) {
+        run_profile(rep, pending[k]);
+      });
+
+  if (!spec.cache_tag.empty()) {
+    for (std::size_t ai = 0; ai < A; ++ai)
+      for (std::size_t fi = 0; fi < F; ++fi) {
+        if (group_cached[ai * F + fi]) continue;
+        std::vector<attack::AttackResult> group(
+            profiles.begin() +
+                static_cast<std::ptrdiff_t>((ai * F + fi) * T),
+            profiles.begin() +
+                static_cast<std::ptrdiff_t>((ai * F + fi + 1) * T));
+        attack::save_profiles(profile_cache_path(spec, ai, fi), group);
+      }
+  }
+  const auto t1 = clock::now();
+
+  // ---- phase 2: replay + scan + recover, one per (cell, trial) ----
+  std::vector<TrialOutcome> outcomes(n_units);
+  auto run_trial = [&](Replica& rep, EvalContext& ctx, std::size_t u) {
+    const std::size_t t = u % T;
+    const std::size_t cell = u / T;
+    const std::size_t si = cell % S;
+    const std::size_t fi = (cell / S) % F;
+    const std::size_t ai = cell / (S * F);
+    quant::QuantizedModel& qm = *rep.bundle.qmodel;
+    if (ctx.cell != cell || ctx.scheme == nullptr) {
+      qm.restore(rep.clean);  // golden codes must come from clean weights
+      const SchemeSpec& ss = spec.schemes[si];
+      ctx.session.reset();
+      ctx.scheme =
+          core::SchemeRegistry::instance().create(ss.id, ss.params);
+      ctx.scheme->attach(qm);
+      ctx.session =
+          std::make_unique<core::ScanSession>(*ctx.scheme, scan_threads_);
+      ctx.cell = cell;
+    }
+    const attack::AttackResult& profile = profiles[(ai * F + fi) * T + t];
+    for (const attack::BitFlip& f : profile.flips)
+      qm.flip_bit(f.layer, f.index, f.bit);
+    const core::DetectionReport report = ctx.session->scan(qm);
+    TrialOutcome& o = outcomes[u];
+    o.flips = static_cast<std::int64_t>(profile.flips.size());
+    o.detected =
+        core::count_detected_flips(*ctx.scheme, report, profile.flip_sites());
+    o.flagged = report.num_flagged_groups();
+    o.any_detected = report.attack_detected();
+    ctx.scheme->recover(qm, report, spec.policy);
+    if (spec.eval_subset > 0)
+      o.acc_recovered = exp::accuracy_on_subset(rep.bundle, spec.eval_subset);
+    qm.restore(rep.clean);
+  };
+  for_each_unit<EvalContext>(n_units, pool.get(), primary, spec, run_trial);
+  const auto t2 = clock::now();
+
+  // ---- aggregate in fixed cell-major order ----
+  CampaignReport report;
+  report.name = spec.name;
+  report.model = spec.model;
+  report.seed = spec.seed;
+  report.trials = spec.trials;
+  report.clean_accuracy = primary.bundle.clean_accuracy;
+  report.num_fault_rates = F;
+  report.num_schemes = S;
+  report.threads = threads_;
+  report.profile_seconds = std::chrono::duration<double>(t1 - t0).count();
+  report.eval_seconds = std::chrono::duration<double>(t2 - t1).count();
+  report.cells.reserve(A * F * S);
+  for (std::size_t ai = 0; ai < A; ++ai) {
+    for (std::size_t fi = 0; fi < F; ++fi) {
+      for (std::size_t si = 0; si < S; ++si) {
+        CellStats c;
+        c.attacker = spec.attackers[ai].label();
+        c.scheme = spec.schemes[si].label();
+        c.fault_rate = spec.fault_rates[fi];
+        c.trials = spec.trials;
+        std::int64_t flips = 0, detected = 0, flagged = 0;
+        int any = 0, missed = 0;
+        double acc_att = 0.0, acc_rec = 0.0;
+        const std::size_t cell = (ai * F + fi) * S + si;
+        for (std::size_t t = 0; t < T; ++t) {
+          const TrialOutcome& o = outcomes[cell * T + t];
+          flips += o.flips;
+          detected += o.detected;
+          flagged += o.flagged;
+          any += o.any_detected ? 1 : 0;
+          missed += (o.flips > 0 && !o.any_detected) ? 1 : 0;
+          acc_att += profiles[(ai * F + fi) * T + t].accuracy_after;
+          acc_rec += o.acc_recovered;
+        }
+        const auto n = static_cast<double>(T);
+        c.mean_flips = static_cast<double>(flips) / n;
+        c.mean_detected = static_cast<double>(detected) / n;
+        c.detection_rate =
+            flips > 0 ? static_cast<double>(detected) /
+                            static_cast<double>(flips)
+                      : 0.0;
+        c.trial_detection_rate = static_cast<double>(any) / n;
+        c.miss_rate = static_cast<double>(missed) / n;
+        c.mean_flagged_groups = static_cast<double>(flagged) / n;
+        if (spec.eval_subset > 0) {
+          c.mean_acc_attacked = acc_att / n;
+          c.mean_acc_recovered = acc_rec / n;
+        }
+        report.cells.push_back(std::move(c));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace radar::campaign

@@ -1,0 +1,52 @@
+// CampaignRunner: parallel execution of declarative attack campaigns.
+//
+// A CampaignSpec expands into independent units in two phases, both fanned
+// out over a radar::ThreadPool:
+//
+//   1. profiles — one per (attacker, fault rate, trial): inject the
+//      attacker's flips plus ambient MSB faults into a clean model replica
+//      and record the committed BitFlips (and post-attack accuracy when
+//      eval_subset > 0);
+//   2. evaluation — one per (attacker, fault rate, scheme, trial): replay
+//      the recorded flips against a freshly attached scheme, scan through
+//      ScanSession, apply the recovery policy, and measure the outcome.
+//
+// Determinism is by construction: every unit draws from an RNG seeded by
+// derive_seed(spec.seed, phase, unit) — a pure function of the spec, never
+// of scheduling — each worker chunk runs on its own identical model
+// replica, and results land in per-unit slots that are aggregated in a
+// fixed order. A CampaignReport is therefore bit-identical for 1 and N
+// worker threads (the acceptance property of the differential tests).
+#pragma once
+
+#include <cstdint>
+
+#include "campaign/campaign_report.h"
+#include "campaign/campaign_spec.h"
+
+namespace radar::campaign {
+
+/// Order-free seed derivation (splitmix64-style chain): one independent
+/// stream per (phase, unit) pair, regardless of execution order.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t phase,
+                          std::uint64_t unit);
+
+class CampaignRunner {
+ public:
+  /// `threads`: trial-level workers (0 = hardware concurrency, 1 =
+  /// inline). `scan_threads`: layer-parallel ScanSession width inside each
+  /// trial (per-trial scans stay bit-identical to serial scans).
+  explicit CampaignRunner(std::size_t threads = 1,
+                          std::size_t scan_threads = 1);
+
+  std::size_t threads() const { return threads_; }
+
+  /// Validate and run `spec`; throws InvalidArgument on a bad spec.
+  CampaignReport run(const CampaignSpec& spec) const;
+
+ private:
+  std::size_t threads_;
+  std::size_t scan_threads_;
+};
+
+}  // namespace radar::campaign

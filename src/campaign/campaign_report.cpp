@@ -1,0 +1,113 @@
+#include "campaign/campaign_report.h"
+
+#include <sstream>
+
+#include "campaign/json.h"
+#include "common/error.h"
+
+namespace radar::campaign {
+
+namespace {
+
+/// Fixed-precision formatting so equal doubles always serialize equally.
+std::string fmt(double v, const char* spec = "%.6f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) { return Json::escape(s); }
+
+}  // namespace
+
+const CellStats& CampaignReport::cell(std::size_t attacker, std::size_t fault,
+                                      std::size_t scheme) const {
+  const std::size_t idx =
+      (attacker * num_fault_rates + fault) * num_schemes + scheme;
+  RADAR_REQUIRE(idx < cells.size() && scheme < num_schemes &&
+                    fault < num_fault_rates,
+                "campaign cell index out of range");
+  return cells[idx];
+}
+
+std::string CampaignReport::to_json(bool include_timing) const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"campaign\": \"" << json_escape(name) << "\",\n";
+  os << "  \"model\": \"" << json_escape(model) << "\",\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"trials\": " << trials << ",\n";
+  if (clean_accuracy >= 0.0)
+    os << "  \"clean_accuracy\": " << fmt(clean_accuracy) << ",\n";
+  os << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellStats& c = cells[i];
+    os << "    {\"attacker\": \"" << json_escape(c.attacker)
+       << "\", \"scheme\": \"" << json_escape(c.scheme)
+       << "\", \"fault_rate\": " << fmt(c.fault_rate, "%.9g")
+       << ", \"trials\": " << c.trials
+       << ", \"mean_flips\": " << fmt(c.mean_flips)
+       << ", \"mean_detected\": " << fmt(c.mean_detected)
+       << ", \"detection_rate\": " << fmt(c.detection_rate)
+       << ", \"trial_detection_rate\": " << fmt(c.trial_detection_rate)
+       << ", \"miss_rate\": " << fmt(c.miss_rate)
+       << ", \"mean_flagged_groups\": " << fmt(c.mean_flagged_groups);
+    if (c.mean_acc_attacked >= 0.0)
+      os << ", \"mean_acc_attacked\": " << fmt(c.mean_acc_attacked)
+         << ", \"mean_acc_recovered\": " << fmt(c.mean_acc_recovered);
+    os << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]";
+  if (include_timing) {
+    os << ",\n  \"timing\": {\"threads\": " << threads
+       << ", \"profile_seconds\": " << fmt(profile_seconds, "%.3f")
+       << ", \"eval_seconds\": " << fmt(eval_seconds, "%.3f") << "}";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string CampaignReport::to_csv() const {
+  std::ostringstream os;
+  os << "attacker,scheme,fault_rate,trials,mean_flips,mean_detected,"
+        "detection_rate,trial_detection_rate,miss_rate,mean_flagged_groups,"
+        "mean_acc_attacked,mean_acc_recovered\n";
+  for (const CellStats& c : cells) {
+    os << c.attacker << "," << c.scheme << "," << fmt(c.fault_rate, "%.9g")
+       << "," << c.trials << "," << fmt(c.mean_flips) << ","
+       << fmt(c.mean_detected) << "," << fmt(c.detection_rate) << ","
+       << fmt(c.trial_detection_rate) << "," << fmt(c.miss_rate) << ","
+       << fmt(c.mean_flagged_groups) << ","
+       << (c.mean_acc_attacked >= 0.0 ? fmt(c.mean_acc_attacked) : "") << ","
+       << (c.mean_acc_recovered >= 0.0 ? fmt(c.mean_acc_recovered) : "")
+       << "\n";
+  }
+  return os.str();
+}
+
+void CampaignReport::print(std::FILE* out) const {
+  std::fprintf(out, "campaign %s: model=%s seed=%llu trials=%d", name.c_str(),
+               model.c_str(), static_cast<unsigned long long>(seed), trials);
+  if (clean_accuracy >= 0.0)
+    std::fprintf(out, " clean=%.2f%%", 100.0 * clean_accuracy);
+  std::fprintf(out, "\n");
+  const bool eval = !cells.empty() && cells.front().mean_acc_attacked >= 0.0;
+  std::fprintf(out, "  %-26s %-22s %9s %8s %8s %6s", "attacker", "scheme",
+               "fault", "flips", "detect", "miss");
+  if (eval) std::fprintf(out, " %9s %9s", "acc atk", "acc rec");
+  std::fprintf(out, "\n");
+  for (const CellStats& c : cells) {
+    std::fprintf(out, "  %-26s %-22s %9.2g %8.1f %7.1f%% %5.0f%%",
+                 c.attacker.c_str(), c.scheme.c_str(), c.fault_rate,
+                 c.mean_flips, 100.0 * c.detection_rate, 100.0 * c.miss_rate);
+    if (eval)
+      std::fprintf(out, " %8.2f%% %8.2f%%", 100.0 * c.mean_acc_attacked,
+                   100.0 * c.mean_acc_recovered);
+    std::fprintf(out, "\n");
+  }
+  std::fprintf(out,
+               "  phases: profiles %.2fs, evaluation %.2fs on %zu thread(s)\n",
+               profile_seconds, eval_seconds, threads);
+}
+
+}  // namespace radar::campaign

@@ -1,0 +1,59 @@
+// CampaignReport: aggregated results of one campaign run.
+//
+// One CellStats per (attacker, fault rate, scheme) cell of the expanded
+// matrix, in deterministic cell-major order. Serialization is carefully
+// reproducible: identical trial results yield byte-identical JSON and CSV
+// no matter how many worker threads produced them — wall-clock timing is
+// kept out of the default serialization (opt in with include_timing) so
+// reports can be diffed across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace radar::campaign {
+
+/// Aggregates of one campaign cell over `trials` Monte-Carlo trials.
+/// A cell's matrix position is its index in CampaignReport::cells
+/// (cell-major order, addressed via CampaignReport::cell()).
+struct CellStats {
+  std::string attacker;  ///< AttackerSpec::label()
+  std::string scheme;    ///< SchemeSpec::label()
+  double fault_rate = 0.0;
+  int trials = 0;
+  double mean_flips = 0.0;     ///< injected flips per trial (incl. faults)
+  double mean_detected = 0.0;  ///< flips landing in flagged groups
+  double detection_rate = 0.0;        ///< mean_detected / mean_flips
+  double trial_detection_rate = 0.0;  ///< trials with any detection
+  double miss_rate = 0.0;  ///< trials with flips but no detection
+  double mean_flagged_groups = 0.0;
+  double mean_acc_attacked = -1.0;   ///< -1: accuracy not evaluated
+  double mean_acc_recovered = -1.0;  ///< -1: accuracy not evaluated
+};
+
+struct CampaignReport {
+  std::string name, model;
+  std::uint64_t seed = 0;
+  int trials = 0;
+  double clean_accuracy = -1.0;  ///< -1 when eval_subset == 0
+  /// Cell-major: attacker-major, then fault rate, then scheme.
+  std::vector<CellStats> cells;
+  std::size_t num_fault_rates = 1, num_schemes = 1;
+
+  // Wall-clock diagnostics (console only by default).
+  double profile_seconds = 0.0;  ///< attack/profile phase
+  double eval_seconds = 0.0;     ///< scan/recover/evaluate phase
+  std::size_t threads = 1;
+
+  const CellStats& cell(std::size_t attacker, std::size_t fault,
+                        std::size_t scheme) const;
+
+  std::string to_json(bool include_timing = false) const;
+  std::string to_csv() const;
+  /// Human-readable summary table.
+  void print(std::FILE* out = stdout) const;
+};
+
+}  // namespace radar::campaign

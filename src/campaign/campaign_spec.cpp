@@ -1,0 +1,246 @@
+#include "campaign/campaign_spec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/json.h"
+#include "core/scheme_registry.h"
+
+namespace radar::campaign {
+
+namespace {
+
+using core::kMaxGroupSize;
+using core::kMaxSkew;
+
+const char* expansion_name(core::MaskStream::Expansion e) {
+  return e == core::MaskStream::Expansion::kRepeat ? "repeat" : "prf";
+}
+
+core::MaskStream::Expansion expansion_from(const std::string& s) {
+  if (s == "repeat") return core::MaskStream::Expansion::kRepeat;
+  if (s == "prf") return core::MaskStream::Expansion::kPrf;
+  throw InvalidArgument("unknown mask expansion: " + s);
+}
+
+/// Strict object decode: every key must be consumed by `known`.
+void reject_unknown_keys(const Json& obj,
+                         std::initializer_list<const char*> known,
+                         const char* what) {
+  for (const auto& [key, value] : obj.fields()) {
+    (void)value;
+    bool ok = false;
+    for (const char* k : known)
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    if (!ok)
+      throw InvalidArgument(std::string("unknown ") + what +
+                            " key: " + key);
+  }
+}
+
+/// as_int() that must also fit an int — rejects values that would wrap
+/// through static_cast instead of failing validate()'s range checks.
+int checked_int(const Json& v, const char* what) {
+  const std::int64_t i = v.as_int();
+  if (i < INT32_MIN || i > INT32_MAX)
+    throw InvalidArgument(std::string(what) + " out of range");
+  return static_cast<int>(i);
+}
+
+AttackerSpec attacker_from_json(const Json& j) {
+  reject_unknown_keys(
+      j, {"kind", "flips", "allowed_bits", "assumed_group_size",
+          "attack_batch"},
+      "attacker spec");
+  AttackerSpec a;
+  if (const Json* v = j.find("kind")) a.kind = v->as_string();
+  if (const Json* v = j.find("flips")) a.flips = checked_int(*v, "flips");
+  if (const Json* v = j.find("allowed_bits"))
+    for (const Json& b : v->items())
+      a.allowed_bits.push_back(checked_int(b, "allowed_bits entry"));
+  if (const Json* v = j.find("assumed_group_size"))
+    a.assumed_group_size = v->as_int();
+  if (const Json* v = j.find("attack_batch")) a.attack_batch = v->as_int();
+  return a;
+}
+
+SchemeSpec scheme_from_json(const Json& j) {
+  reject_unknown_keys(
+      j, {"id", "group_size", "interleave", "skew", "expansion",
+          "master_key"},
+      "scheme spec");
+  SchemeSpec s;
+  if (const Json* v = j.find("id")) s.id = v->as_string();
+  if (const Json* v = j.find("group_size")) s.params.group_size = v->as_int();
+  if (const Json* v = j.find("interleave")) s.params.interleave = v->as_bool();
+  if (const Json* v = j.find("skew")) s.params.skew = v->as_int();
+  if (const Json* v = j.find("expansion"))
+    s.params.expansion = expansion_from(v->as_string());
+  if (const Json* v = j.find("master_key")) s.params.master_key = v->as_uint();
+  return s;
+}
+
+}  // namespace
+
+std::string AttackerSpec::label() const {
+  std::string out = kind + "/nbf" + std::to_string(flips);
+  if (kind == "knowledgeable")
+    out += "/aG" + std::to_string(assumed_group_size);
+  if (kind == "pbfa" && !allowed_bits.empty()) {
+    out += "/bits";
+    for (const int b : allowed_bits) out += std::to_string(b);
+  }
+  return out;
+}
+
+std::string SchemeSpec::label() const {
+  return id + "/G" + std::to_string(params.group_size) +
+         (params.interleave ? "/ilv" : "/contig");
+}
+
+void CampaignSpec::validate() const {
+  if (trials < 1 || trials > 100000)
+    throw InvalidArgument("campaign trials must be in [1, 100000]");
+  if (eval_subset < 0 || eval_subset > (std::int64_t{1} << 20))
+    throw InvalidArgument("campaign eval_subset out of range");
+  if (attackers.empty())
+    throw InvalidArgument("campaign needs at least one attacker");
+  if (schemes.empty())
+    throw InvalidArgument("campaign needs at least one scheme");
+  if (fault_rates.empty())
+    throw InvalidArgument("campaign needs at least one fault rate");
+  for (const double r : fault_rates)
+    if (!std::isfinite(r) || r < 0.0 || r > 1.0)
+      throw InvalidArgument("fault rates must be finite and in [0, 1]");
+  for (const AttackerSpec& a : attackers) {
+    if (a.kind != "random" && a.kind != "random_msb" && a.kind != "pbfa" &&
+        a.kind != "knowledgeable")
+      throw InvalidArgument("unknown attacker kind: " + a.kind);
+    if (a.flips < 0 || a.flips > 100000)
+      throw InvalidArgument("attacker flips out of range");
+    if (a.assumed_group_size < 1 || a.assumed_group_size > kMaxGroupSize)
+      throw InvalidArgument("assumed_group_size out of range");
+    if (a.attack_batch < 1 || a.attack_batch > 1024)
+      throw InvalidArgument("attack_batch out of range");
+    for (const int b : a.allowed_bits)
+      if (b < 0 || b > 7)
+        throw InvalidArgument("allowed_bits entries must be in [0, 7]");
+  }
+  for (const SchemeSpec& s : schemes) {
+    if (!core::SchemeRegistry::instance().contains(s.id))
+      throw InvalidArgument("unregistered scheme id: " + s.id);
+    if (s.params.group_size < 1 || s.params.group_size > kMaxGroupSize)
+      throw InvalidArgument("scheme group_size out of range");
+    if (s.params.skew < 0 || s.params.skew > kMaxSkew)
+      throw InvalidArgument("scheme skew out of range");
+  }
+}
+
+std::string CampaignSpec::to_json() const {
+  std::ostringstream os;
+  const auto& json_escape = Json::escape;
+  os << "{\n";
+  os << "  \"name\": \"" << json_escape(name) << "\",\n";
+  os << "  \"model\": \"" << json_escape(model) << "\",\n";
+  os << "  \"train\": " << (train ? "true" : "false") << ",\n";
+  os << "  \"trials\": " << trials << ",\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"eval_subset\": " << eval_subset << ",\n";
+  os << "  \"recovery\": \""
+     << (policy == core::RecoveryPolicy::kReloadClean ? "reload" : "zero")
+     << "\",\n";
+  os << "  \"fault_rates\": [";
+  for (std::size_t i = 0; i < fault_rates.size(); ++i) {
+    char buf[40];
+    // Round-trip precision: re-running a saved spec must reproduce the
+    // in-memory run bit for bit.
+    std::snprintf(buf, sizeof(buf), "%.17g", fault_rates[i]);
+    os << (i ? ", " : "") << buf;
+  }
+  os << "],\n";
+  if (!cache_tag.empty())
+    os << "  \"cache_tag\": \"" << json_escape(cache_tag) << "\",\n";
+  os << "  \"attackers\": [\n";
+  for (std::size_t i = 0; i < attackers.size(); ++i) {
+    const AttackerSpec& a = attackers[i];
+    os << "    {\"kind\": \"" << json_escape(a.kind)
+       << "\", \"flips\": " << a.flips;
+    if (!a.allowed_bits.empty()) {
+      os << ", \"allowed_bits\": [";
+      for (std::size_t b = 0; b < a.allowed_bits.size(); ++b)
+        os << (b ? ", " : "") << a.allowed_bits[b];
+      os << "]";
+    }
+    if (a.kind == "knowledgeable")
+      os << ", \"assumed_group_size\": " << a.assumed_group_size;
+    if (a.kind == "pbfa" || a.kind == "knowledgeable")
+      os << ", \"attack_batch\": " << a.attack_batch;
+    os << "}" << (i + 1 < attackers.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"schemes\": [\n";
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    const SchemeSpec& s = schemes[i];
+    os << "    {\"id\": \"" << json_escape(s.id)
+       << "\", \"group_size\": " << s.params.group_size
+       << ", \"interleave\": " << (s.params.interleave ? "true" : "false")
+       << ", \"skew\": " << s.params.skew << ", \"expansion\": \""
+       << expansion_name(s.params.expansion) << "\", \"master_key\": "
+       << s.params.master_key << "}"
+       << (i + 1 < schemes.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+CampaignSpec CampaignSpec::from_json_text(const std::string& text) {
+  const Json root = Json::parse(text);
+  if (!root.is_object())
+    throw InvalidArgument("campaign spec must be a JSON object");
+  reject_unknown_keys(root,
+                      {"name", "model", "train", "trials", "seed",
+                       "eval_subset", "recovery", "fault_rates", "cache_tag",
+                       "attackers", "schemes"},
+                      "campaign spec");
+  CampaignSpec spec;
+  if (const Json* v = root.find("name")) spec.name = v->as_string();
+  if (const Json* v = root.find("model")) spec.model = v->as_string();
+  if (const Json* v = root.find("train")) spec.train = v->as_bool();
+  if (const Json* v = root.find("trials"))
+    spec.trials = checked_int(*v, "trials");
+  if (const Json* v = root.find("seed")) spec.seed = v->as_uint();
+  if (const Json* v = root.find("eval_subset")) spec.eval_subset = v->as_int();
+  if (const Json* v = root.find("recovery")) {
+    const std::string& p = v->as_string();
+    if (p == "zero") spec.policy = core::RecoveryPolicy::kZeroOut;
+    else if (p == "reload") spec.policy = core::RecoveryPolicy::kReloadClean;
+    else throw InvalidArgument("unknown recovery policy: " + p);
+  }
+  if (const Json* v = root.find("fault_rates")) {
+    spec.fault_rates.clear();
+    for (const Json& r : v->items()) spec.fault_rates.push_back(r.as_number());
+  }
+  if (const Json* v = root.find("cache_tag")) spec.cache_tag = v->as_string();
+  for (const Json& a : root.at("attackers").items())
+    spec.attackers.push_back(attacker_from_json(a));
+  for (const Json& s : root.at("schemes").items())
+    spec.schemes.push_back(scheme_from_json(s));
+  spec.validate();
+  return spec;
+}
+
+CampaignSpec CampaignSpec::from_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializationError("cannot open campaign spec: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json_text(buf.str());
+}
+
+}  // namespace radar::campaign

@@ -1,0 +1,346 @@
+#include "campaign/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace radar::campaign {
+
+namespace {
+constexpr int kMaxDepth = 64;
+
+[[noreturn]] void fail(const std::string& what, std::size_t pos) {
+  throw SerializationError("JSON parse error at offset " +
+                           std::to_string(pos) + ": " + what);
+}
+}  // namespace
+
+struct Json::Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input", pos);
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'", pos);
+    ++pos;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text.compare(pos, n, lit) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep", pos);
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        Json v;
+        v.type_ = Type::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't':
+        if (consume_literal("true")) {
+          Json v;
+          v.type_ = Type::kBool;
+          v.bool_ = true;
+          return v;
+        }
+        fail("invalid literal", pos);
+      case 'f':
+        if (consume_literal("false")) {
+          Json v;
+          v.type_ = Type::kBool;
+          v.bool_ = false;
+          return v;
+        }
+        fail("invalid literal", pos);
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("invalid literal", pos);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json v;
+    v.type_ = Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      if (v.fields_.count(key) != 0) fail("duplicate key: " + key, pos);
+      v.fields_[key] = parse_value(depth + 1);
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos;
+        continue;
+      }
+      if (c == '}') {
+        ++pos;
+        return v;
+      }
+      fail("expected ',' or '}'", pos);
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json v;
+    v.type_ = Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos;
+      return v;
+    }
+    for (;;) {
+      v.items_.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos;
+        continue;
+      }
+      if (c == ']') {
+        ++pos;
+        return v;
+      }
+      fail("expected ',' or ']'", pos);
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos >= text.size()) fail("unterminated string", pos);
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("control character in string", pos - 1);
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape", pos);
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape", pos);
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape", pos - 1);
+          }
+          // UTF-8 encode the BMP code point (surrogates pass through as
+          // replacement-free raw encodings; spec files are ASCII anyway).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape", pos - 1);
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    auto digits = [&] {
+      const std::size_t before = pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+      return pos > before;
+    };
+    if (!digits()) fail("invalid number", start);
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (!digits()) fail("invalid number", start);
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (!digits()) fail("invalid number", start);
+    }
+    const std::string token = text.substr(start, pos - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(d))
+      fail("number out of range", start);
+    Json v;
+    v.type_ = Type::kNumber;
+    v.number_ = d;
+    v.raw_ = token;
+    return v;
+  }
+};
+
+Json Json::parse(const std::string& text) {
+  Parser p{text};
+  Json v = p.parse_value(0);
+  p.skip_ws();
+  if (p.pos != text.size()) fail("trailing characters", p.pos);
+  return v;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw InvalidArgument("JSON value is not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber)
+    throw InvalidArgument("JSON value is not a number");
+  return number_;
+}
+
+namespace {
+/// True when `raw` is a plain (optionally signed) digit run — an exact
+/// integer token with no fraction or exponent.
+bool plain_int_token(const std::string& raw) {
+  if (raw.empty()) return false;
+  std::size_t i = raw[0] == '-' ? 1 : 0;
+  if (i == raw.size()) return false;
+  for (; i < raw.size(); ++i)
+    if (!std::isdigit(static_cast<unsigned char>(raw[i]))) return false;
+  return true;
+}
+}  // namespace
+
+std::int64_t Json::as_int() const {
+  const double d = as_number();
+  if (plain_int_token(raw_)) {
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(raw_.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+      throw InvalidArgument("JSON integer out of int64 range");
+    return v;
+  }
+  if (d != std::floor(d) || d < -9.007199254740992e15 ||
+      d > 9.007199254740992e15)
+    throw InvalidArgument("JSON number is not an exact integer");
+  return static_cast<std::int64_t>(d);
+}
+
+std::uint64_t Json::as_uint() const {
+  if (plain_int_token(raw_)) {
+    if (raw_[0] == '-') throw InvalidArgument("JSON number is negative");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw_.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+      throw InvalidArgument("JSON integer out of uint64 range");
+    return v;
+  }
+  const std::int64_t v = as_int();
+  if (v < 0) throw InvalidArgument("JSON number is negative");
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString)
+    throw InvalidArgument("JSON value is not a string");
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (type_ != Type::kArray)
+    throw InvalidArgument("JSON value is not an array");
+  return items_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  if (v == nullptr) throw InvalidArgument("missing JSON key: " + key);
+  return *v;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject)
+    throw InvalidArgument("JSON value is not an object");
+  const auto it = fields_.find(key);
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
+const std::map<std::string, Json>& Json::fields() const {
+  if (type_ != Type::kObject)
+    throw InvalidArgument("JSON value is not an object");
+  return fields_;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace radar::campaign

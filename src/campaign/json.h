@@ -1,0 +1,71 @@
+// Minimal strict JSON for campaign specs.
+//
+// A self-contained recursive-descent parser (no external dependency — the
+// container ships no JSON library) with the safety properties the fuzz
+// battery demands: depth-limited recursion, full-input consumption, and
+// checked numeric conversions. Numbers are stored as doubles, so integer
+// fields are exact up to 2^53 — far beyond any spec field. All failures
+// throw SerializationError (malformed text) or InvalidArgument (wrong type
+// / out-of-range access), never crash.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace radar::campaign {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  /// Parse a complete JSON document; trailing non-whitespace is an error.
+  static Json parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool as_bool() const;
+  double as_number() const;
+  /// Number that must be integral and fit the target range. Plain
+  /// integer tokens are decoded exactly from their digits (full
+  /// int64/uint64 range); anything with a fraction or exponent goes
+  /// through the double and is limited to ±2^53.
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;  ///< array elements
+
+  /// Object field access. `at` throws on a missing key; `find` returns
+  /// nullptr.
+  const Json& at(const std::string& key) const;
+  const Json* find(const std::string& key) const;
+  const std::map<std::string, Json>& fields() const;
+
+  /// Escape `s` for embedding in a JSON string literal (quotes,
+  /// backslashes and control characters).
+  static std::string escape(const std::string& s);
+
+ private:
+  struct Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string raw_;  ///< verbatim number token (exact u64/i64 decoding)
+  std::string string_;
+  std::vector<Json> items_;
+  std::map<std::string, Json> fields_;
+};
+
+}  // namespace radar::campaign

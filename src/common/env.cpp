@@ -35,4 +35,10 @@ std::string model_cache_dir() {
   return dir;
 }
 
+std::size_t bench_threads() {
+  const std::int64_t v = env_int("RADAR_THREADS", 0);
+  if (v < 0 || v > 4096) return 0;
+  return static_cast<std::size_t>(v);
+}
+
 }  // namespace radar

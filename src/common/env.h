@@ -3,6 +3,8 @@
 // RADAR_FAST=1      — shrink Monte-Carlo round counts for CI smoke runs.
 // RADAR_ROUNDS=N    — explicit round count override.
 // RADAR_CACHE_DIR=D — where trained-model checkpoints are cached.
+// RADAR_THREADS=N   — campaign worker threads for the sweep benches
+//                     (0 = all cores; results are thread-count invariant).
 #pragma once
 
 #include <cstdint>
@@ -25,5 +27,9 @@ std::int64_t experiment_rounds(std::int64_t full, std::int64_t fast);
 
 /// Directory for cached trained models (created on demand).
 std::string model_cache_dir();
+
+/// Campaign worker count for the sweep benches: RADAR_THREADS clamped to
+/// [0, 4096] (out-of-range or unset falls back to 0 = all cores).
+std::size_t bench_threads();
 
 }  // namespace radar

@@ -13,6 +13,16 @@
 
 namespace radar {
 
+/// splitmix64 finalizer — the well-mixed keyed hash behind the mask PRF,
+/// the DRAM cell hash, and campaign seed derivation. One definition so
+/// those streams cannot silently diverge.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic PRNG wrapper around std::mt19937_64 with the sampling
 /// helpers used throughout the library.
 class Rng {

@@ -56,6 +56,13 @@ void BinaryWriter::write_i8_vector(const std::vector<std::int8_t>& v) {
   if (!out_) throw SerializationError("write failure: " + path_);
 }
 
+void BinaryWriter::write_u8_vector(const std::vector<std::uint8_t>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size()));
+  if (!out_) throw SerializationError("write failure: " + path_);
+}
+
 void BinaryWriter::write_u64_vector(const std::vector<std::uint64_t>& v) {
   write_u64(v.size());
   out_.write(reinterpret_cast<const char*>(v.data()),
@@ -74,6 +81,10 @@ BinaryReader::BinaryReader(const std::string& path,
                            std::uint32_t expected_version)
     : in_(path, std::ios::binary), path_(path) {
   if (!in_) throw SerializationError("cannot open for read: " + path);
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw SerializationError("cannot stat: " + path);
+  file_size_ = static_cast<std::uint64_t>(size);
   const auto magic = read_u32();
   if (magic != kMagic)
     throw SerializationError("bad magic in " + path);
@@ -92,6 +103,18 @@ T BinaryReader::read_raw() {
   return v;
 }
 
+std::uint64_t BinaryReader::remaining() {
+  const auto pos = in_.tellg();
+  if (pos < 0) return 0;
+  const auto upos = static_cast<std::uint64_t>(pos);
+  return upos >= file_size_ ? 0 : file_size_ - upos;
+}
+
+void BinaryReader::check_length(std::uint64_t count, std::size_t elem_size) {
+  if (count > kMaxVectorBytes / elem_size || count * elem_size > remaining())
+    throw SerializationError("corrupt length field in " + path_);
+}
+
 std::uint8_t BinaryReader::read_u8() { return read_raw<std::uint8_t>(); }
 std::uint32_t BinaryReader::read_u32() { return read_raw<std::uint32_t>(); }
 std::uint64_t BinaryReader::read_u64() { return read_raw<std::uint64_t>(); }
@@ -100,7 +123,7 @@ float BinaryReader::read_f32() { return read_raw<float>(); }
 
 std::string BinaryReader::read_string() {
   const auto n = read_u64();
-  if (n > kMaxVectorBytes) throw SerializationError("oversized string");
+  check_length(n, 1);
   std::string s(n, '\0');
   in_.read(s.data(), static_cast<std::streamsize>(n));
   if (!in_) throw SerializationError("truncated string: " + path_);
@@ -109,8 +132,7 @@ std::string BinaryReader::read_string() {
 
 std::vector<float> BinaryReader::read_f32_vector() {
   const auto n = read_u64();
-  if (n * sizeof(float) > kMaxVectorBytes)
-    throw SerializationError("oversized vector");
+  check_length(n, sizeof(float));
   std::vector<float> v(n);
   in_.read(reinterpret_cast<char*>(v.data()),
            static_cast<std::streamsize>(n * sizeof(float)));
@@ -120,8 +142,18 @@ std::vector<float> BinaryReader::read_f32_vector() {
 
 std::vector<std::int8_t> BinaryReader::read_i8_vector() {
   const auto n = read_u64();
-  if (n > kMaxVectorBytes) throw SerializationError("oversized vector");
+  check_length(n, 1);
   std::vector<std::int8_t> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n));
+  if (!in_) throw SerializationError("truncated vector: " + path_);
+  return v;
+}
+
+std::vector<std::uint8_t> BinaryReader::read_u8_vector() {
+  const auto n = read_u64();
+  check_length(n, 1);
+  std::vector<std::uint8_t> v(n);
   in_.read(reinterpret_cast<char*>(v.data()),
            static_cast<std::streamsize>(n));
   if (!in_) throw SerializationError("truncated vector: " + path_);
@@ -130,8 +162,7 @@ std::vector<std::int8_t> BinaryReader::read_i8_vector() {
 
 std::vector<std::uint64_t> BinaryReader::read_u64_vector() {
   const auto n = read_u64();
-  if (n * sizeof(std::uint64_t) > kMaxVectorBytes)
-    throw SerializationError("oversized vector");
+  check_length(n, sizeof(std::uint64_t));
   std::vector<std::uint64_t> v(n);
   in_.read(reinterpret_cast<char*>(v.data()),
            static_cast<std::streamsize>(n * sizeof(std::uint64_t)));

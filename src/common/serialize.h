@@ -29,6 +29,7 @@ class BinaryWriter {
   void write_string(const std::string& s);
   void write_f32_vector(const std::vector<float>& v);
   void write_i8_vector(const std::vector<std::int8_t>& v);
+  void write_u8_vector(const std::vector<std::uint8_t>& v);
   void write_u64_vector(const std::vector<std::uint64_t>& v);
 
   /// Flushes and closes; throws if the stream is in a bad state.
@@ -42,7 +43,10 @@ class BinaryWriter {
   bool closed_ = false;
 };
 
-/// Streaming binary reader (validates the header on open).
+/// Streaming binary reader (validates the header on open). Every
+/// length-prefixed read is bounded by the bytes actually left in the file,
+/// so a corrupted length field throws SerializationError instead of
+/// attempting a multi-gigabyte allocation.
 class BinaryReader {
  public:
   BinaryReader(const std::string& path, std::uint32_t expected_version);
@@ -55,16 +59,24 @@ class BinaryReader {
   std::string read_string();
   std::vector<float> read_f32_vector();
   std::vector<std::int8_t> read_i8_vector();
+  std::vector<std::uint8_t> read_u8_vector();
   std::vector<std::uint64_t> read_u64_vector();
 
   std::uint32_t version() const { return version_; }
 
+  /// Bytes between the current read position and the end of the file.
+  std::uint64_t remaining();
+
  private:
   template <typename T>
   T read_raw();
+  /// Throws unless `count` elements of `elem_size` bytes fit in the rest
+  /// of the file (overflow-safe).
+  void check_length(std::uint64_t count, std::size_t elem_size);
   std::ifstream in_;
   std::string path_;
   std::uint32_t version_ = 0;
+  std::uint64_t file_size_ = 0;
 };
 
 /// True if a regular file exists at `path`.

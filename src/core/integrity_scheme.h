@@ -22,6 +22,13 @@
 
 namespace radar::core {
 
+/// Upper bounds every SchemeParams consumer (package loader, campaign
+/// spec validation) enforces before building layouts: a corrupt or
+/// hostile group size would otherwise drive the per-group slot loops
+/// through astronomically many iterations.
+constexpr std::int64_t kMaxGroupSize = std::int64_t{1} << 24;
+constexpr std::int64_t kMaxSkew = std::int64_t{1} << 20;
+
 /// Scheme-agnostic tunables, serialized into deployment packages. Fields a
 /// scheme does not use (e.g. `expansion` for CRC) are carried but ignored.
 struct SchemeParams {

@@ -1,15 +1,12 @@
 #include "core/mask.h"
 
+#include "common/rng.h"
+
 namespace radar::core {
 
 namespace {
 /// splitmix64 finalizer — a cheap, well-mixed keyed PRF for mask bits.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
+std::uint64_t mix64(std::uint64_t x) { return splitmix64(x); }
 }  // namespace
 
 bool MaskStream::bit(std::int64_t position) const {

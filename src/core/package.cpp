@@ -41,6 +41,12 @@ void read_scheme(BinaryReader& r, std::string& id, SchemeParams& p) {
   p.expansion = r.read_u8() == 0 ? MaskStream::Expansion::kRepeat
                                  : MaskStream::Expansion::kPrf;
   p.master_key = r.read_u64();
+  // Bound the grouping parameters before any layout / scan work (see
+  // kMaxGroupSize): a corrupted group size would otherwise hang the scan
+  // or zero-divide.
+  if (p.group_size < 1 || p.group_size > kMaxGroupSize || p.skew < 0 ||
+      p.skew > kMaxSkew)
+    throw SerializationError("corrupt scheme parameters in package");
 }
 }  // namespace
 
@@ -61,8 +67,7 @@ void save_package(const std::string& path, const quant::QuantizedModel& qm,
     w.write_string(layer.name);
     w.write_f32(layer.scale);
     w.write_i8_vector(layer.q);
-    w.write_u64(golden[li].size());
-    for (const auto byte : golden[li]) w.write_u8(byte);
+    w.write_u8_vector(golden[li]);
   }
   w.close();
 }
@@ -79,8 +84,7 @@ PackageInfo read_package_info(const std::string& path) {
     r.read_f32();
     info.total_weights +=
         static_cast<std::int64_t>(r.read_i8_vector().size());
-    const auto sig_bytes = r.read_u64();
-    for (std::uint64_t i = 0; i < sig_bytes; ++i) r.read_u8();
+    (void)r.read_u8_vector();  // golden codes
   }
   return info;
 }
@@ -109,9 +113,7 @@ PackageLoadReport load_package(const std::string& path,
     qm.layer(li).scale = scale;
     qm.layer(li).q = std::move(codes);
     report.info.total_weights += qm.layer(li).size();
-    const auto sig_bytes = r.read_u64();
-    golden[li].resize(sig_bytes);
-    for (auto& byte : golden[li]) byte = r.read_u8();
+    golden[li] = r.read_u8_vector();
   }
   qm.sync_all();
 

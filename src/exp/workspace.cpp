@@ -83,6 +83,10 @@ std::vector<std::int64_t> ModelBundle::layer_sizes() const {
 }
 
 ModelBundle load_or_train(const std::string& id) {
+  return make_bundle(id, /*train=*/true, /*eval_clean=*/true);
+}
+
+ModelBundle make_bundle(const std::string& id, bool train, bool eval_clean) {
   const BundleRecipe recipe = recipe_for(id);
   ModelBundle b;
   b.id = id;
@@ -92,28 +96,42 @@ ModelBundle load_or_train(const std::string& id) {
   b.dataset = std::make_unique<data::SyntheticDataset>(
       recipe.data_spec, recipe.n_train, recipe.n_test);
 
-  const std::string ckpt = model_cache_dir() + "/" + id + ".ckpt";
-  if (file_exists(ckpt)) {
-    nn::load_checkpoint(ckpt, b.model->params(), b.model->buffers());
-    RADAR_LOG(kInfo) << id << ": loaded cached checkpoint " << ckpt;
-  } else {
-    RADAR_LOG(kInfo) << id << ": training (" << b.model->num_params()
-                     << " params)...";
-    data::train(*b.model, *b.dataset, recipe.train);
-    nn::save_checkpoint(ckpt, b.model->params(), b.model->buffers());
+  if (train) {
+    const std::string ckpt = model_cache_dir() + "/" + id + ".ckpt";
+    if (file_exists(ckpt)) {
+      nn::load_checkpoint(ckpt, b.model->params(), b.model->buffers());
+      RADAR_LOG(kInfo) << id << ": loaded cached checkpoint " << ckpt;
+    } else {
+      RADAR_LOG(kInfo) << id << ": training (" << b.model->num_params()
+                       << " params)...";
+      data::train(*b.model, *b.dataset, recipe.train);
+      nn::save_checkpoint(ckpt, b.model->params(), b.model->buffers());
+    }
   }
 
   b.qmodel = std::make_unique<quant::QuantizedModel>(*b.model);
+  b.group_scale = group_scale_for(id);
+  if (eval_clean) {
+    b.clean_accuracy = data::evaluate(
+        [&b](const nn::Tensor& x) { return b.qmodel->forward(x); },
+        *b.dataset);
+    RADAR_LOG(kInfo) << id << ": quantized clean accuracy "
+                     << b.clean_accuracy;
+  } else {
+    b.clean_accuracy = -1.0;
+  }
+  return b;
+}
+
+std::int64_t group_scale_for(const std::string& id) {
   // Paper-G -> reduced-G translation (see ModelBundle::group_scale): the
   // ResNet-18 stand-in runs at 1/16 width ~= 1/16.6 of the paper's 11.7M
   // weights; ResNet-20 is built at full size.
-  b.group_scale = (id == "resnet18") ? 16 : 1;
-  b.clean_accuracy = data::evaluate(
-      [&b](const nn::Tensor& x) { return b.qmodel->forward(x); },
-      *b.dataset);
-  RADAR_LOG(kInfo) << id << ": quantized clean accuracy "
-                   << b.clean_accuracy;
-  return b;
+  return (id == "resnet18") ? 16 : 1;
+}
+
+std::int64_t paper_group(const std::string& id, std::int64_t paper_g) {
+  return std::max<std::int64_t>(4, paper_g / group_scale_for(id));
 }
 
 double accuracy_on_subset(ModelBundle& bundle, std::int64_t subset) {

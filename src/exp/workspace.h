@@ -49,6 +49,22 @@ struct ModelBundle {
 /// (seconds-scale bundle for tests and demos).
 ModelBundle load_or_train(const std::string& id);
 
+/// General bundle factory. `train = false` keeps the freshly initialized
+/// weights and never touches the checkpoint cache, so results are
+/// reproducible regardless of cache state (campaign differential / fuzz
+/// tests). `eval_clean = false` skips the clean-accuracy evaluation
+/// (clean_accuracy stays -1), for detection-only workloads.
+ModelBundle make_bundle(const std::string& id, bool train = true,
+                        bool eval_clean = true);
+
+/// ModelBundle::group_scale for `id` without building the bundle (for
+/// declaring campaign specs in paper-G terms).
+std::int64_t group_scale_for(const std::string& id);
+
+/// Reduced-model group size for the paper's `paper_g` on model `id` —
+/// ModelBundle::scaled_group without building the bundle.
+std::int64_t paper_group(const std::string& id, std::int64_t paper_g);
+
 /// Load from cache or run `rounds` PBFA rounds of `n_bf` flips each.
 /// Each round starts from the clean snapshot, uses a round-specific attack
 /// batch, and records post-attack accuracy on a test subset.

@@ -1,0 +1,192 @@
+// Campaign engine basics: spec JSON round-trip and validation, matrix
+// expansion, report structure, and end-to-end detection semantics on the
+// raw tiny model.
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.h"
+#include "campaign/json.h"
+
+namespace radar::campaign {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.name = "unit";
+  spec.model = "tiny";
+  spec.train = false;
+  spec.trials = 2;
+  spec.seed = 7;
+  spec.eval_subset = 0;
+  spec.attackers = {{.kind = "random_msb", .flips = 8}};
+  SchemeSpec radar;
+  radar.params.group_size = 32;
+  SchemeSpec crc;
+  crc.id = "crc13";
+  crc.params.group_size = 32;
+  spec.schemes = {radar, crc};
+  return spec;
+}
+
+TEST(CampaignSpecTest, JsonRoundTrip) {
+  CampaignSpec spec = small_spec();
+  spec.seed = 0xDEADBEEFCAFEF00DULL;  // above 2^53: must round-trip exactly
+  spec.fault_rates = {0.0, 1e-4};
+  spec.attackers.push_back(
+      {.kind = "knowledgeable", .flips = 4, .assumed_group_size = 64});
+  AttackerSpec pbfa;
+  pbfa.kind = "pbfa";
+  pbfa.flips = 3;
+  pbfa.allowed_bits = {6, 7};
+  spec.attackers.push_back(pbfa);
+
+  const CampaignSpec back = CampaignSpec::from_json_text(spec.to_json());
+  EXPECT_EQ(back.to_json(), spec.to_json());
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.attackers.size(), 3u);
+  EXPECT_EQ(back.attackers[2].allowed_bits, (std::vector<int>{6, 7}));
+  EXPECT_EQ(back.attackers[1].assumed_group_size, 64);
+  EXPECT_EQ(back.schemes[1].id, "crc13");
+  EXPECT_EQ(back.fault_rates, spec.fault_rates);
+  EXPECT_FALSE(back.train);
+}
+
+TEST(CampaignSpecTest, ValidationRejectsBadSpecs) {
+  CampaignSpec spec = small_spec();
+  spec.attackers.clear();
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = small_spec();
+  spec.attackers[0].kind = "quantum";
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = small_spec();
+  spec.schemes[0].id = "no-such-scheme";
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = small_spec();
+  spec.trials = 0;
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = small_spec();
+  spec.fault_rates = {-0.5};
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = small_spec();
+  spec.schemes[0].params.group_size = 0;
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = small_spec();
+  spec.attackers[0].allowed_bits = {9};
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+}
+
+TEST(CampaignSpecTest, ParserRejectsUnknownKeys) {
+  EXPECT_THROW(CampaignSpec::from_json_text(
+                   R"({"attackers": [], "schemes": [], "typo_key": 1})"),
+               InvalidArgument);
+  EXPECT_THROW(
+      CampaignSpec::from_json_text(
+          R"({"attackers": [{"kind": "random", "power": 9000}],
+              "schemes": [{"id": "radar2"}]})"),
+      InvalidArgument);
+}
+
+TEST(CampaignRunnerTest, ReportShapeMatchesSpecMatrix) {
+  CampaignSpec spec = small_spec();
+  spec.fault_rates = {0.0, 1e-4};
+  const CampaignReport report = CampaignRunner(1).run(spec);
+  ASSERT_EQ(report.cells.size(), spec.num_cells());
+  EXPECT_EQ(report.trials, spec.trials);
+  EXPECT_EQ(report.model, "tiny");
+  EXPECT_LT(report.clean_accuracy, 0.0);  // eval_subset == 0: no accuracy
+  // Cell-major order: attacker, fault rate, scheme.
+  const CellStats& c = report.cell(0, 1, 1);
+  EXPECT_EQ(c.attacker, "random_msb/nbf8");
+  EXPECT_EQ(c.scheme, "crc13/G32/ilv");  // SchemeParams default interleave
+  EXPECT_DOUBLE_EQ(c.fault_rate, 1e-4);
+  // The fault-rate column injects extra MSB faults on top of the 8 flips.
+  EXPECT_GT(c.mean_flips, report.cell(0, 0, 1).mean_flips);
+}
+
+TEST(CampaignRunnerTest, CrcDetectsEveryMsbFlip) {
+  const CampaignReport report = CampaignRunner(1).run(small_spec());
+  const CellStats& crc = report.cell(0, 0, 1);
+  EXPECT_DOUBLE_EQ(crc.detection_rate, 1.0);
+  EXPECT_DOUBLE_EQ(crc.trial_detection_rate, 1.0);
+  EXPECT_DOUBLE_EQ(crc.miss_rate, 0.0);
+  const CellStats& radar = report.cell(0, 0, 0);
+  EXPECT_GE(radar.detection_rate, 0.75);  // paper's worst sweep point
+  EXPECT_DOUBLE_EQ(radar.miss_rate, 0.0);
+}
+
+TEST(CampaignRunnerTest, EvalSubsetProducesAccuracies) {
+  CampaignSpec spec = small_spec();
+  spec.eval_subset = 64;
+  const CampaignReport report = CampaignRunner(1).run(spec);
+  EXPECT_GE(report.clean_accuracy, 0.0);
+  for (const CellStats& c : report.cells) {
+    EXPECT_GE(c.mean_acc_attacked, 0.0);
+    EXPECT_GE(c.mean_acc_recovered, 0.0);
+  }
+}
+
+TEST(CampaignRunnerTest, ReloadCleanRecoveryRestoresAccuracy) {
+  CampaignSpec spec = small_spec();
+  spec.eval_subset = 64;
+  spec.policy = core::RecoveryPolicy::kReloadClean;
+  spec.schemes.resize(1);  // radar2 only
+  const CampaignReport report = CampaignRunner(1).run(spec);
+  // Reload recovery restores every flagged group exactly; with full
+  // detection the recovered accuracy equals the clean accuracy.
+  EXPECT_NEAR(report.cell(0, 0, 0).mean_acc_recovered,
+              report.clean_accuracy, 0.08);
+}
+
+TEST(CampaignRunnerTest, UnknownModelThrows) {
+  CampaignSpec spec = small_spec();
+  spec.model = "resnet1b";
+  EXPECT_THROW(CampaignRunner(1).run(spec), InvalidArgument);
+}
+
+TEST(CampaignReportTest, CsvHasOneRowPerCell) {
+  const CampaignReport report = CampaignRunner(1).run(small_spec());
+  const std::string csv = report.to_csv();
+  std::size_t lines = 0;
+  for (const char c : csv) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, 1 + report.cells.size());
+}
+
+TEST(CampaignReportTest, TimingOnlyWhenRequested) {
+  const CampaignReport report = CampaignRunner(1).run(small_spec());
+  EXPECT_EQ(report.to_json().find("timing"), std::string::npos);
+  EXPECT_NE(report.to_json(true).find("timing"), std::string::npos);
+}
+
+TEST(JsonTest, ParsesScalarsAndStructure) {
+  const Json v = Json::parse(
+      R"({"a": [1, 2.5, -3], "b": "x\ny", "c": true, "d": null})");
+  EXPECT_EQ(v.at("a").items().size(), 3u);
+  EXPECT_EQ(v.at("a").items()[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.at("a").items()[1].as_number(), 2.5);
+  EXPECT_EQ(v.at("b").as_string(), "x\ny");
+  EXPECT_TRUE(v.at("c").as_bool());
+  EXPECT_EQ(v.at("d").type(), Json::Type::kNull);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), InvalidArgument);
+  EXPECT_THROW(v.at("b").as_int(), InvalidArgument);
+  EXPECT_THROW(v.at("a").items()[1].as_int(), InvalidArgument);
+}
+
+TEST(JsonTest, FullUint64RangeAndStrictness) {
+  // Plain integer tokens decode exactly across the full u64 range.
+  EXPECT_EQ(Json::parse("18446744073709551615").as_uint(),
+            0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_THROW(Json::parse("18446744073709551616").as_uint(),
+               InvalidArgument);
+  EXPECT_THROW(Json::parse("9223372036854775808").as_int(), InvalidArgument);
+  // Duplicate object keys are rejected, not last-wins-swallowed.
+  EXPECT_THROW(Json::parse(R"({"trials": 2, "trials": 50000})"), Error);
+}
+
+}  // namespace
+}  // namespace radar::campaign

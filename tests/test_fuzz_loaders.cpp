@@ -1,0 +1,234 @@
+// Fuzz/robustness battery for the two untrusted-input parsers: the
+// package v2 loader and the campaign spec parser. Truncated, bit-corrupted
+// and wrong-magic inputs must surface as radar::Error (or load with the
+// tampering reported) — never crash, hang, or allocate unboundedly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_spec.h"
+#include "common/rng.h"
+#include "core/package.h"
+#include "core/scheme_registry.h"
+#include "exp/workspace.h"
+
+namespace radar {
+namespace {
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path,
+                const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+class PackageFuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new exp::ModelBundle(
+        exp::make_bundle("tiny", /*train=*/false, /*eval_clean=*/false));
+    core::SchemeParams params;
+    params.group_size = 64;
+    auto scheme = core::SchemeRegistry::instance().create("radar2", params);
+    scheme->attach(*bundle_->qmodel);
+    core::save_package(kGoodPath, *bundle_->qmodel, *scheme, "tiny");
+    golden_bytes_ = read_file(kGoodPath);
+    ASSERT_GT(golden_bytes_.size(), 64u);
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+    std::remove(kGoodPath);
+    std::remove(kFuzzPath);
+  }
+
+  /// Attempt a verified load of `bytes`; returns true when the loader
+  /// either threw radar::Error or reported the corruption. Any other
+  /// exception (bad_alloc, length_error, ...) fails the test.
+  bool load_survives(const std::vector<unsigned char>& bytes,
+                     bool expect_throw_only = false) {
+    write_file(kFuzzPath, bytes);
+    std::unique_ptr<core::IntegrityScheme> scheme;
+    try {
+      const auto report =
+          core::load_package(kFuzzPath, *bundle_->qmodel, scheme);
+      return !expect_throw_only;  // loaded: caller decides if that is ok
+    } catch (const Error&) {
+      return true;
+    }
+    // Anything else (std::bad_alloc, std::length_error, ...) escapes the
+    // try above and fails the test loudly.
+  }
+
+  static constexpr const char* kGoodPath = "fuzz_package_good.bin";
+  static constexpr const char* kFuzzPath = "fuzz_package_mut.bin";
+  static exp::ModelBundle* bundle_;
+  static std::vector<unsigned char> golden_bytes_;
+};
+
+exp::ModelBundle* PackageFuzzTest::bundle_ = nullptr;
+std::vector<unsigned char> PackageFuzzTest::golden_bytes_;
+
+TEST_F(PackageFuzzTest, IntactPackageVerifies) {
+  std::unique_ptr<core::IntegrityScheme> scheme;
+  const auto report =
+      core::load_package(kGoodPath, *bundle_->qmodel, scheme);
+  EXPECT_TRUE(report.verified());
+}
+
+TEST_F(PackageFuzzTest, EveryTruncationThrows) {
+  // Dense coverage of the header region plus strides through the body.
+  std::vector<std::size_t> cuts;
+  for (std::size_t n = 0; n < 64; ++n) cuts.push_back(n);
+  for (std::size_t n = 64; n < golden_bytes_.size(); n += 97)
+    cuts.push_back(n);
+  for (const std::size_t n : cuts) {
+    const std::vector<unsigned char> trunc(golden_bytes_.begin(),
+                                           golden_bytes_.begin() +
+                                               static_cast<std::ptrdiff_t>(n));
+    EXPECT_TRUE(load_survives(trunc, /*expect_throw_only=*/true))
+        << "truncation at " << n << " bytes did not throw";
+  }
+}
+
+TEST_F(PackageFuzzTest, WrongMagicAndVersionThrow) {
+  auto bytes = golden_bytes_;
+  bytes[0] ^= 0xFF;
+  EXPECT_TRUE(load_survives(bytes, /*expect_throw_only=*/true));
+  bytes = golden_bytes_;
+  bytes[4] ^= 0x01;  // format version field
+  EXPECT_TRUE(load_survives(bytes, /*expect_throw_only=*/true));
+}
+
+TEST_F(PackageFuzzTest, RandomBitCorruptionsNeverCrash) {
+  Rng rng(0xF422);
+  for (int iter = 0; iter < 300; ++iter) {
+    auto bytes = golden_bytes_;
+    const int flips = 1 + static_cast<int>(rng.uniform_int(0, 7));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(bytes.size()) - 1));
+      bytes[pos] ^= static_cast<unsigned char>(1u << rng.uniform_int(0, 7));
+    }
+    EXPECT_TRUE(load_survives(bytes)) << "iteration " << iter;
+  }
+}
+
+TEST_F(PackageFuzzTest, CorruptLengthFieldsAreBounded) {
+  // Saturate every plausible 8-byte window with a huge length; the loader
+  // must reject it via the remaining-bytes bound, not attempt a 2^60-byte
+  // allocation or a 2^60-slot scan.
+  for (std::size_t pos = 8; pos + 8 <= golden_bytes_.size() && pos < 4096;
+       pos += 13) {
+    auto bytes = golden_bytes_;
+    for (int i = 0; i < 8; ++i)
+      bytes[pos + static_cast<std::size_t>(i)] = 0x7F;
+    EXPECT_TRUE(load_survives(bytes)) << "length bomb at offset " << pos;
+  }
+}
+
+TEST_F(PackageFuzzTest, WeightPayloadTamperingIsLocalized) {
+  // Flip one weight byte (deep in the payload, past the header): the load
+  // must succeed and report the tampering instead of throwing.
+  auto bytes = golden_bytes_;
+  bytes[bytes.size() / 2] ^= 0x80;
+  write_file(kFuzzPath, bytes);
+  std::unique_ptr<core::IntegrityScheme> scheme;
+  try {
+    const auto report =
+        core::load_package(kFuzzPath, *bundle_->qmodel, scheme);
+    EXPECT_FALSE(report.verified());
+  } catch (const Error&) {
+    // Also acceptable: the byte landed in a structural field.
+  }
+}
+
+// ---- campaign spec parser ----
+
+const char* kGoodSpec = R"({
+  "name": "fuzz", "model": "tiny", "train": false,
+  "trials": 2, "seed": 9, "eval_subset": 0,
+  "fault_rates": [0, 1e-4],
+  "attackers": [{"kind": "random_msb", "flips": 6},
+                {"kind": "pbfa", "flips": 3, "allowed_bits": [7]}],
+  "schemes": [{"id": "radar2", "group_size": 32, "interleave": true},
+              {"id": "crc13", "group_size": 64}]
+})";
+
+TEST(SpecFuzzTest, GoodSpecParses) {
+  const auto spec = campaign::CampaignSpec::from_json_text(kGoodSpec);
+  EXPECT_EQ(spec.attackers.size(), 2u);
+  EXPECT_EQ(spec.schemes.size(), 2u);
+}
+
+TEST(SpecFuzzTest, EveryTruncationThrows) {
+  const std::string good = kGoodSpec;
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    const std::string trunc = good.substr(0, n);
+    EXPECT_THROW(campaign::CampaignSpec::from_json_text(trunc), Error)
+        << "truncation at " << n;
+  }
+}
+
+TEST(SpecFuzzTest, RandomByteCorruptionsNeverCrash) {
+  const std::string good = kGoodSpec;
+  Rng rng(0x5BEC);
+  int parsed_ok = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string mut = good;
+    const int edits = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(mut.size()) - 1));
+      mut[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    }
+    try {
+      (void)campaign::CampaignSpec::from_json_text(mut);
+      ++parsed_ok;  // corruption produced a different-but-valid spec
+    } catch (const Error&) {
+      // expected for most mutations
+    }
+  }
+  // Sanity: the harness is actually exercising both outcomes.
+  EXPECT_LT(parsed_ok, 500);
+}
+
+TEST(SpecFuzzTest, DeepNestingIsDepthLimited) {
+  EXPECT_THROW(campaign::CampaignSpec::from_json_text(
+                   std::string(100000, '[')),
+               Error);
+  std::string deep;
+  for (int i = 0; i < 5000; ++i) deep += "{\"a\":";
+  EXPECT_THROW(campaign::CampaignSpec::from_json_text(deep), Error);
+}
+
+TEST(SpecFuzzTest, HostileNumbersAreRejected) {
+  EXPECT_THROW(campaign::CampaignSpec::from_json_text(
+                   R"({"trials": 1e999, "attackers": [{"kind": "random"}],
+                       "schemes": [{"id": "radar2"}]})"),
+               Error);
+  EXPECT_THROW(campaign::CampaignSpec::from_json_text(
+                   R"({"trials": 2.5, "attackers": [{"kind": "random"}],
+                       "schemes": [{"id": "radar2"}]})"),
+               Error);
+  EXPECT_THROW(campaign::CampaignSpec::from_json_text(
+                   R"({"seed": -1, "attackers": [{"kind": "random"}],
+                       "schemes": [{"id": "radar2"}]})"),
+               Error);
+  EXPECT_THROW(campaign::CampaignSpec::from_json_text(
+                   R"({"attackers": [{"kind": "random", "flips": 1e12}],
+                       "schemes": [{"id": "radar2"}]})"),
+               Error);
+}
+
+}  // namespace
+}  // namespace radar

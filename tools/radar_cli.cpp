@@ -26,15 +26,26 @@
 //       Load, zero out every flagged group, re-sign and save: the
 //       offline analogue of the run-time recovery path.
 //
+//   radar_cli campaign <spec.json> [--threads N] [--scan-threads N]
+//                          [--out report.json] [--csv report.csv] [--timing]
+//       Run a declarative attack campaign (attackers x schemes x fault
+//       rates x trials, see src/campaign/campaign_spec.h for the spec
+//       format) fanned out over N worker threads, print the summary and
+//       optionally write the JSON/CSV report. Reports are byte-identical
+//       across thread counts at a fixed seed; --timing adds wall-clock
+//       data to the JSON (breaking that invariance on purpose).
+//
 //   radar_cli schemes
 //       List the registered scheme ids.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
 #include "attack/pbfa.h"
 #include "attack/random_attack.h"
+#include "campaign/campaign.h"
 #include "core/package.h"
 #include "core/scheme_registry.h"
 #include "exp/workspace.h"
@@ -54,6 +65,10 @@ struct Args {
   int flips = 10;
   bool use_pbfa = false;
   std::size_t threads = 1;
+  std::size_t scan_threads = 1;
+  std::string out;  ///< campaign JSON report path
+  std::string csv;  ///< campaign CSV report path
+  bool timing = false;
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -95,6 +110,19 @@ bool parse(int argc, char** argv, Args& args) {
         return false;
       }
       args.threads = static_cast<std::size_t>(threads);
+    } else if (a == "--scan-threads") {
+      const int threads = std::atoi(next("--scan-threads"));
+      if (threads < 0) {
+        std::fprintf(stderr, "--scan-threads must be >= 0\n");
+        return false;
+      }
+      args.scan_threads = static_cast<std::size_t>(threads);
+    } else if (a == "--out") {
+      args.out = next("--out");
+    } else if (a == "--csv") {
+      args.csv = next("--csv");
+    } else if (a == "--timing") {
+      args.timing = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return false;
@@ -225,6 +253,29 @@ int cmd_schemes() {
   return 0;
 }
 
+int cmd_campaign(const Args& args) {
+  const auto spec = campaign::CampaignSpec::from_json_file(args.package);
+  campaign::CampaignRunner runner(args.threads, args.scan_threads);
+  const campaign::CampaignReport report = runner.run(spec);
+  report.print();
+  auto write_file = [](const std::string& path, const std::string& body) {
+    std::ofstream out(path, std::ios::binary);
+    out << body;
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+  if (!args.out.empty() &&
+      !write_file(args.out, report.to_json(args.timing)))
+    return 1;
+  if (!args.csv.empty() && !write_file(args.csv, report.to_csv()))
+    return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,6 +284,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: radar_cli {sign|info|verify|attack|recover} "
                  "<package> [options]\n"
+                 "       radar_cli campaign <spec.json> [options]\n"
                  "       radar_cli schemes\n");
     return 2;
   }
@@ -242,6 +294,7 @@ int main(int argc, char** argv) {
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "attack") return cmd_attack(args);
     if (args.command == "recover") return cmd_recover(args);
+    if (args.command == "campaign") return cmd_campaign(args);
     if (args.command == "schemes") return cmd_schemes();
     std::fprintf(stderr, "unknown command %s\n", args.command.c_str());
     return 2;
