@@ -59,7 +59,8 @@ class JsonReport {
       : bench_name_(std::move(bench_name)) {}
 
   /// Record one measurement. `bytes_per_op` of 0 means "not byte-oriented"
-  /// and suppresses the bytes/s field for that entry.
+  /// and suppresses the throughput fields for that entry. For the int8
+  /// scan paths one byte is one weight, so ns_per_weight == ns/byte.
   void add(const std::string& name, double ns_per_op,
            double bytes_per_op = 0.0) {
     entries_.push_back({name, ns_per_op, bytes_per_op});
@@ -80,8 +81,12 @@ class JsonReport {
       std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.3f",
                    e.name.c_str(), e.ns_per_op);
       if (e.bytes_per_op > 0.0) {
-        std::fprintf(f, ", \"bytes_per_sec\": %.0f",
-                     1e9 * e.bytes_per_op / e.ns_per_op);
+        const double bytes_per_sec = 1e9 * e.bytes_per_op / e.ns_per_op;
+        std::fprintf(f,
+                     ", \"bytes_per_sec\": %.0f, \"ns_per_weight\": %.4f"
+                     ", \"gb_per_sec\": %.3f",
+                     bytes_per_sec, e.ns_per_op / e.bytes_per_op,
+                     bytes_per_sec / 1e9);
       }
       std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }

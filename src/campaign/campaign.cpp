@@ -46,12 +46,20 @@ struct TrialOutcome {
   double acc_recovered = -1.0;
 };
 
-/// Per-chunk context of the evaluation phase: the scheme (and its scan
-/// session) is re-attached only when the chunk crosses a cell boundary.
+/// Per-chunk context of the evaluation phase. In kFull mode the scheme
+/// (and its scan session) is re-attached whenever the chunk crosses a
+/// cell boundary. In kIncremental mode every scheme column is attached at
+/// most once per worker and cached (a scheme's golden codes depend only on
+/// its spec and the clean model, so cells sharing a scheme share the
+/// attachment), and the reusable DetectionReport keeps the per-trial scan
+/// loop allocation-free.
 struct EvalContext {
   std::size_t cell = static_cast<std::size_t>(-1);
   std::unique_ptr<core::IntegrityScheme> scheme;
   std::unique_ptr<core::ScanSession> session;
+  std::vector<std::unique_ptr<core::IntegrityScheme>> schemes;  ///< per si
+  std::vector<std::unique_ptr<core::ScanSession>> sessions;     ///< per si
+  core::DetectionReport report;  ///< scratch, reused across trials
 };
 
 /// Fan fn(replica, context, unit) out over `pool` in contiguous chunks
@@ -135,11 +143,13 @@ std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t phase,
   return splitmix64(s ^ unit);
 }
 
-CampaignRunner::CampaignRunner(std::size_t threads, std::size_t scan_threads)
+CampaignRunner::CampaignRunner(std::size_t threads, std::size_t scan_threads,
+                               ScanMode mode)
     : threads_(threads == 0
                    ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
                    : threads),
-      scan_threads_(scan_threads) {}
+      scan_threads_(scan_threads),
+      mode_(mode) {}
 
 CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
   using clock = std::chrono::steady_clock;
@@ -276,31 +286,78 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
     const std::size_t fi = (cell / S) % F;
     const std::size_t ai = cell / (S * F);
     quant::QuantizedModel& qm = *rep.bundle.qmodel;
-    if (ctx.cell != cell || ctx.scheme == nullptr) {
-      qm.restore(rep.clean);  // golden codes must come from clean weights
-      const SchemeSpec& ss = spec.schemes[si];
-      ctx.session.reset();
-      ctx.scheme =
-          core::SchemeRegistry::instance().create(ss.id, ss.params);
-      ctx.scheme->attach(qm);
-      ctx.session =
-          std::make_unique<core::ScanSession>(*ctx.scheme, scan_threads_);
-      ctx.cell = cell;
+    const bool incremental = mode_ == ScanMode::kIncremental;
+    core::IntegrityScheme* scheme = nullptr;
+    core::ScanSession* session = nullptr;
+    if (incremental) {
+      // Schemes depend only on their spec and the clean model, so each
+      // worker attaches each scheme column once and reuses it across
+      // cells. The model is clean here (fresh replica, or undone by the
+      // previous trial), which is exactly what attach requires.
+      if (ctx.schemes.empty()) ctx.schemes.resize(S);
+      if (!qm.dirty_tracking()) qm.set_dirty_tracking(true);
+      if (ctx.schemes[si] == nullptr) {
+        const SchemeSpec& ss = spec.schemes[si];
+        ctx.schemes[si] =
+            core::SchemeRegistry::instance().create(ss.id, ss.params);
+        ctx.schemes[si]->attach(qm);
+      }
+      scheme = ctx.schemes[si].get();
+      if (scan_threads_ == 1) {
+        // Poolless sessions are cheap: cache one per scheme so their scan
+        // scratch stays warm across cells.
+        if (ctx.sessions.empty()) ctx.sessions.resize(S);
+        if (ctx.sessions[si] == nullptr)
+          ctx.sessions[si] =
+              std::make_unique<core::ScanSession>(*scheme, scan_threads_);
+        session = ctx.sessions[si].get();
+      } else {
+        // Pooled sessions own worker threads; caching one per scheme
+        // would keep workers x schemes x scan_threads threads alive.
+        // Hold only the current cell's, like the full engine does.
+        if (ctx.cell != cell || ctx.session == nullptr) {
+          ctx.session =
+              std::make_unique<core::ScanSession>(*scheme, scan_threads_);
+          ctx.cell = cell;
+        }
+        session = ctx.session.get();
+      }
+    } else {
+      if (ctx.cell != cell || ctx.scheme == nullptr) {
+        qm.restore(rep.clean);  // golden codes must come from clean weights
+        const SchemeSpec& ss = spec.schemes[si];
+        ctx.session.reset();
+        ctx.scheme =
+            core::SchemeRegistry::instance().create(ss.id, ss.params);
+        ctx.scheme->attach(qm);
+        ctx.session =
+            std::make_unique<core::ScanSession>(*ctx.scheme, scan_threads_);
+        ctx.cell = cell;
+      }
+      scheme = ctx.scheme.get();
+      session = ctx.session.get();
     }
     const attack::AttackResult& profile = profiles[(ai * F + fi) * T + t];
     for (const attack::BitFlip& f : profile.flips)
       qm.flip_bit(f.layer, f.index, f.bit);
-    const core::DetectionReport report = ctx.session->scan(qm);
+    if (incremental)
+      session->scan_dirty_into(qm, ctx.report);
+    else
+      session->scan_into(qm, ctx.report);
+    const core::DetectionReport& report = ctx.report;
     TrialOutcome& o = outcomes[u];
     o.flips = static_cast<std::int64_t>(profile.flips.size());
     o.detected =
-        core::count_detected_flips(*ctx.scheme, report, profile.flip_sites());
+        core::count_detected_flips(*scheme, report, profile.flip_sites());
     o.flagged = report.num_flagged_groups();
     o.any_detected = report.attack_detected();
-    ctx.scheme->recover(qm, report, spec.policy);
+    scheme->recover(qm, report, spec.policy);
     if (spec.eval_subset > 0)
       o.acc_recovered = exp::accuracy_on_subset(rep.bundle, spec.eval_subset);
-    qm.restore(rep.clean);
+    if (incremental)
+      qm.undo_dirty();  // exact write-by-write inverse of this trial
+    else
+      qm.restore(rep.clean);
   };
   for_each_unit<EvalContext>(n_units, pool.get(), primary, spec, run_trial);
   const auto t2 = clock::now();

@@ -31,15 +31,30 @@ namespace radar::campaign {
 std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t phase,
                           std::uint64_t unit);
 
+/// How the evaluation phase scans and restores between trials.
+enum class ScanMode {
+  /// Full rescan of every group plus a whole-model snapshot restore per
+  /// trial (the original engine; kept as the differential baseline).
+  kFull,
+  /// Incremental: schemes attach once per worker and stay cached, each
+  /// trial's writes are tracked as dirty ranges, only the touched groups
+  /// are rescanned, and the trial is undone write-by-write instead of
+  /// restoring the whole snapshot. Reports are byte-identical to kFull
+  /// (enforced by CI and the differential tests).
+  kIncremental,
+};
+
 class CampaignRunner {
  public:
   /// `threads`: trial-level workers (0 = hardware concurrency, 1 =
   /// inline). `scan_threads`: layer-parallel ScanSession width inside each
   /// trial (per-trial scans stay bit-identical to serial scans).
   explicit CampaignRunner(std::size_t threads = 1,
-                          std::size_t scan_threads = 1);
+                          std::size_t scan_threads = 1,
+                          ScanMode mode = ScanMode::kFull);
 
   std::size_t threads() const { return threads_; }
+  ScanMode scan_mode() const { return mode_; }
 
   /// Validate and run `spec`; throws InvalidArgument on a bad spec.
   CampaignReport run(const CampaignSpec& spec) const;
@@ -47,6 +62,7 @@ class CampaignRunner {
  private:
   std::size_t threads_;
   std::size_t scan_threads_;
+  ScanMode mode_;
 };
 
 }  // namespace radar::campaign

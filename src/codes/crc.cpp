@@ -20,32 +20,27 @@ Crc::Crc(const CrcSpec& spec) : spec_(spec) {
   mask_ = spec.width == 32 ? 0xFFFFFFFFu
                            : ((1u << spec.width) - 1u);
   top_bit_ = 1u << (spec.width - 1);
+  la_shift_ = 32 - spec.width;
   RADAR_REQUIRE((spec.poly & ~mask_) == 0, "polynomial wider than CRC");
-  // Build the byte-at-a-time table.
-  table_.resize(256);
+  // Left-aligned tables: the register lives at bit 31, so the same byte
+  // step — and the same tables — work for every width, including < 8
+  // (which the old right-aligned table could not serve). tables_[0][b] is
+  // one byte step from a zero register; tables_[k] advances tables_[k-1]
+  // by one further zero-byte step, giving the slicing-by-8 kernel its
+  // "byte b, k+1 steps ago" lookups.
+  const std::uint32_t poly_la = spec.poly << la_shift_;
+  tables_.resize(8 * 256);
   for (std::uint32_t byte = 0; byte < 256; ++byte) {
-    std::uint32_t reg =
-        (spec.width >= 8) ? (byte << (spec.width - 8)) & mask_
-                          : 0;
-    if (spec.width < 8) {
-      // Narrow CRCs: shift the byte in bit by bit.
-      reg = 0;
-      for (int b = 7; b >= 0; --b) {
-        const bool in_bit = (byte >> b) & 1u;
-        const bool top = (reg & top_bit_) != 0;
-        reg = (reg << 1) & mask_;
-        if (top != in_bit) reg ^= spec.poly;
-      }
-      table_[byte] = reg;
-      continue;
+    std::uint32_t reg = byte << 24;
+    for (int b = 0; b < 8; ++b)
+      reg = (reg & 0x80000000u) ? (reg << 1) ^ poly_la : reg << 1;
+    tables_[byte] = reg;
+  }
+  for (int k = 1; k < 8; ++k) {
+    for (std::uint32_t byte = 0; byte < 256; ++byte) {
+      const std::uint32_t prev = tables_[(k - 1) * 256 + byte];
+      tables_[k * 256 + byte] = (prev << 8) ^ tables_[prev >> 24];
     }
-    for (int b = 0; b < 8; ++b) {
-      if (reg & top_bit_)
-        reg = ((reg << 1) ^ spec.poly) & mask_;
-      else
-        reg = (reg << 1) & mask_;
-    }
-    table_[byte] = reg;
   }
 }
 
@@ -63,13 +58,28 @@ std::uint32_t Crc::compute_bitwise(std::span<const std::uint8_t> data) const {
 }
 
 std::uint32_t Crc::compute(std::span<const std::uint8_t> data) const {
-  if (spec_.width < 8) return compute_bitwise(data);
-  std::uint32_t reg = 0;
-  for (const std::uint8_t byte : data) {
-    const std::uint32_t idx = ((reg >> (spec_.width - 8)) ^ byte) & 0xFFu;
-    reg = ((reg << 8) ^ table_[idx]) & mask_;
+  const std::uint32_t* t = tables_.data();
+  const std::uint8_t* d = data.data();
+  std::size_t n = data.size();
+  std::uint32_t reg = 0;  // left-aligned at bit 31
+  // Slicing-by-8: fold 4 data bytes into the register, then advance all
+  // twelve byte positions (4 register bytes + 8 data bytes) through their
+  // per-distance tables in one XOR tree — 8 loads per 8 bytes instead of
+  // 8 dependent byte steps.
+  while (n >= 8) {
+    reg ^= (static_cast<std::uint32_t>(d[0]) << 24) |
+           (static_cast<std::uint32_t>(d[1]) << 16) |
+           (static_cast<std::uint32_t>(d[2]) << 8) |
+           static_cast<std::uint32_t>(d[3]);
+    reg = t[7 * 256 + (reg >> 24)] ^ t[6 * 256 + ((reg >> 16) & 0xFFu)] ^
+          t[5 * 256 + ((reg >> 8) & 0xFFu)] ^ t[4 * 256 + (reg & 0xFFu)] ^
+          t[3 * 256 + d[4]] ^ t[2 * 256 + d[5]] ^ t[1 * 256 + d[6]] ^
+          t[0 * 256 + d[7]];
+    d += 8;
+    n -= 8;
   }
-  return reg;
+  for (; n > 0; --n, ++d) reg = (reg << 8) ^ t[(reg >> 24) ^ *d];
+  return reg >> la_shift_;
 }
 
 std::uint32_t Crc::compute_i8(std::span<const std::int8_t> data) const {

@@ -38,7 +38,9 @@ class Crc {
   /// Bit-serial reference implementation (MSB-first).
   std::uint32_t compute_bitwise(std::span<const std::uint8_t> data) const;
 
-  /// Table-driven (256-entry) implementation; equals compute_bitwise.
+  /// Fast path; equals compute_bitwise. Works on a left-aligned (bit-31)
+  /// register so one 8x256 table set serves every width 3..32 — narrow
+  /// CRCs included — and consumes 8 bytes per step via slicing-by-8.
   std::uint32_t compute(std::span<const std::uint8_t> data) const;
 
   /// Convenience for int8 weight groups.
@@ -51,7 +53,11 @@ class Crc {
   CrcSpec spec_;
   std::uint32_t mask_;
   std::uint32_t top_bit_;
-  std::vector<std::uint32_t> table_;
+  int la_shift_;  ///< 32 - width: left-alignment shift of the register
+  /// tables_[k][b]: byte b advanced through k+1 zero-byte steps,
+  /// left-aligned. tables_[0] is the classic byte-at-a-time table;
+  /// tables_[1..7] feed the slicing-by-8 kernel.
+  std::vector<std::uint32_t> tables_;
 };
 
 }  // namespace radar::codes

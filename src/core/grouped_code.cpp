@@ -96,18 +96,35 @@ void GroupedCodeScheme::gather(const quant::QuantizedModel& qm,
   }
 }
 
-std::vector<std::int64_t> GroupedCodeScheme::scan_layer(
-    const quant::QuantizedModel& qm, std::size_t layer) const {
+void GroupedCodeScheme::scan_layer_into(const quant::QuantizedModel& qm,
+                                        std::size_t layer,
+                                        std::vector<std::int64_t>& flagged,
+                                        ScanScratch& scratch) const {
   RADAR_REQUIRE(attached(), "scan before attach");
   RADAR_REQUIRE(layouts_.size() == qm.num_layers(),
                 "scheme not attached to this model");
-  std::vector<std::int64_t> flagged;
-  std::vector<std::int8_t> block;
+  flagged.clear();
   for (std::int64_t g = 0; g < layouts_[layer].num_groups(); ++g) {
-    gather(qm, layer, g, block);
-    if (code_->compute(block) != golden_[layer].get(g)) flagged.push_back(g);
+    gather(qm, layer, g, scratch.block);
+    if (code_->compute(scratch.block) != golden_[layer].get(g))
+      flagged.push_back(g);
   }
-  return flagged;
+}
+
+void GroupedCodeScheme::scan_layer_groups(const quant::QuantizedModel& qm,
+                                          std::size_t layer,
+                                          std::span<const std::int64_t> groups,
+                                          std::vector<std::int64_t>& flagged,
+                                          ScanScratch& scratch) const {
+  RADAR_REQUIRE(attached(), "scan before attach");
+  RADAR_REQUIRE(layouts_.size() == qm.num_layers(),
+                "scheme not attached to this model");
+  flagged.clear();
+  for (const std::int64_t g : groups) {
+    gather(qm, layer, g, scratch.block);
+    if (code_->compute(scratch.block) != golden_[layer].get(g))
+      flagged.push_back(g);
+  }
 }
 
 void GroupedCodeScheme::resign_layer(const quant::QuantizedModel& qm,

@@ -51,8 +51,13 @@ class GroupedCodeScheme : public SchemeBase {
   const BlockCode& code() const { return *code_; }
 
   void attach(const quant::QuantizedModel& qm, bool sign = true) override;
-  std::vector<std::int64_t> scan_layer(const quant::QuantizedModel& qm,
-                                       std::size_t layer) const override;
+  void scan_layer_into(const quant::QuantizedModel& qm, std::size_t layer,
+                       std::vector<std::int64_t>& flagged,
+                       ScanScratch& scratch) const override;
+  void scan_layer_groups(const quant::QuantizedModel& qm, std::size_t layer,
+                         std::span<const std::int64_t> groups,
+                         std::vector<std::int64_t>& flagged,
+                         ScanScratch& scratch) const override;
   void resign_layer(const quant::QuantizedModel& qm,
                     std::size_t layer) override;
   std::int64_t signature_storage_bytes() const override;

@@ -11,6 +11,21 @@ bool DetectionReport::is_flagged(std::size_t layer,
   return std::binary_search(f.begin(), f.end(), group);
 }
 
+void IntegrityScheme::scan_layer_groups(const quant::QuantizedModel& qm,
+                                        std::size_t layer,
+                                        std::span<const std::int64_t> groups,
+                                        std::vector<std::int64_t>& flagged,
+                                        ScanScratch& scratch) const {
+  scan_layer_into(qm, layer, flagged, scratch);
+  // Keep only the requested groups (both lists are sorted ascending).
+  std::size_t keep = 0, gi = 0;
+  for (const std::int64_t f : flagged) {
+    while (gi < groups.size() && groups[gi] < f) ++gi;
+    if (gi < groups.size() && groups[gi] == f) flagged[keep++] = f;
+  }
+  flagged.resize(keep);
+}
+
 SchemeBase::SchemeBase(std::string id, const SchemeParams& params)
     : id_(std::move(id)), params_(params) {
   RADAR_REQUIRE(params.group_size > 0, "group size must be positive");
@@ -30,6 +45,14 @@ void SchemeBase::attach_layouts(const quant::QuantizedModel& qm) {
   clean_snapshot_ = qm.snapshot();
 }
 
+std::vector<std::int64_t> SchemeBase::scan_layer(
+    const quant::QuantizedModel& qm, std::size_t layer) const {
+  std::vector<std::int64_t> flagged;
+  ScanScratch scratch;
+  scan_layer_into(qm, layer, flagged, scratch);
+  return flagged;
+}
+
 DetectionReport SchemeBase::scan(const quant::QuantizedModel& qm) const {
   RADAR_REQUIRE(layouts_.size() == qm.num_layers(),
                 "scheme not attached to this model");
@@ -46,8 +69,12 @@ void SchemeBase::recover(quant::QuantizedModel& qm,
   RADAR_REQUIRE(report.flagged.size() == qm.num_layers(),
                 "report does not match model");
   for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+    const GroupLayout& layout = layouts_[li];
     for (const std::int64_t g : report.flagged[li]) {
-      for (const std::int64_t idx : layouts_[li].group_members(g)) {
+      // Iterate slots directly — group_members() would allocate per group.
+      for (std::int64_t slot = 0; slot < layout.group_size(); ++slot) {
+        const std::int64_t idx = layout.member(g, slot);
+        if (idx < 0) continue;
         switch (policy) {
           case RecoveryPolicy::kZeroOut:
             qm.set_code(li, idx, 0);

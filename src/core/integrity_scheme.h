@@ -13,11 +13,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/interleave.h"
 #include "core/mask.h"
+#include "core/scan_scratch.h"
 #include "quant/qmodel.h"
 
 namespace radar::core {
@@ -91,6 +93,26 @@ class IntegrityScheme {
   virtual std::vector<std::int64_t> scan_layer(
       const quant::QuantizedModel& qm, std::size_t layer) const = 0;
 
+  /// Zero-allocation scan_layer: fills `flagged` (cleared first, capacity
+  /// kept) using `scratch` for working memory. This is the primitive the
+  /// run-time scan loop calls; SchemeBase derives scan_layer from it.
+  virtual void scan_layer_into(const quant::QuantizedModel& qm,
+                               std::size_t layer,
+                               std::vector<std::int64_t>& flagged,
+                               ScanScratch& scratch) const = 0;
+
+  /// Narrow scan: recheck only `groups` (sorted ascending, deduplicated)
+  /// of one layer, filling `flagged` with the mismatching subset. When
+  /// every group outside `groups` is known to still hold the weights the
+  /// golden codes were computed from, the result equals scan_layer bit for
+  /// bit at O(|groups| * G) cost — the incremental-scan primitive.
+  /// Default recomputes the full layer and intersects.
+  virtual void scan_layer_groups(const quant::QuantizedModel& qm,
+                                 std::size_t layer,
+                                 std::span<const std::int64_t> groups,
+                                 std::vector<std::int64_t>& flagged,
+                                 ScanScratch& scratch) const;
+
   /// Apply recovery to every flagged group.
   virtual void recover(quant::QuantizedModel& qm,
                        const DetectionReport& report,
@@ -119,6 +141,8 @@ class IntegrityScheme {
 
 /// Shared plumbing of grouped schemes: per-layer GroupLayouts derived from
 /// SchemeParams, the clean snapshot, and the layer-loop defaults.
+/// Subclasses implement scan_layer_into (the zero-allocation path);
+/// scan_layer is provided here as the allocating wrapper around it.
 class SchemeBase : public IntegrityScheme {
  public:
   const std::string& id() const override { return id_; }
@@ -130,6 +154,8 @@ class SchemeBase : public IntegrityScheme {
   }
 
   DetectionReport scan(const quant::QuantizedModel& qm) const override;
+  std::vector<std::int64_t> scan_layer(const quant::QuantizedModel& qm,
+                                       std::size_t layer) const override;
   void recover(quant::QuantizedModel& qm, const DetectionReport& report,
                RecoveryPolicy policy = RecoveryPolicy::kZeroOut)
       const override;

@@ -1,0 +1,24 @@
+// ScanScratch: caller-provided working memory for the scan hot path.
+//
+// Every zero-allocation scan entry point (LayerScanner::masked_sums_into,
+// IntegrityScheme::scan_layer_into / scan_layer_groups) borrows its
+// buffers from one of these instead of heap-allocating per call. The
+// buffers grow to the high-water mark of the layers they serve and are
+// then reused, so a steady-state scan loop performs zero allocations.
+// A scratch object is not thread-safe; use one per worker (ScanSession
+// keeps one per layer, which is equivalent because its layer tasks are
+// disjoint).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace radar::core {
+
+struct ScanScratch {
+  std::vector<std::int8_t> block;   ///< gathered group block (grouped codes)
+  std::vector<std::int32_t> acc;    ///< per-group 32-bit accumulators
+  std::vector<std::int64_t> sums;   ///< per-group masked sums
+};
+
+}  // namespace radar::core

@@ -1,42 +1,106 @@
 #include "core/scan_session.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <thread>
 
 namespace radar::core {
 
 ScanSession::ScanSession(const IntegrityScheme& scheme, std::size_t threads)
-    : scheme_(&scheme) {
-  if (threads != 1) pool_ = std::make_unique<ThreadPool>(threads);
+    : scheme_(&scheme),
+      threads_(threads == 0 ? std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency())
+                            : threads) {}
+
+ThreadPool* ScanSession::pool() const {
+  if (threads_ == 1) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
+  return pool_.get();
+}
+
+void ScanSession::ensure_scratch(std::size_t num_layers) const {
+  if (scratch_.size() < num_layers) scratch_.resize(num_layers);
+  if (dirty_groups_.size() < num_layers) dirty_groups_.resize(num_layers);
 }
 
 DetectionReport ScanSession::scan(const quant::QuantizedModel& qm) const {
+  DetectionReport report;
+  scan_into(qm, report);
+  return report;
+}
+
+void ScanSession::scan_into(const quant::QuantizedModel& qm,
+                            DetectionReport& out) const {
   RADAR_REQUIRE(scheme_->attached(), "scan before attach");
   RADAR_REQUIRE(scheme_->num_layers() == qm.num_layers(),
                 "scheme not attached to this model");
-  DetectionReport report;
-  report.flagged.resize(qm.num_layers());
-  if (!pool_) {
+  ensure_scratch(qm.num_layers());
+  out.flagged.resize(qm.num_layers());
+  ThreadPool* p = pool();
+  if (p == nullptr) {
     for (std::size_t li = 0; li < qm.num_layers(); ++li)
-      report.flagged[li] = scheme_->scan_layer(qm, li);
-    return report;
+      scheme_->scan_layer_into(qm, li, out.flagged[li], scratch_[li]);
+    return;
   }
   // One work item per layer; the first exception (if any) is rethrown on
   // the calling thread after the pool drains.
   std::exception_ptr error;
   std::atomic<bool> failed{false};
   for (std::size_t li = 0; li < qm.num_layers(); ++li) {
-    pool_->submit([this, &qm, &report, &error, &failed, li] {
+    p->submit([this, &qm, &out, &error, &failed, li] {
       try {
-        report.flagged[li] = scheme_->scan_layer(qm, li);
+        scheme_->scan_layer_into(qm, li, out.flagged[li], scratch_[li]);
       } catch (...) {
         if (!failed.exchange(true)) error = std::current_exception();
       }
     });
   }
-  pool_->wait();
+  p->wait();
   if (error) std::rethrow_exception(error);
-  return report;
+}
+
+void ScanSession::scan_dirty_into(const quant::QuantizedModel& qm,
+                                  DetectionReport& out) const {
+  RADAR_REQUIRE(scheme_->attached(), "scan before attach");
+  RADAR_REQUIRE(scheme_->num_layers() == qm.num_layers(),
+                "scheme not attached to this model");
+  if (!qm.dirty_tracking()) {
+    scan_into(qm, out);  // no log — the full scan is the only safe answer
+    return;
+  }
+  ensure_scratch(qm.num_layers());
+  for (std::size_t li = 0; li < qm.num_layers(); ++li)
+    dirty_groups_[li].clear();
+  // Map each recorded write to its checksum group through the layer's
+  // layout (group_of inverts interleave + skew in O(1)).
+  for (const quant::DirtyWrite& w : qm.dirty_writes())
+    dirty_groups_[w.layer].push_back(
+        scheme_->layout(w.layer).group_of(w.index));
+  std::int64_t total_dirty = 0;
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+    auto& g = dirty_groups_[li];
+    std::sort(g.begin(), g.end());
+    g.erase(std::unique(g.begin(), g.end()), g.end());
+    total_dirty += static_cast<std::int64_t>(g.size());
+  }
+  if (static_cast<double>(total_dirty) >
+      full_scan_threshold_ * static_cast<double>(scheme_->total_groups())) {
+    scan_into(qm, out);
+    return;
+  }
+  out.flagged.resize(qm.num_layers());
+  // Dirt is usually concentrated in a handful of layers; narrow scans are
+  // cheap enough that fanning them over the pool would cost more than it
+  // saves, so the incremental path always runs inline.
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+    if (dirty_groups_[li].empty()) {
+      out.flagged[li].clear();  // untouched since baseline => still clean
+      continue;
+    }
+    scheme_->scan_layer_groups(qm, li, dirty_groups_[li], out.flagged[li],
+                               scratch_[li]);
+  }
 }
 
 }  // namespace radar::core

@@ -1,4 +1,5 @@
-// ScanSession: whole-model scans batched across layers on a thread pool.
+// ScanSession: whole-model scans batched across layers on a thread pool,
+// with an incremental dirty-group mode.
 //
 // A scan of an N-layer model is N independent per-layer work items (each
 // scheme's scan_layer touches only that layer's weights and golden codes),
@@ -7,10 +8,27 @@
 // to the serial scan: each work item writes its own report slot and the
 // per-layer flag order is deterministic. `threads == 1` runs inline with
 // no pool; `threads == 0` uses one thread per hardware core.
+//
+// The session owns one ScanScratch per layer (layer work items are
+// disjoint, so this is pool-safe within a scan call), and scan_into /
+// scan_dirty_into reuse the caller's DetectionReport vectors — the
+// steady-state scan loop performs zero allocations. A session must not be
+// scanned from two threads at once (the scratch would race); campaign
+// workers each hold their own session.
+//
+// scan_dirty_into() is the incremental entry point: it maps the model's
+// DirtyWrite log to affected groups through each layer's GroupLayout
+// (covering interleave and skew via group_of) and rescans only those.
+// Contract: the golden codes must describe the model state at the last
+// dirty baseline (clear_dirty / restore / snapshot point) — then the
+// report equals a full scan bit for bit, at O(dirty * G) cost. When the
+// dirty-group count exceeds `full_scan_threshold` of all groups (or
+// tracking is off), it falls back to the full scan.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "core/integrity_scheme.h"
@@ -23,14 +41,41 @@ class ScanSession {
   explicit ScanSession(const IntegrityScheme& scheme,
                        std::size_t threads = 0);
 
-  std::size_t threads() const { return pool_ ? pool_->size() : 1; }
+  std::size_t threads() const { return threads_; }
 
   /// Parallel whole-model scan; equals scheme.scan(qm) bit for bit.
   DetectionReport scan(const quant::QuantizedModel& qm) const;
 
+  /// Full scan into a reusable report (vectors cleared, capacity kept).
+  void scan_into(const quant::QuantizedModel& qm,
+                 DetectionReport& out) const;
+
+  /// Incremental scan of the groups touched since the model's last dirty
+  /// baseline; bit-identical to scan_into under the contract above.
+  void scan_dirty_into(const quant::QuantizedModel& qm,
+                       DetectionReport& out) const;
+
+  /// Dirty-group fraction above which scan_dirty_into degenerates to a
+  /// full scan (narrow scans of nearly everything are slower than one
+  /// streaming pass). Default 0.25.
+  void set_full_scan_threshold(double fraction) {
+    full_scan_threshold_ = fraction;
+  }
+  double full_scan_threshold() const { return full_scan_threshold_; }
+
  private:
+  void ensure_scratch(std::size_t num_layers) const;
+  /// The pool, spawned on first parallel use (null when threads == 1):
+  /// sessions that only ever run narrow incremental scans — which are
+  /// always inline — never pay for worker threads.
+  ThreadPool* pool() const;
+
   const IntegrityScheme* scheme_;
-  std::unique_ptr<ThreadPool> pool_;  ///< null when running serially
+  std::size_t threads_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+  double full_scan_threshold_ = 0.25;
+  mutable std::vector<ScanScratch> scratch_;  ///< one per layer
+  mutable std::vector<std::vector<std::int64_t>> dirty_groups_;
 };
 
 }  // namespace radar::core

@@ -1,45 +1,167 @@
 #include "core/scanner.h"
 
+#include <algorithm>
+
 namespace radar::core {
+
+namespace {
+
+/// Contiguous int8 dot product with int32 accumulation — the kernel the
+/// compiler vectorizes. Signs are +1/-1 (0 on padding), so the result
+/// equals the masked checksum exactly.
+inline std::int32_t dot_i8_i32(const std::int8_t* w, const std::int8_t* s,
+                               std::int64_t n) {
+  std::int32_t acc = 0;
+  for (std::int64_t k = 0; k < n; ++k)
+    acc += static_cast<std::int32_t>(w[k]) * static_cast<std::int32_t>(s[k]);
+  return acc;
+}
+
+inline std::int64_t dot_i8_i64(const std::int8_t* w, const std::int8_t* s,
+                               std::int64_t n) {
+  std::int64_t acc = 0;
+  for (std::int64_t k = 0; k < n; ++k)
+    acc += static_cast<std::int64_t>(w[k]) * static_cast<std::int64_t>(s[k]);
+  return acc;
+}
+
+/// acc[k] += w[k] * s[k] over a contiguous segment — the rotated-row
+/// accumulation step of the interleaved scan (widening add, vectorizes).
+inline void axpy_i8_i32(std::int32_t* acc, const std::int8_t* w,
+                        const std::int8_t* s, std::int64_t n) {
+  for (std::int64_t k = 0; k < n; ++k)
+    acc[k] += static_cast<std::int32_t>(w[k]) * static_cast<std::int32_t>(s[k]);
+}
+
+}  // namespace
 
 LayerScanner::LayerScanner(const GroupLayout& layout, const MaskStream& mask,
                            int sig_bits)
-    : sig_bits_(sig_bits), num_groups_(layout.num_groups()) {
+    : sig_bits_(sig_bits),
+      num_groups_(layout.num_groups()),
+      num_weights_(layout.num_weights()),
+      group_size_(layout.group_size()),
+      interleaved_(layout.is_interleaved()),
+      skew_(layout.skew()) {
   RADAR_REQUIRE(sig_bits == 2 || sig_bits == 3,
                 "signature width must be 2 or 3");
-  const std::int64_t w = layout.num_weights();
-  group_of_.resize(static_cast<std::size_t>(w));
-  sign_.resize(static_cast<std::size_t>(w));
-  const std::int64_t g = layout.group_size();
+  RADAR_REQUIRE(num_weights_ < (std::int64_t{1} << 31),
+                "layer too large for 32-bit permutation indices");
+  const std::int64_t g = group_size_;
+  const auto padded = static_cast<std::size_t>(num_groups_ * g);
+  sign_rm_.resize(static_cast<std::size_t>(num_weights_));
+  perm_.resize(padded);
+  sign_.resize(padded);
   for (std::int64_t grp = 0; grp < num_groups_; ++grp) {
     for (std::int64_t slot = 0; slot < g; ++slot) {
+      const std::int64_t pos = grp * g + slot;
       const std::int64_t i = layout.member(grp, slot);
-      if (i < 0) continue;
-      group_of_[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(grp);
-      sign_[static_cast<std::size_t>(i)] =
-          mask.bit(grp * g + slot) ? -1 : 1;
+      if (i < 0) {
+        // Padding: point at a valid index with sign 0 so the narrow scan
+        // stays branchless and the slot contributes nothing.
+        perm_[static_cast<std::size_t>(pos)] = 0;
+        sign_[static_cast<std::size_t>(pos)] = 0;
+        continue;
+      }
+      const std::int8_t sgn = mask.bit(pos) ? -1 : 1;
+      perm_[static_cast<std::size_t>(pos)] = static_cast<std::int32_t>(i);
+      sign_[static_cast<std::size_t>(pos)] = sgn;
+      sign_rm_[static_cast<std::size_t>(i)] = sgn;
     }
   }
 }
 
+void LayerScanner::masked_sums_into(std::span<const std::int8_t> weights,
+                                    ScanScratch& scratch) const {
+  RADAR_REQUIRE(static_cast<std::int64_t>(weights.size()) == num_weights_,
+                "weight buffer size does not match scanner");
+  const std::int64_t g = group_size_;
+  const std::int64_t ng = num_groups_;
+  scratch.sums.resize(static_cast<std::size_t>(ng));
+  const std::int8_t* w = weights.data();
+  const std::int8_t* s = sign_rm_.data();
+  if (!interleaved_) {
+    // Contiguous layout: groups are contiguous weight slices.
+    const bool wide = g > kInt32SafeGroupSize;
+    for (std::int64_t grp = 0; grp < ng; ++grp) {
+      const std::int64_t base = grp * g;
+      const std::int64_t n = std::min(g, num_weights_ - base);
+      scratch.sums[static_cast<std::size_t>(grp)] =
+          wide ? dot_i8_i64(w + base, s + base, n)
+               : static_cast<std::int64_t>(dot_i8_i32(w + base, s + base, n));
+    }
+    return;
+  }
+  if (g > kInt32SafeGroupSize) {
+    // Pathological group sizes could overflow the int32 accumulators;
+    // take the exact int64 per-group path instead.
+    for (std::int64_t grp = 0; grp < ng; ++grp)
+      scratch.sums[static_cast<std::size_t>(grp)] = group_sum(weights, grp);
+    return;
+  }
+  // Interleaved layout: within row r, index i = r*ng + c belongs to group
+  // (c + skew*r) mod ng — consecutive indices hit consecutive groups, so
+  // each row folds into the accumulator as two contiguous rotated
+  // segments. One sequential pass over weights and signs; the ng int32
+  // accumulators stay cache-hot.
+  scratch.acc.resize(static_cast<std::size_t>(ng));
+  std::int32_t* acc = scratch.acc.data();
+  std::fill(acc, acc + ng, 0);
+  for (std::int64_t row = 0; row * ng < num_weights_; ++row) {
+    const std::int64_t base = row * ng;
+    const std::int64_t len = std::min(ng, num_weights_ - base);
+    const std::int64_t off = (skew_ * row) % ng;
+    const std::int64_t first = std::min(len, ng - off);
+    axpy_i8_i32(acc + off, w + base, s + base, first);
+    axpy_i8_i32(acc, w + base + first, s + base + first, len - first);
+  }
+  for (std::int64_t grp = 0; grp < ng; ++grp)
+    scratch.sums[static_cast<std::size_t>(grp)] =
+        static_cast<std::int64_t>(acc[grp]);
+}
+
+std::int64_t LayerScanner::group_sum(std::span<const std::int8_t> weights,
+                                     std::int64_t group) const {
+  RADAR_REQUIRE(static_cast<std::int64_t>(weights.size()) == num_weights_,
+                "weight buffer size does not match scanner");
+  RADAR_REQUIRE(group >= 0 && group < num_groups_, "group out of range");
+  const std::int64_t g = group_size_;
+  const std::int32_t* p = perm_.data() + group * g;
+  const std::int8_t* s = sign_.data() + group * g;
+  if (g > kInt32SafeGroupSize) {
+    std::int64_t acc = 0;
+    for (std::int64_t k = 0; k < g; ++k)
+      acc += static_cast<std::int64_t>(
+                 weights[static_cast<std::size_t>(p[k])]) *
+             static_cast<std::int64_t>(s[k]);
+    return acc;
+  }
+  std::int32_t acc = 0;
+  for (std::int64_t k = 0; k < g; ++k)
+    acc += static_cast<std::int32_t>(weights[static_cast<std::size_t>(p[k])]) *
+           static_cast<std::int32_t>(s[k]);
+  return acc;
+}
+
+Signature LayerScanner::group_signature_at(
+    std::span<const std::int8_t> weights, std::int64_t group) const {
+  return binarize(group_sum(weights, group), sig_bits_);
+}
+
 std::vector<std::int64_t> LayerScanner::masked_sums(
     std::span<const std::int8_t> weights) const {
-  RADAR_REQUIRE(weights.size() == group_of_.size(),
-                "weight buffer size does not match scanner");
-  std::vector<std::int64_t> sums(static_cast<std::size_t>(num_groups_), 0);
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    sums[static_cast<std::size_t>(group_of_[i])] +=
-        static_cast<std::int64_t>(weights[i]) * sign_[i];
-  }
-  return sums;
+  ScanScratch scratch;
+  masked_sums_into(weights, scratch);
+  return std::move(scratch.sums);
 }
 
 std::vector<Signature> LayerScanner::scan(
     std::span<const std::int8_t> weights) const {
-  const auto sums = masked_sums(weights);
-  std::vector<Signature> out(sums.size());
-  for (std::size_t g = 0; g < sums.size(); ++g)
-    out[g] = binarize(sums[g], sig_bits_);
+  ScanScratch scratch;
+  masked_sums_into(weights, scratch);
+  std::vector<Signature> out(scratch.sums.size());
+  for (std::size_t g = 0; g < scratch.sums.size(); ++g)
+    out[g] = binarize(scratch.sums[g], sig_bits_);
   return out;
 }
 

@@ -1,12 +1,27 @@
-// LayerScanner: streaming signature computation for one layer.
+// LayerScanner: vectorizable signature computation for one layer.
 //
 // group_signature() recomputes group membership and mask bits on every
 // call — fine for tools and tests, too slow for the run-time scan path.
-// LayerScanner precomputes, per original weight index, its group id and
-// mask bit (both are fixed once the layout and key are chosen, exactly
-// like the hardware would hard-wire them), so a scan is a single pass of
-// adds over the weight stream. Scanner results are bit-identical to the
-// reference primitives (tested).
+// LayerScanner precomputes the layout once, the way the hardware would
+// hard-wire it, in two complementary shapes:
+//
+//  * row-major mask signs (sign_rm_[i], +1/-1 per original index) drive
+//    the full scan. A contiguous layout reduces each group as a straight
+//    int8 x int8 -> int32 dot product. The skewed interleaver has row
+//    structure — within row r, consecutive indices map to consecutive
+//    groups rotated by (skew*r) mod Ng — so the scan streams the weight
+//    buffer once, adding each row into an L1-resident int32 accumulator
+//    as two contiguous rotated segments. Both shapes autovectorize and
+//    never gather: the pass is sequential over weights and signs.
+//  * a group-major permutation (perm_[g*G + s] = original index, sign_
+//    alongside, 0-signed padding) drives the O(G) narrow per-group scan
+//    the incremental path is built from.
+//
+// int32 accumulators are exact for any group size up to 2^22 (|w| <= 128),
+// with an int64 fallback above that. The *_into entry points write into
+// caller-provided ScanScratch, so the steady-state scan loop performs
+// zero allocations. All paths are bit-identical to the reference
+// primitives (tested).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +29,7 @@
 #include <vector>
 
 #include "core/checksum.h"
+#include "core/scan_scratch.h"
 
 namespace radar::core {
 
@@ -23,20 +39,44 @@ class LayerScanner {
                int sig_bits);
 
   std::int64_t num_groups() const { return num_groups_; }
+  std::int64_t num_weights() const { return num_weights_; }
   int signature_bits() const { return sig_bits_; }
 
-  /// Signatures of all groups in one streaming pass over the weights.
+  /// Largest group size for which the int32 kernel cannot overflow
+  /// (2^22 * 128 = 2^29 fits; kMaxGroupSize * 128 would not).
+  static constexpr std::int64_t kInt32SafeGroupSize = std::int64_t{1} << 22;
+
+  /// All per-group masked sums into scratch.sums (resized to num_groups);
+  /// scratch.acc holds the int32 accumulators of the interleaved row
+  /// kernel (nothing is ever gathered). Zero allocations at steady state.
+  void masked_sums_into(std::span<const std::int8_t> weights,
+                        ScanScratch& scratch) const;
+
+  /// Masked sum of a single group — the narrow-scan primitive, O(G).
+  std::int64_t group_sum(std::span<const std::int8_t> weights,
+                         std::int64_t group) const;
+
+  /// Signature of a single group (group_sum + binarize).
+  Signature group_signature_at(std::span<const std::int8_t> weights,
+                               std::int64_t group) const;
+
+  /// Signatures of all groups (allocating convenience wrapper).
   std::vector<Signature> scan(std::span<const std::int8_t> weights) const;
 
-  /// Raw per-group masked sums (for diagnostics / ablations).
+  /// Raw per-group masked sums (allocating convenience wrapper).
   std::vector<std::int64_t> masked_sums(
       std::span<const std::int8_t> weights) const;
 
  private:
   int sig_bits_;
   std::int64_t num_groups_;
-  std::vector<std::int32_t> group_of_;  ///< per original weight index
-  std::vector<std::int8_t> sign_;       ///< +1 or -1 per weight
+  std::int64_t num_weights_;
+  std::int64_t group_size_;
+  bool interleaved_;
+  std::int64_t skew_;
+  std::vector<std::int8_t> sign_rm_;  ///< row-major +1/-1 per weight index
+  std::vector<std::int32_t> perm_;  ///< group-major original index (0 on pad)
+  std::vector<std::int8_t> sign_;   ///< group-major +1/-1 (0 on pad slots)
 };
 
 }  // namespace radar::core

@@ -60,24 +60,43 @@ void RadarScheme::resign_layer(const quant::QuantizedModel& qm,
                 "scheme not attached to this model");
   RADAR_REQUIRE(layer < layouts_.size(), "layer out of range");
   const auto& ql = qm.layer(layer);
-  const auto sigs = scanners_[layer].scan(
-      std::span<const std::int8_t>(ql.q.data(), ql.q.size()));
+  ScanScratch scratch;
+  scanners_[layer].masked_sums_into(
+      std::span<const std::int8_t>(ql.q.data(), ql.q.size()), scratch);
   for (std::int64_t g = 0; g < layouts_[layer].num_groups(); ++g)
-    golden_[layer].set(g, sigs[static_cast<std::size_t>(g)]);
+    golden_[layer].set(
+        g, binarize(scratch.sums[static_cast<std::size_t>(g)], sig_bits_));
 }
 
-std::vector<std::int64_t> RadarScheme::scan_layer(
-    const quant::QuantizedModel& qm, std::size_t layer) const {
+void RadarScheme::scan_layer_into(const quant::QuantizedModel& qm,
+                                  std::size_t layer,
+                                  std::vector<std::int64_t>& flagged,
+                                  ScanScratch& scratch) const {
   RADAR_REQUIRE(attached(), "scan before attach");
   const auto& ql = qm.layer(layer);
-  const auto sigs = scanners_[layer].scan(
-      std::span<const std::int8_t>(ql.q.data(), ql.q.size()));
-  std::vector<std::int64_t> flagged;
+  scanners_[layer].masked_sums_into(
+      std::span<const std::int8_t>(ql.q.data(), ql.q.size()), scratch);
+  flagged.clear();
   for (std::int64_t g = 0; g < layouts_[layer].num_groups(); ++g) {
-    if (!(sigs[static_cast<std::size_t>(g)] == golden_[layer].get(g)))
+    if (!(binarize(scratch.sums[static_cast<std::size_t>(g)], sig_bits_) ==
+          golden_[layer].get(g)))
       flagged.push_back(g);
   }
-  return flagged;
+}
+
+void RadarScheme::scan_layer_groups(const quant::QuantizedModel& qm,
+                                    std::size_t layer,
+                                    std::span<const std::int64_t> groups,
+                                    std::vector<std::int64_t>& flagged,
+                                    ScanScratch& /*scratch*/) const {
+  RADAR_REQUIRE(attached(), "scan before attach");
+  const auto& ql = qm.layer(layer);
+  const std::span<const std::int8_t> w(ql.q.data(), ql.q.size());
+  flagged.clear();
+  for (const std::int64_t g : groups) {
+    if (!(scanners_[layer].group_signature_at(w, g) == golden_[layer].get(g)))
+      flagged.push_back(g);
+  }
 }
 
 std::int64_t RadarScheme::signature_storage_bytes() const {

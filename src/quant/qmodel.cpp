@@ -32,6 +32,9 @@ void QuantizedModel::set_code(std::size_t layer, std::int64_t idx,
                               std::int8_t v) {
   QuantLayer& l = layers_.at(layer);
   RADAR_REQUIRE(idx >= 0 && idx < l.size(), "weight index out of range");
+  if (track_dirty_)
+    dirty_.push_back({static_cast<std::uint32_t>(layer), idx,
+                      l.q[static_cast<std::size_t>(idx)]});
   l.q[static_cast<std::size_t>(idx)] = v;
   l.param->value[idx] = dequantize(v, l.scale);
 }
@@ -41,10 +44,28 @@ std::int8_t QuantizedModel::flip_bit(std::size_t layer, std::int64_t idx,
   QuantLayer& l = layers_.at(layer);
   RADAR_REQUIRE(idx >= 0 && idx < l.size(), "weight index out of range");
   const std::int8_t before = l.q[static_cast<std::size_t>(idx)];
+  if (track_dirty_)
+    dirty_.push_back({static_cast<std::uint32_t>(layer), idx, before});
   const std::int8_t after = radar::flip_bit(before, bit);
   l.q[static_cast<std::size_t>(idx)] = after;
   l.param->value[idx] = dequantize(after, l.scale);
   return before;
+}
+
+void QuantizedModel::set_dirty_tracking(bool enabled) {
+  track_dirty_ = enabled;
+  dirty_.clear();
+}
+
+void QuantizedModel::undo_dirty() {
+  // Newest-first so repeated writes to one index land on the oldest
+  // `before`, i.e. the state at the last baseline.
+  for (auto it = dirty_.rbegin(); it != dirty_.rend(); ++it) {
+    QuantLayer& l = layers_[it->layer];
+    l.q[static_cast<std::size_t>(it->index)] = it->before;
+    l.param->value[it->index] = dequantize(it->before, l.scale);
+  }
+  dirty_.clear();
 }
 
 void QuantizedModel::sync_layer(std::size_t layer) {
@@ -71,6 +92,7 @@ void QuantizedModel::restore(const QSnapshot& snap) {
     layers_[i].q = snap[i];
   }
   sync_all();
+  dirty_.clear();
 }
 
 }  // namespace radar::quant

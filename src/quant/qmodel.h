@@ -30,6 +30,14 @@ struct QuantLayer {
 /// Full int8 state snapshot (for repeated attack rounds).
 using QSnapshot = std::vector<std::vector<std::int8_t>>;
 
+/// One recorded weight mutation: enough to undo it and to map it to the
+/// checksum group it lands in.
+struct DirtyWrite {
+  std::uint32_t layer = 0;
+  std::int64_t index = 0;
+  std::int8_t before = 0;  ///< code value the write replaced
+};
+
 class QuantizedModel {
  public:
   /// Quantizes all conv / fc weights of `model` in place (the float
@@ -60,8 +68,26 @@ class QuantizedModel {
   void sync_layer(std::size_t layer);
   void sync_all();
 
+  // ---- dirty tracking (incremental scan / undo support) ----
+  // When enabled, every set_code / flip_bit appends a DirtyWrite, so a
+  // known-clean model can be returned to its exact prior state with
+  // undo_dirty() (O(#writes), replacing O(#weights) restore calls) and an
+  // incremental scan can rescan only the touched groups. Off by default:
+  // attack search loops would otherwise grow the log unboundedly.
+  void set_dirty_tracking(bool enabled);
+  bool dirty_tracking() const { return track_dirty_; }
+  const std::vector<DirtyWrite>& dirty_writes() const { return dirty_; }
+  /// Forget the log without undoing (the current state becomes the new
+  /// baseline the next undo_dirty() returns to).
+  void clear_dirty() { dirty_.clear(); }
+  /// Reverse-apply every recorded write (newest first), syncing the float
+  /// mirror of each touched weight, then clear the log.
+  void undo_dirty();
+
   // ---- snapshots ----
   QSnapshot snapshot() const;
+  /// Full-state restore; also clears the dirty log (the restored state is
+  /// the new baseline).
   void restore(const QSnapshot& snap);
 
   /// Total int8 weight bytes (= weight count).
@@ -71,6 +97,8 @@ class QuantizedModel {
   nn::ResNet* model_;
   std::vector<QuantLayer> layers_;
   std::int64_t total_weights_ = 0;
+  bool track_dirty_ = false;
+  std::vector<DirtyWrite> dirty_;
 };
 
 }  // namespace radar::quant

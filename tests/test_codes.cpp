@@ -38,6 +38,31 @@ TEST(Crc, TableMatchesBitwiseAcrossSpecs) {
   }
 }
 
+TEST(Crc, SlicingMatchesBitwiseOverRandomBuffers) {
+  // Differential battery for the slicing-by-8 kernel: every spec (narrow
+  // widths included — they share the same left-aligned tables), every
+  // length 0..64 plus larger odd sizes, fresh random bytes per length.
+  // Covers the 8-byte kernel, the byte-at-a-time tail, and their seam.
+  Rng rng(99);
+  for (const auto& spec :
+       {CrcSpec::crc7(), CrcSpec::crc10(), CrcSpec::crc13(),
+        CrcSpec::crc16_ccitt(), CrcSpec::crc32()}) {
+    Crc crc(spec);
+    for (std::size_t len = 0; len <= 64; ++len) {
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+      EXPECT_EQ(crc.compute(data), crc.compute_bitwise(data))
+          << spec.name << " len=" << len;
+    }
+    for (const std::size_t len : {255u, 512u, 1021u, 4096u}) {
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+      EXPECT_EQ(crc.compute(data), crc.compute_bitwise(data))
+          << spec.name << " len=" << len;
+    }
+  }
+}
+
 TEST(Crc, EmptyDataIsZero) {
   Crc crc(CrcSpec::crc13());
   EXPECT_EQ(crc.compute({}), 0u);

@@ -27,13 +27,17 @@
 //       offline analogue of the run-time recovery path.
 //
 //   radar_cli campaign <spec.json> [--threads N] [--scan-threads N]
-//                          [--out report.json] [--csv report.csv] [--timing]
+//                          [--incremental] [--out report.json]
+//                          [--csv report.csv] [--timing]
 //       Run a declarative attack campaign (attackers x schemes x fault
 //       rates x trials, see src/campaign/campaign_spec.h for the spec
 //       format) fanned out over N worker threads, print the summary and
 //       optionally write the JSON/CSV report. Reports are byte-identical
 //       across thread counts at a fixed seed; --timing adds wall-clock
 //       data to the JSON (breaking that invariance on purpose).
+//       --incremental switches the evaluation phase to dirty-group
+//       scanning with write-by-write undo (byte-identical reports, much
+//       faster eval phase).
 //
 //   radar_cli schemes
 //       List the registered scheme ids.
@@ -69,6 +73,7 @@ struct Args {
   std::string out;  ///< campaign JSON report path
   std::string csv;  ///< campaign CSV report path
   bool timing = false;
+  bool incremental = false;  ///< campaign: dirty-group scanning
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -123,6 +128,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.csv = next("--csv");
     } else if (a == "--timing") {
       args.timing = true;
+    } else if (a == "--incremental") {
+      args.incremental = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return false;
@@ -255,7 +262,10 @@ int cmd_schemes() {
 
 int cmd_campaign(const Args& args) {
   const auto spec = campaign::CampaignSpec::from_json_file(args.package);
-  campaign::CampaignRunner runner(args.threads, args.scan_threads);
+  campaign::CampaignRunner runner(args.threads, args.scan_threads,
+                                  args.incremental
+                                      ? campaign::ScanMode::kIncremental
+                                      : campaign::ScanMode::kFull);
   const campaign::CampaignReport report = runner.run(spec);
   report.print();
   auto write_file = [](const std::string& path, const std::string& body) {
