@@ -31,10 +31,30 @@ struct Replica {
   quant::QSnapshot clean;
 };
 
-Replica make_replica(const CampaignSpec& spec, bool eval_clean = false) {
-  Replica r{exp::make_bundle(spec.model, spec.train,
-                             eval_clean && spec.eval_subset > 0),
+Replica make_replica(const CampaignSpec& spec, const EvalOptions& eval,
+                     bool eval_clean = false, bool serial_engine = false) {
+  Replica r{exp::make_bundle(spec.model, spec.train, /*eval_clean=*/false),
             {}};
+  r.bundle.eval_batch = eval.batch;
+  r.bundle.engine_kind = eval.engine;
+  if (spec.eval_subset > 0) {
+    // Worker replicas already saturate the cores with trial-level
+    // parallelism; routing their forwards (calibration included) through
+    // the shared global pool would make every engine sub-step a
+    // cross-worker barrier (its wait() drains ALL submitters). Build
+    // those engines serial up front, before ensure_engine calibrates.
+    if (serial_engine) {
+      r.bundle.engine = std::make_unique<qnn::InferenceEngine>(
+          *r.bundle.qmodel, eval.engine, /*pool=*/nullptr);
+    }
+    // Calibrate the int8 engine while the model is clean; trial evals
+    // then run the whole eval subset as true batches through it.
+    exp::ensure_engine(r.bundle);
+    if (eval_clean) {
+      r.bundle.clean_accuracy =
+          exp::accuracy_on_subset(r.bundle, r.bundle.dataset->test_size());
+    }
+  }
   r.clean = r.bundle.qmodel->snapshot();
   return r;
 }
@@ -65,22 +85,30 @@ struct EvalContext {
 /// Fan fn(replica, context, unit) out over `pool` in contiguous chunks
 /// (inline on `primary` when pool is null). Each chunk gets a fresh
 /// replica + context; the first exception is rethrown on the caller.
+/// `images` accumulates how many test images each replica actually
+/// forwarded through the engine (timing telemetry only).
 template <typename Context, typename Fn>
 void for_each_unit(std::size_t n, ThreadPool* pool, Replica& primary,
-                   const CampaignSpec& spec, Fn&& fn) {
+                   const CampaignSpec& spec, const EvalOptions& eval,
+                   std::atomic<std::int64_t>& images, Fn&& fn) {
   if (n == 0) return;
   if (pool == nullptr || n == 1) {
     Context ctx;
+    const std::int64_t before = primary.bundle.eval_images;
     for (std::size_t u = 0; u < n; ++u) fn(primary, ctx, u);
+    images += primary.bundle.eval_images - before;
     return;
   }
   std::exception_ptr error;
   std::atomic<bool> failed{false};
   pool->parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
     try {
-      Replica replica = make_replica(spec);
+      Replica replica =
+          make_replica(spec, eval, /*eval_clean=*/false,
+                       /*serial_engine=*/true);
       Context ctx;
       for (std::size_t u = begin; u < end; ++u) fn(replica, ctx, u);
+      images += replica.bundle.eval_images;
     } catch (...) {
       if (!failed.exchange(true)) error = std::current_exception();
     }
@@ -144,12 +172,13 @@ std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t phase,
 }
 
 CampaignRunner::CampaignRunner(std::size_t threads, std::size_t scan_threads,
-                               ScanMode mode)
+                               ScanMode mode, EvalOptions eval)
     : threads_(threads == 0
                    ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
                    : threads),
       scan_threads_(scan_threads),
-      mode_(mode) {}
+      mode_(mode),
+      eval_(eval) {}
 
 CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
   using clock = std::chrono::steady_clock;
@@ -165,9 +194,10 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
   // The primary replica is built serially first: it trains (or loads) the
   // checkpoint before worker replicas race to read it, serves as the
   // inline worker, and supplies the clean accuracy.
-  Replica primary = make_replica(spec, /*eval_clean=*/true);
+  Replica primary = make_replica(spec, eval_, /*eval_clean=*/true);
   std::unique_ptr<ThreadPool> pool;
   if (threads_ > 1) pool = std::make_unique<ThreadPool>(threads_);
+  std::atomic<std::int64_t> profile_images{0}, eval_images{0};
 
   RADAR_LOG(kInfo) << "campaign " << spec.name << ": " << n_units
                    << " trials (" << n_profiles << " profiles) on "
@@ -258,7 +288,7 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
   };
   struct NoContext {};
   for_each_unit<NoContext>(
-      pending.size(), pool.get(), primary, spec,
+      pending.size(), pool.get(), primary, spec, eval_, profile_images,
       [&](Replica& rep, NoContext&, std::size_t k) {
         run_profile(rep, pending[k]);
       });
@@ -359,7 +389,8 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
     else
       qm.restore(rep.clean);
   };
-  for_each_unit<EvalContext>(n_units, pool.get(), primary, spec, run_trial);
+  for_each_unit<EvalContext>(n_units, pool.get(), primary, spec, eval_,
+                             eval_images, run_trial);
   const auto t2 = clock::now();
 
   // ---- aggregate in fixed cell-major order ----
@@ -374,6 +405,8 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
   report.threads = threads_;
   report.profile_seconds = std::chrono::duration<double>(t1 - t0).count();
   report.eval_seconds = std::chrono::duration<double>(t2 - t1).count();
+  report.profile_images = profile_images.load();
+  report.eval_images = eval_images.load();
   report.cells.reserve(A * F * S);
   for (std::size_t ai = 0; ai < A; ++ai) {
     for (std::size_t fi = 0; fi < F; ++fi) {

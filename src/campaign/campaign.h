@@ -23,6 +23,7 @@
 
 #include "campaign/campaign_report.h"
 #include "campaign/campaign_spec.h"
+#include "qnn/engine.h"
 
 namespace radar::campaign {
 
@@ -44,6 +45,14 @@ enum class ScanMode {
   kIncremental,
 };
 
+/// How the evaluation phase runs accuracy measurements. Pure throughput
+/// knobs: the int8 engine is bit-exact across kinds and batch sizes, so
+/// reports are byte-identical for every combination (CI-enforced).
+struct EvalOptions {
+  std::int64_t batch = 0;  ///< images per engine forward (0 = auto)
+  qnn::EngineKind engine = qnn::EngineKind::kBatched;
+};
+
 class CampaignRunner {
  public:
   /// `threads`: trial-level workers (0 = hardware concurrency, 1 =
@@ -51,10 +60,12 @@ class CampaignRunner {
   /// trial (per-trial scans stay bit-identical to serial scans).
   explicit CampaignRunner(std::size_t threads = 1,
                           std::size_t scan_threads = 1,
-                          ScanMode mode = ScanMode::kFull);
+                          ScanMode mode = ScanMode::kFull,
+                          EvalOptions eval = {});
 
   std::size_t threads() const { return threads_; }
   ScanMode scan_mode() const { return mode_; }
+  const EvalOptions& eval_options() const { return eval_; }
 
   /// Validate and run `spec`; throws InvalidArgument on a bad spec.
   CampaignReport run(const CampaignSpec& spec) const;
@@ -63,6 +74,7 @@ class CampaignRunner {
   std::size_t threads_;
   std::size_t scan_threads_;
   ScanMode mode_;
+  EvalOptions eval_;
 };
 
 }  // namespace radar::campaign

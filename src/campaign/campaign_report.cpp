@@ -61,7 +61,15 @@ std::string CampaignReport::to_json(bool include_timing) const {
   if (include_timing) {
     os << ",\n  \"timing\": {\"threads\": " << threads
        << ", \"profile_seconds\": " << fmt(profile_seconds, "%.3f")
-       << ", \"eval_seconds\": " << fmt(eval_seconds, "%.3f") << "}";
+       << ", \"eval_seconds\": " << fmt(eval_seconds, "%.3f")
+       << ", \"profile_images\": " << profile_images
+       << ", \"eval_images\": " << eval_images
+       << ", \"eval_images_per_sec\": "
+       << fmt(eval_seconds > 0.0
+                  ? static_cast<double>(eval_images) / eval_seconds
+                  : 0.0,
+              "%.1f")
+       << "}";
   }
   os << "\n}\n";
   return os.str();

@@ -46,6 +46,11 @@ struct CampaignReport {
   double profile_seconds = 0.0;  ///< attack/profile phase
   double eval_seconds = 0.0;     ///< scan/recover/evaluate phase
   std::size_t threads = 1;
+  /// Test images actually forwarded through the int8 engine per phase
+  /// (clean-cache hits are excluded); eval_images / eval_seconds is the
+  /// end-to-end inference throughput of the evaluation phase.
+  std::int64_t profile_images = 0;
+  std::int64_t eval_images = 0;
 
   const CellStats& cell(std::size_t attacker, std::size_t fault,
                         std::size_t scheme) const;

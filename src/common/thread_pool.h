@@ -46,6 +46,18 @@ class ThreadPool {
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
 
+  /// Run fn(begin, end) over [0, n) through `pool` when it can actually
+  /// parallelize (non-null, size > 1, n > 1); otherwise one inline
+  /// fn(0, n) call — which allocates nothing, keeping callers'
+  /// steady-state loops allocation-free.
+  template <typename Fn>
+  static void chunks_or_inline(ThreadPool* pool, std::size_t n, Fn&& fn) {
+    if (pool != nullptr && pool->size() > 1 && n > 1)
+      pool->parallel_for_chunks(n, fn);
+    else if (n > 0)
+      fn(0, n);
+  }
+
  private:
   void worker_loop();
 

@@ -77,4 +77,36 @@ double evaluate(nn::ResNet& model, const SyntheticDataset& dataset,
       dataset, batch_size);
 }
 
+double evaluate(qnn::InferenceEngine& engine, const SyntheticDataset& dataset,
+                std::int64_t batch_size) {
+  std::int64_t correct = 0;
+  const std::int64_t total = dataset.test_size();
+  qnn::QnnScratch scratch;
+  nn::Tensor logits;
+  for (std::int64_t start = 0; start < total; start += batch_size) {
+    const std::int64_t count = std::min(batch_size, total - start);
+    Batch b = dataset.test_batch(start, count);
+    engine.forward_into(b.images, scratch, logits);
+    correct += count_correct(logits, b.labels, count);
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+std::int64_t count_correct(const nn::Tensor& logits,
+                           const std::vector<int>& labels,
+                           std::int64_t rows) {
+  const std::int64_t k = logits.dim(1);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* lr = logits.data() + i * k;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < k; ++c)
+      if (lr[c] > lr[best]) best = c;
+    if (static_cast<int>(best) == labels[static_cast<std::size_t>(i)])
+      ++correct;
+  }
+  return correct;
+}
+
 }  // namespace radar::data

@@ -9,6 +9,7 @@
 #include "data/synthetic.h"
 #include "nn/optimizer.h"
 #include "nn/resnet.h"
+#include "qnn/engine.h"
 
 namespace radar::data {
 
@@ -46,5 +47,19 @@ double evaluate(const std::function<nn::Tensor(const nn::Tensor&)>& forward,
 /// Convenience overload: evaluate a float ResNet in eval mode.
 double evaluate(nn::ResNet& model, const SyntheticDataset& dataset,
                 std::int64_t batch_size = 256);
+
+/// True-batch evaluation through a calibrated int8 inference engine:
+/// reuses one scratch + logits buffer across batches, so the steady-state
+/// loop performs no allocations beyond the test-batch slices.
+double evaluate(qnn::InferenceEngine& engine, const SyntheticDataset& dataset,
+                std::int64_t batch_size = 64);
+
+/// Correct top-1 predictions among the first `rows` rows of `logits`
+/// against `labels` (first maximum wins). Engine logits buffers are
+/// grow-only, so rows beyond the batch may hold stale data — always pass
+/// the batch's row count, never logits.dim(0).
+std::int64_t count_correct(const nn::Tensor& logits,
+                           const std::vector<int>& labels,
+                           std::int64_t rows);
 
 }  // namespace radar::data

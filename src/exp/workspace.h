@@ -16,6 +16,7 @@
 #include "core/scheme.h"
 #include "data/synthetic.h"
 #include "data/trainer.h"
+#include "qnn/engine.h"
 #include "quant/qmodel.h"
 
 namespace radar::exp {
@@ -28,6 +29,28 @@ struct ModelBundle {
   std::unique_ptr<data::SyntheticDataset> dataset;
   std::unique_ptr<quant::QuantizedModel> qmodel;
   double clean_accuracy = 0.0;  ///< quantized model, full test split
+
+  // ---- quantized inference engine (the eval hot path) ----
+  // Accuracy evaluations run the int8 deployment artifact through
+  // qnn::InferenceEngine (built and statically calibrated once on the
+  // clean model by ensure_engine). Results are bit-identical across
+  // engine kinds, thread counts and eval batch sizes, so the knobs below
+  // never change report contents.
+  std::unique_ptr<qnn::InferenceEngine> engine;
+  qnn::EngineKind engine_kind = qnn::EngineKind::kBatched;
+  std::int64_t eval_batch = 0;   ///< images per forward batch (<=0: auto)
+  std::int64_t eval_images = 0;  ///< images actually forwarded (timing)
+  qnn::QnnScratch eval_scratch;  ///< reused engine working memory
+  nn::Tensor eval_logits;        ///< reused logits buffer
+  /// Cached eval-subset input batches (keyed by subset / batch size).
+  std::vector<data::Batch> eval_batches;
+  std::int64_t cached_subset = -1, cached_batch = -1;
+  /// Clean-model eval cache: accuracy on the first clean_subset test
+  /// images. accuracy_on_subset reuses it whenever the dirty log proves
+  /// the model is back at its clean baseline (e.g. after a full
+  /// reload-clean recovery), skipping the forward passes entirely.
+  std::int64_t clean_subset = -1;
+  double clean_subset_acc = 0.0;
   /// Group-size scale: the paper's G values assume the full-size network;
   /// the reduced-width stand-in has ~1/group_scale of its weights, so a
   /// paper configuration "G" corresponds to G / group_scale here
@@ -86,7 +109,16 @@ std::vector<attack::AttackResult> load_or_run_restricted_pbfa(
     ModelBundle& bundle, int n_bf, int rounds, std::vector<int> allowed_bits,
     const std::string& tag, int eval_subset = 256);
 
-/// Accuracy on the first `subset` test images (eval mode).
+/// Build + statically calibrate the bundle's int8 inference engine if not
+/// already done. Must be called while the quantized model holds its CLEAN
+/// weights (activation scales are frozen from this state); every
+/// accuracy-evaluating helper calls it eagerly at entry for that reason.
+void ensure_engine(ModelBundle& bundle);
+
+/// Accuracy of the int8 engine on the first `subset` test images,
+/// evaluated in true batches (bundle.eval_batch images per forward) with
+/// cached inputs and clean-logit reuse. Bit-identical for any engine
+/// kind, thread count or batch size.
 double accuracy_on_subset(ModelBundle& bundle, std::int64_t subset);
 
 /// Result of replaying one attack round under one RADAR configuration.

@@ -25,6 +25,7 @@ class BatchNorm2d : public Layer {
   std::string kind() const override { return "BatchNorm2d"; }
 
   std::int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
   Param& gamma() { return gamma_; }
   Param& beta() { return beta_; }
   Tensor& running_mean() { return running_mean_; }

@@ -20,13 +20,16 @@ void gemm_rows(const float* a, const float* b, float* c, std::int64_t k,
     const float* arow = a + i * k;
     for (std::int64_t p = 0; p < k; ++p) {
       const float av = arow[p];
-      if (av == 0.0f) continue;
       const float* brow = b + p * n;
       for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
 }
 
+// Accumulates in float like gemm_rows / gemm_at_rows (it used to widen to
+// double, which both halved the vector width and made the three kernels
+// disagree on precision for no reason — both dot operands are contiguous,
+// so the float loop autovectorizes cleanly).
 void gemm_bt_rows(const float* a, const float* b, float* c, std::int64_t k,
                   std::int64_t n, std::int64_t row_begin,
                   std::int64_t row_end, bool accumulate) {
@@ -35,10 +38,9 @@ void gemm_bt_rows(const float* a, const float* b, float* c, std::int64_t k,
     float* crow = c + i * n;
     for (std::int64_t j = 0; j < n; ++j) {
       const float* brow = b + j * k;
-      double acc = accumulate ? crow[j] : 0.0;
-      for (std::int64_t p = 0; p < k; ++p)
-        acc += static_cast<double>(arow[p]) * brow[p];
-      crow[j] = static_cast<float>(acc);
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = accumulate ? crow[j] + acc : acc;
     }
   }
 }
@@ -53,7 +55,6 @@ void gemm_at_rows(const float* a, const float* b, float* c, std::int64_t m,
       std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
     for (std::int64_t p = 0; p < k; ++p) {
       const float av = a[p * m + i];
-      if (av == 0.0f) continue;
       const float* brow = b + p * n;
       for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }

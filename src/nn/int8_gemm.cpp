@@ -1,0 +1,128 @@
+#include "nn/int8_gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace radar::nn {
+
+namespace {
+
+// Register/L1 tile: 4 output rows x 256 int32 accumulators (4 KiB) stays
+// resident while the K loop streams weights and patch rows through it.
+constexpr std::int64_t kMTile = 4;
+constexpr std::int64_t kPTile = 256;
+
+}  // namespace
+
+void gemm_i8_colblock(const std::int8_t* a, const std::int8_t* b, float* out,
+                      std::int64_t m0, std::int64_t m1, std::int64_t k,
+                      std::int64_t p, std::int64_t lda, std::int64_t ldb,
+                      std::int64_t ldo, const RequantEpilogue& epi) {
+  RADAR_REQUIRE(k <= kInt8GemmMaxK, "int8 GEMM depth overflows int32");
+  std::int32_t acc[kMTile][kPTile];
+  for (std::int64_t m = m0; m < m1; m += kMTile) {
+    const std::int64_t mt = std::min(kMTile, m1 - m);
+    for (std::int64_t p0 = 0; p0 < p; p0 += kPTile) {
+      const std::int64_t pt = std::min(kPTile, p - p0);
+      for (std::int64_t mi = 0; mi < mt; ++mi)
+        std::memset(acc[mi], 0, sizeof(std::int32_t) *
+                                    static_cast<std::size_t>(pt));
+      if (mt == kMTile) {
+        // Hot path: 4 weight streams share one pass over each patch row.
+        const std::int8_t* a0 = a + (m + 0) * lda;
+        const std::int8_t* a1 = a + (m + 1) * lda;
+        const std::int8_t* a2 = a + (m + 2) * lda;
+        const std::int8_t* a3 = a + (m + 3) * lda;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const std::int8_t* brow = b + kk * ldb + p0;
+          const std::int16_t w0 = a0[kk], w1 = a1[kk], w2 = a2[kk],
+                             w3 = a3[kk];
+          for (std::int64_t pp = 0; pp < pt; ++pp) {
+            const std::int16_t bv = brow[pp];
+            acc[0][pp] += w0 * bv;
+            acc[1][pp] += w1 * bv;
+            acc[2][pp] += w2 * bv;
+            acc[3][pp] += w3 * bv;
+          }
+        }
+      } else {
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const std::int8_t* brow = b + kk * ldb + p0;
+          for (std::int64_t mi = 0; mi < mt; ++mi) {
+            const std::int16_t wv = a[(m + mi) * lda + kk];
+            std::int32_t* arow = acc[mi];
+            for (std::int64_t pp = 0; pp < pt; ++pp)
+              arow[pp] += wv * static_cast<std::int16_t>(brow[pp]);
+          }
+        }
+      }
+      // Fused epilogue: bias + requant (+ ReLU) in one pass over the tile.
+      for (std::int64_t mi = 0; mi < mt; ++mi) {
+        const float s = epi.scale[m + mi];
+        const float bs = epi.bias != nullptr ? epi.bias[m + mi] : 0.0f;
+        float* orow = out + (m + mi) * ldo + p0;
+        const std::int32_t* arow = acc[mi];
+        if (epi.relu) {
+          for (std::int64_t pp = 0; pp < pt; ++pp)
+            orow[pp] = requant_one(arow[pp], s, bs, true);
+        } else {
+          for (std::int64_t pp = 0; pp < pt; ++pp)
+            orow[pp] = requant_one(arow[pp], s, bs, false);
+        }
+      }
+    }
+  }
+}
+
+void gemm_i8_dot(const std::int8_t* x, const std::int8_t* w, float* y,
+                 std::int64_t n0, std::int64_t n1, std::int64_t m,
+                 std::int64_t k, std::int64_t ldx, std::int64_t ldw,
+                 std::int64_t ldy, const RequantEpilogue& epi) {
+  RADAR_REQUIRE(k <= kInt8GemmMaxK, "int8 GEMM depth overflows int32");
+  for (std::int64_t n = n0; n < n1; ++n) {
+    const std::int8_t* xr = x + n * ldx;
+    float* yr = y + n * ldy;
+    std::int64_t mm = 0;
+    for (; mm + kMTile <= m; mm += kMTile) {
+      const std::int8_t* w0 = w + (mm + 0) * ldw;
+      const std::int8_t* w1 = w + (mm + 1) * ldw;
+      const std::int8_t* w2 = w + (mm + 2) * ldw;
+      const std::int8_t* w3 = w + (mm + 3) * ldw;
+      std::int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const std::int16_t xv = xr[kk];
+        s0 += xv * static_cast<std::int16_t>(w0[kk]);
+        s1 += xv * static_cast<std::int16_t>(w1[kk]);
+        s2 += xv * static_cast<std::int16_t>(w2[kk]);
+        s3 += xv * static_cast<std::int16_t>(w3[kk]);
+      }
+      const float* bias = epi.bias;
+      yr[mm + 0] = requant_one(s0, epi.scale[mm + 0],
+                               bias != nullptr ? bias[mm + 0] : 0.0f,
+                               epi.relu);
+      yr[mm + 1] = requant_one(s1, epi.scale[mm + 1],
+                               bias != nullptr ? bias[mm + 1] : 0.0f,
+                               epi.relu);
+      yr[mm + 2] = requant_one(s2, epi.scale[mm + 2],
+                               bias != nullptr ? bias[mm + 2] : 0.0f,
+                               epi.relu);
+      yr[mm + 3] = requant_one(s3, epi.scale[mm + 3],
+                               bias != nullptr ? bias[mm + 3] : 0.0f,
+                               epi.relu);
+    }
+    for (; mm < m; ++mm) {
+      const std::int8_t* wr = w + mm * ldw;
+      std::int32_t acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<std::int16_t>(xr[kk]) *
+               static_cast<std::int16_t>(wr[kk]);
+      yr[mm] = requant_one(acc, epi.scale[mm],
+                           epi.bias != nullptr ? epi.bias[mm] : 0.0f,
+                           epi.relu);
+    }
+  }
+}
+
+}  // namespace radar::nn

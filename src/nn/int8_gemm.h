@@ -1,0 +1,61 @@
+// Shared int8 x int8 -> int32 GEMM tile kernels with a fused requantization
+// epilogue.
+//
+// These are the building blocks of the batched quantized inference engine
+// (src/qnn): blocked register-tile kernels written in the same
+// autovectorizable style as the scan kernels (plain widening
+// multiply-accumulate loops over contiguous int8 rows — see
+// core/scanner.cpp). Because the accumulators are exact 32-bit integers,
+// any tiling / threading / batching order produces bit-identical results;
+// the float epilogue is a fixed per-output expression, so two kernels that
+// share it (e.g. the naive direct convolution and the tiled im2col GEMM)
+// agree byte-for-byte. That exactness is what lets campaign reports be
+// CI-diffed across engines and thread counts.
+#pragma once
+
+#include <cstdint>
+
+namespace radar::nn {
+
+/// Largest reduction depth K for which K int8*int8 products cannot
+/// overflow an int32 accumulator (|p| <= 128 * 127 = 16256).
+constexpr std::int64_t kInt8GemmMaxK = (std::int64_t{1} << 31) / 16256;
+
+/// Per-output-row requantization epilogue: y = float(acc) * scale[m] +
+/// bias[m], then optional ReLU. `bias == nullptr` means zero bias.
+struct RequantEpilogue {
+  const float* scale = nullptr;
+  const float* bias = nullptr;
+  bool relu = false;
+};
+
+/// The one epilogue expression both the reference and the tiled kernels
+/// evaluate — keep it a single inline function so the two paths cannot
+/// drift apart numerically.
+inline float requant_one(std::int32_t acc, float scale, float bias,
+                         bool relu) {
+  const float v = static_cast<float>(acc) * scale + bias;
+  return (relu && v < 0.0f) ? 0.0f : v;
+}
+
+/// Column-block GEMM (the conv kernel): for m in [m0, m1), p in [0, p),
+///   out[m * ldo + p] = epilogue_m( sum_k a[m * lda + k] * b[k * ldb + p] ).
+/// `a` is row-major [M x K] (weights, K contiguous); `b` is row-major
+/// [K x P] (an im2col patch matrix, P contiguous). Internally blocks m by
+/// 4 and p by a cache-resident tile of int32 accumulators, applying the
+/// epilogue once per tile ("one pass over the int32 accumulators").
+void gemm_i8_colblock(const std::int8_t* a, const std::int8_t* b, float* out,
+                      std::int64_t m0, std::int64_t m1, std::int64_t k,
+                      std::int64_t p, std::int64_t lda, std::int64_t ldb,
+                      std::int64_t ldo, const RequantEpilogue& epi);
+
+/// Dot-product GEMM (the linear kernel): for n in [n0, n1), m in [0, m),
+///   y[n * ldy + m] = epilogue_m( sum_k x[n * ldx + k] * w[m * ldw + k] ).
+/// Both operands are K-contiguous rows; m is blocked by 4 independent
+/// accumulator streams per x row.
+void gemm_i8_dot(const std::int8_t* x, const std::int8_t* w, float* y,
+                 std::int64_t n0, std::int64_t n1, std::int64_t m,
+                 std::int64_t k, std::int64_t ldx, std::int64_t ldw,
+                 std::int64_t ldy, const RequantEpilogue& epi);
+
+}  // namespace radar::nn

@@ -37,6 +37,15 @@ class BasicBlock : public Layer {
 
   bool has_projection() const { return down_conv_ != nullptr; }
 
+  // Graph introspection (the quantized inference engine walks the block
+  // to compile its op program).
+  Conv2d& conv1() { return conv1_; }
+  BatchNorm2d& bn1() { return bn1_; }
+  Conv2d& conv2() { return conv2_; }
+  BatchNorm2d& bn2() { return bn2_; }
+  Conv2d* down_conv() { return down_conv_.get(); }
+  BatchNorm2d* down_bn() { return down_bn_.get(); }
+
   /// Fold bn1/bn2 (and the projection BN) into their convolutions; see
   /// nn/fold.h.
   void fold_batchnorm();

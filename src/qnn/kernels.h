@@ -9,8 +9,14 @@
 #include <cstdint>
 #include <span>
 
+#include "nn/int8_gemm.h"
 #include "nn/tensor.h"
+#include "qnn/qnn_scratch.h"
 #include "qnn/qtensor.h"
+
+namespace radar {
+class ThreadPool;
+}
 
 namespace radar::qnn {
 
@@ -32,8 +38,53 @@ nn::Tensor conv2d_i8(const QTensor& x, std::span<const std::int8_t> w,
                      std::span<const float> bias);
 
 /// Integer fully-connected layer: x [N, F] int8, w [out, F] int8.
+/// Runs through the shared int8 GEMM tile kernel, parallelized over the
+/// batch dimension on the global ThreadPool for large shapes; results are
+/// bit-identical for any thread count (exact int32 accumulation).
 nn::Tensor linear_i8(const QTensor& x, std::span<const std::int8_t> w,
                      float w_scale, std::int64_t out_features,
                      std::span<const float> bias);
+
+/// int8 im2col of one sample [Cin, in_h, in_w] into a row-major
+/// [Cin*K*K, OH*OW] patch matrix. The interior fast path memcpy-copies
+/// contiguous input rows (stride 1) or runs a bounds-check-free strided
+/// gather; padding boundaries are zero-filled outside the inner loop.
+void im2col_i8(const std::int8_t* x, const ConvGeom& geom, std::int64_t in_h,
+               std::int64_t in_w, std::int8_t* col);
+
+/// Reference direct convolution of one sample with a per-channel requant
+/// epilogue — the pre-existing 7-deep kernel, kept as the bit-exactness
+/// baseline for the tiled path.
+void direct_conv_i8(const std::int8_t* x, const std::int8_t* w,
+                    const ConvGeom& geom, std::int64_t in_h,
+                    std::int64_t in_w, const nn::RequantEpilogue& epi,
+                    float* y);
+
+/// Batched convolution via int8 im2col + tiled int8 GEMM with fused
+/// requant epilogue. Bit-identical to conv2d_i8 (same int32 sums, same
+/// epilogue expression). The `_into` variant draws all working memory from
+/// `scratch` and writes into a caller tensor (allocation-free after
+/// warm-up); both parallelize over batch x output-channel blocks on the
+/// global ThreadPool.
+nn::Tensor conv2d_i8_tiled(const QTensor& x, std::span<const std::int8_t> w,
+                           float w_scale, const ConvGeom& geom,
+                           std::span<const float> bias);
+void conv2d_i8_tiled_into(const QTensor& x, std::span<const std::int8_t> w,
+                          float w_scale, const ConvGeom& geom,
+                          std::span<const float> bias, QnnScratch& scratch,
+                          nn::Tensor& y);
+
+/// The one batched-conv executor both of the above and the inference
+/// engine run (so tests and benches measure the exact production kernel):
+/// pre-quantized activations `qx` ([N, Cin, in_h, in_w] int8) go through
+/// per-sample im2col, then batch x output-channel-block GEMM units with
+/// the fused epilogue, fanned out over `pool` (null or size-1 = inline,
+/// allocation-free). Writes NCHW float output into `y`.
+void conv2d_i8_tiled_exec(const std::int8_t* qx,
+                          std::span<const std::int8_t> w,
+                          const ConvGeom& geom, std::int64_t n,
+                          std::int64_t in_h, std::int64_t in_w,
+                          const nn::RequantEpilogue& epi, QnnScratch& scratch,
+                          float* y, ThreadPool* pool);
 
 }  // namespace radar::qnn

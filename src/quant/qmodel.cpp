@@ -68,6 +68,25 @@ void QuantizedModel::undo_dirty() {
   dirty_.clear();
 }
 
+bool QuantizedModel::dirty_matches_baseline() const {
+  // The baseline value of a touched weight is the `before` of its OLDEST
+  // logged write; later writes to the same index are superseded.
+  for (std::size_t i = 0; i < dirty_.size(); ++i) {
+    const DirtyWrite& w = dirty_[i];
+    bool oldest = true;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (dirty_[j].layer == w.layer && dirty_[j].index == w.index) {
+        oldest = false;
+        break;
+      }
+    }
+    if (!oldest) continue;
+    if (layers_[w.layer].q[static_cast<std::size_t>(w.index)] != w.before)
+      return false;
+  }
+  return true;
+}
+
 void QuantizedModel::sync_layer(std::size_t layer) {
   QuantLayer& l = layers_.at(layer);
   dequantize_into(l.q, l.scale, l.param->value.data());

@@ -83,6 +83,12 @@ class QuantizedModel {
   /// Reverse-apply every recorded write (newest first), syncing the float
   /// mirror of each touched weight, then clear the log.
   void undo_dirty();
+  /// True when the current int8 state equals the baseline the dirty log
+  /// started from (i.e. undo_dirty() would be a no-op on the codes) —
+  /// cheap O(d^2) over the d logged writes, allocation-free. Lets eval
+  /// paths reuse cached clean results when a recovery restored the model
+  /// exactly.
+  bool dirty_matches_baseline() const;
 
   // ---- snapshots ----
   QSnapshot snapshot() const;

@@ -61,6 +61,48 @@ TEST(CampaignDeterminism, AccuracyEvaluationPath) {
   EXPECT_EQ(run_json(spec, 1), run_json(spec, 6));
 }
 
+TEST(CampaignDeterminism, EvalEngineAndBatchInvariance) {
+  // The int8 engine accumulates exactly in int32, so the direct-conv
+  // reference kernels, the tiled im2col+GEMM kernels, and every eval
+  // batch size must produce byte-identical reports.
+  CampaignSpec spec = base_spec();
+  spec.eval_subset = 48;
+  spec.trials = 2;
+  spec.schemes.resize(1);
+  auto run_with = [&](EvalOptions eval, std::size_t threads) {
+    const CampaignReport report =
+        CampaignRunner(threads, 1, ScanMode::kFull, eval).run(spec);
+    return report.to_json() + report.to_csv();
+  };
+  const std::string baseline = run_with({}, 1);
+  EXPECT_EQ(baseline,
+            run_with({.batch = 0, .engine = qnn::EngineKind::kReference}, 1));
+  EXPECT_EQ(baseline,
+            run_with({.batch = 1, .engine = qnn::EngineKind::kBatched}, 1));
+  EXPECT_EQ(baseline,
+            run_with({.batch = 7, .engine = qnn::EngineKind::kBatched}, 3));
+  EXPECT_EQ(baseline,
+            run_with({.batch = 17, .engine = qnn::EngineKind::kReference}, 2));
+}
+
+TEST(CampaignDeterminism, IncrementalEvalMatchesFullWithAccuracies) {
+  // The incremental engine adds the clean-baseline eval cache (reload
+  // recovery can return the model exactly to baseline); reports must stay
+  // byte-identical to the full engine with accuracies enabled.
+  CampaignSpec spec = base_spec();
+  spec.eval_subset = 48;
+  spec.trials = 2;
+  spec.policy = core::RecoveryPolicy::kReloadClean;
+  auto run_mode = [&](ScanMode mode, std::size_t threads) {
+    const CampaignReport report =
+        CampaignRunner(threads, 1, mode).run(spec);
+    return report.to_json() + report.to_csv();
+  };
+  const std::string full = run_mode(ScanMode::kFull, 1);
+  EXPECT_EQ(full, run_mode(ScanMode::kIncremental, 1));
+  EXPECT_EQ(full, run_mode(ScanMode::kIncremental, 4));
+}
+
 TEST(CampaignDeterminism, PbfaAndKnowledgeableProfiles) {
   CampaignSpec spec = base_spec();
   spec.attackers = {

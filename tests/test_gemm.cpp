@@ -103,6 +103,57 @@ TEST(Gemm, AccumulateAddsOntoExisting) {
     EXPECT_NEAR(twice[i], 2.0f * once[i], 1e-4f);
 }
 
+TEST(Gemm, TransposedBFloatAccumulationStaysAccurate) {
+  // gemm_bt now accumulates in float like gemm / gemm_at (it used to
+  // widen to double); training-scale reduction depths must stay within a
+  // float-roundoff band of the double reference.
+  Rng rng(3);
+  const std::int64_t m = 8, k = 512, n = 12;
+  const auto a = random_matrix(m * k, rng);
+  const auto bt = random_matrix(n * k, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm_bt(a.data(), bt.data(), c.data(), m, k, n, false, false);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        ref += static_cast<double>(a[i * k + p]) * bt[j * k + p];
+      // |err| <~ k * eps * sum|terms|; sqrt(k)-scale values keep this tiny.
+      EXPECT_NEAR(c[i * n + j], static_cast<float>(ref), 5e-3f)
+          << "at " << i << "," << j;
+    }
+  }
+}
+
+TEST(Gemm, TransposedBParallelAndSerialAgreeBitwise) {
+  // Rows are computed independently, so chunking across the pool must not
+  // change a single bit (PBFA gradient ranking depends on this).
+  Rng rng(4);
+  const std::int64_t m = 120, k = 64, n = 48;
+  const auto a = random_matrix(m * k, rng);
+  const auto bt = random_matrix(n * k, rng);
+  std::vector<float> cs(static_cast<std::size_t>(m * n)),
+      cp(static_cast<std::size_t>(m * n));
+  gemm_bt(a.data(), bt.data(), cs.data(), m, k, n, false, /*parallel=*/false);
+  gemm_bt(a.data(), bt.data(), cp.data(), m, k, n, false, /*parallel=*/true);
+  for (std::size_t i = 0; i < cs.size(); ++i) EXPECT_EQ(cs[i], cp[i]);
+}
+
+TEST(Gemm, ZeroValuesContributeNothing) {
+  // The old kernels special-cased av == 0.0f with a branch; the branchless
+  // kernels must treat explicit zeros identically (including -0.0f).
+  const std::int64_t m = 2, k = 3, n = 4;
+  std::vector<float> a = {0.0f, -0.0f, 2.0f, 0.0f, 0.0f, 0.0f};
+  Rng rng(5);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], ref[i], 1e-6f);
+}
+
 TEST(Gemm, ParallelAndSerialAgree) {
   Rng rng(2);
   const std::int64_t m = 150, k = 70, n = 90;

@@ -27,17 +27,22 @@
 //       offline analogue of the run-time recovery path.
 //
 //   radar_cli campaign <spec.json> [--threads N] [--scan-threads N]
-//                          [--incremental] [--out report.json]
-//                          [--csv report.csv] [--timing]
+//                          [--incremental] [--eval-batch N]
+//                          [--eval-engine reference|batched]
+//                          [--out report.json] [--csv report.csv]
+//                          [--timing]
 //       Run a declarative attack campaign (attackers x schemes x fault
 //       rates x trials, see src/campaign/campaign_spec.h for the spec
 //       format) fanned out over N worker threads, print the summary and
 //       optionally write the JSON/CSV report. Reports are byte-identical
 //       across thread counts at a fixed seed; --timing adds wall-clock
-//       data to the JSON (breaking that invariance on purpose).
-//       --incremental switches the evaluation phase to dirty-group
-//       scanning with write-by-write undo (byte-identical reports, much
-//       faster eval phase).
+//       data (incl. engine images/sec) to the JSON, breaking that
+//       invariance on purpose. --incremental switches the evaluation
+//       phase to dirty-group scanning with write-by-write undo;
+//       --eval-batch sets the images per int8-engine forward (default
+//       auto) and --eval-engine selects the batched im2col+GEMM kernels
+//       or the direct-convolution reference — all three keep reports
+//       byte-identical (CI-enforced).
 //
 //   radar_cli schemes
 //       List the registered scheme ids.
@@ -74,6 +79,7 @@ struct Args {
   std::string csv;  ///< campaign CSV report path
   bool timing = false;
   bool incremental = false;  ///< campaign: dirty-group scanning
+  campaign::EvalOptions eval;  ///< campaign: accuracy-eval knobs
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -130,6 +136,24 @@ bool parse(int argc, char** argv, Args& args) {
       args.timing = true;
     } else if (a == "--incremental") {
       args.incremental = true;
+    } else if (a == "--eval-batch") {
+      const int batch = std::atoi(next("--eval-batch"));
+      if (batch < 0) {
+        std::fprintf(stderr, "--eval-batch must be >= 0 (0 = auto)\n");
+        return false;
+      }
+      args.eval.batch = batch;
+    } else if (a == "--eval-engine") {
+      const std::string kind = next("--eval-engine");
+      if (kind == "reference") {
+        args.eval.engine = qnn::EngineKind::kReference;
+      } else if (kind == "batched") {
+        args.eval.engine = qnn::EngineKind::kBatched;
+      } else {
+        std::fprintf(stderr,
+                     "--eval-engine must be reference or batched\n");
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return false;
@@ -265,9 +289,22 @@ int cmd_campaign(const Args& args) {
   campaign::CampaignRunner runner(args.threads, args.scan_threads,
                                   args.incremental
                                       ? campaign::ScanMode::kIncremental
-                                      : campaign::ScanMode::kFull);
+                                      : campaign::ScanMode::kFull,
+                                  args.eval);
   const campaign::CampaignReport report = runner.run(spec);
   report.print();
+  if (args.timing) {
+    const double ips =
+        report.eval_seconds > 0.0
+            ? static_cast<double>(report.eval_images) / report.eval_seconds
+            : 0.0;
+    std::printf(
+        "timing: profile %.3fs (%lld images), eval %.3fs "
+        "(%lld images, %.0f images/sec)\n",
+        report.profile_seconds,
+        static_cast<long long>(report.profile_images), report.eval_seconds,
+        static_cast<long long>(report.eval_images), ips);
+  }
   auto write_file = [](const std::string& path, const std::string& body) {
     std::ofstream out(path, std::ios::binary);
     out << body;
