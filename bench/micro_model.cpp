@@ -1,0 +1,199 @@
+// micro_model — weight-arena storage ops + whole-model scan thread
+// scaling under byte-range vs layer-granular work sharding.
+//
+// Two sections, both landing in BENCH_model.json:
+//
+//  1. Arena storage ops (GB/s): snapshot capture (one memcpy), restore
+//     (memcpy + float resync), and snapshot compare (one memcmp) on a
+//     wide ResNet whose conv layers span the realistic ~100x size spread.
+//
+//  2. Whole-model scan thread scaling 1..8: the same radar2 G=512 scan
+//     partitioned the legacy way (one work item per layer — bounded by
+//     the largest layer) vs byte-range group shards (equal-byte work
+//     items through scan_layer_range_into). Reports are asserted
+//     byte-identical across all partitionings and thread counts.
+//
+//  3. Load balance (machine-independent): the critical-path bytes of a
+//     greedy T-worker schedule over each partitioning's work items, and
+//     the parallel speedup it bounds. Layer-granular partitioning is
+//     limited by its largest layer (~14% of this model in ONE item), so
+//     its speedup bound flattens near 7x regardless of thread count;
+//     byte-range shards keep the bound near-linear. This is the
+//     acceptance number on machines (like 1-core CI sandboxes) where
+//     wall-clock scaling cannot show up.
+//
+// Usage: bench_micro_model
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/scan_session.h"
+#include "core/scheme_registry.h"
+#include "nn/resnet.h"
+#include "quant/qmodel.h"
+
+namespace {
+
+using namespace radar;
+
+volatile std::int64_t g_sink = 0;
+
+/// Makespan (critical-path bytes) of a greedy longest-first schedule of
+/// `items` onto `workers` — the quantity that bounds parallel scan
+/// speedup on real multicore hardware, independent of this machine.
+std::int64_t critical_path_bytes(std::vector<std::int64_t> items,
+                                 std::size_t workers) {
+  std::sort(items.begin(), items.end(), std::greater<>());
+  std::vector<std::int64_t> load(workers, 0);
+  for (const std::int64_t it : items)
+    *std::min_element(load.begin(), load.end()) += it;
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("micro_model",
+                 "arena storage ops + scan thread scaling (byte-range vs "
+                 "layer sharding)");
+  bench::JsonReport json("model");
+
+  // A wide ResNet: realistic conv-size skew at multi-MB arena scale.
+  nn::ResNetSpec spec;
+  spec.num_classes = 10;
+  spec.base_width = 64;
+  spec.blocks_per_stage = {3, 3, 3};
+  spec.name = "wide";
+  Rng rng(7);
+  nn::ResNet model(spec, rng);
+  quant::QuantizedModel qm(model);
+  const double bytes = static_cast<double>(qm.total_weights());
+  std::int64_t min_layer = qm.layer(0).size(), max_layer = min_layer;
+  for (std::size_t li = 1; li < qm.num_layers(); ++li) {
+    min_layer = std::min(min_layer, qm.layer(li).size());
+    max_layer = std::max(max_layer, qm.layer(li).size());
+  }
+  std::printf("  model: %lld weights in %zu layers (%.1f MiB arena, "
+              "layer sizes %lld..%lld)\n",
+              static_cast<long long>(qm.total_weights()), qm.num_layers(),
+              static_cast<double>(qm.arena().size_bytes()) / (1 << 20),
+              static_cast<long long>(min_layer),
+              static_cast<long long>(max_layer));
+
+  // ---- section 1: arena storage ops ----
+  std::printf("  %-28s %16s %9s\n", "op", "ns/op", "GB/s");
+  bench::rule();
+  auto run = [&](const char* name, double per_op_bytes, auto&& fn) {
+    const double ns = bench::measure_ns_per_op(fn);
+    json.add(name, ns, per_op_bytes);
+    std::printf("  %-28s %16.1f %9.2f\n", name, ns,
+                per_op_bytes / ns);
+  };
+  quant::ArenaSnapshot snap = qm.snapshot();
+  quant::ArenaSnapshot other = qm.snapshot();
+  run("snapshot_capture", bytes, [&] {
+    snap.capture(qm.arena());
+    g_sink = g_sink + snap.bytes()[0];
+  });
+  run("snapshot_compare", bytes, [&] {
+    g_sink = g_sink + (snap == other ? 1 : 0);
+  });
+  run("restore", bytes, [&] {
+    qm.restore(snap);
+    g_sink = g_sink + qm.get_code(0, 0);
+  });
+
+  // ---- section 2: scan thread scaling ----
+  core::SchemeParams params;
+  params.group_size = 512;
+  auto scheme = core::SchemeRegistry::instance().create("radar2", params);
+  scheme->attach(qm);
+  const core::DetectionReport serial_report = scheme->scan(qm);
+
+  bench::rule();
+  std::printf("  %-28s %16s %9s %9s\n", "full scan", "ns/op", "GB/s",
+              "speedup");
+  bench::rule();
+  double base_ns = 0.0;
+  bool identical = true;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (const auto sharding : {core::ScanSession::Sharding::kLayer,
+                                core::ScanSession::Sharding::kByteRange}) {
+      const bool by_range =
+          sharding == core::ScanSession::Sharding::kByteRange;
+      core::ScanSession session(*scheme, threads);
+      session.set_sharding(sharding);
+      core::DetectionReport report;
+      session.scan_into(qm, report);  // warm up pool + scratch
+      identical = identical && report.flagged == serial_report.flagged;
+      const double ns = bench::measure_ns_per_op([&] {
+        session.scan_into(qm, report);
+        g_sink = g_sink + report.num_flagged_groups();
+      });
+      char name[64];
+      std::snprintf(name, sizeof(name), "scan_%s_t%zu",
+                    by_range ? "byterange" : "layer", threads);
+      if (threads == 1 && !by_range) base_ns = ns;
+      json.add(name, ns, bytes);
+      std::printf("  %-28s %16.1f %9.2f %8.2fx\n", name, ns, bytes / ns,
+                  base_ns / ns);
+    }
+  }
+  std::printf("  reports byte-identical across partitionings: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("  (wall-clock rows measured on %u hardware core(s) — "
+              "see the load-balance bounds below for the\n"
+              "   machine-independent scaling story)\n",
+              std::thread::hardware_concurrency());
+
+  // ---- section 3: machine-independent load balance ----
+  std::vector<std::int64_t> layer_items;
+  for (std::size_t li = 0; li < qm.num_layers(); ++li)
+    layer_items.push_back(qm.layer(li).size());
+  bench::rule();
+  std::printf("  %-10s %18s %18s %12s %12s\n", "threads",
+              "layer critpath B", "range critpath B", "layer bound",
+              "range bound");
+  bench::rule();
+  for (const std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
+    // Byte-range shards: rebuild the session's plan (target = total /
+    // (threads * 4), the ScanSession default) as byte counts.
+    const std::int64_t target = std::max<std::int64_t>(
+        4096, qm.total_weights() / (static_cast<std::int64_t>(threads) * 4));
+    std::vector<std::int64_t> range_items;
+    for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+      const std::int64_t nw = qm.layer(li).size();
+      const std::int64_t ng = scheme->layout(li).num_groups();
+      const std::int64_t chunks = std::max<std::int64_t>(
+          1, std::min(ng, (nw + target - 1) / target));
+      const std::int64_t per = (ng + chunks - 1) / chunks;
+      for (std::int64_t b = 0; b < ng; b += per)
+        range_items.push_back(std::min(b + per, ng) * params.group_size -
+                              b * params.group_size);
+    }
+    const std::int64_t cp_layer = critical_path_bytes(layer_items, threads);
+    const std::int64_t cp_range = critical_path_bytes(range_items, threads);
+    const double bound_layer = bytes / static_cast<double>(cp_layer);
+    const double bound_range = bytes / static_cast<double>(cp_range);
+    std::printf("  %-10zu %18lld %18lld %11.2fx %11.2fx\n", threads,
+                static_cast<long long>(cp_layer),
+                static_cast<long long>(cp_range), bound_layer, bound_range);
+    char name[64];
+    std::snprintf(name, sizeof(name), "critpath_layer_t%zu_bytes", threads);
+    json.add(name, static_cast<double>(cp_layer));
+    std::snprintf(name, sizeof(name), "critpath_byterange_t%zu_bytes",
+                  threads);
+    json.add(name, static_cast<double>(cp_range));
+  }
+  bench::note(
+      "claim reproduced if the byte-range critical path keeps shrinking "
+      "with threads while the layer-parallel one flattens at the largest "
+      "layer, and all reports are byte-identical (critpath entries store "
+      "bytes in the ns_per_op field)");
+  json.write();
+  return identical ? 0 : 1;
+}

@@ -72,7 +72,7 @@ int main() {
   attack::Pbfa pbfa;
   Rng attacker_rng(13);
   data::Batch attack_batch = dataset.attack_batch(16, 5);
-  const quant::QSnapshot golden = qm.snapshot();
+  const quant::ArenaSnapshot golden = qm.snapshot();
 
   std::printf("%-6s %-22s %-10s %-12s %s\n", "tick", "event", "served",
               "detected", "accuracy");

@@ -28,7 +28,7 @@ namespace {
 /// seed or same cached checkpoint), so any replica may run any unit.
 struct Replica {
   exp::ModelBundle bundle;
-  quant::QSnapshot clean;
+  quant::ArenaSnapshot clean;  ///< one-memcpy arena copy of the clean state
 };
 
 Replica make_replica(const CampaignSpec& spec, const EvalOptions& eval,

@@ -42,6 +42,18 @@ void BinaryWriter::write_string(const std::string& s) {
   if (!out_) throw SerializationError("write failure: " + path_);
 }
 
+void BinaryWriter::write_bytes(const void* data, std::size_t n) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(n));
+  if (!out_) throw SerializationError("write failure: " + path_);
+}
+
+std::uint64_t BinaryWriter::tell() {
+  const auto pos = out_.tellp();
+  if (pos < 0) throw SerializationError("tell failure: " + path_);
+  return static_cast<std::uint64_t>(pos);
+}
+
 void BinaryWriter::write_f32_vector(const std::vector<float>& v) {
   write_u64(v.size());
   out_.write(reinterpret_cast<const char*>(v.data()),
@@ -79,6 +91,11 @@ void BinaryWriter::close() {
 
 BinaryReader::BinaryReader(const std::string& path,
                            std::uint32_t expected_version)
+    : BinaryReader(path, expected_version, expected_version) {}
+
+BinaryReader::BinaryReader(const std::string& path,
+                           std::uint32_t min_version,
+                           std::uint32_t max_version)
     : in_(path, std::ios::binary), path_(path) {
   if (!in_) throw SerializationError("cannot open for read: " + path);
   std::error_code ec;
@@ -89,10 +106,11 @@ BinaryReader::BinaryReader(const std::string& path,
   if (magic != kMagic)
     throw SerializationError("bad magic in " + path);
   version_ = read_u32();
-  if (version_ != expected_version)
+  if (version_ < min_version || version_ > max_version)
     throw SerializationError("version mismatch in " + path + ": got " +
                              std::to_string(version_) + " expected " +
-                             std::to_string(expected_version));
+                             std::to_string(min_version) + ".." +
+                             std::to_string(max_version));
 }
 
 template <typename T>
@@ -101,6 +119,26 @@ T BinaryReader::read_raw() {
   in_.read(reinterpret_cast<char*>(&v), sizeof(T));
   if (!in_) throw SerializationError("truncated read: " + path_);
   return v;
+}
+
+void BinaryReader::read_bytes(void* dst, std::uint64_t n) {
+  if (n > remaining())
+    throw SerializationError("truncated read: " + path_);
+  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (!in_) throw SerializationError("truncated read: " + path_);
+}
+
+void BinaryReader::skip(std::uint64_t n) {
+  if (n > remaining())
+    throw SerializationError("truncated read: " + path_);
+  in_.seekg(static_cast<std::streamoff>(n), std::ios::cur);
+  if (!in_) throw SerializationError("seek failure: " + path_);
+}
+
+std::uint64_t BinaryReader::tell() {
+  const auto pos = in_.tellg();
+  if (pos < 0) throw SerializationError("tell failure: " + path_);
+  return static_cast<std::uint64_t>(pos);
 }
 
 std::uint64_t BinaryReader::remaining() {

@@ -27,6 +27,10 @@ class BinaryWriter {
   void write_i64(std::int64_t v);
   void write_f32(float v);
   void write_string(const std::string& s);
+  /// Raw bytes, no length prefix (callers that need one write it first).
+  void write_bytes(const void* data, std::size_t n);
+  /// Current byte offset from the start of the file.
+  std::uint64_t tell();
   void write_f32_vector(const std::vector<float>& v);
   void write_i8_vector(const std::vector<std::int8_t>& v);
   void write_u8_vector(const std::vector<std::uint8_t>& v);
@@ -50,6 +54,11 @@ class BinaryWriter {
 class BinaryReader {
  public:
   BinaryReader(const std::string& path, std::uint32_t expected_version);
+  /// Accept any format version in [min_version, max_version] — for
+  /// formats whose loader handles several versions transparently; check
+  /// version() after opening.
+  BinaryReader(const std::string& path, std::uint32_t min_version,
+               std::uint32_t max_version);
 
   std::uint8_t read_u8();
   std::uint32_t read_u32();
@@ -63,6 +72,14 @@ class BinaryReader {
   std::vector<std::uint64_t> read_u64_vector();
 
   std::uint32_t version() const { return version_; }
+
+  /// Raw bytes into `dst` (throws SerializationError when fewer than `n`
+  /// bytes are left).
+  void read_bytes(void* dst, std::uint64_t n);
+  /// Skip `n` bytes (bounds-checked like read_bytes).
+  void skip(std::uint64_t n);
+  /// Current byte offset from the start of the file.
+  std::uint64_t tell();
 
   /// Bytes between the current read position and the end of the file.
   std::uint64_t remaining();

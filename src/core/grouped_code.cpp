@@ -127,6 +127,27 @@ void GroupedCodeScheme::scan_layer_groups(const quant::QuantizedModel& qm,
   }
 }
 
+void GroupedCodeScheme::scan_layer_range_into(
+    const quant::QuantizedModel& qm, std::size_t layer,
+    std::int64_t group_begin, std::int64_t group_end,
+    std::vector<std::int64_t>& flagged, ScanScratch& scratch) const {
+  RADAR_REQUIRE(attached(), "scan before attach");
+  RADAR_REQUIRE(layouts_.size() == qm.num_layers(),
+                "scheme not attached to this model");
+  RADAR_REQUIRE(layer < layouts_.size() && group_begin >= 0 &&
+                    group_begin <= group_end &&
+                    group_end <= layouts_[layer].num_groups(),
+                "group range out of bounds");
+  // Block codes pay per gathered group either way, so a range scan is the
+  // full-scan loop bounded to [group_begin, group_end).
+  flagged.clear();
+  for (std::int64_t g = group_begin; g < group_end; ++g) {
+    gather(qm, layer, g, scratch.block);
+    if (code_->compute(scratch.block) != golden_[layer].get(g))
+      flagged.push_back(g);
+  }
+}
+
 void GroupedCodeScheme::resign_layer(const quant::QuantizedModel& qm,
                                      std::size_t layer) {
   RADAR_REQUIRE(layouts_.size() == qm.num_layers(),

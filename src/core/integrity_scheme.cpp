@@ -26,6 +26,20 @@ void IntegrityScheme::scan_layer_groups(const quant::QuantizedModel& qm,
   flagged.resize(keep);
 }
 
+void IntegrityScheme::scan_layer_range_into(const quant::QuantizedModel& qm,
+                                            std::size_t layer,
+                                            std::int64_t group_begin,
+                                            std::int64_t group_end,
+                                            std::vector<std::int64_t>& flagged,
+                                            ScanScratch& scratch) const {
+  scan_layer_into(qm, layer, flagged, scratch);
+  // Trim to [group_begin, group_end) — flagged is sorted ascending.
+  std::size_t keep = 0;
+  for (const std::int64_t f : flagged)
+    if (f >= group_begin && f < group_end) flagged[keep++] = f;
+  flagged.resize(keep);
+}
+
 SchemeBase::SchemeBase(std::string id, const SchemeParams& params)
     : id_(std::move(id)), params_(params) {
   RADAR_REQUIRE(params.group_size > 0, "group size must be positive");
@@ -40,9 +54,35 @@ GroupLayout SchemeBase::make_layout(std::int64_t num_weights) const {
 
 void SchemeBase::attach_layouts(const quant::QuantizedModel& qm) {
   layouts_.clear();
-  for (std::size_t li = 0; li < qm.num_layers(); ++li)
+  clean_offsets_.clear();
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
     layouts_.push_back(make_layout(qm.layer(li).size()));
-  clean_snapshot_ = qm.snapshot();
+    const quant::ArenaLayer& al = qm.arena().layer(li);
+    clean_offsets_.emplace_back(al.offset, al.size);
+  }
+  clean_size_bytes_ = qm.arena().size_bytes();
+  clean_holder_.reset();
+  if (defer_clean_capture_) {
+    // The caller promised an external source (set_clean_source follows
+    // immediately); skip the full-arena copy it would throw away.
+    defer_clean_capture_ = false;
+    clean_copy_ = {};
+    clean_bytes_ = {};
+    return;
+  }
+  clean_copy_.capture(qm.arena());
+  clean_bytes_ = clean_copy_.bytes();
+}
+
+void SchemeBase::set_clean_source(std::shared_ptr<const void> holder,
+                                  std::span<const std::int8_t> bytes) {
+  RADAR_REQUIRE(attached(), "set_clean_source before attach");
+  RADAR_REQUIRE(holder != nullptr, "null clean-source holder");
+  RADAR_REQUIRE(static_cast<std::int64_t>(bytes.size()) == clean_size_bytes_,
+                "clean source does not match the attached arena size");
+  clean_holder_ = std::move(holder);
+  clean_bytes_ = bytes;
+  clean_copy_ = {};  // drop the owned copy — the external source wins
 }
 
 std::vector<std::int64_t> SchemeBase::scan_layer(
@@ -70,6 +110,14 @@ void SchemeBase::recover(quant::QuantizedModel& qm,
                 "report does not match model");
   for (std::size_t li = 0; li < qm.num_layers(); ++li) {
     const GroupLayout& layout = layouts_[li];
+    // Resolve the clean copy only when this policy actually reads it —
+    // zero-out recovery must work on schemes with no clean source (e.g.
+    // deferred capture that never got set_clean_source).
+    const std::span<const std::int8_t> clean =
+        (policy == RecoveryPolicy::kReloadClean &&
+         !report.flagged[li].empty())
+            ? clean_span(li)
+            : std::span<const std::int8_t>{};
     for (const std::int64_t g : report.flagged[li]) {
       // Iterate slots directly — group_members() would allocate per group.
       for (std::int64_t slot = 0; slot < layout.group_size(); ++slot) {
@@ -80,8 +128,7 @@ void SchemeBase::recover(quant::QuantizedModel& qm,
             qm.set_code(li, idx, 0);
             break;
           case RecoveryPolicy::kReloadClean:
-            qm.set_code(li, idx,
-                        clean_snapshot_[li][static_cast<std::size_t>(idx)]);
+            qm.set_code(li, idx, clean[static_cast<std::size_t>(idx)]);
             break;
         }
       }

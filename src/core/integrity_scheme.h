@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -113,6 +114,27 @@ class IntegrityScheme {
                                  std::vector<std::int64_t>& flagged,
                                  ScanScratch& scratch) const;
 
+  /// Range scan: recompute only groups [group_begin, group_end) of one
+  /// layer, filling `flagged` (cleared first) with the mismatching ids in
+  /// that range. This is the byte-range sharding primitive ScanSession
+  /// partitions whole-model scans with: the result equals the
+  /// corresponding slice of scan_layer_into bit for bit, at cost
+  /// proportional to the bytes the range covers. Default recomputes the
+  /// full layer and trims — correct, but rangeless schemes gain no
+  /// sharding speedup.
+  virtual void scan_layer_range_into(const quant::QuantizedModel& qm,
+                                     std::size_t layer,
+                                     std::int64_t group_begin,
+                                     std::int64_t group_end,
+                                     std::vector<std::int64_t>& flagged,
+                                     ScanScratch& scratch) const;
+
+  /// True when scan_layer_range_into costs O(range bytes) rather than
+  /// falling back to a full-layer scan + trim. ScanSession only splits a
+  /// layer into byte-range shards for schemes that say so — splitting a
+  /// trim-fallback scheme would multiply total work by the shard count.
+  virtual bool supports_range_scan() const { return false; }
+
   /// Apply recovery to every flagged group.
   virtual void recover(quant::QuantizedModel& qm,
                        const DetectionReport& report,
@@ -137,6 +159,18 @@ class IntegrityScheme {
   /// tampering that happened since the export.
   virtual void import_golden(
       std::vector<std::vector<std::uint8_t>> packed) = 0;
+
+  /// Replace the clean weight copy backing kReloadClean recovery with an
+  /// external arena blob — typically a read-only mmap of a deployment
+  /// package's weight arena, making the golden copy zero-copy. `bytes`
+  /// must have the attached model's arena geometry (same blob size and
+  /// layer offsets); `holder` keeps the backing storage (file mapping)
+  /// alive for the scheme's lifetime. The scheme trusts `bytes` for its
+  /// whole lifetime: a file-backed source must stay immutable after
+  /// installation (mappings track page-cache writes), so external
+  /// sources belong on read-only provisioned storage.
+  virtual void set_clean_source(std::shared_ptr<const void> holder,
+                                std::span<const std::int8_t> bytes) = 0;
 };
 
 /// Shared plumbing of grouped schemes: per-layer GroupLayouts derived from
@@ -161,19 +195,50 @@ class SchemeBase : public IntegrityScheme {
       const override;
   void resign(const quant::QuantizedModel& qm) override;
   std::int64_t total_groups() const override;
+  void set_clean_source(std::shared_ptr<const void> holder,
+                        std::span<const std::int8_t> bytes) override;
+
+  /// True when the kReloadClean copy is an external (e.g. mmap'd) source
+  /// rather than an owned arena snapshot.
+  bool clean_source_is_external() const { return clean_holder_ != nullptr; }
+
+  /// One-shot: tell the NEXT attach() not to capture the owned clean
+  /// copy because the caller will install an external source via
+  /// set_clean_source immediately afterwards (the package-mmap load
+  /// path; skips one full-arena allocation + memcpy). Until that source
+  /// arrives, kReloadClean recovery of a flagged group is rejected.
+  void defer_clean_capture() { defer_clean_capture_ = true; }
 
  protected:
   SchemeBase(std::string id, const SchemeParams& params);
 
   /// Layout for one layer of `num_weights` weights per params().
   GroupLayout make_layout(std::int64_t num_weights) const;
-  /// Rebuild layouts_ for every layer of `qm` and snapshot the weights.
+  /// Rebuild layouts_ for every layer of `qm` and capture the clean
+  /// weight copy (one arena memcpy).
   void attach_layouts(const quant::QuantizedModel& qm);
+
+  /// Clean codes of layer `layer` (owned snapshot or external source).
+  std::span<const std::int8_t> clean_span(std::size_t layer) const {
+    RADAR_REQUIRE(!clean_bytes_.empty(),
+                  "no clean weight source (deferred capture without "
+                  "set_clean_source)");
+    return clean_bytes_.subspan(
+        static_cast<std::size_t>(clean_offsets_.at(layer).first),
+        static_cast<std::size_t>(clean_offsets_.at(layer).second));
+  }
 
   std::string id_;
   SchemeParams params_;
   std::vector<GroupLayout> layouts_;
-  quant::QSnapshot clean_snapshot_;
+  /// Per-layer (byte offset, size) into clean_bytes_ — the attached
+  /// model's arena geometry.
+  std::vector<std::pair<std::int64_t, std::int64_t>> clean_offsets_;
+  std::int64_t clean_size_bytes_ = 0;
+  quant::ArenaSnapshot clean_copy_;           ///< owned (attach path)
+  std::shared_ptr<const void> clean_holder_;  ///< external lifetime (mmap)
+  std::span<const std::int8_t> clean_bytes_;  ///< active whole-arena view
+  bool defer_clean_capture_ = false;          ///< one-shot attach hint
 };
 
 /// Number of attack flips that land in groups flagged by `report` — the

@@ -1,14 +1,22 @@
 // RadarPackage: the signed deployment artifact.
 //
 // Bundles everything a device needs to deploy a protected model: the int8
-// weight tensors with their scales, the protection scheme's registry id
-// and parameters (group size, interleave, skew, mask expansion — the
-// master key itself is provisioned out of band), the golden codes, and a
-// whole-file CRC-32. Loading rebuilds the scheme by name through
-// SchemeRegistry, re-derives codes from the (possibly tampered) weights
-// and compares them against the stored golden set, so any modification of
-// the weight payload since signing is localized to the affected groups —
-// the offline analogue of the run-time scan.
+// weight arena with its layer table (name / byte offset / size / scale),
+// the protection scheme's registry id and parameters (group size,
+// interleave, skew, mask expansion — the master key itself is provisioned
+// out of band), the golden codes, and a whole-file CRC-32. Loading
+// rebuilds the scheme by name through SchemeRegistry, re-derives codes
+// from the (possibly tampered) weights and compares them against the
+// stored golden set, so any modification of the weight payload since
+// signing is localized to the affected groups — the offline analogue of
+// the run-time scan.
+//
+// Format v3 stores the weights as one contiguous 64-byte-aligned arena
+// blob (the exact WeightArena geometry), preceded by the layer table:
+// loading is a single blob copy, and the blob can instead be mmap'd
+// read-only straight out of the file as the scheme's golden clean copy
+// (kReloadClean recovery then reads from the page cache, zero-copy).
+// v2 packages (per-layer vectors) load transparently.
 #pragma once
 
 #include <memory>
@@ -19,40 +27,70 @@
 
 namespace radar::core {
 
+/// Current (write-side) package format; v2 remains loadable.
+constexpr std::uint32_t kPackageFormatV2 = 2;
+constexpr std::uint32_t kPackageFormatV3 = 3;
+
 /// Metadata of a package on disk.
 struct PackageInfo {
   std::string model_name;
+  std::uint32_t format_version = kPackageFormatV3;
   std::int64_t total_weights = 0;
+  std::int64_t arena_bytes = 0;  ///< blob size incl. padding (v3; derived for v2)
   std::size_t num_layers = 0;
   std::string scheme_id = "radar2";  ///< SchemeRegistry id
   SchemeParams params;
+  /// Per-layer arena table (for v2 files the offsets are the ones a
+  /// freshly built arena would assign — the shared geometry rule).
+  std::vector<quant::ArenaLayer> layers;
 };
 
 /// Result of a verified load.
 struct PackageLoadReport {
   bool crc_ok = false;        ///< whole-file CRC-32 over the weight payload
   bool signatures_ok = false; ///< every group matches its golden code
+  bool golden_mmapped = false;  ///< clean copy served from the file mapping
   DetectionReport tamper;     ///< flagged groups when signatures_ok == false
   PackageInfo info;
 
   bool verified() const { return crc_ok && signatures_ok; }
 };
 
+/// Knobs of load_package.
+struct PackageLoadOptions {
+  std::size_t threads = 1;  ///< verify-scan workers (0 = hardware)
+  /// Map the package's arena blob read-only and install it as the
+  /// scheme's kReloadClean golden copy (v3 packages on platforms with
+  /// mmap; silently falls back to the owned copy elsewhere). The mapped
+  /// bytes are compared against the verified blob at load time, but a
+  /// MAP_PRIVATE mapping tracks later writes to the file's page cache —
+  /// the deployment contract is that the package lives on immutable
+  /// (read-only provisioned) storage for as long as the scheme is live.
+  /// On writable paths, leave this off and keep the owned clean copy.
+  bool mmap_golden = false;
+};
+
 /// Write the deployment package for a quantized model protected by an
-/// attached scheme. `model_name` is free-form metadata.
+/// attached scheme. `model_name` is free-form metadata. `version` selects
+/// the format (v3 default; v2 kept for migration tooling and tests).
 void save_package(const std::string& path, const quant::QuantizedModel& qm,
                   const IntegrityScheme& scheme,
-                  const std::string& model_name);
+                  const std::string& model_name,
+                  std::uint32_t version = kPackageFormatV3);
 
-/// Read metadata only (no model required).
+/// Read metadata only (no model required). Accepts v2 and v3.
 PackageInfo read_package_info(const std::string& path);
 
 /// Load the package into `qm` (must have the same layer structure),
 /// rebuild the stored scheme via SchemeRegistry into `scheme` (replacing
 /// whatever it held) with the stored golden codes, then verify. The scan
-/// fans out over `threads` workers (1 = serial; 0 = hardware concurrency).
-/// Tampered groups are reported, not repaired — callers decide between
-/// zero-out recovery and rejecting the artifact.
+/// fans out over `opts.threads` workers (1 = serial; 0 = hardware
+/// concurrency). Tampered groups are reported, not repaired — callers
+/// decide between zero-out recovery and rejecting the artifact.
+PackageLoadReport load_package(const std::string& path,
+                               quant::QuantizedModel& qm,
+                               std::unique_ptr<IntegrityScheme>& scheme,
+                               const PackageLoadOptions& opts);
 PackageLoadReport load_package(const std::string& path,
                                quant::QuantizedModel& qm,
                                std::unique_ptr<IntegrityScheme>& scheme,

@@ -7,6 +7,14 @@
 
 namespace radar::core {
 
+namespace {
+/// Byte-range sharding tunables: aim for a few shards per worker so the
+/// pool can rebalance, but never shards so small that per-item overhead
+/// dominates the kernel.
+constexpr std::int64_t kShardsPerThread = 4;
+constexpr std::int64_t kMinShardBytes = 4096;
+}  // namespace
+
 ScanSession::ScanSession(const IntegrityScheme& scheme, std::size_t threads)
     : scheme_(&scheme),
       threads_(threads == 0 ? std::max<std::size_t>(
@@ -30,6 +38,93 @@ DetectionReport ScanSession::scan(const quant::QuantizedModel& qm) const {
   return report;
 }
 
+void ScanSession::plan_shards(const quant::QuantizedModel& qm) const {
+  plan_.clear();
+  const std::int64_t total = qm.total_weights();
+  const std::int64_t target =
+      shard_bytes_ > 0
+          ? shard_bytes_
+          : std::max<std::int64_t>(
+                kMinShardBytes,
+                total / (static_cast<std::int64_t>(threads_) *
+                         kShardsPerThread));
+  // A scheme whose range scan is a full-layer fallback must not have its
+  // layers split — each extra shard would rescan the whole layer.
+  const bool splittable = scheme_->supports_range_scan();
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+    const GroupLayout& layout = scheme_->layout(li);
+    const std::int64_t nw = layout.num_weights();
+    const std::int64_t ng = layout.num_groups();
+    // Shard count proportional to this layer's bytes, split as evenly as
+    // possible over its groups (a group is the atomic scan unit).
+    const std::int64_t chunks =
+        splittable ? std::max<std::int64_t>(
+                         1, std::min(ng, (nw + target - 1) / target))
+                   : 1;
+    const std::int64_t per = (ng + chunks - 1) / chunks;
+    for (std::int64_t b = 0; b < ng; b += per)
+      plan_.push_back({li, b, std::min(b + per, ng)});
+  }
+  if (shard_scratch_.size() < plan_.size())
+    shard_scratch_.resize(plan_.size());
+  if (shard_flags_.size() < plan_.size()) shard_flags_.resize(plan_.size());
+}
+
+void ScanSession::scan_sharded(const quant::QuantizedModel& qm,
+                               DetectionReport& out, ThreadPool& pool) const {
+  plan_shards(qm);
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+  for (std::size_t si = 0; si < plan_.size(); ++si) {
+    pool.submit([this, &qm, &error, &failed, si] {
+      try {
+        const Shard& sh = plan_[si];
+        // A shard covering the whole layer takes the full-layer kernel
+        // (identical flags; skips the range plumbing for schemes without
+        // a native range path).
+        if (sh.begin == 0 && sh.end == scheme_->layout(sh.layer).num_groups())
+          scheme_->scan_layer_into(qm, sh.layer, shard_flags_[si],
+                                   shard_scratch_[si]);
+        else
+          scheme_->scan_layer_range_into(qm, sh.layer, sh.begin, sh.end,
+                                         shard_flags_[si],
+                                         shard_scratch_[si]);
+      } catch (...) {
+        if (!failed.exchange(true)) error = std::current_exception();
+      }
+    });
+  }
+  pool.wait();
+  if (error) std::rethrow_exception(error);
+  // Deterministic merge: shards of a layer appear in ascending group
+  // order in the plan, so concatenation reproduces the serial flag list.
+  for (auto& f : out.flagged) f.clear();
+  for (std::size_t si = 0; si < plan_.size(); ++si) {
+    auto& dst = out.flagged[plan_[si].layer];
+    dst.insert(dst.end(), shard_flags_[si].begin(), shard_flags_[si].end());
+  }
+}
+
+void ScanSession::scan_by_layer(const quant::QuantizedModel& qm,
+                                DetectionReport& out,
+                                ThreadPool& pool) const {
+  // Legacy partitioning: one work item per layer; the first exception
+  // (if any) is rethrown on the calling thread after the pool drains.
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+    pool.submit([this, &qm, &out, &error, &failed, li] {
+      try {
+        scheme_->scan_layer_into(qm, li, out.flagged[li], scratch_[li]);
+      } catch (...) {
+        if (!failed.exchange(true)) error = std::current_exception();
+      }
+    });
+  }
+  pool.wait();
+  if (error) std::rethrow_exception(error);
+}
+
 void ScanSession::scan_into(const quant::QuantizedModel& qm,
                             DetectionReport& out) const {
   RADAR_REQUIRE(scheme_->attached(), "scan before attach");
@@ -43,21 +138,10 @@ void ScanSession::scan_into(const quant::QuantizedModel& qm,
       scheme_->scan_layer_into(qm, li, out.flagged[li], scratch_[li]);
     return;
   }
-  // One work item per layer; the first exception (if any) is rethrown on
-  // the calling thread after the pool drains.
-  std::exception_ptr error;
-  std::atomic<bool> failed{false};
-  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
-    p->submit([this, &qm, &out, &error, &failed, li] {
-      try {
-        scheme_->scan_layer_into(qm, li, out.flagged[li], scratch_[li]);
-      } catch (...) {
-        if (!failed.exchange(true)) error = std::current_exception();
-      }
-    });
-  }
-  p->wait();
-  if (error) std::rethrow_exception(error);
+  if (sharding_ == Sharding::kByteRange)
+    scan_sharded(qm, out, *p);
+  else
+    scan_by_layer(qm, out, *p);
 }
 
 void ScanSession::scan_dirty_into(const quant::QuantizedModel& qm,

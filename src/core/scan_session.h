@@ -1,20 +1,26 @@
-// ScanSession: whole-model scans batched across layers on a thread pool,
-// with an incremental dirty-group mode.
+// ScanSession: whole-model scans batched over a thread pool with
+// byte-range work sharding, plus an incremental dirty-group mode.
 //
-// A scan of an N-layer model is N independent per-layer work items (each
-// scheme's scan_layer touches only that layer's weights and golden codes),
-// so the session fans them out over a radar::ThreadPool and merges the
-// per-layer flag lists into one DetectionReport. Results are bit-identical
-// to the serial scan: each work item writes its own report slot and the
-// per-layer flag order is deterministic. `threads == 1` runs inline with
-// no pool; `threads == 0` uses one thread per hardware core.
+// A whole-model scan is partitioned into shards of roughly equal weight
+// *bytes* — contiguous group ranges of a layer, split through the
+// scheme's scan_layer_range_into primitive — rather than one work item
+// per layer. Conv layer sizes span ~two orders of magnitude, so
+// layer-granular partitioning is limited by its largest layer (one
+// thread finishes last while the rest idle); byte-range shards
+// load-balance regardless of the layer size distribution. Results are
+// bit-identical to the serial scan: shards of a layer cover disjoint
+// ascending group ranges, each writes its own slot, and the merge
+// concatenates in plan order. `threads == 1` runs inline with no pool;
+// `threads == 0` uses one thread per hardware core. Sharding::kLayer
+// restores the legacy one-item-per-layer fanout (kept for benchmarking
+// and differential tests).
 //
-// The session owns one ScanScratch per layer (layer work items are
-// disjoint, so this is pool-safe within a scan call), and scan_into /
-// scan_dirty_into reuse the caller's DetectionReport vectors — the
-// steady-state scan loop performs zero allocations. A session must not be
-// scanned from two threads at once (the scratch would race); campaign
-// workers each hold their own session.
+// The session owns per-shard and per-layer scratch; scan_into /
+// scan_dirty_into reuse the caller's DetectionReport vectors, and the
+// shard plan is rebuilt into cached vectors, so the steady-state scan
+// loop performs zero allocations. A session must not be scanned from two
+// threads at once (the scratch would race); campaign workers each hold
+// their own session.
 //
 // scan_dirty_into() is the incremental entry point: it maps the model's
 // DirtyWrite log to affected groups through each layer's GroupLayout
@@ -37,11 +43,26 @@ namespace radar::core {
 
 class ScanSession {
  public:
+  /// How full scans are partitioned across pool workers.
+  enum class Sharding {
+    kLayer,      ///< legacy: one work item per layer
+    kByteRange,  ///< equal-byte group-range shards (default)
+  };
+
   /// The scheme must stay alive (and attached) for the session lifetime.
   explicit ScanSession(const IntegrityScheme& scheme,
                        std::size_t threads = 0);
 
   std::size_t threads() const { return threads_; }
+
+  void set_sharding(Sharding s) { sharding_ = s; }
+  Sharding sharding() const { return sharding_; }
+
+  /// Override the target shard size in bytes (0 = automatic: weight bytes
+  /// / (threads * 4), floored at 4 KiB). Exposed for benches and tests;
+  /// the report stays bit-identical for any value.
+  void set_shard_bytes(std::int64_t bytes) { shard_bytes_ = bytes; }
+  std::int64_t shard_bytes() const { return shard_bytes_; }
 
   /// Parallel whole-model scan; equals scheme.scan(qm) bit for bit.
   DetectionReport scan(const quant::QuantizedModel& qm) const;
@@ -63,8 +84,25 @@ class ScanSession {
   }
   double full_scan_threshold() const { return full_scan_threshold_; }
 
+  /// The byte-range shards the last pooled kByteRange scan used (exposed
+  /// for tests and benches; empty before the first such scan).
+  std::size_t last_shard_count() const { return plan_.size(); }
+
  private:
+  /// One unit of full-scan work: groups [begin, end) of one layer.
+  struct Shard {
+    std::size_t layer;
+    std::int64_t begin, end;
+  };
+
   void ensure_scratch(std::size_t num_layers) const;
+  /// Rebuild plan_ as equal-byte shards for the current model/scheme
+  /// (reuses vector capacity; no allocations at steady state).
+  void plan_shards(const quant::QuantizedModel& qm) const;
+  void scan_sharded(const quant::QuantizedModel& qm,
+                    DetectionReport& out, ThreadPool& pool) const;
+  void scan_by_layer(const quant::QuantizedModel& qm,
+                     DetectionReport& out, ThreadPool& pool) const;
   /// The pool, spawned on first parallel use (null when threads == 1):
   /// sessions that only ever run narrow incremental scans — which are
   /// always inline — never pay for worker threads.
@@ -72,10 +110,15 @@ class ScanSession {
 
   const IntegrityScheme* scheme_;
   std::size_t threads_;
+  Sharding sharding_ = Sharding::kByteRange;
+  std::int64_t shard_bytes_ = 0;  ///< 0 = automatic
   mutable std::unique_ptr<ThreadPool> pool_;
   double full_scan_threshold_ = 0.25;
   mutable std::vector<ScanScratch> scratch_;  ///< one per layer
   mutable std::vector<std::vector<std::int64_t>> dirty_groups_;
+  mutable std::vector<Shard> plan_;
+  mutable std::vector<ScanScratch> shard_scratch_;  ///< one per shard
+  mutable std::vector<std::vector<std::int64_t>> shard_flags_;
 };
 
 }  // namespace radar::core

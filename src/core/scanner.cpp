@@ -120,6 +120,64 @@ void LayerScanner::masked_sums_into(std::span<const std::int8_t> weights,
         static_cast<std::int64_t>(acc[grp]);
 }
 
+void LayerScanner::masked_sums_range_into(
+    std::span<const std::int8_t> weights, std::int64_t group_begin,
+    std::int64_t group_end, ScanScratch& scratch) const {
+  RADAR_REQUIRE(static_cast<std::int64_t>(weights.size()) == num_weights_,
+                "weight buffer size does not match scanner");
+  RADAR_REQUIRE(group_begin >= 0 && group_begin <= group_end &&
+                    group_end <= num_groups_,
+                "group range out of bounds");
+  const std::int64_t g = group_size_;
+  const std::int64_t ng = num_groups_;
+  const std::int64_t m = group_end - group_begin;
+  scratch.sums.resize(static_cast<std::size_t>(m));
+  if (m == 0) return;
+  const std::int8_t* w = weights.data();
+  const std::int8_t* s = sign_rm_.data();
+  if (!interleaved_) {
+    // Contiguous layout: the range is a straight run of dot products.
+    const bool wide = g > kInt32SafeGroupSize;
+    for (std::int64_t grp = group_begin; grp < group_end; ++grp) {
+      const std::int64_t base = grp * g;
+      const std::int64_t n = std::min(g, num_weights_ - base);
+      scratch.sums[static_cast<std::size_t>(grp - group_begin)] =
+          wide ? dot_i8_i64(w + base, s + base, n)
+               : static_cast<std::int64_t>(dot_i8_i32(w + base, s + base, n));
+    }
+    return;
+  }
+  if (g > kInt32SafeGroupSize) {
+    for (std::int64_t grp = group_begin; grp < group_end; ++grp)
+      scratch.sums[static_cast<std::size_t>(grp - group_begin)] =
+          group_sum(weights, grp);
+    return;
+  }
+  // Interleaved layout: within row r, group grp's member sits at column
+  // c = (grp - skew*r) mod ng. The range's columns form one rotated
+  // window of width m per row — at most two contiguous segments, each
+  // folding into the m accumulators with the same widening-add kernel as
+  // the full scan (acc index advances in lockstep with the column).
+  scratch.acc.resize(static_cast<std::size_t>(m));
+  std::int32_t* acc = scratch.acc.data();
+  std::fill(acc, acc + m, 0);
+  for (std::int64_t row = 0; row * ng < num_weights_; ++row) {
+    const std::int64_t base = row * ng;
+    const std::int64_t len = std::min(ng, num_weights_ - base);
+    // Column of the range's first group in this row.
+    const std::int64_t c0 = ((group_begin - skew_ * row) % ng + ng) % ng;
+    // Segment A: columns [c0, min(c0 + m, ng)) -> acc[0 ..).
+    const std::int64_t a_end = std::min({c0 + m, ng, len});
+    if (a_end > c0) axpy_i8_i32(acc, w + base + c0, s + base + c0, a_end - c0);
+    // Segment B (wrap): columns [0, c0 + m - ng) -> acc[ng - c0 ..).
+    const std::int64_t b_end = std::min(c0 + m - ng, len);
+    if (b_end > 0) axpy_i8_i32(acc + (ng - c0), w + base, s + base, b_end);
+  }
+  for (std::int64_t k = 0; k < m; ++k)
+    scratch.sums[static_cast<std::size_t>(k)] =
+        static_cast<std::int64_t>(acc[k]);
+}
+
 std::int64_t LayerScanner::group_sum(std::span<const std::int8_t> weights,
                                      std::int64_t group) const {
   RADAR_REQUIRE(static_cast<std::int64_t>(weights.size()) == num_weights_,

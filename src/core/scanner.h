@@ -52,6 +52,20 @@ class LayerScanner {
   void masked_sums_into(std::span<const std::int8_t> weights,
                         ScanScratch& scratch) const;
 
+  /// Masked sums of groups [group_begin, group_end) only, written to
+  /// scratch.sums[0 .. group_end - group_begin) — the byte-range sharding
+  /// kernel. Work is proportional to the bytes the range covers: the
+  /// contiguous layout reduces each group as a straight dot product, and
+  /// the skewed interleaver reads only the range's rotated column window
+  /// of each row (still contiguous segments, still vectorized). Each
+  /// group's sum accumulates in the same row order as masked_sums_into,
+  /// so results are bit-identical to the corresponding slice of the full
+  /// scan.
+  void masked_sums_range_into(std::span<const std::int8_t> weights,
+                              std::int64_t group_begin,
+                              std::int64_t group_end,
+                              ScanScratch& scratch) const;
+
   /// Masked sum of a single group — the narrow-scan primitive, O(G).
   std::int64_t group_sum(std::span<const std::int8_t> weights,
                          std::int64_t group) const;

@@ -99,6 +99,31 @@ void RadarScheme::scan_layer_groups(const quant::QuantizedModel& qm,
   }
 }
 
+void RadarScheme::scan_layer_range_into(const quant::QuantizedModel& qm,
+                                        std::size_t layer,
+                                        std::int64_t group_begin,
+                                        std::int64_t group_end,
+                                        std::vector<std::int64_t>& flagged,
+                                        ScanScratch& scratch) const {
+  RADAR_REQUIRE(attached(), "scan before attach");
+  RADAR_REQUIRE(layouts_.size() == qm.num_layers(),
+                "scheme not attached to this model");
+  RADAR_REQUIRE(layer < layouts_.size() && group_begin >= 0 &&
+                    group_begin <= group_end &&
+                    group_end <= layouts_[layer].num_groups(),
+                "group range out of bounds");
+  const auto& ql = qm.layer(layer);
+  scanners_[layer].masked_sums_range_into(
+      std::span<const std::int8_t>(ql.q.data(), ql.q.size()), group_begin,
+      group_end, scratch);
+  flagged.clear();
+  for (std::int64_t g = group_begin; g < group_end; ++g) {
+    if (!(binarize(scratch.sums[static_cast<std::size_t>(g - group_begin)],
+                   sig_bits_) == golden_[layer].get(g)))
+      flagged.push_back(g);
+  }
+}
+
 std::int64_t RadarScheme::signature_storage_bytes() const {
   std::int64_t bytes = 0;
   for (const auto& store : golden_) bytes += store.storage_bytes();

@@ -50,6 +50,12 @@ class RadarScheme : public SchemeBase {
                          std::span<const std::int64_t> groups,
                          std::vector<std::int64_t>& flagged,
                          ScanScratch& scratch) const override;
+  void scan_layer_range_into(const quant::QuantizedModel& qm,
+                             std::size_t layer, std::int64_t group_begin,
+                             std::int64_t group_end,
+                             std::vector<std::int64_t>& flagged,
+                             ScanScratch& scratch) const override;
+  bool supports_range_scan() const override { return true; }
   void resign_layer(const quant::QuantizedModel& qm,
                     std::size_t layer) override;
   std::int64_t signature_storage_bytes() const override;

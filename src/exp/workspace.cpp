@@ -215,7 +215,7 @@ std::vector<attack::AttackResult> load_or_run_pbfa(ModelBundle& bundle,
   RADAR_LOG(kInfo) << bundle.id << ": running " << rounds
                    << " PBFA rounds of " << n_bf << " flips...";
   ensure_engine(bundle);  // calibrate on the clean weights
-  const quant::QSnapshot clean = bundle.qmodel->snapshot();
+  const quant::ArenaSnapshot clean = bundle.qmodel->snapshot();
   std::vector<attack::AttackResult> out;
   attack::Pbfa pbfa;
   for (int r = 0; r < rounds; ++r) {
@@ -248,7 +248,7 @@ std::vector<attack::AttackResult> load_or_run_knowledgeable(
                    << " knowledgeable rounds (assumed G="
                    << assumed_group_size << ")...";
   ensure_engine(bundle);  // calibrate on the clean weights
-  const quant::QSnapshot clean = bundle.qmodel->snapshot();
+  const quant::ArenaSnapshot clean = bundle.qmodel->snapshot();
   attack::KnowledgeableConfig kc;
   kc.assumed_group_size = assumed_group_size;
   attack::KnowledgeableAttacker attacker(kc);
@@ -287,7 +287,7 @@ std::vector<attack::AttackResult> load_or_run_restricted_pbfa(
   pc.allowed_bits = std::move(allowed_bits);
   attack::Pbfa pbfa(pc);
   ensure_engine(bundle);  // calibrate on the clean weights
-  const quant::QSnapshot clean = bundle.qmodel->snapshot();
+  const quant::ArenaSnapshot clean = bundle.qmodel->snapshot();
   std::vector<attack::AttackResult> out;
   for (int r = 0; r < rounds; ++r) {
     data::Batch batch = bundle.dataset->attack_batch(
@@ -311,7 +311,7 @@ RecoveryOutcome replay_and_recover(ModelBundle& bundle,
                                    bool measure_attacked) {
   RADAR_REQUIRE(n_bf >= 0, "negative flip count");
   if (eval_subset > 0) ensure_engine(bundle);  // calibrate on clean weights
-  const quant::QSnapshot clean = bundle.qmodel->snapshot();
+  const quant::ArenaSnapshot clean = bundle.qmodel->snapshot();
 
   core::RadarScheme scheme(cfg);
   scheme.attach(*bundle.qmodel);

@@ -1,23 +1,38 @@
 #include "quant/qmodel.h"
 
+#include <cstring>
+
 namespace radar::quant {
 
 QuantizedModel::QuantizedModel(nn::ResNet& model) : model_(&model) {
+  // First pass: quantize every eligible tensor and record the layer table.
+  std::vector<QuantResult> results;
+  std::vector<ArenaLayer> table;
   for (auto& np : model.params()) {
     const auto kind = np.param->kind;
     if (kind != nn::ParamKind::kConvWeight &&
         kind != nn::ParamKind::kLinearWeight)
       continue;
+    QuantResult r = quantize_symmetric(np.param->value);
+    table.push_back({np.name, 0,
+                     static_cast<std::int64_t>(r.q.size()), r.scale});
+    results.push_back(std::move(r));
     QuantLayer ql;
     ql.name = np.name;
     ql.param = np.param;
-    QuantResult r = quantize_symmetric(np.param->value);
-    ql.q = std::move(r.q);
-    ql.scale = r.scale;
-    total_weights_ += ql.size();
+    ql.scale = results.back().scale;
     layers_.push_back(std::move(ql));
   }
   RADAR_REQUIRE(!layers_.empty(), "model has no quantizable weights");
+  // Second pass: lay the codes out in the contiguous arena and point each
+  // layer's span at its slice.
+  arena_ = WeightArena::build(std::move(table));
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].q = arena_.span(i);
+    if (!results[i].q.empty())
+      std::memcpy(layers_[i].q.data(), results[i].q.data(),
+                  results[i].q.size());
+  }
   sync_all();
 }
 
@@ -52,9 +67,47 @@ std::int8_t QuantizedModel::flip_bit(std::size_t layer, std::int64_t idx,
   return before;
 }
 
+void QuantizedModel::set_scale(std::size_t layer, float scale) {
+  layers_.at(layer).scale = scale;
+  arena_.set_scale(layer, scale);
+}
+
+void QuantizedModel::load_weights(std::span<const std::int8_t> bytes,
+                                  std::span<const float> scales) {
+  RADAR_REQUIRE(static_cast<std::int64_t>(bytes.size()) ==
+                    arena_.size_bytes(),
+                "arena blob size mismatch");
+  RADAR_REQUIRE(scales.size() == layers_.size(),
+                "scale count does not match layer count");
+  std::memcpy(arena_.bytes().data(), bytes.data(), bytes.size());
+  // Re-establish the padding-is-zero invariant whole-blob compares rely
+  // on: external blobs (deployment packages) may carry junk between
+  // layers, which is semantically void.
+  std::int64_t prev_end = 0;
+  std::int8_t* base = arena_.bytes().data();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const ArenaLayer& l = arena_.layer(i);
+    std::memset(base + prev_end, 0,
+                static_cast<std::size_t>(l.offset - prev_end));
+    prev_end = l.offset + l.size;
+  }
+  std::memset(base + prev_end, 0,
+              static_cast<std::size_t>(arena_.size_bytes() - prev_end));
+  for (std::size_t i = 0; i < layers_.size(); ++i) set_scale(i, scales[i]);
+  sync_all();
+  dirty_.clear();
+  if (track_dirty_) baseline_.capture(arena_);
+}
+
 void QuantizedModel::set_dirty_tracking(bool enabled) {
   track_dirty_ = enabled;
   dirty_.clear();
+  if (enabled) baseline_.capture(arena_);
+}
+
+void QuantizedModel::clear_dirty() {
+  dirty_.clear();
+  if (track_dirty_) baseline_.capture(arena_);
 }
 
 void QuantizedModel::undo_dirty() {
@@ -66,22 +119,15 @@ void QuantizedModel::undo_dirty() {
     l.param->value[it->index] = dequantize(it->before, l.scale);
   }
   dirty_.clear();
+  // The arena is back at the baseline state; baseline_ is still valid.
 }
 
 bool QuantizedModel::dirty_matches_baseline() const {
-  // The baseline value of a touched weight is the `before` of its OLDEST
-  // logged write; later writes to the same index are superseded.
-  for (std::size_t i = 0; i < dirty_.size(); ++i) {
-    const DirtyWrite& w = dirty_[i];
-    bool oldest = true;
-    for (std::size_t j = 0; j < i; ++j) {
-      if (dirty_[j].layer == w.layer && dirty_[j].index == w.index) {
-        oldest = false;
-        break;
-      }
-    }
-    if (!oldest) continue;
-    if (layers_[w.layer].q[static_cast<std::size_t>(w.index)] != w.before)
+  // Untouched weights always equal the baseline, so only logged indices
+  // need checking — each against the baseline arena copy.
+  for (const DirtyWrite& w : dirty_) {
+    if (layers_[w.layer].q[static_cast<std::size_t>(w.index)] !=
+        baseline_.span(w.layer)[static_cast<std::size_t>(w.index)])
       return false;
   }
   return true;
@@ -96,22 +142,28 @@ void QuantizedModel::sync_all() {
   for (std::size_t i = 0; i < layers_.size(); ++i) sync_layer(i);
 }
 
-QSnapshot QuantizedModel::snapshot() const {
-  QSnapshot snap;
-  snap.reserve(layers_.size());
-  for (const auto& l : layers_) snap.push_back(l.q);
+ArenaSnapshot QuantizedModel::snapshot() const {
+  ArenaSnapshot snap;
+  snap.capture(arena_);
   return snap;
 }
 
-void QuantizedModel::restore(const QSnapshot& snap) {
-  RADAR_REQUIRE(snap.size() == layers_.size(), "snapshot layer count mismatch");
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    RADAR_REQUIRE(snap[i].size() == layers_[i].q.size(),
-                  "snapshot size mismatch");
-    layers_[i].q = snap[i];
-  }
+void QuantizedModel::restore(const ArenaSnapshot& snap) {
+  RADAR_REQUIRE(snap.num_layers() == layers_.size(),
+                "snapshot layer count mismatch");
+  RADAR_REQUIRE(snap.size_bytes() == arena_.size_bytes(),
+                "snapshot size mismatch");
+  // Same totals do not imply the same geometry: a foreign snapshot with
+  // permuted layer sizes would land codes inside the wrong layers.
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    RADAR_REQUIRE(snap.layer(i).offset == arena_.layer(i).offset &&
+                      snap.layer(i).size == arena_.layer(i).size,
+                  "snapshot layer geometry mismatch");
+  std::memcpy(arena_.bytes().data(), snap.bytes().data(),
+              static_cast<std::size_t>(snap.size_bytes()));
   sync_all();
   dirty_.clear();
+  if (track_dirty_) baseline_.capture(arena_);
 }
 
 }  // namespace radar::quant

@@ -1,34 +1,36 @@
 // QuantizedModel: the int8 view of a trained network's weights.
 //
 // This is the deployment artifact RADAR protects: every conv / fc weight
-// tensor lives as an int8 buffer ("in DRAM" in the paper's threat model),
-// and the float master weights mirror q * scale so that forward passes and
-// attacker gradients both see the quantized network. Bit flips mutate the
-// int8 buffer and are synced back to the float mirror.
+// tensor lives in one contiguous 64-byte-aligned WeightArena ("in DRAM" in
+// the paper's threat model) with the float masters mirroring q * scale, so
+// that forward passes and attacker gradients both see the quantized
+// network. Bit flips mutate the arena and are synced back to the float
+// mirror. Each QuantLayer::q is a span view into the arena; snapshots are
+// one-memcpy ArenaSnapshots, and baseline comparison under dirty tracking
+// is a byte compare against a second arena copy.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/bits.h"
 #include "nn/resnet.h"
 #include "quant/quantizer.h"
+#include "quant/weight_arena.h"
 
 namespace radar::quant {
 
-/// One quantized weight tensor.
+/// One quantized weight tensor — a view into the model's WeightArena.
 struct QuantLayer {
   std::string name;            ///< hierarchical parameter name
   nn::Param* param = nullptr;  ///< float master (inside the network)
-  std::vector<std::int8_t> q;  ///< int8 codes — the attack surface
+  std::span<std::int8_t> q;    ///< int8 codes — the attack surface
   float scale = 1.0f;
 
   std::int64_t size() const { return static_cast<std::int64_t>(q.size()); }
 };
-
-/// Full int8 state snapshot (for repeated attack rounds).
-using QSnapshot = std::vector<std::vector<std::int8_t>>;
 
 /// One recorded weight mutation: enough to undo it and to map it to the
 /// checksum group it lands in.
@@ -48,7 +50,18 @@ class QuantizedModel {
   std::size_t num_layers() const { return layers_.size(); }
   QuantLayer& layer(std::size_t i) { return layers_.at(i); }
   const QuantLayer& layer(std::size_t i) const { return layers_.at(i); }
-  std::int64_t total_weights() const { return total_weights_; }
+  std::int64_t total_weights() const { return arena_.total_weights(); }
+
+  /// The contiguous weight store all layer spans point into.
+  const WeightArena& arena() const { return arena_; }
+
+  /// Global flat index (rank in layer order) <-> (layer, index) mapping.
+  std::int64_t global_index(std::size_t layer, std::int64_t idx) const {
+    return arena_.global_index(layer, idx);
+  }
+  std::pair<std::size_t, std::int64_t> locate(std::int64_t global) const {
+    return arena_.locate(global);
+  }
 
   nn::ResNet& network() { return *model_; }
 
@@ -63,6 +76,17 @@ class QuantizedModel {
   /// Flip one bit and sync the affected float weight. Returns the code
   /// value before the flip.
   std::int8_t flip_bit(std::size_t layer, std::int64_t idx, int bit);
+
+  /// Update one layer's quantization scale (package loads), keeping the
+  /// arena's layer table in sync.
+  void set_scale(std::size_t layer, float scale);
+
+  /// Overwrite the whole arena blob (padding included) and per-layer
+  /// scales — the package-v3 load path. `bytes` must have exactly
+  /// arena().size_bytes() bytes laid out with this arena's geometry.
+  /// Syncs the float mirror and resets the dirty baseline.
+  void load_weights(std::span<const std::int8_t> bytes,
+                    std::span<const float> scales);
 
   /// Rewrite the float master of one layer / all layers from int8 codes.
   void sync_layer(std::size_t layer);
@@ -79,32 +103,35 @@ class QuantizedModel {
   const std::vector<DirtyWrite>& dirty_writes() const { return dirty_; }
   /// Forget the log without undoing (the current state becomes the new
   /// baseline the next undo_dirty() returns to).
-  void clear_dirty() { dirty_.clear(); }
+  void clear_dirty();
   /// Reverse-apply every recorded write (newest first), syncing the float
   /// mirror of each touched weight, then clear the log.
   void undo_dirty();
   /// True when the current int8 state equals the baseline the dirty log
   /// started from (i.e. undo_dirty() would be a no-op on the codes) —
-  /// cheap O(d^2) over the d logged writes, allocation-free. Lets eval
-  /// paths reuse cached clean results when a recovery restored the model
-  /// exactly.
+  /// O(#writes) byte compares against the baseline arena copy,
+  /// allocation-free. Lets eval paths reuse cached clean results when a
+  /// recovery restored the model exactly.
   bool dirty_matches_baseline() const;
 
   // ---- snapshots ----
-  QSnapshot snapshot() const;
-  /// Full-state restore; also clears the dirty log (the restored state is
-  /// the new baseline).
-  void restore(const QSnapshot& snap);
+  /// One-memcpy copy of the arena blob.
+  ArenaSnapshot snapshot() const;
+  /// Full-state restore (one memcpy + float resync); also clears the
+  /// dirty log (the restored state is the new baseline).
+  void restore(const ArenaSnapshot& snap);
 
   /// Total int8 weight bytes (= weight count).
-  std::int64_t weight_bytes() const { return total_weights_; }
+  std::int64_t weight_bytes() const { return arena_.total_weights(); }
 
  private:
   nn::ResNet* model_;
+  WeightArena arena_;
   std::vector<QuantLayer> layers_;
-  std::int64_t total_weights_ = 0;
   bool track_dirty_ = false;
   std::vector<DirtyWrite> dirty_;
+  /// Arena copy at the last dirty baseline (valid while tracking).
+  ArenaSnapshot baseline_;
 };
 
 }  // namespace radar::quant

@@ -22,7 +22,7 @@ QuantResult quantize_symmetric(const nn::Tensor& w) {
   return r;
 }
 
-void dequantize_into(const std::vector<std::int8_t>& q, float scale,
+void dequantize_into(std::span<const std::int8_t> q, float scale,
                      float* out) {
   for (std::size_t i = 0; i < q.size(); ++i)
     out[i] = static_cast<float>(q[i]) * scale;

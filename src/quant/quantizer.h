@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "nn/tensor.h"
@@ -29,7 +30,7 @@ inline float dequantize(std::int8_t q, float scale) {
 }
 
 /// Dequantize a full buffer into `out` (must have q.size() elements).
-void dequantize_into(const std::vector<std::int8_t>& q, float scale,
+void dequantize_into(std::span<const std::int8_t> q, float scale,
                      float* out);
 
 /// Largest absolute rounding error introduced by quantize->dequantize,

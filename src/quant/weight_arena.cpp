@@ -1,0 +1,77 @@
+#include "quant/weight_arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace radar::quant {
+
+AlignedBlob::AlignedBlob(std::int64_t size) : size_(size) {
+  RADAR_REQUIRE(size >= 0, "negative blob size");
+  if (size == 0) return;
+  auto* p = static_cast<std::int8_t*>(::operator new[](
+      static_cast<std::size_t>(size),
+      std::align_val_t{static_cast<std::size_t>(kArenaAlignment)}));
+  std::memset(p, 0, static_cast<std::size_t>(size));
+  buf_.reset(p);
+}
+
+WeightArena WeightArena::build(std::vector<ArenaLayer> layers) {
+  WeightArena arena;
+  std::int64_t cursor = 0;
+  arena.weight_starts_.reserve(layers.size());
+  for (ArenaLayer& l : layers) {
+    RADAR_REQUIRE(l.size >= 0, "negative layer size in arena table");
+    cursor = aligned_offset(cursor);
+    l.offset = cursor;
+    cursor += l.size;
+    arena.weight_starts_.push_back(arena.total_weights_);
+    arena.total_weights_ += l.size;
+  }
+  arena.blob_ = AlignedBlob(aligned_offset(cursor));
+  arena.table_ = std::move(layers);
+  return arena;
+}
+
+std::int64_t WeightArena::global_index(std::size_t layer,
+                                       std::int64_t idx) const {
+  const ArenaLayer& l = table_.at(layer);
+  RADAR_REQUIRE(idx >= 0 && idx < l.size, "weight index out of range");
+  return weight_starts_[layer] + idx;
+}
+
+std::pair<std::size_t, std::int64_t> WeightArena::locate(
+    std::int64_t global) const {
+  RADAR_REQUIRE(global >= 0 && global < total_weights_,
+                "global weight index out of range");
+  // Last layer whose first global index is <= global.
+  const auto it = std::upper_bound(weight_starts_.begin(),
+                                   weight_starts_.end(), global);
+  const auto layer =
+      static_cast<std::size_t>(it - weight_starts_.begin()) - 1;
+  return {layer, global - weight_starts_[layer]};
+}
+
+void ArenaSnapshot::capture(const WeightArena& arena) {
+  if (blob_.size() != arena.size_bytes())
+    blob_ = AlignedBlob(arena.size_bytes());
+  if (arena.size_bytes() > 0)
+    std::memcpy(blob_.data(), arena.bytes().data(),
+                static_cast<std::size_t>(arena.size_bytes()));
+  table_ = arena.table();
+}
+
+bool operator==(const ArenaSnapshot& a, const ArenaSnapshot& b) {
+  if (a.blob_.size() != b.blob_.size()) return false;
+  if (a.table_.size() != b.table_.size()) return false;
+  for (std::size_t i = 0; i < a.table_.size(); ++i) {
+    if (a.table_[i].offset != b.table_[i].offset ||
+        a.table_[i].size != b.table_[i].size)
+      return false;
+  }
+  return a.blob_.size() == 0 ||
+         std::memcmp(a.blob_.data(), b.blob_.data(),
+                     static_cast<std::size_t>(a.blob_.size())) == 0;
+}
+
+}  // namespace radar::quant

@@ -1,0 +1,162 @@
+// WeightArena: the contiguous int8 weight store behind QuantizedModel.
+//
+// The paper's threat model treats the deployed int8 weights as one
+// DRAM-resident attack surface; this layer gives them exactly that shape
+// in memory. All conv / fc weight tensors live back to back in a single
+// 64-byte-aligned blob, described by a layer table (name / byte offset /
+// size / scale). Each layer's codes are a std::span view into the blob,
+// so every consumer — scan kernels, the int8 inference engine, package
+// (de)serialization, snapshot / restore — operates on slices of the same
+// allocation:
+//
+//   * snapshot and restore are one memcpy of the blob,
+//   * baseline comparison is a byte compare against a second arena,
+//   * whole-model scans shard by byte range instead of by layer,
+//   * deployment packages (format v3) store the blob verbatim, which is
+//     what makes read-only mmap of the golden copy possible.
+//
+// Layer offsets are 64-byte aligned; the padding bytes between layers are
+// zero and are never written after construction, so whole-blob compares
+// are exact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace radar::quant {
+
+/// Alignment of the blob and of every layer offset inside it.
+constexpr std::int64_t kArenaAlignment = 64;
+
+/// One row of the arena's layer table.
+struct ArenaLayer {
+  std::string name;         ///< hierarchical parameter name
+  std::int64_t offset = 0;  ///< byte offset into the blob (64-byte aligned)
+  std::int64_t size = 0;    ///< weight count (= bytes, int8 codes)
+  float scale = 1.0f;       ///< per-tensor symmetric quantization scale
+};
+
+/// 64-byte-aligned owned int8 buffer. Zero-initialized on allocation so
+/// inter-layer padding compares equal across arenas.
+class AlignedBlob {
+ public:
+  AlignedBlob() = default;
+  explicit AlignedBlob(std::int64_t size);
+
+  std::int8_t* data() { return buf_.get(); }
+  const std::int8_t* data() const { return buf_.get(); }
+  std::int64_t size() const { return size_; }
+
+ private:
+  struct Deleter {
+    void operator()(std::int8_t* p) const {
+      ::operator delete[](p, std::align_val_t{
+                                 static_cast<std::size_t>(kArenaAlignment)});
+    }
+  };
+  std::unique_ptr<std::int8_t[], Deleter> buf_;
+  std::int64_t size_ = 0;
+};
+
+/// The contiguous weight store: blob + layer table.
+class WeightArena {
+ public:
+  WeightArena() = default;
+
+  /// Build an arena for the given layers. `offset` fields of the input are
+  /// ignored and reassigned: layers are laid out in order at 64-byte
+  /// aligned offsets (deterministic, so two arenas with the same layer
+  /// sizes have identical geometry). The blob starts zeroed.
+  static WeightArena build(std::vector<ArenaLayer> layers);
+
+  /// Byte offset layer `i` would get in a freshly built arena — the
+  /// geometry contract shared with deployment packages.
+  static std::int64_t aligned_offset(std::int64_t unaligned) {
+    return (unaligned + kArenaAlignment - 1) / kArenaAlignment *
+           kArenaAlignment;
+  }
+
+  std::size_t num_layers() const { return table_.size(); }
+  const ArenaLayer& layer(std::size_t i) const { return table_.at(i); }
+  const std::vector<ArenaLayer>& table() const { return table_; }
+  void set_scale(std::size_t i, float s) { table_.at(i).scale = s; }
+
+  /// Total real weights (sum of layer sizes, excluding padding).
+  std::int64_t total_weights() const { return total_weights_; }
+  /// Blob size in bytes (including inter-layer padding).
+  std::int64_t size_bytes() const { return blob_.size(); }
+
+  /// One layer's codes as a view into the blob.
+  std::span<std::int8_t> span(std::size_t i) {
+    const ArenaLayer& l = table_.at(i);
+    return {blob_.data() + l.offset, static_cast<std::size_t>(l.size)};
+  }
+  std::span<const std::int8_t> span(std::size_t i) const {
+    const ArenaLayer& l = table_.at(i);
+    return {blob_.data() + l.offset, static_cast<std::size_t>(l.size)};
+  }
+
+  /// The whole blob, padding included.
+  std::span<std::int8_t> bytes() {
+    return {blob_.data(), static_cast<std::size_t>(blob_.size())};
+  }
+  std::span<const std::int8_t> bytes() const {
+    return {blob_.data(), static_cast<std::size_t>(blob_.size())};
+  }
+
+  // ---- global-index mapping ----
+  // The global index of a weight is its rank in layer order (0-based over
+  // all real weights, padding excluded) — the coordinate byte-range work
+  // partitioning and cross-layer tooling use.
+
+  /// Global flat index of weight `idx` of layer `layer`.
+  std::int64_t global_index(std::size_t layer, std::int64_t idx) const;
+  /// Inverse: (layer, in-layer index) of a global flat index.
+  std::pair<std::size_t, std::int64_t> locate(std::int64_t global) const;
+
+ private:
+  std::vector<ArenaLayer> table_;
+  std::vector<std::int64_t> weight_starts_;  ///< prefix sums of layer sizes
+  AlignedBlob blob_;
+  std::int64_t total_weights_ = 0;
+};
+
+/// A point-in-time copy of an arena's blob: capture is one memcpy,
+/// equality is one memcmp. Carries a copy of the source layer table so
+/// per-layer views remain available after the source is gone.
+class ArenaSnapshot {
+ public:
+  ArenaSnapshot() = default;
+
+  /// Copy the arena's blob (reallocating only when the size changed).
+  void capture(const WeightArena& arena);
+
+  bool empty() const { return blob_.size() == 0; }
+  std::int64_t size_bytes() const { return blob_.size(); }
+
+  std::span<const std::int8_t> bytes() const {
+    return {blob_.data(), static_cast<std::size_t>(blob_.size())};
+  }
+  std::size_t num_layers() const { return table_.size(); }
+  const ArenaLayer& layer(std::size_t i) const { return table_.at(i); }
+  std::span<const std::int8_t> span(std::size_t i) const {
+    const ArenaLayer& l = table_.at(i);
+    return {blob_.data() + l.offset, static_cast<std::size_t>(l.size)};
+  }
+
+  /// Blob-content equality (layer geometry must match too).
+  friend bool operator==(const ArenaSnapshot& a, const ArenaSnapshot& b);
+
+ private:
+  friend class QuantizedModel;  // restore() reads the blob directly
+  std::vector<ArenaLayer> table_;
+  AlignedBlob blob_;
+};
+
+}  // namespace radar::quant

@@ -56,7 +56,7 @@ Fixture& fixture() {
 
 TEST(Pbfa, IncreasesLossWithEachCommittedFlip) {
   Fixture& f = fixture();
-  const quant::QSnapshot clean = f.qm->snapshot();
+  const quant::ArenaSnapshot clean = f.qm->snapshot();
   data::Batch batch = f.dataset->attack_batch(16, 1);
   Pbfa pbfa;
   AttackResult r = pbfa.run(*f.qm, batch, 5);
@@ -67,7 +67,7 @@ TEST(Pbfa, IncreasesLossWithEachCommittedFlip) {
 
 TEST(Pbfa, RecordsAccurateBeforeAfterCodes) {
   Fixture& f = fixture();
-  const quant::QSnapshot clean = f.qm->snapshot();
+  const quant::ArenaSnapshot clean = f.qm->snapshot();
   data::Batch batch = f.dataset->attack_batch(16, 2);
   Pbfa pbfa;
   AttackResult r = pbfa.run(*f.qm, batch, 3);
@@ -75,7 +75,7 @@ TEST(Pbfa, RecordsAccurateBeforeAfterCodes) {
     EXPECT_EQ(static_cast<std::uint8_t>(flip.before ^ flip.after),
               1u << flip.bit);
     EXPECT_EQ(f.qm->get_code(flip.layer, flip.index), flip.after);
-    EXPECT_EQ(clean[flip.layer][static_cast<std::size_t>(flip.index)],
+    EXPECT_EQ(clean.span(flip.layer)[static_cast<std::size_t>(flip.index)],
               flip.before);
   }
   f.qm->restore(clean);
@@ -85,7 +85,7 @@ TEST(Pbfa, PrefersMsbFlips) {
   // Observation 1 of the paper: the most damaging admissible bit is
   // (almost) always the MSB.
   Fixture& f = fixture();
-  const quant::QSnapshot clean = f.qm->snapshot();
+  const quant::ArenaSnapshot clean = f.qm->snapshot();
   data::Batch batch = f.dataset->attack_batch(16, 3);
   Pbfa pbfa;
   AttackResult r = pbfa.run(*f.qm, batch, 8);
@@ -98,7 +98,7 @@ TEST(Pbfa, PrefersMsbFlips) {
 
 TEST(Pbfa, GreedyIsPrefixConsistent) {
   Fixture& f = fixture();
-  const quant::QSnapshot clean = f.qm->snapshot();
+  const quant::ArenaSnapshot clean = f.qm->snapshot();
   data::Batch batch = f.dataset->attack_batch(16, 4);
   Pbfa pbfa;
   AttackResult long_run = pbfa.run(*f.qm, batch, 6);
@@ -116,7 +116,7 @@ TEST(Pbfa, GreedyIsPrefixConsistent) {
 
 TEST(Pbfa, RestrictedBitsHonored) {
   Fixture& f = fixture();
-  const quant::QSnapshot clean = f.qm->snapshot();
+  const quant::ArenaSnapshot clean = f.qm->snapshot();
   data::Batch batch = f.dataset->attack_batch(16, 5);
   PbfaConfig cfg;
   cfg.allowed_bits = {6};  // MSB-1 only (the §VIII attacker)
@@ -129,7 +129,7 @@ TEST(Pbfa, RestrictedBitsHonored) {
 TEST(Pbfa, Msb1AttackWeakerThanMsb) {
   // §VIII: restricting to MSB-1 yields less damage per flip.
   Fixture& f = fixture();
-  const quant::QSnapshot clean = f.qm->snapshot();
+  const quant::ArenaSnapshot clean = f.qm->snapshot();
   data::Batch batch = f.dataset->attack_batch(32, 6);
 
   Pbfa msb_attack;  // unrestricted, will pick MSBs
@@ -147,7 +147,7 @@ TEST(Pbfa, Msb1AttackWeakerThanMsb) {
 
 TEST(Pbfa, TargetedVariantDrivesPredictionsToTarget) {
   Fixture& f = fixture();
-  const quant::QSnapshot clean = f.qm->snapshot();
+  const quant::ArenaSnapshot clean = f.qm->snapshot();
   data::Batch batch = f.dataset->attack_batch(24, 8);
 
   auto target_rate = [&](int target) {
@@ -173,7 +173,7 @@ TEST(Pbfa, TargetedVariantDrivesPredictionsToTarget) {
 
 TEST(RandomAttack, FlipsRequestedCountAtDistinctSites) {
   Fixture& f = fixture();
-  const quant::QSnapshot clean = f.qm->snapshot();
+  const quant::ArenaSnapshot clean = f.qm->snapshot();
   Rng rng(9);
   AttackResult r = random_bit_flips(*f.qm, 20, rng);
   EXPECT_EQ(r.flips.size(), 20u);
@@ -185,7 +185,7 @@ TEST(RandomAttack, FlipsRequestedCountAtDistinctSites) {
 
 TEST(RandomAttack, MsbVariantOnlyTouchesMsb) {
   Fixture& f = fixture();
-  const quant::QSnapshot clean = f.qm->snapshot();
+  const quant::ArenaSnapshot clean = f.qm->snapshot();
   Rng rng(10);
   AttackResult r = random_msb_flips(*f.qm, 15, rng);
   for (const auto& flip : r.flips) EXPECT_EQ(flip.bit, 7);
@@ -194,7 +194,7 @@ TEST(RandomAttack, MsbVariantOnlyTouchesMsb) {
 
 TEST(Knowledgeable, DecoysCancelUnmaskedContiguousChecksum) {
   Fixture& f = fixture();
-  const quant::QSnapshot clean = f.qm->snapshot();
+  const quant::ArenaSnapshot clean = f.qm->snapshot();
 
   // Defender's hypothetical naive configuration (what the attacker
   // assumes): contiguous groups, no masking.
@@ -219,7 +219,8 @@ TEST(Knowledgeable, DecoysCancelUnmaskedContiguousChecksum) {
       if (flip.layer == li) flips_per_group[layout.group_of(flip.index)]++;
     for (const auto& [grp, count] : flips_per_group) {
       if (count != 2) continue;  // only paired groups must cancel
-      std::vector<std::int8_t> clean_w(clean[li].begin(), clean[li].end());
+      std::vector<std::int8_t> clean_w(clean.span(li).begin(),
+                                       clean.span(li).end());
       const std::int64_t m_clean =
           core::masked_group_sum(clean_w, layout, grp, no_mask);
       const std::int64_t m_dirty =

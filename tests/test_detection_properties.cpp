@@ -43,7 +43,7 @@ class DetectionSweep
 
 TEST_P(DetectionSweep, EverySingleMsbFlipDetected) {
   RadarScheme scheme = make_scheme();
-  const quant::QSnapshot clean = qm_.snapshot();
+  const quant::ArenaSnapshot clean = qm_.snapshot();
   Rng rng(101);
   for (int trial = 0; trial < 40; ++trial) {
     const auto layer =
@@ -64,7 +64,7 @@ TEST_P(DetectionSweep, CleanStateNeverFlagged) {
 
 TEST_P(DetectionSweep, TenRandomMsbFlipsMostlyDetected) {
   RadarScheme scheme = make_scheme();
-  const quant::QSnapshot clean = qm_.snapshot();
+  const quant::ArenaSnapshot clean = qm_.snapshot();
   Rng rng(202);
   std::int64_t detected = 0, total = 0;
   for (int round = 0; round < 10; ++round) {
@@ -90,7 +90,7 @@ TEST_P(DetectionSweep, TenRandomMsbFlipsMostlyDetected) {
 
 TEST_P(DetectionSweep, RecoveryClearsDetectionState) {
   RadarScheme scheme = make_scheme();
-  const quant::QSnapshot clean = qm_.snapshot();
+  const quant::ArenaSnapshot clean = qm_.snapshot();
   qm_.flip_bit(1, 3, kMsb);
   qm_.flip_bit(2, 30, kMsb);
   const DetectionReport report = scheme.scan(qm_);

@@ -35,8 +35,7 @@ TEST_F(ExpWorkspace, TrainAndCacheRoundTrip) {
   ModelBundle second = load_or_train("tiny");
   EXPECT_DOUBLE_EQ(first.clean_accuracy, second.clean_accuracy);
   ASSERT_EQ(first.qmodel->num_layers(), second.qmodel->num_layers());
-  for (std::size_t li = 0; li < first.qmodel->num_layers(); ++li)
-    EXPECT_EQ(first.qmodel->layer(li).q, second.qmodel->layer(li).q);
+  EXPECT_EQ(first.qmodel->snapshot(), second.qmodel->snapshot());
 }
 
 TEST_F(ExpWorkspace, UnknownModelIdRejected) {
@@ -54,7 +53,7 @@ TEST_F(ExpWorkspace, LayerSizesMatchModel) {
 
 TEST_F(ExpWorkspace, PbfaProfilesCachedAndModelRestored) {
   ModelBundle b = load_or_train("tiny");
-  const quant::QSnapshot before = b.qmodel->snapshot();
+  const quant::ArenaSnapshot before = b.qmodel->snapshot();
   const auto first = load_or_run_pbfa(b, 4, 2, "test", 64);
   ASSERT_EQ(first.size(), 2u);
   for (const auto& round : first) {
@@ -78,7 +77,7 @@ TEST_F(ExpWorkspace, PbfaProfilesCachedAndModelRestored) {
 TEST_F(ExpWorkspace, ReplayDetectionAndRestoration) {
   ModelBundle b = load_or_train("tiny");
   const auto profiles = load_or_run_pbfa(b, 4, 2, "test", 64);
-  const quant::QSnapshot before = b.qmodel->snapshot();
+  const quant::ArenaSnapshot before = b.qmodel->snapshot();
 
   core::RadarConfig rc;
   rc.group_size = 16;

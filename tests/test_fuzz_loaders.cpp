@@ -1,9 +1,13 @@
 // Fuzz/robustness battery for the two untrusted-input parsers: the
-// package v2 loader and the campaign spec parser. Truncated, bit-corrupted
-// and wrong-magic inputs must surface as radar::Error (or load with the
-// tampering reported) — never crash, hang, or allocate unboundedly.
+// package loader (v3 arena format and the legacy v2 path) and the
+// campaign spec parser. Truncated, bit-corrupted and wrong-magic inputs
+// must surface as radar::Error (or load with the tampering reported) —
+// never crash, hang, or allocate unboundedly. v3 adds structured attacks
+// on the arena layer table: unaligned / overlapping / out-of-bounds
+// offsets, oversized arena claims, and truncated blobs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -11,6 +15,7 @@
 
 #include "campaign/campaign_spec.h"
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "core/package.h"
 #include "core/scheme_registry.h"
 #include "exp/workspace.h"
@@ -149,6 +154,153 @@ TEST_F(PackageFuzzTest, WeightPayloadTamperingIsLocalized) {
     EXPECT_FALSE(report.verified());
   } catch (const Error&) {
     // Also acceptable: the byte landed in a structural field.
+  }
+}
+
+// ---- crafted v3 arena-table attacks ----
+
+/// Parameters of a hand-built v3-shaped package file. Defaults describe a
+/// well-formed two-layer package; each test corrupts one aspect.
+struct CraftedV3 {
+  std::int64_t arena_size = 192;
+  std::vector<std::int64_t> sizes = {100, 60};
+  std::vector<std::int64_t> offsets = {0, 128};
+  std::uint32_t pad_excess = 0;   ///< add to the correct pad field value
+  std::int64_t blob_shortfall = 0;  ///< bytes withheld from the blob
+};
+
+void write_crafted_v3(const std::string& path, const CraftedV3& cfg) {
+  BinaryWriter w(path, core::kPackageFormatV3);
+  w.write_string("crafted");
+  w.write_string("radar2");  // scheme id
+  w.write_i64(64);           // group_size
+  w.write_u8(1);             // interleave
+  w.write_i64(3);            // skew
+  w.write_u8(1);             // expansion = prf
+  w.write_u64(0);            // master key
+  w.write_u32(0);            // payload crc (never reached on bad tables)
+  w.write_u64(cfg.sizes.size());
+  w.write_i64(cfg.arena_size);
+  for (std::size_t li = 0; li < cfg.sizes.size(); ++li) {
+    w.write_string("layer" + std::to_string(li));
+    w.write_f32(1.0f);
+    w.write_i64(cfg.sizes[li]);
+    w.write_i64(cfg.offsets[li]);
+  }
+  for (std::size_t li = 0; li < cfg.sizes.size(); ++li)
+    w.write_u8_vector({});  // golden codes (geometry dies first)
+  const std::uint64_t pos = w.tell() + sizeof(std::uint32_t);
+  const auto pad = static_cast<std::uint32_t>(
+      (quant::kArenaAlignment - pos % quant::kArenaAlignment) %
+      quant::kArenaAlignment);
+  w.write_u32(pad + cfg.pad_excess);
+  const std::vector<char> zeros(
+      static_cast<std::size_t>(quant::kArenaAlignment), 0);
+  w.write_bytes(zeros.data(), pad);
+  // Cap the physical blob at 1 MiB: length-bomb tests claim astronomical
+  // arena sizes precisely so the loader must reject them from the
+  // remaining-bytes bound, not because we actually materialized them.
+  const std::int64_t blob_bytes = std::min<std::int64_t>(
+      std::int64_t{1} << 20,
+      std::max<std::int64_t>(0, cfg.arena_size - cfg.blob_shortfall));
+  for (std::int64_t i = 0; i < blob_bytes;
+       i += static_cast<std::int64_t>(zeros.size()))
+    w.write_bytes(zeros.data(),
+                  static_cast<std::size_t>(std::min<std::int64_t>(
+                      static_cast<std::int64_t>(zeros.size()),
+                      blob_bytes - i)));
+  w.close();
+}
+
+class V3TableFuzzTest : public PackageFuzzTest {
+ protected:
+  void expect_rejected(const CraftedV3& cfg, const char* what) {
+    write_crafted_v3(kFuzzPath, cfg);
+    std::unique_ptr<core::IntegrityScheme> scheme;
+    EXPECT_THROW(core::load_package(kFuzzPath, *bundle_->qmodel, scheme),
+                 Error)
+        << what;
+    EXPECT_THROW(core::read_package_info(kFuzzPath), Error) << what;
+  }
+};
+
+TEST_F(V3TableFuzzTest, WellFormedCraftedTableParses) {
+  // Sanity: the crafted writer itself is structurally valid — info parses
+  // (the model-level load then rejects the layer-count mismatch).
+  write_crafted_v3(kFuzzPath, CraftedV3{});
+  const core::PackageInfo info = core::read_package_info(kFuzzPath);
+  EXPECT_EQ(info.format_version, core::kPackageFormatV3);
+  EXPECT_EQ(info.total_weights, 160);
+}
+
+TEST_F(V3TableFuzzTest, UnalignedOffsetRejected) {
+  CraftedV3 cfg;
+  cfg.offsets = {0, 100};  // not a multiple of 64
+  expect_rejected(cfg, "unaligned layer offset");
+}
+
+TEST_F(V3TableFuzzTest, OverlappingLayersRejected) {
+  CraftedV3 cfg;
+  cfg.sizes = {100, 60};
+  cfg.offsets = {0, 64};  // aligned, but 64 < 0 + 100
+  expect_rejected(cfg, "overlapping layer table entries");
+}
+
+TEST_F(V3TableFuzzTest, OutOfBoundsLayerRejected) {
+  CraftedV3 cfg;
+  cfg.offsets = {0, 128};
+  cfg.sizes = {100, 65};  // 128 + 65 > 192
+  expect_rejected(cfg, "layer past the arena end");
+}
+
+TEST_F(V3TableFuzzTest, NegativeAndDescendingOffsetsRejected) {
+  CraftedV3 cfg;
+  cfg.offsets = {128, 0};  // descending
+  cfg.sizes = {60, 60};
+  expect_rejected(cfg, "descending offsets");
+  cfg.offsets = {-64, 0};
+  expect_rejected(cfg, "negative offset");
+}
+
+TEST_F(V3TableFuzzTest, OversizedArenaClaimRejected) {
+  CraftedV3 cfg;
+  cfg.arena_size = std::int64_t{1} << 60;  // length bomb
+  expect_rejected(cfg, "arena size beyond the file");
+}
+
+TEST_F(V3TableFuzzTest, TruncatedArenaBlobRejected) {
+  CraftedV3 cfg;
+  cfg.blob_shortfall = 64;
+  expect_rejected(cfg, "truncated arena blob");
+}
+
+TEST_F(V3TableFuzzTest, CorruptPaddingRejected) {
+  CraftedV3 cfg;
+  cfg.pad_excess = 64;  // pad field >= alignment
+  expect_rejected(cfg, "corrupt padding field");
+}
+
+// ---- legacy v2 files keep their fuzz coverage ----
+
+TEST_F(PackageFuzzTest, V2TruncationsAllThrow) {
+  core::SchemeParams params;
+  params.group_size = 64;
+  auto scheme = core::SchemeRegistry::instance().create("radar2", params);
+  scheme->attach(*bundle_->qmodel);
+  core::save_package(kFuzzPath, *bundle_->qmodel, *scheme, "tiny",
+                     core::kPackageFormatV2);
+  const auto v2_bytes = read_file(kFuzzPath);
+  ASSERT_GT(v2_bytes.size(), 64u);
+  {
+    std::unique_ptr<core::IntegrityScheme> loaded;
+    EXPECT_TRUE(
+        core::load_package(kFuzzPath, *bundle_->qmodel, loaded).verified());
+  }
+  for (std::size_t n = 0; n < v2_bytes.size(); n += 89) {
+    const std::vector<unsigned char> trunc(
+        v2_bytes.begin(), v2_bytes.begin() + static_cast<std::ptrdiff_t>(n));
+    EXPECT_TRUE(load_survives(trunc, /*expect_throw_only=*/true))
+        << "v2 truncation at " << n << " bytes did not throw";
   }
 }
 

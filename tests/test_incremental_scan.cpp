@@ -65,6 +65,23 @@ TEST(ScanKernel, MatchesScalarReferenceOnRandomLayouts) {
                   group_signature(ws, layout, grp, mask, bits))
           << "signature, trial " << trial << " group " << grp;
     }
+    // The byte-range sharding kernel: random group ranges must reproduce
+    // the corresponding slice of the full sums exactly (the sharded
+    // whole-model scan is bit-identical only because of this).
+    const std::vector<std::int64_t> full_sums = scratch.sums;
+    ScanScratch range_scratch;
+    for (int r = 0; r < 6; ++r) {
+      const std::int64_t a = rng.uniform_int(0, layout.num_groups());
+      const std::int64_t b = rng.uniform_int(0, layout.num_groups());
+      const std::int64_t lo = std::min(a, b), hi = std::max(a, b);
+      scanner.masked_sums_range_into(ws, lo, hi, range_scratch);
+      ASSERT_EQ(range_scratch.sums.size(), static_cast<std::size_t>(hi - lo));
+      for (std::int64_t g = lo; g < hi; ++g)
+        EXPECT_EQ(range_scratch.sums[static_cast<std::size_t>(g - lo)],
+                  full_sums[static_cast<std::size_t>(g)])
+            << "range [" << lo << ", " << hi << "), trial " << trial
+            << " group " << g;
+    }
   }
 }
 
@@ -78,7 +95,7 @@ class IncrementalScanTest : public ::testing::Test {
 };
 
 TEST_F(IncrementalScanTest, UndoDirtyRestoresExactState) {
-  const quant::QSnapshot before = qm_.snapshot();
+  const quant::ArenaSnapshot before = qm_.snapshot();
   std::vector<float> float_before;
   for (std::size_t li = 0; li < qm_.num_layers(); ++li) {
     const auto& p = *qm_.layer(li).param;

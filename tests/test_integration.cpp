@@ -65,7 +65,7 @@ TEST(Integration, TrainingReachesUsableAccuracy) {
 
 TEST(Integration, PbfaDegradesAccuracySignificantly) {
   Pipeline& p = pipeline();
-  const quant::QSnapshot clean = p.qm->snapshot();
+  const quant::ArenaSnapshot clean = p.qm->snapshot();
   attack::Pbfa pbfa;
   data::Batch batch = p.dataset->attack_batch(32, 123);
   pbfa.run(*p.qm, batch, 8);
@@ -78,7 +78,7 @@ TEST(Integration, PbfaDegradesAccuracySignificantly) {
 TEST(Integration, PbfaBeatsRandomFlipsAtEqualBudget) {
   // The paper's premise: random flips are a weak attack.
   Pipeline& p = pipeline();
-  const quant::QSnapshot clean = p.qm->snapshot();
+  const quant::ArenaSnapshot clean = p.qm->snapshot();
 
   attack::Pbfa pbfa;
   data::Batch batch = p.dataset->attack_batch(32, 123);
@@ -99,7 +99,7 @@ TEST(Integration, PbfaBeatsRandomFlipsAtEqualBudget) {
 
 TEST(Integration, RadarDetectsMostPbfaFlips) {
   Pipeline& p = pipeline();
-  const quant::QSnapshot clean = p.qm->snapshot();
+  const quant::ArenaSnapshot clean = p.qm->snapshot();
 
   core::RadarConfig cfg;
   cfg.group_size = 64;
@@ -136,7 +136,7 @@ TEST(Integration, RadarDetectsMostPbfaFlips) {
 
 TEST(Integration, RecoveryRestoresAccuracyAndLoss) {
   Pipeline& p = pipeline();
-  const quant::QSnapshot clean = p.qm->snapshot();
+  const quant::ArenaSnapshot clean = p.qm->snapshot();
 
   core::RadarConfig cfg;
   cfg.group_size = 16;  // fine groups: little collateral zeroing
@@ -168,7 +168,7 @@ TEST(Integration, RecoveryRestoresAccuracyAndLoss) {
 
 TEST(Integration, ProtectedModelSurvivesRepeatedRuntimeAttacks) {
   Pipeline& p = pipeline();
-  const quant::QSnapshot clean = p.qm->snapshot();
+  const quant::ArenaSnapshot clean = p.qm->snapshot();
 
   core::RadarConfig cfg;
   cfg.group_size = 32;
@@ -191,11 +191,11 @@ TEST(Integration, SmallerGroupsRecoverBetter) {
   // The paper's storage/accuracy trade-off, qualitatively: finer groups
   // zero out less collateral weight mass.
   Pipeline& p = pipeline();
-  const quant::QSnapshot clean = p.qm->snapshot();
+  const quant::ArenaSnapshot clean = p.qm->snapshot();
   attack::Pbfa pbfa;
   data::Batch batch = p.dataset->attack_batch(32, 888);
   attack::AttackResult r = pbfa.run(*p.qm, batch, 6);
-  const quant::QSnapshot attacked = p.qm->snapshot();
+  const quant::ArenaSnapshot attacked = p.qm->snapshot();
 
   double acc_small, acc_large;
   {

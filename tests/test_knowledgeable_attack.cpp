@@ -37,26 +37,24 @@ class KnowledgeableTest : public ::testing::Test {
   }
 
   /// Unmasked contiguous checksum of one assumed group of a layer.
-  std::int64_t plain_checksum(const quant::QSnapshot& snap,
+  std::int64_t plain_checksum(const quant::ArenaSnapshot& snap,
                               std::size_t layer, std::int64_t group) {
-    const auto& weights = snap[layer];
+    const std::span<const std::int8_t> weights = snap.span(layer);
     const core::GroupLayout layout = core::GroupLayout::contiguous(
         static_cast<std::int64_t>(weights.size()), kAssumedG);
     const core::MaskStream no_mask(0, core::MaskStream::Expansion::kRepeat);
-    return core::masked_group_sum(
-        std::span<const std::int8_t>(weights.data(), weights.size()),
-        layout, group, no_mask);
+    return core::masked_group_sum(weights, layout, group, no_mask);
   }
 
   exp::ModelBundle bundle_;
-  quant::QSnapshot clean_;
+  quant::ArenaSnapshot clean_;
 };
 
 TEST_F(KnowledgeableTest, DecoyPairsEvadeContiguousUnmaskedChecksum) {
   const attack::AttackResult res = run_attack(6);
   const std::size_t n_decoys = res.flips.size() - 6;
   ASSERT_GT(n_decoys, 0u) << "attacker found no canceling partners";
-  const quant::QSnapshot attacked = bundle_.qmodel->snapshot();
+  const quant::ArenaSnapshot attacked = bundle_.qmodel->snapshot();
 
   // Group the flips by their assumed (contiguous) checksum group.
   std::map<std::pair<std::size_t, std::int64_t>, int> flips_per_group;

@@ -1,13 +1,18 @@
 // RadarPackage: signed deployment artifact round trips and tamper
-// evidence, with the scheme id + params carried in the artifact.
+// evidence, with the scheme id + params carried in the artifact; format
+// v3 (contiguous weight arena + layer table + mmap'd golden copy) and
+// the transparent v2 migration path.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 
 #include "common/bits.h"
 #include "core/package.h"
 #include "core/scheme.h"
 #include "core/scheme_registry.h"
+#include "qnn/engine.h"
+#include "qnn/qnn_scratch.h"
 
 namespace radar::core {
 namespace {
@@ -61,9 +66,8 @@ TEST_F(PackageTest, SaveLoadRoundTripVerifies) {
   EXPECT_EQ(report.info.model_name, "tiny-v1");
   EXPECT_EQ(report.info.scheme_id, "radar2");
   EXPECT_EQ(report.info.total_weights, qm_.total_weights());
-  // Weights restored exactly.
-  for (std::size_t li = 0; li < qm_.num_layers(); ++li)
-    EXPECT_EQ(qm2.layer(li).q, qm_.layer(li).q);
+  // Weights restored exactly (one arena compare).
+  EXPECT_EQ(qm2.snapshot(), qm_.snapshot());
   // The rebuilt scheme works: clean scan after load.
   ASSERT_NE(scheme2, nullptr);
   EXPECT_EQ(scheme2->id(), "radar2");
@@ -193,6 +197,134 @@ TEST_F(PackageTest, InfoDoesNotNeedModel) {
 TEST_F(PackageTest, CorruptFileRejected) {
   EXPECT_THROW(read_package_info("/tmp/no_such_package.rpkg"),
                SerializationError);
+}
+
+// ---- format v3: contiguous arena ----
+
+TEST_F(PackageTest, V3InfoCarriesArenaTable) {
+  RadarScheme scheme = make_signed_scheme();
+  save_package(path_, qm_, scheme, "v3-table");
+  const PackageInfo info = read_package_info(path_);
+  EXPECT_EQ(info.format_version, kPackageFormatV3);
+  ASSERT_EQ(info.layers.size(), qm_.num_layers());
+  EXPECT_EQ(info.arena_bytes, qm_.arena().size_bytes());
+  for (std::size_t li = 0; li < qm_.num_layers(); ++li) {
+    const quant::ArenaLayer& pl = info.layers[li];
+    const quant::ArenaLayer& ml = qm_.arena().layer(li);
+    EXPECT_EQ(pl.name, ml.name);
+    EXPECT_EQ(pl.offset, ml.offset);
+    EXPECT_EQ(pl.size, ml.size);
+    EXPECT_EQ(pl.scale, ml.scale);
+  }
+}
+
+TEST_F(PackageTest, V2SaveStillRoundTripsAndReportsVersion) {
+  RadarScheme scheme = make_signed_scheme();
+  save_package(path_, qm_, scheme, "legacy", kPackageFormatV2);
+  const PackageInfo info = read_package_info(path_);
+  EXPECT_EQ(info.format_version, kPackageFormatV2);
+  EXPECT_EQ(info.total_weights, qm_.total_weights());
+  // The derived arena geometry matches what a fresh arena would assign.
+  ASSERT_EQ(info.layers.size(), qm_.num_layers());
+  for (std::size_t li = 0; li < qm_.num_layers(); ++li)
+    EXPECT_EQ(info.layers[li].offset, qm_.arena().layer(li).offset);
+
+  Rng rng2(12);
+  nn::ResNet other(tiny_spec(), rng2);
+  quant::QuantizedModel qm2(other);
+  std::unique_ptr<IntegrityScheme> scheme2;
+  const PackageLoadReport report = load_package(path_, qm2, scheme2);
+  EXPECT_TRUE(report.verified());
+  EXPECT_EQ(qm2.snapshot(), qm_.snapshot());
+}
+
+TEST_F(PackageTest, V2ToV3MigrationPreservesReportsAndLogits) {
+  // Tamper AFTER signing so both loads carry a non-trivial detection
+  // report; migrating the artifact v2 -> v3 must not change a single bit
+  // of the report or of the engine logits.
+  RadarScheme scheme = make_signed_scheme();
+  qm_.flip_bit(2, 7, kMsb);
+  save_package(path_, qm_, scheme, "migrate", kPackageFormatV2);
+
+  const std::string v3_path = path_ + ".v3";
+  nn::Tensor x;
+  {
+    Rng rx(1234);
+    x = nn::Tensor::randn({4, 3, 32, 32}, rx);
+  }
+  auto load_and_eval = [&](const std::string& p, DetectionReport& tamper,
+                           nn::Tensor& logits) {
+    Rng rng2(55);
+    nn::ResNet fresh(tiny_spec(), rng2);
+    quant::QuantizedModel qm2(fresh);
+    std::unique_ptr<IntegrityScheme> s;
+    const PackageLoadReport report = load_package(p, qm2, s);
+    tamper = report.tamper;
+    qnn::InferenceEngine engine(qm2, qnn::EngineKind::kBatched);
+    engine.calibrate(x);
+    qnn::QnnScratch scratch;
+    engine.forward_into(x, scratch, logits);
+    // Re-save as v3 from this loaded state for the second pass.
+    save_package(v3_path, qm2, *s, "migrate");
+    return report.info.format_version;
+  };
+  DetectionReport tamper_v2, tamper_v3;
+  nn::Tensor logits_v2, logits_v3;
+  EXPECT_EQ(load_and_eval(path_, tamper_v2, logits_v2), kPackageFormatV2);
+  EXPECT_EQ(load_and_eval(v3_path, tamper_v3, logits_v3), kPackageFormatV3);
+  EXPECT_TRUE(tamper_v2.attack_detected());
+  EXPECT_EQ(tamper_v2.flagged, tamper_v3.flagged);
+  ASSERT_EQ(logits_v2.numel(), logits_v3.numel());
+  EXPECT_EQ(std::memcmp(logits_v2.data(), logits_v3.data(),
+                        static_cast<std::size_t>(logits_v2.numel()) *
+                            sizeof(float)),
+            0)
+      << "logits differ across the v2 -> v3 migration";
+  std::filesystem::remove(v3_path);
+}
+
+TEST_F(PackageTest, MmapGoldenBacksReloadCleanRecovery) {
+  RadarScheme scheme = make_signed_scheme();
+  save_package(path_, qm_, scheme, "mmap-golden");
+
+  Rng rng2(77);
+  nn::ResNet fresh(tiny_spec(), rng2);
+  quant::QuantizedModel qm2(fresh);
+  std::unique_ptr<IntegrityScheme> s;
+  PackageLoadOptions opts;
+  opts.mmap_golden = true;
+  const PackageLoadReport report = load_package(path_, qm2, s, opts);
+  EXPECT_TRUE(report.verified());
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(report.golden_mmapped);
+#endif
+  const quant::ArenaSnapshot clean = qm2.snapshot();
+  // Corrupt in memory, then recover straight from the file mapping.
+  qm2.flip_bit(1, 5, kMsb);
+  qm2.flip_bit(3, 9, kMsb);
+  const DetectionReport tamper = s->scan(qm2);
+  EXPECT_TRUE(tamper.attack_detected());
+  s->recover(qm2, tamper, RecoveryPolicy::kReloadClean);
+  EXPECT_TRUE(qm2.snapshot() == clean);
+  EXPECT_FALSE(s->scan(qm2).attack_detected());
+}
+
+TEST_F(PackageTest, MmapFallsBackForV2Packages) {
+  RadarScheme scheme = make_signed_scheme();
+  save_package(path_, qm_, scheme, "v2-no-mmap", kPackageFormatV2);
+  Rng rng2(78);
+  nn::ResNet fresh(tiny_spec(), rng2);
+  quant::QuantizedModel qm2(fresh);
+  std::unique_ptr<IntegrityScheme> s;
+  PackageLoadOptions opts;
+  opts.mmap_golden = true;
+  const PackageLoadReport report = load_package(path_, qm2, s, opts);
+  EXPECT_TRUE(report.verified());
+  EXPECT_FALSE(report.golden_mmapped);  // owned copy; recovery still works
+  qm2.flip_bit(0, 2, kMsb);
+  const DetectionReport tamper = s->scan(qm2);
+  s->recover(qm2, tamper, RecoveryPolicy::kReloadClean);
+  EXPECT_FALSE(s->scan(qm2).attack_detected());
 }
 
 }  // namespace

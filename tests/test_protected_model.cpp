@@ -121,14 +121,14 @@ TEST_F(ProtectedModelTest, LayerwiseForwardDetectsAndRecoversInline) {
 TEST_F(ProtectedModelTest, LayerwiseAndWholeModelAgreeOnRecovery) {
   // The same attack recovered layerwise vs whole-model must leave the
   // weights in the same state (same groups zeroed).
-  const quant::QSnapshot clean = qm_.snapshot();
+  const quant::ArenaSnapshot clean = qm_.snapshot();
   qm_.flip_bit(2, 11, 7);
-  const quant::QSnapshot attacked = qm_.snapshot();
+  const quant::ArenaSnapshot attacked = qm_.snapshot();
 
   ProtectedModel pm1(qm_, scheme_);
   nn::Tensor x = nn::Tensor::randn({1, 3, 32, 32}, rng_);
   pm1.forward_layerwise(x);
-  const quant::QSnapshot after_layerwise = qm_.snapshot();
+  const quant::ArenaSnapshot after_layerwise = qm_.snapshot();
 
   qm_.restore(attacked);
   scheme_.attach(qm_);  // fresh golden computed from... rebuild below
@@ -153,7 +153,7 @@ TEST_F(ProtectedModelTest, RecoveryChangesCorruptedOutputs) {
   ProtectedModel pm(qm_, scheme_);
   nn::Tensor x = nn::Tensor::randn({4, 3, 32, 32}, rng_);
 
-  const quant::QSnapshot clean = qm_.snapshot();
+  const quant::ArenaSnapshot clean = qm_.snapshot();
   // Corrupt small weights' MSBs in layer 1 (large value swing).
   std::vector<std::int64_t> victims;
   for (std::int64_t i = 0; i < qm_.layer(1).size() && victims.size() < 4; ++i)

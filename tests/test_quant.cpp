@@ -96,12 +96,12 @@ TEST_F(QuantModelTest, FlipIsReversible) {
 
 TEST_F(QuantModelTest, SnapshotRestoreRoundTrip) {
   QuantizedModel qm(model_);
-  const QSnapshot snap = qm.snapshot();
+  const ArenaSnapshot snap = qm.snapshot();
   const float mirror_before = qm.layer(1).param->value[0];
   qm.flip_bit(1, 0, 7);
   qm.flip_bit(4, 100, 6);
   qm.restore(snap);
-  EXPECT_EQ(qm.get_code(1, 0), snap[1][0]);
+  EXPECT_EQ(qm.get_code(1, 0), snap.span(1)[0]);
   EXPECT_FLOAT_EQ(qm.layer(1).param->value[0], mirror_before);
 }
 
@@ -124,9 +124,8 @@ TEST_F(QuantModelTest, OutOfRangeAccessThrows) {
 
 TEST_F(QuantModelTest, RestoreRejectsForeignSnapshot) {
   QuantizedModel qm(model_);
-  QSnapshot snap = qm.snapshot();
-  snap.pop_back();
-  EXPECT_THROW(qm.restore(snap), InvalidArgument);
+  const ArenaSnapshot empty;  // never captured: wrong geometry
+  EXPECT_THROW(qm.restore(empty), InvalidArgument);
 }
 
 TEST_F(QuantModelTest, QuantizedAccuracyCloseToFloat) {

@@ -1,11 +1,34 @@
 // ScanSession: parallel whole-model scans must be bit-identical to the
-// serial scan, for every registered scheme, clean or corrupted.
+// serial scan, for every registered scheme, clean or corrupted — under
+// both work partitionings (legacy layer-parallel and byte-range
+// sharding) and any shard size.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "common/bits.h"
 #include "core/protected_model.h"
 #include "core/scan_session.h"
 #include "core/scheme_registry.h"
+
+// ---- counting global allocator (zero-allocation assertions) ----
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}
+
+void* operator new(std::size_t n) {
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  ++g_alloc_count;
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace radar::core {
 namespace {
@@ -34,7 +57,7 @@ TEST_F(ScanSessionTest, ParallelEqualsSerialForEveryScheme) {
   for (const auto& id : SchemeRegistry::instance().ids()) {
     auto scheme = SchemeRegistry::instance().create(id, params);
     scheme->attach(qm_);
-    const quant::QSnapshot clean = qm_.snapshot();
+    const quant::ArenaSnapshot clean = qm_.snapshot();
 
     // Corrupt several layers so the merged report is non-trivial.
     qm_.flip_bit(0, 1, kMsb);
@@ -69,6 +92,106 @@ TEST_F(ScanSessionTest, SerialSessionRunsWithoutPool) {
   qm_.flip_bit(1, 3, kMsb);
   EXPECT_EQ(session.scan(qm_).flagged, scheme->scan(qm_).flagged);
   qm_.flip_bit(1, 3, kMsb);
+}
+
+TEST_F(ScanSessionTest, ByteRangeShardsMatchSerialAtAnyShardSize) {
+  // Force shards far smaller than any layer so every layer splits into
+  // many group ranges; the merged report must still equal the serial
+  // scan bit for bit, for every scheme (native range kernels for radar
+  // and grouped codes; the default trim path is covered via tiny layers
+  // that stay whole).
+  Rng rng(0xBEEF);
+  SchemeParams params;
+  params.group_size = 16;
+  for (const auto& id : SchemeRegistry::instance().ids()) {
+    auto scheme = SchemeRegistry::instance().create(id, params);
+    scheme->attach(qm_);
+    const quant::ArenaSnapshot clean = qm_.snapshot();
+    for (int f = 0; f < 12; ++f) {
+      const auto li = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(qm_.num_layers()) - 1));
+      qm_.flip_bit(li, rng.uniform_int(0, qm_.layer(li).size() - 1), kMsb);
+    }
+    const DetectionReport serial = scheme->scan(qm_);
+    for (const std::int64_t shard_bytes : {std::int64_t{64},
+                                           std::int64_t{1000}}) {
+      ScanSession session(*scheme, 4);
+      session.set_shard_bytes(shard_bytes);
+      const DetectionReport sharded = session.scan(qm_);
+      EXPECT_EQ(serial.flagged, sharded.flagged)
+          << id << " shard_bytes=" << shard_bytes;
+      if (shard_bytes == 64)
+        EXPECT_GT(session.last_shard_count(), qm_.num_layers())
+            << id << ": small shards should split layers";
+    }
+    // Legacy layer-parallel partitioning stays available and identical.
+    ScanSession layerwise(*scheme, 4);
+    layerwise.set_sharding(ScanSession::Sharding::kLayer);
+    EXPECT_EQ(serial.flagged, layerwise.scan(qm_).flagged) << id;
+    qm_.restore(clean);
+  }
+}
+
+TEST_F(ScanSessionTest, RangeScanEqualsTrimmedFullScanPerLayer) {
+  // scan_layer_range_into over arbitrary split points reproduces the
+  // slice of scan_layer_into for every scheme.
+  Rng rng(0x51AB);
+  SchemeParams params;
+  params.group_size = 8;
+  for (const auto& id : SchemeRegistry::instance().ids()) {
+    auto scheme = SchemeRegistry::instance().create(id, params);
+    scheme->attach(qm_);
+    for (int f = 0; f < 10; ++f) {
+      const auto li = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(qm_.num_layers()) - 1));
+      qm_.flip_bit(li, rng.uniform_int(0, qm_.layer(li).size() - 1), kMsb);
+    }
+    ScanScratch scratch;
+    std::vector<std::int64_t> part, whole;
+    for (std::size_t li = 0; li < qm_.num_layers(); ++li) {
+      scheme->scan_layer_into(qm_, li, whole, scratch);
+      const std::int64_t ng = scheme->layout(li).num_groups();
+      // Random split into 3 ranges (possibly empty).
+      const std::int64_t a = rng.uniform_int(0, ng);
+      const std::int64_t b = rng.uniform_int(0, ng);
+      const std::int64_t lo = std::min(a, b), hi = std::max(a, b);
+      std::vector<std::int64_t> merged;
+      for (const auto [s, e] : {std::pair{std::int64_t{0}, lo},
+                                std::pair{lo, hi}, std::pair{hi, ng}}) {
+        scheme->scan_layer_range_into(qm_, li, s, e, part, scratch);
+        for (const std::int64_t g : part) {
+          EXPECT_GE(g, s);
+          EXPECT_LT(g, e);
+        }
+        merged.insert(merged.end(), part.begin(), part.end());
+      }
+      EXPECT_EQ(merged, whole) << id << " layer " << li;
+    }
+    // Re-attach baseline for the next scheme (weights left attacked).
+  }
+}
+
+TEST_F(ScanSessionTest, SerialScanLoopIsAllocationFreeAtSteadyState) {
+  auto scheme = SchemeRegistry::instance().create(
+      "radar2", SchemeParams{.group_size = 32});
+  scheme->attach(qm_);
+  ScanSession session(*scheme, 1);
+  qm_.set_dirty_tracking(true);
+  DetectionReport full, inc;
+  qm_.flip_bit(1, 3, kMsb);
+  // Warm-up: scratch and report vectors grow to their high-water mark.
+  session.scan_into(qm_, full);
+  session.scan_dirty_into(qm_, inc);
+  const std::size_t before = g_alloc_count.load();
+  for (int round = 0; round < 5; ++round) {
+    session.scan_into(qm_, full);
+    session.scan_dirty_into(qm_, inc);
+  }
+  EXPECT_EQ(g_alloc_count.load() - before, 0u)
+      << "steady-state scan loop allocated";
+  EXPECT_EQ(full.flagged, inc.flagged);
+  qm_.undo_dirty();
+  qm_.set_dirty_tracking(false);
 }
 
 TEST_F(ScanSessionTest, UnattachedSchemeRejected) {

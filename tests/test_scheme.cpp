@@ -90,21 +90,21 @@ TEST_F(SchemeTest, ZeroOutRecoveryZeroesWholeGroup) {
 TEST_F(SchemeTest, ZeroOutLeavesOtherGroupsUntouched) {
   RadarScheme scheme(cfg());
   scheme.attach(qm_);
-  const quant::QSnapshot before = qm_.snapshot();
+  const quant::ArenaSnapshot before = qm_.snapshot();
   qm_.flip_bit(2, 7, 7);
   const DetectionReport report = scheme.scan(qm_);
   scheme.recover(qm_, report, RecoveryPolicy::kZeroOut);
   const std::int64_t group = scheme.layout(2).group_of(7);
   for (std::int64_t i = 0; i < qm_.layer(2).size(); ++i) {
     if (scheme.layout(2).group_of(i) == group) continue;
-    EXPECT_EQ(qm_.get_code(2, i), before[2][static_cast<std::size_t>(i)]);
+    EXPECT_EQ(qm_.get_code(2, i), before.span(2)[static_cast<std::size_t>(i)]);
   }
 }
 
 TEST_F(SchemeTest, ReloadCleanRestoresExactWeights) {
   RadarScheme scheme(cfg());
   scheme.attach(qm_);
-  const quant::QSnapshot clean = qm_.snapshot();
+  const quant::ArenaSnapshot clean = qm_.snapshot();
   qm_.flip_bit(0, 1, 7);
   qm_.flip_bit(0, 2, 6);
   const DetectionReport report = scheme.scan(qm_);
@@ -112,7 +112,7 @@ TEST_F(SchemeTest, ReloadCleanRestoresExactWeights) {
   // Flagged groups are byte-identical to the clean model again.
   const DetectionReport after = scheme.scan(qm_);
   EXPECT_FALSE(after.attack_detected());
-  EXPECT_EQ(qm_.get_code(0, 1), clean[0][1]);
+  EXPECT_EQ(qm_.get_code(0, 1), clean.span(0)[1]);
 }
 
 TEST_F(SchemeTest, ResignAcceptsAuthorizedUpdate) {

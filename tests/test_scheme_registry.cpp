@@ -59,7 +59,7 @@ TEST_P(SchemeContractTest, CleanModelScansClean) {
 
 TEST_P(SchemeContractTest, DetectsAnySingleMsbFlip) {
   auto scheme = make_attached();
-  const quant::QSnapshot clean = qm_.snapshot();
+  const quant::ArenaSnapshot clean = qm_.snapshot();
   for (std::size_t layer : {std::size_t{0}, std::size_t{2}}) {
     const std::int64_t last = qm_.layer(layer).size() - 1;
     for (const std::int64_t idx : {std::int64_t{0}, last / 2, last}) {
@@ -96,7 +96,7 @@ TEST_P(SchemeContractTest, GoldenExportImportRoundTrips) {
 
 TEST_P(SchemeContractTest, ZeroOutRecoveryClearsFlaggedGroups) {
   auto scheme = make_attached();
-  const quant::QSnapshot clean = qm_.snapshot();
+  const quant::ArenaSnapshot clean = qm_.snapshot();
   qm_.flip_bit(1, 3, kMsb);
   qm_.flip_bit(2, 9, kMsb);
   const DetectionReport report = scheme->scan(qm_);
@@ -118,7 +118,7 @@ TEST_P(SchemeContractTest, ZeroOutRecoveryClearsFlaggedGroups) {
 
 TEST_P(SchemeContractTest, ReloadCleanRecoveryRestoresWeights) {
   auto scheme = make_attached();
-  const quant::QSnapshot clean = qm_.snapshot();
+  const quant::ArenaSnapshot clean = qm_.snapshot();
   qm_.flip_bit(1, 3, kMsb);
   const DetectionReport report = scheme->scan(qm_);
   ASSERT_TRUE(report.attack_detected());

@@ -11,10 +11,16 @@
 //       Print package metadata, including the stored scheme id (no
 //       verification).
 //
-//   radar_cli verify <pkg> [--model ...] [--threads N]
+//   radar_cli pack inspect <pkg>
+//       Print the package format version, scheme id + parameters, and the
+//       per-layer weight-arena table (byte offset / size / scale) — the
+//       storage-level view of the artifact (no model, no verification).
+//
+//   radar_cli verify <pkg> [--model ...] [--threads N] [--mmap]
 //       Load the package into a fresh model and verify CRC + golden codes
 //       (scanning across N worker threads); exit code 0 only when the
-//       artifact is intact.
+//       artifact is intact. --mmap serves the reload-clean golden copy
+//       from a read-only mapping of the package file (v3 packages).
 //
 //   radar_cli attack <pkg> [--model ...] [--flips N] [--pbfa]
 //       Corrupt the package the way a rowhammer adversary would corrupt
@@ -65,6 +71,7 @@ using namespace radar;
 
 struct Args {
   std::string command;
+  std::string subcommand;  ///< "pack <subcommand> <file>" form
   std::string package;
   std::string model = "tiny";
   std::string scheme;  ///< empty: derived from --bits
@@ -75,6 +82,7 @@ struct Args {
   bool use_pbfa = false;
   std::size_t threads = 1;
   std::size_t scan_threads = 1;
+  bool mmap_golden = false;  ///< verify: mmap the v3 arena as golden copy
   std::string out;  ///< campaign JSON report path
   std::string csv;  ///< campaign CSV report path
   bool timing = false;
@@ -86,7 +94,12 @@ bool parse(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
   int first_opt = 2;
-  if (args.command != "schemes") {
+  if (args.command == "pack") {
+    if (argc < 4) return false;
+    args.subcommand = argv[2];
+    args.package = argv[3];
+    first_opt = 4;
+  } else if (args.command != "schemes") {
     if (argc < 3) return false;
     args.package = argv[2];
     first_opt = 3;
@@ -134,6 +147,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.csv = next("--csv");
     } else if (a == "--timing") {
       args.timing = true;
+    } else if (a == "--mmap") {
+      args.mmap_golden = true;
     } else if (a == "--incremental") {
       args.incremental = true;
     } else if (a == "--eval-batch") {
@@ -224,10 +239,55 @@ int cmd_info(const Args& args) {
 int cmd_verify(const Args& args) {
   exp::ModelBundle bundle = exp::load_or_train(args.model);
   std::unique_ptr<core::IntegrityScheme> scheme;
-  const auto report = core::load_package(args.package, *bundle.qmodel,
-                                         scheme, args.threads);
+  core::PackageLoadOptions opts;
+  opts.threads = args.threads;
+  opts.mmap_golden = args.mmap_golden;
+  const auto report =
+      core::load_package(args.package, *bundle.qmodel, scheme, opts);
   print_report(report);
+  if (args.mmap_golden)
+    std::printf("golden copy: %s\n",
+                report.golden_mmapped ? "mmap (zero-copy)" : "owned (mmap unavailable)");
   return report.verified() ? 0 : 1;
+}
+
+int cmd_pack(const Args& args) {
+  if (args.subcommand != "inspect") {
+    std::fprintf(stderr, "unknown pack subcommand %s (try: inspect)\n",
+                 args.subcommand.c_str());
+    return 2;
+  }
+  const core::PackageInfo info = core::read_package_info(args.package);
+  std::printf("package: %s\n", args.package.c_str());
+  std::printf("format:  v%u%s\n", info.format_version,
+              info.format_version >= core::kPackageFormatV3
+                  ? " (contiguous weight arena, mmap-ready)"
+                  : " (per-layer vectors)");
+  std::printf("model:   %s\n", info.model_name.c_str());
+  // The master key is deliberately not printed (provisioned out of band;
+  // keep it out of terminal scrollback and CI logs).
+  std::printf("scheme:  %s  G=%lld %s skew=%lld expansion=%s\n",
+              info.scheme_id.c_str(),
+              static_cast<long long>(info.params.group_size),
+              info.params.interleave ? "interleaved" : "contiguous",
+              static_cast<long long>(info.params.skew),
+              info.params.expansion == core::MaskStream::Expansion::kPrf
+                  ? "prf"
+                  : "repeat");
+  std::printf("arena:   %lld bytes (%lld weights in %zu layers, %lld pad)\n",
+              static_cast<long long>(info.arena_bytes),
+              static_cast<long long>(info.total_weights), info.num_layers,
+              static_cast<long long>(info.arena_bytes - info.total_weights));
+  std::printf("%-5s %-28s %12s %10s %12s\n", "layer", "name", "offset",
+              "size", "scale");
+  for (std::size_t li = 0; li < info.layers.size(); ++li) {
+    const auto& l = info.layers[li];
+    std::printf("%-5zu %-28s %12lld %10lld %12.6g\n", li, l.name.c_str(),
+                static_cast<long long>(l.offset),
+                static_cast<long long>(l.size),
+                static_cast<double>(l.scale));
+  }
+  return 0;
 }
 
 int cmd_attack(const Args& args) {
@@ -249,9 +309,10 @@ int cmd_attack(const Args& args) {
     std::printf("flipped %d random MSBs\n", args.flips);
   }
   // Re-save with the ORIGINAL golden codes: the attacker cannot forge
-  // them without the master key.
+  // them without the master key. Preserve the stored format version —
+  // the attack models in-place corruption, not a format migration.
   core::save_package(args.package, *bundle.qmodel, *scheme,
-                     report.info.model_name);
+                     report.info.model_name, report.info.format_version);
   std::printf("tampered package written to %s\n", args.package.c_str());
   return 0;
 }
@@ -270,7 +331,7 @@ int cmd_recover(const Args& args) {
                   core::RecoveryPolicy::kZeroOut);
   scheme->resign(*bundle.qmodel);
   core::save_package(args.package, *bundle.qmodel, *scheme,
-                     report.info.model_name);
+                     report.info.model_name, report.info.format_version);
   const double acc = exp::accuracy_on_subset(bundle, 256);
   std::printf("zeroed %lld group(s), re-signed; accuracy now %.2f%%\n",
               static_cast<long long>(report.tamper.num_flagged_groups()),
@@ -331,6 +392,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: radar_cli {sign|info|verify|attack|recover} "
                  "<package> [options]\n"
+                 "       radar_cli pack inspect <package>\n"
                  "       radar_cli campaign <spec.json> [options]\n"
                  "       radar_cli schemes\n");
     return 2;
@@ -338,6 +400,7 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "sign") return cmd_sign(args);
     if (args.command == "info") return cmd_info(args);
+    if (args.command == "pack") return cmd_pack(args);
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "attack") return cmd_attack(args);
     if (args.command == "recover") return cmd_recover(args);
