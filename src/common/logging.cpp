@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -19,6 +20,22 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
+
+// Daemon-friendly prefixes: a monotonic timestamp (seconds since the
+// process's first log line — wall clock can step, steady_clock cannot)
+// and a small dense thread id (the OS tid is noisy and non-portable;
+// an arrival-order counter makes interleaved worker/scanner output
+// readable). Both are lock-free on the hot path.
+std::chrono::steady_clock::time_point log_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+int log_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
@@ -26,8 +43,24 @@ LogLevel log_level() { return g_level.load(); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
+  const double t =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    log_epoch())
+          .count();
+  // One formatted buffer, one fwrite under the mutex: lines from
+  // concurrent threads never interleave mid-line, and stderr being
+  // unbuffered costs one syscall per line instead of one per fragment.
+  char line[1024];
+  const int n = std::snprintf(line, sizeof(line),
+                              "[radar %-5s +%011.6f T%02d] %s\n",
+                              level_name(level), t, log_thread_id(),
+                              msg.c_str());
+  if (n <= 0) return;
+  const std::size_t len =
+      n < static_cast<int>(sizeof(line)) ? static_cast<std::size_t>(n)
+                                         : sizeof(line) - 1;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[radar %-5s] %s\n", level_name(level), msg.c_str());
+  std::fwrite(line, 1, len, stderr);
 }
 }  // namespace detail
 

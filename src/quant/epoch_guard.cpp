@@ -1,0 +1,68 @@
+#include "quant/epoch_guard.h"
+
+namespace radar::quant {
+
+EpochGuard::EpochGuard(std::int64_t size_bytes, std::int64_t shard_bytes)
+    : size_bytes_(size_bytes), shard_bytes_(shard_bytes) {
+  RADAR_REQUIRE(size_bytes > 0, "epoch guard over empty arena");
+  RADAR_REQUIRE(shard_bytes > 0, "epoch shard size must be positive");
+  const std::int64_t n = (size_bytes + shard_bytes - 1) / shard_bytes;
+  epochs_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(n));
+}
+
+std::pair<std::size_t, std::size_t> EpochGuard::cover(
+    std::int64_t begin, std::int64_t end) const {
+  RADAR_REQUIRE(begin >= 0 && begin < end && end <= size_bytes_,
+                "epoch range outside guarded arena");
+  return {shard_of(begin), shard_of(end - 1)};
+}
+
+bool EpochGuard::read_begin(std::int64_t begin, std::int64_t end,
+                            std::vector<std::uint64_t>& snap) const {
+  const auto [s0, s1] = cover(begin, end);
+  snap.clear();
+  for (std::size_t s = s0; s <= s1; ++s) {
+    // Acquire: the data reads that follow must not hoist above this load.
+    const std::uint64_t e = epochs_[s].load(std::memory_order_acquire);
+    if ((e & 1) != 0) return false;  // writer mid-section
+    snap.push_back(e);
+  }
+  return true;
+}
+
+bool EpochGuard::read_validate(std::int64_t begin, std::int64_t end,
+                               const std::vector<std::uint64_t>& snap) const {
+  // The data reads must complete before the epochs are re-examined
+  // (Boehm's seqlock reader recipe: fence, then relaxed reloads).
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const auto [s0, s1] = cover(begin, end);
+  if (snap.size() != s1 - s0 + 1) return false;  // read_begin bailed early
+  for (std::size_t s = s0; s <= s1; ++s) {
+    if (epochs_[s].load(std::memory_order_relaxed) != snap[s - s0])
+      return false;
+  }
+  return true;
+}
+
+EpochGuard::WriterSection::WriterSection(EpochGuard& guard,
+                                         std::int64_t begin, std::int64_t end)
+    : guard_(&guard), lock_(guard.writer_mu_) {
+  const auto [s0, s1] = guard.cover(begin, end);
+  first_ = s0;
+  last_ = s1;
+  guard_->writer_sections_.fetch_add(1, std::memory_order_relaxed);
+  // Odd epochs tell optimistic readers to stand off. seq_cst RMWs keep
+  // the epoch transition ordered against the plain data writes between
+  // them on every target we build for; writers are rare enough that the
+  // conservative ordering is free in practice.
+  for (std::size_t s = s0; s <= s1; ++s)
+    guard_->epochs_[s].fetch_add(1, std::memory_order_seq_cst);
+}
+
+EpochGuard::WriterSection::~WriterSection() {
+  for (std::size_t s = first_; s <= last_; ++s)
+    guard_->epochs_[s].fetch_add(1, std::memory_order_seq_cst);
+}
+
+}  // namespace radar::quant

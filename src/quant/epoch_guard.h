@@ -1,0 +1,124 @@
+// EpochGuard: per-shard seqlock epochs over the weight arena, the
+// concurrency contract between live inference traffic, background
+// integrity scans and the (rare) writers that mutate arena bytes —
+// attack injection and recovery.
+//
+// The arena blob is divided into fixed-size byte shards, each with a
+// 64-bit epoch counter. A writer (serialized by an internal mutex, since
+// writers are rare and correctness matters more than writer throughput)
+// brackets its byte-range mutation in a WriterSection: entering bumps
+// every covered shard's epoch to an odd value, leaving bumps it back to
+// even. A reader snapshots the epochs covering its range before reading
+// (bailing out when any is odd — a writer is mid-flight), scans the raw
+// bytes with the ordinary zero-copy kernels, then validates that every
+// epoch is unchanged. An unchanged even epoch proves no writer overlapped
+// the read, so the scan verdict is sound; any overlap forces a retry.
+// Readers that keep losing (a pathologically hot writer) can fall back to
+// lock_writers(), which quiesces writers entirely for one bounded scan —
+// the retry loop is therefore wait-free in the expected case and merely
+// blocking in the worst case, and detection never stops traffic.
+//
+// The optimistic read races writer stores on the raw bytes by design —
+// the classic seqlock trade. Torn data is never *used*: validation
+// discards it. Thread sanitizers flag the benign race at the access
+// point; the TSan CI job carries a narrow suppression for the two
+// sanctioned writer entry points (see tests/tsan.supp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+
+namespace radar::quant {
+
+/// Default epoch-shard granularity: one page-ish unit keeps the epoch
+/// array tiny while still localizing writer invalidation (a single-byte
+/// flip only perturbs readers overlapping its 4 KiB shard).
+constexpr std::int64_t kDefaultEpochShardBytes = 4096;
+
+class EpochGuard {
+ public:
+  /// Guard `size_bytes` of arena, one epoch per `shard_bytes` shard.
+  explicit EpochGuard(std::int64_t size_bytes,
+                      std::int64_t shard_bytes = kDefaultEpochShardBytes);
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+  std::int64_t size_bytes() const { return size_bytes_; }
+  std::int64_t shard_bytes() const { return shard_bytes_; }
+  std::size_t num_shards() const { return epochs_.size(); }
+  std::size_t shard_of(std::int64_t byte) const {
+    return static_cast<std::size_t>(byte / shard_bytes_);
+  }
+
+  /// Current epoch of one shard (stats / tests).
+  std::uint64_t epoch(std::size_t shard) const {
+    return epochs_[shard].load(std::memory_order_acquire);
+  }
+
+  // ---- reader protocol ----
+
+  /// Snapshot the epochs covering bytes [begin, end) into `snap`
+  /// (cleared first, capacity kept). Returns false — without filling the
+  /// tail — when any covered epoch is odd, i.e. a writer is mid-section;
+  /// the caller should back off and retry.
+  bool read_begin(std::int64_t begin, std::int64_t end,
+                  std::vector<std::uint64_t>& snap) const;
+
+  /// After reading the data: true iff every covered epoch still equals
+  /// its snapshot, proving no writer overlapped the read.
+  bool read_validate(std::int64_t begin, std::int64_t end,
+                     const std::vector<std::uint64_t>& snap) const;
+
+  /// Reader-of-last-resort: lock writers out entirely (the same mutex
+  /// WriterSection takes), guaranteeing one quiescent scan after a
+  /// bounded number of optimistic failures.
+  std::unique_lock<std::mutex> lock_writers() const {
+    return std::unique_lock<std::mutex>(writer_mu_);
+  }
+
+  /// Total writer sections opened so far (stats).
+  std::uint64_t writer_sections() const {
+    return writer_sections_.load(std::memory_order_relaxed);
+  }
+
+  // ---- writer protocol ----
+
+  /// RAII writer bracket over bytes [begin, end): serializes against
+  /// other writers and flips the covered epochs odd for its lifetime.
+  /// All arena mutations (bit-flip injection, recovery writes, bulk
+  /// restores) must happen inside one of these once a guard is enabled —
+  /// an unguarded write would silently invalidate scan soundness.
+  class WriterSection {
+   public:
+    WriterSection(EpochGuard& guard, std::int64_t begin, std::int64_t end);
+    ~WriterSection();
+    WriterSection(const WriterSection&) = delete;
+    WriterSection& operator=(const WriterSection&) = delete;
+
+   private:
+    EpochGuard* guard_;
+    std::size_t first_, last_;  ///< inclusive covered shard range
+    std::unique_lock<std::mutex> lock_;
+  };
+
+ private:
+  friend class WriterSection;
+
+  /// Inclusive shard range covering bytes [begin, end); requires a
+  /// non-empty range inside the guarded blob.
+  std::pair<std::size_t, std::size_t> cover(std::int64_t begin,
+                                            std::int64_t end) const;
+
+  std::int64_t size_bytes_;
+  std::int64_t shard_bytes_;
+  std::vector<std::atomic<std::uint64_t>> epochs_;
+  mutable std::mutex writer_mu_;
+  std::atomic<std::uint64_t> writer_sections_{0};
+};
+
+}  // namespace radar::quant

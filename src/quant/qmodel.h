@@ -55,6 +55,23 @@ class QuantizedModel {
   /// The contiguous weight store all layer spans point into.
   const WeightArena& arena() const { return arena_; }
 
+  // ---- concurrent serving support ----
+  // The epoch guard is the seqlock protocol a serving deployment layers
+  // over the arena: scanners validate epochs around optimistic range
+  // scans while writers (fault injection, recovery) bracket their
+  // mutations in EpochGuard::WriterSection. Batch workloads never enable
+  // it and pay nothing.
+  void enable_epoch_guard(
+      std::int64_t shard_bytes = kDefaultEpochShardBytes) {
+    arena_.enable_epoch_guard(shard_bytes);
+  }
+  EpochGuard* epoch_guard() const { return arena_.epoch_guard(); }
+  /// Arena blob byte range of one layer (epoch-validation coordinates).
+  std::pair<std::int64_t, std::int64_t> layer_byte_range(
+      std::size_t i) const {
+    return arena_.layer_byte_range(i);
+  }
+
   /// Global flat index (rank in layer order) <-> (layer, index) mapping.
   std::int64_t global_index(std::size_t layer, std::int64_t idx) const {
     return arena_.global_index(layer, idx);

@@ -33,6 +33,10 @@ WeightArena WeightArena::build(std::vector<ArenaLayer> layers) {
   return arena;
 }
 
+void WeightArena::enable_epoch_guard(std::int64_t shard_bytes) {
+  guard_ = std::make_unique<EpochGuard>(blob_.size(), shard_bytes);
+}
+
 std::int64_t WeightArena::global_index(std::size_t layer,
                                        std::int64_t idx) const {
   const ArenaLayer& l = table_.at(layer);

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "quant/epoch_guard.h"
 
 namespace radar::quant {
 
@@ -120,11 +121,34 @@ class WeightArena {
   /// Inverse: (layer, in-layer index) of a global flat index.
   std::pair<std::size_t, std::int64_t> locate(std::int64_t global) const;
 
+  // ---- concurrent-access metadata (serving) ----
+
+  /// Attach a per-shard seqlock epoch guard sized to the blob. Until this
+  /// is called (batch workloads never call it) the arena carries zero
+  /// concurrency overhead. Replaces any previous guard — only valid while
+  /// no concurrent readers/writers are active.
+  void enable_epoch_guard(
+      std::int64_t shard_bytes = kDefaultEpochShardBytes);
+
+  /// The attached guard, or nullptr when none. The guard's internal state
+  /// is atomic, so handing out a mutable pointer from a const arena is
+  /// sound (mirrors how thread pools are shared).
+  EpochGuard* epoch_guard() const { return guard_.get(); }
+
+  /// Blob byte range [begin, end) that layer `i` occupies — the reader
+  /// coordinates for epoch validation.
+  std::pair<std::int64_t, std::int64_t> layer_byte_range(
+      std::size_t i) const {
+    const ArenaLayer& l = table_.at(i);
+    return {l.offset, l.offset + l.size};
+  }
+
  private:
   std::vector<ArenaLayer> table_;
   std::vector<std::int64_t> weight_starts_;  ///< prefix sums of layer sizes
   AlignedBlob blob_;
   std::int64_t total_weights_ = 0;
+  std::unique_ptr<EpochGuard> guard_;  ///< optional (serving only)
 };
 
 /// A point-in-time copy of an arena's blob: capture is one memcpy,

@@ -1,0 +1,215 @@
+#include "serve/daemon.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RADAR_HAVE_UNIX_SOCKETS 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define RADAR_HAVE_UNIX_SOCKETS 0
+#endif
+
+namespace radar::serve {
+
+namespace {
+constexpr std::size_t kInputPoolSize = 64;
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(std::move(tok));
+  return out;
+}
+}  // namespace
+
+Daemon::Daemon(ModelHost& host, std::string socket_path)
+    : host_(host), socket_path_(std::move(socket_path)) {}
+
+Daemon::~Daemon() { stop(); }
+
+std::string Daemon::handle_line(const std::string& line) {
+  const auto tok = split_ws(line);
+  if (tok.empty()) return "ERR empty command";
+  const std::string& cmd = tok[0];
+  try {
+    if (cmd == "PING") return "PONG";
+    if (cmd == "TENANTS") {
+      std::string r = "OK";
+      for (std::size_t t = 0; t < host_.num_tenants(); ++t)
+        r += " " + host_.tenant_name(t);
+      return r;
+    }
+    if (cmd == "INFER") {
+      if (tok.size() != 2) return "ERR usage: INFER <tenant>";
+      const std::size_t t = host_.find_tenant(tok[1]);
+      if (t == ModelHost::npos) return "ERR unknown tenant " + tok[1];
+      InputPool& pool = *inputs_.at(t);
+      const std::size_t i =
+          pool.cursor.fetch_add(1, std::memory_order_relaxed) %
+          pool.inputs.size();
+      const InferenceResult r = host_.infer(t, pool.inputs[i]);
+      if (!r.ok) return "ERR " + r.error;
+      return "OK " + std::to_string(r.predicted) + " " +
+             std::to_string(r.latency_ns);
+    }
+    if (cmd == "INJECT") {
+      if (tok.size() != 4) return "ERR usage: INJECT <tenant> <n> <seed>";
+      const std::size_t t = host_.find_tenant(tok[1]);
+      if (t == ModelHost::npos) return "ERR unknown tenant " + tok[1];
+      const std::size_t made = host_.inject_faults(
+          t, std::stoi(tok[2]),
+          static_cast<std::uint64_t>(std::stoull(tok[3])));
+      return "OK " + std::to_string(made);
+    }
+    if (cmd == "SCAN") {
+      if (tok.size() != 2 || (tok[1] != "ON" && tok[1] != "OFF"))
+        return "ERR usage: SCAN ON|OFF";
+      host_.set_scanning(tok[1] == "ON");
+      return "OK";
+    }
+    if (cmd == "DETECTIONS")
+      return "OK " + std::to_string(host_.stats().total_detections());
+    if (cmd == "STATS") return "OK " + host_.stats().to_json();
+    if (cmd == "SHUTDOWN") {
+      shutdown_requested_.store(true, std::memory_order_release);
+      wait_cv_.notify_all();
+      return "OK";
+    }
+  } catch (const std::exception& e) {
+    return std::string("ERR ") + e.what();
+  }
+  return "ERR unknown command " + cmd;
+}
+
+void Daemon::start() {
+#if RADAR_HAVE_UNIX_SOCKETS
+  RADAR_REQUIRE(!running(), "daemon already running");
+  if (!host_.running()) host_.start();
+
+  // One pool of pre-sliced single-image inputs per tenant: INFER cycles
+  // through them instead of materialising a tensor per request.
+  inputs_.clear();
+  for (std::size_t t = 0; t < host_.num_tenants(); ++t) {
+    auto pool = std::make_unique<InputPool>();
+    const auto& ds = host_.dataset(t);
+    const std::int64_t n = std::min<std::int64_t>(
+        static_cast<std::int64_t>(kInputPoolSize), ds.test_size());
+    RADAR_REQUIRE(n > 0, "tenant dataset has no test images");
+    for (std::int64_t i = 0; i < n; ++i)
+      pool->inputs.push_back(ds.test_batch(i, 1).images);
+    inputs_.push_back(std::move(pool));
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  RADAR_REQUIRE(socket_path_.size() < sizeof(addr.sun_path),
+                "socket path too long: " + socket_path_);
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  RADAR_REQUIRE(listen_fd_ >= 0, "socket() failed");
+  ::unlink(socket_path_.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("bind failed on " + socket_path_ + ": " +
+                std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(std::string("listen failed: ") + std::strerror(errno));
+  }
+
+  shutdown_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  RADAR_LOG(kInfo) << "serve: daemon listening on " << socket_path_;
+#else
+  throw Error("serve daemon requires unix domain sockets");
+#endif
+}
+
+void Daemon::stop() {
+#if RADAR_HAVE_UNIX_SOCKETS
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  wait_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lk(clients_mu_);
+    for (auto& t : client_threads_)
+      if (t.joinable()) t.join();
+    client_threads_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(socket_path_.c_str());
+  RADAR_LOG(kInfo) << "serve: daemon stopped";
+#endif
+}
+
+void Daemon::wait() {
+  std::unique_lock<std::mutex> lk(wait_mu_);
+  wait_cv_.wait(lk, [this] {
+    return shutdown_requested_.load(std::memory_order_acquire) ||
+           !running_.load(std::memory_order_acquire);
+  });
+}
+
+void Daemon::accept_loop() {
+#if RADAR_HAVE_UNIX_SOCKETS
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lk(clients_mu_);
+    client_threads_.emplace_back([this, fd] { client_loop(fd); });
+  }
+#endif
+}
+
+void Daemon::client_loop(int fd) {
+#if RADAR_HAVE_UNIX_SOCKETS
+  std::string buf;
+  char chunk[512];
+  while (running_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // peer closed or error
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const std::string reply = handle_line(line) + "\n";
+      std::size_t off = 0;
+      while (off < reply.size()) {
+        const ssize_t w =
+            ::write(fd, reply.data() + off, reply.size() - off);
+        if (w <= 0) break;
+        off += static_cast<std::size_t>(w);
+      }
+      if (off < reply.size()) break;
+    }
+  }
+  ::close(fd);
+#else
+  (void)fd;
+#endif
+}
+
+}  // namespace radar::serve

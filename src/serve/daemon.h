@@ -1,0 +1,90 @@
+// Daemon: a line-oriented Unix-domain-socket front end for ModelHost.
+//
+// The protocol is one ASCII command per line, one reply line per
+// command — deliberately trivial so the load generator, the CI smoke
+// script (via a few lines of shell) and a human with `nc -U` all speak
+// it:
+//
+//   PING                      -> PONG
+//   TENANTS                   -> OK <name>...
+//   INFER <tenant>            -> OK <predicted> <latency_ns>
+//   INJECT <tenant> <n> <seed>-> OK <flips_made>
+//   SCAN ON|OFF               -> OK
+//   DETECTIONS                -> OK <total_detections>
+//   STATS                     -> OK <host stats json>
+//   SHUTDOWN                  -> OK   (daemon exits its wait loop)
+//
+// Unknown commands and failures reply "ERR <message>". INFER runs a
+// pre-sliced input from the tenant's held-out set (cycling cursor), so
+// request handling allocates nothing per call beyond the reply string.
+// Each accepted connection gets its own thread; the accept loop polls
+// with a timeout so stop() takes effect promptly. Unix-only — on other
+// platforms construction throws and the in-process ModelHost API is the
+// way in.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/host.h"
+
+namespace radar::serve {
+
+class Daemon {
+ public:
+  /// `host` must outlive the daemon and have its tenants added already
+  /// (start() starts the host if the caller has not).
+  Daemon(ModelHost& host, std::string socket_path);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Bind + listen + spawn the accept loop. Throws radar::Error when the
+  /// socket cannot be created (path too long, bind failure, non-unix).
+  void start();
+  /// Close the listener, join client threads, remove the socket file.
+  /// Does not stop the host. Idempotent.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Block until a client sends SHUTDOWN or stop() is called.
+  void wait();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Execute one protocol line against the host (no socket needed —
+  /// exposed for tests and the in-process loadgen client).
+  std::string handle_line(const std::string& line);
+
+ private:
+  void accept_loop();
+  void client_loop(int fd);
+
+  ModelHost& host_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> client_threads_;
+  std::mutex clients_mu_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+
+  /// Pre-sliced single-image inputs per tenant + a cycling cursor, so
+  /// INFER never allocates an input tensor.
+  struct InputPool {
+    std::vector<nn::Tensor> inputs;
+    std::atomic<std::size_t> cursor{0};
+  };
+  std::vector<std::unique_ptr<InputPool>> inputs_;
+};
+
+}  // namespace radar::serve

@@ -1,0 +1,328 @@
+#include "serve/host.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/package.h"
+#include "quant/epoch_guard.h"
+
+namespace radar::serve {
+
+namespace {
+constexpr std::int64_t kCalibImages = 64;
+constexpr auto kScannerIdle = std::chrono::microseconds(200);
+}  // namespace
+
+ModelHost::ModelHost(ServeOptions opts) : opts_(opts) {
+  RADAR_REQUIRE(opts_.workers > 0, "serve host needs at least one worker");
+  scanning_ = opts_.scan;
+}
+
+ModelHost::~ModelHost() { stop(); }
+
+std::size_t ModelHost::add_tenant(const TenantConfig& cfg) {
+  RADAR_REQUIRE(!running_, "add_tenant while serving");
+  RADAR_REQUIRE(!cfg.name.empty(), "tenant needs a name");
+  RADAR_REQUIRE(find_tenant(cfg.name) == npos,
+                "duplicate tenant name: " + cfg.name);
+
+  auto t = std::make_unique<Tenant>();
+  t->cfg = cfg;
+  // The reference model only supplies layer structure — the package
+  // overwrites every weight — so skip training and clean-accuracy eval.
+  t->bundle = exp::make_bundle(cfg.model_id, /*train=*/false,
+                               /*eval_clean=*/false);
+
+  core::PackageLoadOptions load_opts;
+  load_opts.threads = 1;
+  load_opts.mmap_golden = cfg.mmap_golden;
+  const auto report = core::load_package(cfg.package_path, *t->bundle.qmodel,
+                                         t->scheme, load_opts);
+  RADAR_REQUIRE(report.verified(),
+                "tenant '" + cfg.name + "': package " + cfg.package_path +
+                    " failed verification — refusing to serve it");
+  t->golden_mmapped = report.golden_mmapped;
+
+  // Per-shard seqlock epochs: from here on every arena mutation must go
+  // through a WriterSection (inject_faults and scanner recovery do).
+  t->bundle.qmodel->enable_epoch_guard(opts_.epoch_shard_bytes);
+
+  // One engine per tenant, shared across workers: the op program is
+  // immutable after this calibration and all working memory comes from
+  // per-worker scratch. No engine-internal pool — parallelism comes from
+  // concurrent requests, keeping per-request latency flat under load.
+  t->engine = std::make_unique<qnn::InferenceEngine>(
+      *t->bundle.qmodel, qnn::EngineKind::kBatched, nullptr);
+  const std::int64_t calib =
+      std::min<std::int64_t>(kCalibImages, t->bundle.dataset->test_size());
+  RADAR_REQUIRE(calib > 0, "tenant dataset has no calibration images");
+  t->engine->calibrate(t->bundle.dataset->test_batch(0, calib).images);
+
+  t->scanner.plan(*t->scheme, opts_.scan_shard_bytes);
+
+  RADAR_LOG(kInfo) << "serve: tenant '" << cfg.name << "' ready — "
+                   << t->bundle.qmodel->total_weights() << " weights, "
+                   << t->scheme->id() << " scheme, "
+                   << t->scanner.num_shards() << " scan shards, golden "
+                   << (t->golden_mmapped ? "mmap" : "owned");
+
+  tenants_.push_back(std::move(t));
+  return tenants_.size() - 1;
+}
+
+const std::string& ModelHost::tenant_name(std::size_t t) const {
+  return tenants_.at(t)->cfg.name;
+}
+
+std::size_t ModelHost::find_tenant(const std::string& name) const {
+  for (std::size_t i = 0; i < tenants_.size(); ++i)
+    if (tenants_[i]->cfg.name == name) return i;
+  return npos;
+}
+
+const data::SyntheticDataset& ModelHost::dataset(std::size_t t) const {
+  return *tenants_.at(t)->bundle.dataset;
+}
+
+void ModelHost::start() {
+  RADAR_REQUIRE(!running_, "serve host already running");
+  RADAR_REQUIRE(!tenants_.empty(), "serve host has no tenants");
+  queue_ = std::make_unique<BoundedQueue<Request>>(opts_.queue_capacity);
+  stop_scanner_ = false;
+  workers_.clear();
+  for (std::size_t wi = 0; wi < opts_.workers; ++wi)
+    workers_.push_back(std::make_unique<Worker>(tenants_.size()));
+  running_ = true;
+  for (std::size_t wi = 0; wi < opts_.workers; ++wi)
+    workers_[wi]->thread = std::thread([this, wi] { worker_loop(wi); });
+  scanner_thread_ = std::thread([this] { scanner_loop(); });
+  RADAR_LOG(kInfo) << "serve: started — " << tenants_.size()
+                   << " tenant(s), " << opts_.workers
+                   << " worker(s), scanning "
+                   << (scanning_ ? "on" : "off");
+}
+
+void ModelHost::stop() {
+  if (!running_) return;
+  queue_->close();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+  stop_scanner_ = true;
+  if (scanner_thread_.joinable()) scanner_thread_.join();
+  running_ = false;
+  RADAR_LOG(kInfo) << "serve: stopped";
+}
+
+InferenceResult ModelHost::infer(std::size_t tenant,
+                                 const nn::Tensor& input) {
+  RADAR_REQUIRE(running_, "infer on a stopped host");
+  RADAR_REQUIRE(tenant < tenants_.size(), "unknown tenant index");
+  Request req;
+  req.tenant = tenant;
+  req.input = &input;
+  req.t_submit = std::chrono::steady_clock::now();
+  std::future<InferenceResult> fut = req.promise.get_future();
+  if (!queue_->push(std::move(req))) {
+    InferenceResult r;
+    r.error = "queue closed";
+    return r;
+  }
+  return fut.get();
+}
+
+bool ModelHost::try_infer_async(std::size_t tenant, const nn::Tensor& input,
+                                std::future<InferenceResult>& out) {
+  RADAR_REQUIRE(running_, "infer on a stopped host");
+  RADAR_REQUIRE(tenant < tenants_.size(), "unknown tenant index");
+  Request req;
+  req.tenant = tenant;
+  req.input = &input;
+  req.t_submit = std::chrono::steady_clock::now();
+  out = req.promise.get_future();
+  return queue_->try_push(std::move(req));
+}
+
+void ModelHost::worker_loop(std::size_t wi) {
+  Worker& w = *workers_[wi];
+  Request req;
+  while (queue_->pop(req)) {
+    Tenant& t = *tenants_[req.tenant];
+    InferenceResult r;
+    try {
+      t.engine->forward_into(*req.input, w.scratch, w.logits);
+      const std::int64_t classes = t.engine->num_classes();
+      const float* row = w.logits.data();
+      int best = 0;
+      for (std::int64_t c = 1; c < classes; ++c)
+        if (row[c] > row[best]) best = static_cast<int>(c);
+      r.predicted = best;
+      r.ok = true;
+    } catch (const std::exception& e) {
+      r.error = e.what();
+      t.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    r.latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - req.t_submit)
+                       .count();
+    w.hist[req.tenant].record(r.latency_ns);
+    t.requests.fetch_add(1, std::memory_order_relaxed);
+    req.promise.set_value(std::move(r));
+  }
+}
+
+void ModelHost::scan_step(Tenant& t) {
+  const ShardScanner::Step step =
+      t.scanner.step(*t.scheme, *t.bundle.qmodel, opts_.epoch_max_retries,
+                     t.flag_buf);
+  // Publish the scanner's private counters for stats().
+  t.shards_scanned.store(t.scanner.shards_scanned(),
+                         std::memory_order_relaxed);
+  t.sweeps.store(t.scanner.sweeps(), std::memory_order_relaxed);
+  t.epoch_retries.store(t.scanner.epoch_retries(),
+                        std::memory_order_relaxed);
+  t.epoch_fallbacks.store(t.scanner.epoch_fallbacks(),
+                          std::memory_order_relaxed);
+  if (!step.flagged) return;
+
+  // Detection: account time-to-detect against the last injection, then
+  // repair the flagged groups in place under a writer section — traffic
+  // keeps flowing, overlapping optimistic scans simply retry.
+  const std::int64_t inject_ns =
+      t.pending_inject_ns.exchange(-1, std::memory_order_acq_rel);
+  if (inject_ns >= 0)
+    t.last_ttd_ns.store(now_ns() - inject_ns, std::memory_order_relaxed);
+
+  quant::QuantizedModel& qm = *t.bundle.qmodel;
+  t.recover_report.flagged.resize(qm.num_layers());
+  for (auto& f : t.recover_report.flagged) f.clear();
+  t.recover_report.flagged[step.layer] = t.flag_buf;
+  {
+    const auto [b0, b1] = qm.layer_byte_range(step.layer);
+    quant::EpochGuard::WriterSection ws(*qm.epoch_guard(), b0, b1);
+    t.scheme->recover(qm, t.recover_report, opts_.recovery);
+  }
+  t.groups_recovered.fetch_add(t.flag_buf.size(),
+                               std::memory_order_relaxed);
+  // Published last: observers polling `detections` can rely on the
+  // repair already being accounted in `groups_recovered`/`last_ttd_ns`.
+  t.detections.fetch_add(1, std::memory_order_release);
+  RADAR_LOG(kInfo) << "serve: tenant '" << t.cfg.name << "' layer "
+                   << step.layer << " groups [" << step.group_begin << ","
+                   << step.group_end << "): flagged " << t.flag_buf.size()
+                   << " group(s), recovered"
+                   << (inject_ns >= 0 ? " (ttd recorded)" : "");
+}
+
+void ModelHost::scanner_loop() {
+  std::size_t rr = 0;
+  while (!stop_scanner_.load(std::memory_order_relaxed)) {
+    if (!scanning_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(kScannerIdle);
+      continue;
+    }
+    scan_step(*tenants_[rr]);
+    rr = (rr + 1) % tenants_.size();
+  }
+}
+
+std::size_t ModelHost::inject_faults(std::size_t tenant, int flips,
+                                     std::uint64_t seed) {
+  RADAR_REQUIRE(tenant < tenants_.size(), "unknown tenant index");
+  Tenant& t = *tenants_[tenant];
+  quant::QuantizedModel& qm = *t.bundle.qmodel;
+  if (flips <= 0) return 0;
+  Rng rng(seed);
+  const auto sites = rng.sample_without_replacement(
+      static_cast<std::size_t>(qm.total_weights()),
+      static_cast<std::size_t>(
+          std::min<std::int64_t>(flips, qm.total_weights())));
+  // Stamp the injection time before any byte changes: detection can
+  // legitimately fire mid-burst.
+  t.pending_inject_ns.store(now_ns(), std::memory_order_release);
+  {
+    const auto& arena = qm.arena();
+    quant::EpochGuard::WriterSection ws(*qm.epoch_guard(), 0,
+                                        arena.size_bytes());
+    for (const std::size_t flat : sites) {
+      const auto [layer, idx] =
+          qm.locate(static_cast<std::int64_t>(flat));
+      qm.flip_bit(layer, idx, kMsb);
+    }
+  }
+  t.faults_injected.fetch_add(sites.size(), std::memory_order_relaxed);
+  RADAR_LOG(kWarn) << "serve: injected " << sites.size()
+                   << " MSB flip(s) into tenant '" << t.cfg.name << "'";
+  return sites.size();
+}
+
+HostStats ModelHost::stats() const {
+  HostStats out;
+  out.scanning = scanning_.load(std::memory_order_relaxed);
+  out.queue_rejected = queue_ ? queue_->rejected() : 0;
+  for (std::size_t ti = 0; ti < tenants_.size(); ++ti) {
+    const Tenant& t = *tenants_[ti];
+    TenantStats s;
+    s.name = t.cfg.name;
+    s.golden_mmapped = t.golden_mmapped;
+    s.requests = t.requests.load(std::memory_order_relaxed);
+    s.errors = t.errors.load(std::memory_order_relaxed);
+    for (const auto& w : workers_) s.latency.merge(w->hist[ti].snapshot());
+    s.shards_scanned = t.shards_scanned.load(std::memory_order_relaxed);
+    s.sweeps = t.sweeps.load(std::memory_order_relaxed);
+    s.epoch_retries = t.epoch_retries.load(std::memory_order_relaxed);
+    s.epoch_fallbacks = t.epoch_fallbacks.load(std::memory_order_relaxed);
+    const quant::EpochGuard* g = t.bundle.qmodel->epoch_guard();
+    s.writer_sections = g ? g->writer_sections() : 0;
+    // Acquire pairs with the release increment in scan_step(): a
+    // nonzero detection count implies the matching recovery counters
+    // below are already visible.
+    s.detections = t.detections.load(std::memory_order_acquire);
+    s.groups_recovered =
+        t.groups_recovered.load(std::memory_order_relaxed);
+    s.faults_injected = t.faults_injected.load(std::memory_order_relaxed);
+    s.last_ttd_ns = t.last_ttd_ns.load(std::memory_order_relaxed);
+    out.tenants.push_back(std::move(s));
+  }
+  return out;
+}
+
+void ModelHost::reset_latency_stats() {
+  for (auto& w : workers_)
+    for (auto& h : w->hist) h.reset();
+  for (auto& t : tenants_) {
+    t->requests.store(0, std::memory_order_relaxed);
+    t->errors.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string HostStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"scanning\":" << (scanning ? "true" : "false")
+     << ",\"queue_rejected\":" << queue_rejected << ",\"tenants\":[";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantStats& t = tenants[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << t.name << "\""
+       << ",\"golden_mmapped\":" << (t.golden_mmapped ? "true" : "false")
+       << ",\"requests\":" << t.requests << ",\"errors\":" << t.errors
+       << ",\"p50_ns\":" << t.latency.quantile(0.50)
+       << ",\"p99_ns\":" << t.latency.quantile(0.99)
+       << ",\"p999_ns\":" << t.latency.quantile(0.999)
+       << ",\"max_ns\":" << t.latency.max
+       << ",\"shards_scanned\":" << t.shards_scanned
+       << ",\"sweeps\":" << t.sweeps
+       << ",\"epoch_retries\":" << t.epoch_retries
+       << ",\"epoch_fallbacks\":" << t.epoch_fallbacks
+       << ",\"writer_sections\":" << t.writer_sections
+       << ",\"detections\":" << t.detections
+       << ",\"groups_recovered\":" << t.groups_recovered
+       << ",\"faults_injected\":" << t.faults_injected
+       << ",\"last_ttd_ns\":" << t.last_ttd_ns << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace radar::serve

@@ -1,0 +1,211 @@
+// ModelHost: the multi-tenant protection-as-a-service core.
+//
+// Each tenant is a signed deployment package loaded into its own
+// QuantizedModel + IntegrityScheme (golden copy zero-copy via the v3
+// mmap path when available) with a statically calibrated int8 inference
+// engine. A pool of worker threads drains one bounded MPMC request
+// queue — requests carry the tenant id, so a burst on one tenant borrows
+// every idle worker — while a single background scanner thread
+// round-robins byte-range shards across all tenants, epoch-validating
+// every scan against the arena's seqlock guard (see serve/scanner.h).
+//
+// Writers never stop traffic: fault injection (the test/loadgen hook for
+// "rowhammer while serving") and reload-clean recovery both bracket
+// their mutations in EpochGuard::WriterSection, which invalidates only
+// the overlapping optimistic scans. When the scanner flags groups it
+// recovers them immediately under a writer section and records
+// detection latency relative to the last injection — the
+// time-to-detect-under-traffic metric the load generator reports.
+//
+// Thread-safety contract: add_tenant() before start(); infer()/
+// try_infer_async() from any number of threads while running;
+// inject_faults(), set_scanning() and stats() from any thread. One
+// engine per tenant is shared by all workers — its op program is
+// immutable after calibration and all working memory is per-worker
+// scratch, so concurrent forward_into calls are independent. Engine
+// weight reads race recovery writes by design (that *is* run-time
+// attack visibility); integrity verdicts are protected by the epoch
+// protocol, inference outputs during an active attack are garbage by
+// definition until recovery lands.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/workspace.h"
+#include "serve/latency_histogram.h"
+#include "serve/request_queue.h"
+#include "serve/scanner.h"
+
+namespace radar::serve {
+
+struct TenantConfig {
+  std::string name;          ///< routing key (unique per host)
+  std::string package_path;  ///< signed deployment package (v2 or v3)
+  std::string model_id = "tiny";  ///< reference model structure
+  bool mmap_golden = true;   ///< zero-copy golden clean copy (v3 files)
+};
+
+struct ServeOptions {
+  std::size_t workers = 2;            ///< inference worker threads
+  std::size_t queue_capacity = 4096;  ///< bounded request queue depth
+  bool scan = true;                   ///< start with scanning enabled
+  std::int64_t scan_shard_bytes = 16 * 1024;  ///< sweep granule per tenant
+  std::int64_t epoch_shard_bytes = quant::kDefaultEpochShardBytes;
+  int epoch_max_retries = 64;  ///< optimistic attempts before quiescing
+  core::RecoveryPolicy recovery = core::RecoveryPolicy::kReloadClean;
+};
+
+struct InferenceResult {
+  bool ok = false;
+  int predicted = -1;           ///< argmax class of the first sample
+  std::int64_t latency_ns = 0;  ///< submit -> completion (queue included)
+  std::string error;            ///< set when !ok
+};
+
+/// Point-in-time view of one tenant (see ModelHost::stats).
+struct TenantStats {
+  std::string name;
+  bool golden_mmapped = false;
+  std::uint64_t requests = 0, errors = 0;
+  LatencyHistogram::Snapshot latency;
+  std::uint64_t shards_scanned = 0, sweeps = 0;
+  std::uint64_t epoch_retries = 0, epoch_fallbacks = 0;
+  std::uint64_t writer_sections = 0;
+  std::uint64_t detections = 0;        ///< flagged-shard events
+  std::uint64_t groups_recovered = 0;  ///< groups repaired by the scanner
+  std::uint64_t faults_injected = 0;
+  std::int64_t last_ttd_ns = -1;  ///< inject -> first detection (-1: none)
+};
+
+struct HostStats {
+  std::vector<TenantStats> tenants;
+  std::uint64_t queue_rejected = 0;  ///< open-loop pushes shed at the queue
+  bool scanning = false;
+  std::uint64_t total_detections() const {
+    std::uint64_t n = 0;
+    for (const auto& t : tenants) n += t.detections;
+    return n;
+  }
+  /// One-line JSON (daemon STATS reply / loadgen artifact).
+  std::string to_json() const;
+};
+
+class ModelHost {
+ public:
+  explicit ModelHost(ServeOptions opts = {});
+  ~ModelHost();
+
+  ModelHost(const ModelHost&) = delete;
+  ModelHost& operator=(const ModelHost&) = delete;
+
+  /// Load, verify and calibrate one tenant (before start()). Throws on a
+  /// package that fails verification — a tampered artifact must not
+  /// enter service. Returns the tenant index.
+  std::size_t add_tenant(const TenantConfig& cfg);
+
+  std::size_t num_tenants() const { return tenants_.size(); }
+  const std::string& tenant_name(std::size_t t) const;
+  /// Index of a tenant by name, or npos when unknown.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find_tenant(const std::string& name) const;
+  /// The tenant's dataset (request inputs for harnesses and the daemon).
+  const data::SyntheticDataset& dataset(std::size_t t) const;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Synchronous inference: enqueue and wait. `input` is NCHW (any batch
+  /// size; `predicted` reports sample 0). Blocks for queue capacity.
+  InferenceResult infer(std::size_t tenant, const nn::Tensor& input);
+
+  /// Open-loop submission: never blocks; false when the queue is full
+  /// (the request is shed and counted). `input` must stay alive until
+  /// the future resolves.
+  bool try_infer_async(std::size_t tenant, const nn::Tensor& input,
+                       std::future<InferenceResult>& out);
+
+  void set_scanning(bool on) { scanning_ = on; }
+  bool scanning() const { return scanning_; }
+
+  /// Flip `flips` random weight MSBs of one tenant under a writer
+  /// section — the live-traffic fault injector. Records the injection
+  /// time so the scanner can report time-to-detect. Returns flips made.
+  std::size_t inject_faults(std::size_t tenant, int flips,
+                            std::uint64_t seed);
+
+  HostStats stats() const;
+  /// Zero the latency histograms and request counters (phase boundaries
+  /// in the load generator); scan/detection counters are preserved.
+  void reset_latency_stats();
+
+ private:
+  struct Request {
+    std::size_t tenant = 0;
+    const nn::Tensor* input = nullptr;
+    std::chrono::steady_clock::time_point t_submit;
+    std::promise<InferenceResult> promise;
+  };
+
+  struct Tenant {
+    TenantConfig cfg;
+    exp::ModelBundle bundle;
+    std::unique_ptr<core::IntegrityScheme> scheme;
+    std::unique_ptr<qnn::InferenceEngine> engine;
+    bool golden_mmapped = false;
+
+    // Scanner-thread state.
+    ShardScanner scanner;
+    std::vector<std::int64_t> flag_buf;
+    core::DetectionReport recover_report;
+
+    // Cross-thread stats.
+    std::atomic<std::uint64_t> requests{0}, errors{0};
+    std::atomic<std::uint64_t> detections{0}, groups_recovered{0};
+    std::atomic<std::uint64_t> faults_injected{0};
+    std::atomic<std::int64_t> pending_inject_ns{-1};  ///< steady ns
+    std::atomic<std::int64_t> last_ttd_ns{-1};
+    // Published copies of the scanner's private counters.
+    std::atomic<std::uint64_t> shards_scanned{0}, sweeps{0};
+    std::atomic<std::uint64_t> epoch_retries{0}, epoch_fallbacks{0};
+  };
+
+  struct Worker {
+    /// Histograms are built in place (atomics are immovable).
+    explicit Worker(std::size_t tenants) : hist(tenants) {}
+    std::thread thread;
+    qnn::QnnScratch scratch;
+    nn::Tensor logits;
+    /// One histogram per tenant; merged by stats().
+    std::vector<LatencyHistogram> hist;
+  };
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void worker_loop(std::size_t wi);
+  void scanner_loop();
+  /// Scan one shard of one tenant; recover + account on detection.
+  void scan_step(Tenant& t);
+
+  ServeOptions opts_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::unique_ptr<BoundedQueue<Request>> queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread scanner_thread_;
+  std::atomic<bool> scanning_{true};
+  std::atomic<bool> stop_scanner_{false};
+  bool running_ = false;
+};
+
+}  // namespace radar::serve

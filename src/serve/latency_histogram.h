@@ -1,0 +1,126 @@
+// LatencyHistogram: lock-free log-bucketed latency recording for the
+// serving hot path (HDR-histogram style, 8 sub-buckets per power of two,
+// <= 12.5% relative quantile error — plenty for p50/p99/p999 tables).
+//
+// record() is two relaxed atomic adds plus one relaxed max-CAS, safe from
+// any number of threads; quantiles are computed from a Snapshot so the
+// read side never blocks writers. Each inference worker owns one
+// histogram per tenant and stats() merges them, so the steady-state
+// request loop shares no cache lines across workers.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace radar::serve {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;  ///< 8 sub-buckets per octave
+  static constexpr int kSub = 1 << kSubBits;
+  /// Identity region [0, 8) + (63 - kSubBits) octaves of kSub buckets.
+  static constexpr int kBuckets = kSub + (63 - kSubBits) * kSub;
+
+  /// Bucket index of a non-negative value (values cap at the top bucket).
+  static int bucket_of(std::int64_t v) {
+    if (v < kSub) return static_cast<int>(v);
+    const int msb = 63 - std::countl_zero(static_cast<std::uint64_t>(v));
+    const int idx = (msb - kSubBits) * kSub +
+                    static_cast<int>((v >> (msb - kSubBits)) & (kSub - 1)) +
+                    kSub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  /// Representative value of a bucket (midpoint of its covered range).
+  static std::int64_t bucket_mid(int idx) {
+    if (idx < kSub) return idx;
+    const int octave = (idx - kSub) / kSub + kSubBits;
+    const std::int64_t sub = (idx - kSub) % kSub;
+    const std::int64_t lo =
+        (std::int64_t{1} << octave) + (sub << (octave - kSubBits));
+    return lo + (std::int64_t{1} << (octave - kSubBits)) / 2;
+  }
+
+  void record(std::int64_t v) {
+    if (v < 0) v = 0;
+    counts_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(static_cast<std::uint64_t>(v),
+                   std::memory_order_relaxed);
+    std::int64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  /// A mergeable point-in-time copy; all quantile math lives here.
+  struct Snapshot {
+    std::vector<std::uint64_t> counts;  ///< kBuckets entries (empty = 0)
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+    std::int64_t max = 0;
+
+    void merge(const Snapshot& other) {
+      if (counts.empty()) counts.assign(kBuckets, 0);
+      for (int i = 0; i < kBuckets; ++i)
+        counts[static_cast<std::size_t>(i)] +=
+            other.counts.empty()
+                ? 0
+                : other.counts[static_cast<std::size_t>(i)];
+      total += other.total;
+      sum += other.sum;
+      if (other.max > max) max = other.max;
+    }
+
+    /// Value at quantile q in [0, 1] (bucket midpoint; exact max for the
+    /// top sample). 0 when empty.
+    std::int64_t quantile(double q) const {
+      if (total == 0) return 0;
+      const double target = q * static_cast<double>(total);
+      std::uint64_t seen = 0;
+      for (int i = 0; i < kBuckets; ++i) {
+        seen += counts[static_cast<std::size_t>(i)];
+        if (static_cast<double>(seen) >= target)
+          return i + 1 == kBuckets || seen == total ? max : bucket_mid(i);
+      }
+      return max;
+    }
+
+    double mean() const {
+      return total == 0
+                 ? 0.0
+                 : static_cast<double>(sum) / static_cast<double>(total);
+    }
+  };
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.counts.resize(kBuckets);
+    for (int i = 0; i < kBuckets; ++i) {
+      const std::uint64_t c =
+          counts_[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+      s.counts[static_cast<std::size_t>(i)] = c;
+      s.total += c;
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> counts_{
+      std::vector<std::atomic<std::uint64_t>>(kBuckets)};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+}  // namespace radar::serve

@@ -1,0 +1,103 @@
+// BoundedQueue: the MPMC request queue between the daemon's front ends
+// (socket connections, in-process loadgen threads) and the inference
+// worker pool.
+//
+// Deliberately a mutex + two condition variables rather than a lock-free
+// ring: the payload is one inference request (~hundreds of microseconds
+// of downstream work), so queue overhead is noise, and the blocking
+// semantics are exactly what the serving loop needs — producers can
+// either wait for capacity (closed-loop clients) or bounce immediately
+// (open-loop load shedding via try_push), and close() drains cleanly:
+// pending items are still delivered, then every pop returns false.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace radar::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking push: waits for capacity. False when the queue was closed
+  /// (the item is dropped).
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push for open-loop producers: false (item dropped)
+  /// when full or closed; full-drops are counted in rejected().
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      if (items_.size() >= capacity_) {
+        ++rejected_;
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: waits for an item. False only when the queue is
+  /// closed AND drained — the consumer's termination condition.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_item_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    cv_space_.notify_one();
+    return true;
+  }
+
+  /// Stop accepting items; wakes every blocked producer and consumer.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_item_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Open-loop pushes bounced for lack of capacity.
+  std::uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_item_, cv_space_;
+  std::deque<T> items_;
+  std::uint64_t rejected_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace radar::serve

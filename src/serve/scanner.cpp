@@ -1,0 +1,95 @@
+#include "serve/scanner.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "quant/epoch_guard.h"
+
+namespace radar::serve {
+
+void ShardScanner::plan(const core::IntegrityScheme& scheme,
+                        std::int64_t shard_bytes) {
+  RADAR_REQUIRE(scheme.attached(), "shard plan before attach");
+  RADAR_REQUIRE(shard_bytes > 0, "scan shard size must be positive");
+  plan_.clear();
+  cursor_ = 0;
+  // Same partitioning rule as ScanSession: shards cover contiguous group
+  // ranges proportional to layer bytes; schemes whose range scan is a
+  // full-layer fallback keep one shard per layer (splitting would rescan
+  // the whole layer per shard).
+  const bool splittable = scheme.supports_range_scan();
+  for (std::size_t li = 0; li < scheme.num_layers(); ++li) {
+    const core::GroupLayout& layout = scheme.layout(li);
+    const std::int64_t nw = layout.num_weights();
+    const std::int64_t ng = layout.num_groups();
+    const std::int64_t chunks =
+        splittable
+            ? std::max<std::int64_t>(
+                  1, std::min(ng, (nw + shard_bytes - 1) / shard_bytes))
+            : 1;
+    const std::int64_t per = (ng + chunks - 1) / chunks;
+    for (std::int64_t b = 0; b < ng; b += per)
+      plan_.push_back({li, b, std::min(b + per, ng)});
+  }
+}
+
+void ShardScanner::scan_shard(const core::IntegrityScheme& scheme,
+                              const quant::QuantizedModel& qm,
+                              const Shard& sh,
+                              std::vector<std::int64_t>& flagged_out) {
+  if (sh.begin == 0 && sh.end == scheme.layout(sh.layer).num_groups())
+    scheme.scan_layer_into(qm, sh.layer, flagged_out, scratch_);
+  else
+    scheme.scan_layer_range_into(qm, sh.layer, sh.begin, sh.end,
+                                 flagged_out, scratch_);
+}
+
+ShardScanner::Step ShardScanner::step(
+    const core::IntegrityScheme& scheme, const quant::QuantizedModel& qm,
+    int max_retries, std::vector<std::int64_t>& flagged_out) {
+  RADAR_REQUIRE(planned(), "scanner step before plan");
+  const Shard& sh = plan_[cursor_];
+  Step out;
+  out.layer = sh.layer;
+  out.group_begin = sh.begin;
+  out.group_end = sh.end;
+
+  quant::EpochGuard* guard = qm.epoch_guard();
+  if (guard == nullptr) {
+    scan_shard(scheme, qm, sh, flagged_out);
+  } else {
+    const auto [b0, b1] = qm.layer_byte_range(sh.layer);
+    bool done = false;
+    for (int attempt = 0; attempt < max_retries && !done; ++attempt) {
+      if (!guard->read_begin(b0, b1, epoch_snap_)) {
+        ++epoch_retries_;
+        std::this_thread::yield();
+        continue;
+      }
+      scan_shard(scheme, qm, sh, flagged_out);
+      if (guard->read_validate(b0, b1, epoch_snap_)) {
+        done = true;
+      } else {
+        ++epoch_retries_;  // writer overlapped: verdict discarded
+      }
+    }
+    if (!done) {
+      // Quiescent fallback: lock writers out for one bounded scan so a
+      // hot writer can delay detection, never defeat it.
+      ++epoch_fallbacks_;
+      auto lock = guard->lock_writers();
+      scan_shard(scheme, qm, sh, flagged_out);
+    }
+  }
+
+  out.flagged = !flagged_out.empty();
+  ++shards_scanned_;
+  if (++cursor_ == plan_.size()) {
+    cursor_ = 0;
+    ++sweeps_;
+    out.wrapped = true;
+  }
+  return out;
+}
+
+}  // namespace radar::serve

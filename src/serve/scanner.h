@@ -1,0 +1,85 @@
+// ShardScanner: one tenant's background integrity sweep, sliced into
+// byte-range shards and epoch-validated against concurrent writers.
+//
+// The shard plan mirrors ScanSession's byte-range partitioning (groups
+// [b, e) of one layer, sized so each shard covers roughly shard_bytes of
+// weights; layers whose scheme lacks a native range kernel stay whole).
+// step() scans exactly one shard and advances a cursor, so the daemon's
+// scanner thread can round-robin shards across tenants — every tenant
+// makes sweep progress even while another tenant's model is large or
+// under recovery.
+//
+// Each scan is bracketed by the arena's EpochGuard (when enabled):
+// snapshot epochs -> run the ordinary zero-allocation range kernel on
+// the live bytes -> validate. The validated byte range is the *layer's*
+// whole range, not the shard's nominal bytes: interleaved layouts
+// scatter a group's members across the entire layer, so the layer range
+// is the true read set (and is exactly right for contiguous layouts'
+// worst case too). On writer overlap the shard is rescanned; after
+// max_retries losses the scanner locks writers out for one quiescent
+// scan, so a pathological writer can delay but never starve detection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/integrity_scheme.h"
+
+namespace radar::serve {
+
+class ShardScanner {
+ public:
+  /// Outcome of scanning one shard.
+  struct Step {
+    std::size_t layer = 0;
+    std::int64_t group_begin = 0, group_end = 0;
+    bool flagged = false;  ///< at least one group in the shard mismatched
+    bool wrapped = false;  ///< this step completed a full-model sweep
+  };
+
+  /// Build the shard plan for an attached scheme. `shard_bytes` is the
+  /// target weight bytes per shard (the scan granule between which the
+  /// scanner yields to other tenants).
+  void plan(const core::IntegrityScheme& scheme, std::int64_t shard_bytes);
+
+  bool planned() const { return !plan_.empty(); }
+  std::size_t num_shards() const { return plan_.size(); }
+  std::size_t cursor() const { return cursor_; }
+
+  /// Scan the next shard of `qm` (which the scheme must be attached to).
+  /// Mismatching group ids of the shard land in `flagged_out` (cleared
+  /// first). Epoch-validated when the model's arena has a guard; plain
+  /// otherwise. Single-threaded: one ShardScanner per scanner thread.
+  Step step(const core::IntegrityScheme& scheme,
+            const quant::QuantizedModel& qm, int max_retries,
+            std::vector<std::int64_t>& flagged_out);
+
+  // ---- stats (written by the scanning thread, read via host stats) ----
+  std::uint64_t shards_scanned() const { return shards_scanned_; }
+  std::uint64_t sweeps() const { return sweeps_; }
+  std::uint64_t epoch_retries() const { return epoch_retries_; }
+  std::uint64_t epoch_fallbacks() const { return epoch_fallbacks_; }
+
+ private:
+  struct Shard {
+    std::size_t layer;
+    std::int64_t begin, end;  ///< group range [begin, end)
+  };
+
+  /// Run the appropriate scan kernel for one shard (whole-layer fast
+  /// path when the shard covers every group).
+  void scan_shard(const core::IntegrityScheme& scheme,
+                  const quant::QuantizedModel& qm, const Shard& sh,
+                  std::vector<std::int64_t>& flagged_out);
+
+  std::vector<Shard> plan_;
+  std::size_t cursor_ = 0;
+  core::ScanScratch scratch_;
+  std::vector<std::uint64_t> epoch_snap_;
+  std::uint64_t shards_scanned_ = 0;
+  std::uint64_t sweeps_ = 0;
+  std::uint64_t epoch_retries_ = 0;
+  std::uint64_t epoch_fallbacks_ = 0;
+};
+
+}  // namespace radar::serve

@@ -1,0 +1,352 @@
+// Serving subsystem: bounded MPMC queue semantics, latency histogram
+// math, multi-tenant ModelHost end-to-end (concurrent inference +
+// background epoch-guarded scanning + fault injection -> detection ->
+// in-place recovery), and the daemon's line protocol.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <thread>
+
+#include "core/package.h"
+#include "core/scheme_registry.h"
+#include "exp/workspace.h"
+#include "serve/daemon.h"
+#include "serve/host.h"
+#include "serve/latency_histogram.h"
+#include "serve/request_queue.h"
+
+namespace radar::serve {
+namespace {
+
+// ---------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------
+TEST(BoundedQueue, FifoAndCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3)) << "queue is full";
+  EXPECT_EQ(q.rejected(), 1u);
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.push(7));
+  q.close();
+  EXPECT_FALSE(q.push(8)) << "push after close must fail";
+  int v = 0;
+  EXPECT_TRUE(q.pop(v)) << "pending items still delivered after close";
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(q.pop(v)) << "closed and drained";
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&q] { EXPECT_TRUE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  producer.join();
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersDeliverEverything) {
+  BoundedQueue<int> q(16);
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 500;
+  std::atomic<int> consumed{0}, sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+    });
+  for (int c = 0; c < kConsumers; ++c)
+    threads.emplace_back([&] {
+      int v;
+      while (q.pop(v)) {
+        consumed.fetch_add(1, std::memory_order_relaxed);
+        sum.fetch_add(v, std::memory_order_relaxed);
+      }
+    });
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ---------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------
+TEST(LatencyHistogram, BucketsAreMonotonicAndCoverInt64) {
+  int prev = -1;
+  const std::vector<std::int64_t> values = {
+      0, 1, 7, 8, 9, 100, 1000, 123456, std::int64_t{1} << 40,
+      std::int64_t{1} << 62};
+  for (std::int64_t v : values) {
+    const int b = LatencyHistogram::bucket_of(v);
+    EXPECT_GE(b, prev) << "bucket index must be monotone in value, v=" << v;
+    EXPECT_LT(b, LatencyHistogram::kBuckets);
+    prev = b;
+  }
+  // Sub-bucket midpoints stay within 12.5% of the value they stand for.
+  for (std::int64_t v : {100LL, 5000LL, 987654LL}) {
+    const std::int64_t mid =
+        LatencyHistogram::bucket_mid(LatencyHistogram::bucket_of(v));
+    EXPECT_NEAR(static_cast<double>(mid), static_cast<double>(v),
+                0.125 * static_cast<double>(v));
+  }
+}
+
+TEST(LatencyHistogram, QuantilesAndMerge) {
+  LatencyHistogram a, b;
+  for (int i = 1; i <= 1000; ++i) a.record(i * 1000);  // 1..1000 us
+  for (int i = 0; i < 10; ++i) b.record(5'000'000);    // 5ms outliers
+  auto s = a.snapshot();
+  s.merge(b.snapshot());
+  EXPECT_EQ(s.total, 1010u);
+  EXPECT_EQ(s.max, 5'000'000);
+  const std::int64_t p50 = s.quantile(0.50);
+  EXPECT_NEAR(static_cast<double>(p50), 500'000.0, 0.15 * 500'000.0);
+  EXPECT_GE(s.quantile(0.999), 1'000'000);
+  EXPECT_EQ(s.quantile(1.0), 5'000'000) << "top quantile reports the max";
+  a.reset();
+  EXPECT_EQ(a.snapshot().total, 0u);
+}
+
+// ---------------------------------------------------------------------
+// ModelHost end-to-end (shared fixture state: packages are signed once —
+// model construction dominates the suite's runtime otherwise).
+// ---------------------------------------------------------------------
+class ServeHostTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pkg_a_ = new std::string("/tmp/radar_test_serve_a_" +
+                             std::to_string(::getpid()) + ".rpkg");
+    pkg_b_ = new std::string("/tmp/radar_test_serve_b_" +
+                             std::to_string(::getpid()) + ".rpkg");
+    exp::ModelBundle bundle =
+        exp::make_bundle("tiny", /*train=*/false, /*eval_clean=*/false);
+    const char* ids[2] = {"radar2", "radar3"};
+    const std::string* paths[2] = {pkg_a_, pkg_b_};
+    for (int i = 0; i < 2; ++i) {
+      auto scheme = core::SchemeRegistry::instance().create(
+          ids[i], core::SchemeParams{.group_size = 32});
+      scheme->attach(*bundle.qmodel);
+      core::save_package(*paths[i], *bundle.qmodel, *scheme, "tiny");
+    }
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove(*pkg_a_);
+    std::filesystem::remove(*pkg_b_);
+    delete pkg_a_;
+    delete pkg_b_;
+    pkg_a_ = pkg_b_ = nullptr;
+  }
+
+  void add_two_tenants(ModelHost& host) {
+    TenantConfig a;
+    a.name = "alpha";
+    a.package_path = *pkg_a_;
+    TenantConfig b;
+    b.name = "beta";
+    b.package_path = *pkg_b_;
+    EXPECT_EQ(host.add_tenant(a), 0u);
+    EXPECT_EQ(host.add_tenant(b), 1u);
+  }
+
+  static std::string* pkg_a_;
+  static std::string* pkg_b_;
+};
+
+std::string* ServeHostTest::pkg_a_ = nullptr;
+std::string* ServeHostTest::pkg_b_ = nullptr;
+
+TEST_F(ServeHostTest, RejectsTamperedPackage) {
+  const std::string tampered = "/tmp/radar_test_serve_t_" +
+                               std::to_string(::getpid()) + ".rpkg";
+  std::filesystem::copy_file(*pkg_a_, tampered);
+  // Flip one payload byte mid-file: CRC (and likely a signature) breaks.
+  {
+    std::FILE* f = std::fopen(tampered.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -64, SEEK_END);
+    const int c = std::fgetc(f);
+    std::fseek(f, -64, SEEK_END);
+    std::fputc(c ^ 0x80, f);
+    std::fclose(f);
+  }
+  ModelHost host;
+  TenantConfig cfg;
+  cfg.name = "evil";
+  cfg.package_path = tampered;
+  EXPECT_THROW(host.add_tenant(cfg), std::exception)
+      << "a package failing verification must not enter service";
+  std::filesystem::remove(tampered);
+}
+
+TEST_F(ServeHostTest, ServesTwoTenantsConcurrently) {
+  ServeOptions opts;
+  opts.workers = 2;
+  opts.scan = true;
+  ModelHost host(opts);
+  add_two_tenants(host);
+  EXPECT_EQ(host.find_tenant("beta"), 1u);
+  EXPECT_EQ(host.find_tenant("nope"), ModelHost::npos);
+  host.start();
+
+  constexpr int kPerThread = 20;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (std::size_t t = 0; t < 2; ++t) {
+    clients.emplace_back([&host, &ok, t] {
+      const auto& ds = host.dataset(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        const nn::Tensor input =
+            ds.test_batch(i % ds.test_size(), 1).images;
+        const InferenceResult r = host.infer(t, input);
+        EXPECT_TRUE(r.ok) << r.error;
+        EXPECT_GE(r.predicted, 0);
+        EXPECT_GT(r.latency_ns, 0);
+        if (r.ok) ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  host.stop();
+
+  EXPECT_EQ(ok.load(), 2 * kPerThread);
+  const HostStats stats = host.stats();
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  for (const auto& t : stats.tenants) {
+    EXPECT_EQ(t.requests, static_cast<std::uint64_t>(kPerThread));
+    EXPECT_EQ(t.errors, 0u);
+    EXPECT_EQ(t.detections, 0u) << "clean traffic must not trip the scanner";
+    EXPECT_GT(t.latency.total, 0u);
+  }
+  // The background scanner made progress while traffic flowed.
+  EXPECT_GT(stats.tenants[0].shards_scanned + stats.tenants[1].shards_scanned,
+            0u);
+}
+
+TEST_F(ServeHostTest, InjectedFaultsDetectedAndRecoveredUnderTraffic) {
+  ServeOptions opts;
+  opts.workers = 2;
+  opts.scan = true;
+  opts.scan_shard_bytes = 4096;
+  ModelHost host(opts);
+  add_two_tenants(host);
+  host.start();
+
+  // Keep request traffic flowing on the victim while the attack lands.
+  std::atomic<bool> stop{false};
+  std::thread traffic([&host, &stop] {
+    const auto& ds = host.dataset(0);
+    const nn::Tensor input = ds.test_batch(0, 1).images;
+    while (!stop.load(std::memory_order_relaxed)) host.infer(0, input);
+  });
+
+  const std::size_t made = host.inject_faults(0, /*flips=*/6, /*seed=*/42);
+  EXPECT_EQ(made, 6u);
+
+  // One full sweep must catch it; allow generous wall time under load.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  HostStats stats;
+  while (std::chrono::steady_clock::now() < deadline) {
+    stats = host.stats();
+    if (stats.tenants[0].detections > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  traffic.join();
+  host.stop();
+
+  EXPECT_GT(stats.tenants[0].detections, 0u) << "injection went undetected";
+  EXPECT_GT(stats.tenants[0].groups_recovered, 0u);
+  EXPECT_GE(stats.tenants[0].last_ttd_ns, 0) << "time-to-detect not recorded";
+  EXPECT_EQ(stats.tenants[0].faults_injected, 6u);
+  EXPECT_GT(stats.tenants[0].writer_sections, 0u);
+  EXPECT_EQ(stats.tenants[1].detections, 0u)
+      << "the attack must not bleed into the other tenant";
+}
+
+TEST_F(ServeHostTest, OpenLoopShedsWhenQueueIsFull) {
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.scan = false;
+  ModelHost host(opts);
+  add_two_tenants(host);
+  host.start();
+
+  const nn::Tensor input = host.dataset(0).test_batch(0, 1).images;
+  std::vector<std::future<InferenceResult>> pending;
+  std::uint64_t accepted = 0, shed = 0;
+  for (int i = 0; i < 64; ++i) {
+    std::future<InferenceResult> fut;
+    if (host.try_infer_async(0, input, fut)) {
+      pending.push_back(std::move(fut));
+      ++accepted;
+    } else {
+      ++shed;
+    }
+  }
+  for (auto& f : pending) f.get();  // inputs must outlive the futures
+  host.stop();
+  EXPECT_GT(accepted, 0u);
+  EXPECT_EQ(host.stats().queue_rejected, shed);
+}
+
+// ---------------------------------------------------------------------
+// Daemon line protocol (in-process dispatch; the socket transport is
+// exercised by the CI smoke job via serve_loadgen --connect).
+// ---------------------------------------------------------------------
+TEST_F(ServeHostTest, DaemonProtocol) {
+  ServeOptions opts;
+  opts.workers = 1;
+  ModelHost host(opts);
+  add_two_tenants(host);
+  const std::string sock =
+      "/tmp/radar_test_serve_sock_" + std::to_string(::getpid());
+  Daemon daemon(host, sock);
+  daemon.start();  // also starts the host and builds the input pools
+  EXPECT_TRUE(daemon.running());
+  EXPECT_TRUE(std::filesystem::exists(sock));
+
+  EXPECT_EQ(daemon.handle_line("PING"), "PONG");
+  EXPECT_EQ(daemon.handle_line("TENANTS"), "OK alpha beta");
+  EXPECT_EQ(daemon.handle_line("SCAN OFF"), "OK");
+  EXPECT_EQ(daemon.handle_line("SCAN sideways"), "ERR usage: SCAN ON|OFF");
+  EXPECT_EQ(daemon.handle_line("DETECTIONS"), "OK 0");
+  EXPECT_EQ(daemon.handle_line("BOGUS"), "ERR unknown command BOGUS");
+  EXPECT_EQ(daemon.handle_line(""), "ERR empty command");
+  EXPECT_EQ(daemon.handle_line("INFER nobody"), "ERR unknown tenant nobody");
+
+  const std::string infer = daemon.handle_line("INFER beta");
+  EXPECT_EQ(infer.rfind("OK ", 0), 0u) << infer;
+
+  const std::string stats = daemon.handle_line("STATS");
+  EXPECT_NE(stats.find("\"name\":\"alpha\""), std::string::npos) << stats;
+
+  EXPECT_EQ(daemon.handle_line("SCAN ON"), "OK");
+  EXPECT_EQ(daemon.handle_line("SHUTDOWN"), "OK");
+  daemon.wait();  // returns because SHUTDOWN was requested
+  daemon.stop();
+  host.stop();
+  EXPECT_FALSE(std::filesystem::exists(sock)) << "socket file not cleaned up";
+}
+
+}  // namespace
+}  // namespace radar::serve

@@ -1,0 +1,188 @@
+// ThreadPool coverage: concurrent submit+wait, parallel_for_chunks
+// boundary cases, the chunks_or_inline inline path and global() reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace radar {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+  ThreadPool pool3(3);
+  EXPECT_EQ(pool3.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitThenWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i)
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, WaitWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAndWaiters) {
+  // Several producer threads hammer submit() while the main thread
+  // interleaves wait() calls: every task must run exactly once and no
+  // wait() may hang or return before the tasks it covers are done.
+  ThreadPool pool(4);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 100;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &ran] {
+      for (int i = 0; i < kPerProducer; ++i)
+        pool.submit(
+            [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait();
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+  // The pool must be reusable after wait().
+  pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer + 1);
+}
+
+TEST(ThreadPool, ParallelForVisitsEachIndexOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksCoversRangeExactly) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1003;  // not a multiple of the pool size
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(kN, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lk(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t covered = 0, expect_begin = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expect_begin) << "gap or overlap between chunks";
+    EXPECT_LT(b, e) << "empty chunk dispatched";
+    covered += e - b;
+    expect_begin = e;
+  }
+  EXPECT_EQ(covered, kN);
+}
+
+TEST(ThreadPool, ParallelForChunksZeroElements) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for_chunks(0, [&](std::size_t, std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 0) << "n=0 must dispatch no chunks";
+  pool.parallel_for(0, [&](std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForChunksFewerElementsThanThreads) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 3;  // n < threads
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  pool.parallel_for_chunks(kN, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lk(mu);
+    for (std::size_t i = b; i < e; ++i)
+      EXPECT_TRUE(seen.insert(i).second) << "index " << i << " repeated";
+  });
+  EXPECT_EQ(seen.size(), kN);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), kN - 1);
+}
+
+TEST(ThreadPool, ChunksOrInlineRunsInlineWithoutPool) {
+  // Null pool: exactly one fn(0, n) call on the calling thread.
+  const auto self = std::this_thread::get_id();
+  int calls = 0;
+  ThreadPool::chunks_or_inline(nullptr, 100,
+                               [&](std::size_t b, std::size_t e) {
+                                 ++calls;
+                                 EXPECT_EQ(b, 0u);
+                                 EXPECT_EQ(e, 100u);
+                                 EXPECT_EQ(std::this_thread::get_id(), self);
+                               });
+  EXPECT_EQ(calls, 1);
+
+  // Size-1 pool and n == 1 also take the inline path.
+  ThreadPool one(1);
+  calls = 0;
+  ThreadPool::chunks_or_inline(&one, 50, [&](std::size_t, std::size_t) {
+    ++calls;
+    EXPECT_EQ(std::this_thread::get_id(), self);
+  });
+  EXPECT_EQ(calls, 1);
+
+  ThreadPool four(4);
+  calls = 0;
+  ThreadPool::chunks_or_inline(&four, 1, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+  });
+  EXPECT_EQ(calls, 1);
+
+  // n == 0 never calls fn at all.
+  ThreadPool::chunks_or_inline(&four, 0,
+                               [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ChunksOrInlineParallelPathSums) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::atomic<std::size_t> sum{0};
+  ThreadPool::chunks_or_inline(&pool, kN, [&](std::size_t b, std::size_t e) {
+    std::size_t local = 0;
+    for (std::size_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, GlobalReturnsSameInstanceAndStaysUsable) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+  std::atomic<int> ran{0};
+  a.parallel_for(10, [&ran](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 10);
+  // A second round through the same global pool (reuse, not rebuild).
+  a.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  a.wait();
+  EXPECT_EQ(ran.load(), 11);
+}
+
+}  // namespace
+}  // namespace radar

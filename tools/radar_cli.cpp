@@ -1,5 +1,10 @@
 // radar_cli — command-line front end for the RADAR deployment workflow.
 //
+// Commands are registered in a dispatch table (kCommands below): each
+// entry owns its usage line, its positional-argument arity and its
+// handler. `radar_cli help` prints the table; exit codes are uniform
+// across commands (0 success, 1 runtime failure, 2 usage error).
+//
 //   radar_cli sign   <pkg> [--model tiny|resnet20|resnet18] [--group N]
 //                          [--scheme NAME] [--bits 2|3] [--no-interleave]
 //       Train (or load from cache) the reference model, attach the chosen
@@ -50,6 +55,16 @@
 //       or the direct-convolution reference — all three keep reports
 //       byte-identical (CI-enforced).
 //
+//   radar_cli serve --socket <path> --tenant <name>=<pkg> [...]
+//                   [--model ...] [--workers N] [--queue N] [--no-scan]
+//                   [--scan-shard-bytes N] [--no-mmap]
+//       Multi-tenant protection-as-a-service daemon: every --tenant loads
+//       one signed package (mmap'd golden copy by default) behind a
+//       shared worker pool, with the epoch-guarded background scanner
+//       sweeping all tenants. Speaks the line protocol on the Unix
+//       socket (see src/serve/daemon.h); `SHUTDOWN` exits cleanly and
+//       prints the final stats JSON.
+//
 //   radar_cli schemes
 //       List the registered scheme ids.
 #include <cstdio>
@@ -57,6 +72,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "attack/pbfa.h"
 #include "attack/random_attack.h"
@@ -64,6 +80,7 @@
 #include "core/package.h"
 #include "core/scheme_registry.h"
 #include "exp/workspace.h"
+#include "serve/daemon.h"
 
 namespace {
 
@@ -71,8 +88,9 @@ using namespace radar;
 
 struct Args {
   std::string command;
+  std::vector<std::string> positional;  ///< args after the command name
+  std::string package;     ///< first positional (second for `pack`)
   std::string subcommand;  ///< "pack <subcommand> <file>" form
-  std::string package;
   std::string model = "tiny";
   std::string scheme;  ///< empty: derived from --bits
   std::int64_t group = 32;
@@ -88,22 +106,17 @@ struct Args {
   bool timing = false;
   bool incremental = false;  ///< campaign: dirty-group scanning
   campaign::EvalOptions eval;  ///< campaign: accuracy-eval knobs
+  // ---- serve ----
+  std::string socket;                 ///< serve: unix socket path
+  std::vector<std::string> tenants;   ///< serve: name=package specs
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 4096;
+  bool scan = true;
+  std::int64_t scan_shard_bytes = 16 * 1024;
+  bool serve_mmap = true;
 };
 
-bool parse(int argc, char** argv, Args& args) {
-  if (argc < 2) return false;
-  args.command = argv[1];
-  int first_opt = 2;
-  if (args.command == "pack") {
-    if (argc < 4) return false;
-    args.subcommand = argv[2];
-    args.package = argv[3];
-    first_opt = 4;
-  } else if (args.command != "schemes") {
-    if (argc < 3) return false;
-    args.package = argv[2];
-    first_opt = 3;
-  }
+bool parse_options(int argc, char** argv, int first_opt, Args& args) {
   for (int i = first_opt; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&](const char* what) -> const char* {
@@ -169,9 +182,41 @@ bool parse(int argc, char** argv, Args& args) {
                      "--eval-engine must be reference or batched\n");
         return false;
       }
-    } else {
+    } else if (a == "--socket") {
+      args.socket = next("--socket");
+    } else if (a == "--tenant") {
+      args.tenants.push_back(next("--tenant"));
+    } else if (a == "--workers") {
+      const int w = std::atoi(next("--workers"));
+      if (w < 1) {
+        std::fprintf(stderr, "--workers must be >= 1\n");
+        return false;
+      }
+      args.workers = static_cast<std::size_t>(w);
+    } else if (a == "--queue") {
+      const int q = std::atoi(next("--queue"));
+      if (q < 1) {
+        std::fprintf(stderr, "--queue must be >= 1\n");
+        return false;
+      }
+      args.queue_capacity = static_cast<std::size_t>(q);
+    } else if (a == "--no-scan") {
+      args.scan = false;
+    } else if (a == "--scan-shard-bytes") {
+      args.scan_shard_bytes = std::atoll(next("--scan-shard-bytes"));
+      if (args.scan_shard_bytes < 1) {
+        std::fprintf(stderr, "--scan-shard-bytes must be >= 1\n");
+        return false;
+      }
+    } else if (a == "--no-mmap") {
+      args.serve_mmap = false;
+    } else if (a == "--") {
+      // explicit end of options
+    } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return false;
+    } else {
+      args.positional.push_back(a);
     }
   }
   if (args.bits != 2 && args.bits != 3) {
@@ -339,7 +384,7 @@ int cmd_recover(const Args& args) {
   return 0;
 }
 
-int cmd_schemes() {
+int cmd_schemes(const Args&) {
   for (const auto& id : core::SchemeRegistry::instance().ids())
     std::printf("%s\n", id.c_str());
   return 0;
@@ -384,30 +429,119 @@ int cmd_campaign(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  if (args.socket.empty() || args.tenants.empty()) {
+    std::fprintf(stderr,
+                 "serve needs --socket <path> and at least one "
+                 "--tenant <name>=<package>\n");
+    return 2;
+  }
+  serve::ServeOptions opts;
+  opts.workers = args.workers;
+  opts.queue_capacity = args.queue_capacity;
+  opts.scan = args.scan;
+  opts.scan_shard_bytes = args.scan_shard_bytes;
+  serve::ModelHost host(opts);
+  for (const std::string& spec : args.tenants) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      std::fprintf(stderr, "bad --tenant spec '%s' (want name=package)\n",
+                   spec.c_str());
+      return 2;
+    }
+    serve::TenantConfig cfg;
+    cfg.name = spec.substr(0, eq);
+    cfg.package_path = spec.substr(eq + 1);
+    cfg.model_id = args.model;
+    cfg.mmap_golden = args.serve_mmap;
+    host.add_tenant(cfg);
+  }
+  serve::Daemon daemon(host, args.socket);
+  daemon.start();
+  std::printf("serving %zu tenant(s) on %s (%zu workers, scanning %s)\n",
+              host.num_tenants(), args.socket.c_str(), args.workers,
+              args.scan ? "on" : "off");
+  std::fflush(stdout);
+  daemon.wait();  // until a client sends SHUTDOWN
+  daemon.stop();
+  host.stop();
+  std::printf("%s\n", host.stats().to_json().c_str());
+  return 0;
+}
+
+/// One dispatch-table entry: usage metadata + positional arity + handler.
+struct Command {
+  const char* name;
+  const char* usage;       ///< positional part, shown in help
+  int num_positional;      ///< required positional args after the name
+  int (*run)(const Args&);
+};
+
+constexpr Command kCommands[] = {
+    {"sign", "sign <pkg> [--model M] [--scheme S|--bits 2|3] [--group N]",
+     1, cmd_sign},
+    {"info", "info <pkg>", 1, cmd_info},
+    {"pack", "pack inspect <pkg>", 2, cmd_pack},
+    {"verify", "verify <pkg> [--model M] [--threads N] [--mmap]", 1,
+     cmd_verify},
+    {"attack", "attack <pkg> [--model M] [--flips N] [--pbfa]", 1,
+     cmd_attack},
+    {"recover", "recover <pkg> [--model M] [--threads N]", 1, cmd_recover},
+    {"campaign", "campaign <spec.json> [--threads N] [--out J] [--csv C]",
+     1, cmd_campaign},
+    {"serve",
+     "serve --socket <path> --tenant <name>=<pkg> [--tenant ...] "
+     "[--workers N] [--no-scan]",
+     0, cmd_serve},
+    {"schemes", "schemes", 0, cmd_schemes},
+};
+
+void print_usage() {
+  std::fprintf(stderr, "usage:\n");
+  for (const Command& c : kCommands)
+    std::fprintf(stderr, "  radar_cli %s\n", c.usage);
+}
+
+const Command* find_command(const std::string& name) {
+  for (const Command& c : kCommands)
+    if (name == c.name) return &c;
+  return nullptr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args;
-  if (!parse(argc, argv, args)) {
-    std::fprintf(stderr,
-                 "usage: radar_cli {sign|info|verify|attack|recover} "
-                 "<package> [options]\n"
-                 "       radar_cli pack inspect <package>\n"
-                 "       radar_cli campaign <spec.json> [options]\n"
-                 "       radar_cli schemes\n");
+  if (argc < 2) {
+    print_usage();
     return 2;
   }
-  try {
-    if (args.command == "sign") return cmd_sign(args);
-    if (args.command == "info") return cmd_info(args);
-    if (args.command == "pack") return cmd_pack(args);
-    if (args.command == "verify") return cmd_verify(args);
-    if (args.command == "attack") return cmd_attack(args);
-    if (args.command == "recover") return cmd_recover(args);
-    if (args.command == "campaign") return cmd_campaign(args);
-    if (args.command == "schemes") return cmd_schemes();
+  Args args;
+  args.command = argv[1];
+  if (args.command == "help" || args.command == "--help" ||
+      args.command == "-h") {
+    print_usage();
+    return 0;
+  }
+  const Command* cmd = find_command(args.command);
+  if (cmd == nullptr) {
     std::fprintf(stderr, "unknown command %s\n", args.command.c_str());
+    print_usage();
     return 2;
+  }
+  if (!parse_options(argc, argv, 2, args)) return 2;
+  if (static_cast<int>(args.positional.size()) < cmd->num_positional) {
+    std::fprintf(stderr, "usage: radar_cli %s\n", cmd->usage);
+    return 2;
+  }
+  // Map positionals onto the legacy fields the handlers read.
+  if (args.command == "pack") {
+    args.subcommand = args.positional[0];
+    args.package = args.positional[1];
+  } else if (cmd->num_positional >= 1) {
+    args.package = args.positional[0];
+  }
+  try {
+    return cmd->run(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
