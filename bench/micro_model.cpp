@@ -3,15 +3,22 @@
 //
 // Two sections, both landing in BENCH_model.json:
 //
-//  1. Arena storage ops (GB/s): snapshot capture (one memcpy), restore
-//     (memcpy + float resync), and snapshot compare (one memcmp) on a
+//  1. Arena storage ops (GB/s): a raw memcpy baseline (the bandwidth
+//     ceiling every other row is judged against, measured in-bench on
+//     the same buffers sizes), snapshot capture (one memcpy), restore
+//     (changed-layer probe + targeted resync; clean restores run at
+//     compare speed), and snapshot compare (dispatched bytes_equal) on a
 //     wide ResNet whose conv layers span the realistic ~100x size spread.
 //
 //  2. Whole-model scan thread scaling 1..8: the same radar2 G=512 scan
 //     partitioned the legacy way (one work item per layer — bounded by
 //     the largest layer) vs byte-range group shards (equal-byte work
 //     items through scan_layer_range_into). Reports are asserted
-//     byte-identical across all partitionings and thread counts.
+//     byte-identical across all partitionings and thread counts, and
+//     byte-range throughput is asserted monotone-or-flat in the thread
+//     count (exit 1 on regression): sessions clamp workers to the
+//     hardware core count, so requesting more threads must never scan
+//     slower than requesting fewer.
 //
 //  3. Load balance (machine-independent): the critical-path bytes of a
 //     greedy T-worker schedule over each partitioning's work items, and
@@ -26,6 +33,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -92,20 +100,35 @@ int main() {
     json.add(name, ns, per_op_bytes);
     std::printf("  %-28s %16.1f %9.2f\n", name, ns,
                 per_op_bytes / ns);
+    return ns;
   };
+  // Same-machine bandwidth ceiling: one arena-sized memcpy between
+  // buffers allocated like the snapshot blobs. The 80%-of-memcpy
+  // acceptance for compare/restore reads off this row, not off a number
+  // measured on some other box.
+  std::vector<std::int8_t> mc_src(
+      static_cast<std::size_t>(qm.arena().size_bytes()), 1);
+  std::vector<std::int8_t> mc_dst(mc_src.size());
+  const double memcpy_ns = run("memcpy_baseline", bytes, [&] {
+    std::memcpy(mc_dst.data(), mc_src.data(), mc_src.size());
+    g_sink = g_sink + mc_dst[0];
+  });
   quant::ArenaSnapshot snap = qm.snapshot();
   quant::ArenaSnapshot other = qm.snapshot();
   run("snapshot_capture", bytes, [&] {
     snap.capture(qm.arena());
     g_sink = g_sink + snap.bytes()[0];
   });
-  run("snapshot_compare", bytes, [&] {
+  const double compare_ns = run("snapshot_compare", bytes, [&] {
     g_sink = g_sink + (snap == other ? 1 : 0);
   });
-  run("restore", bytes, [&] {
+  const double restore_ns = run("restore", bytes, [&] {
     qm.restore(snap);
     g_sink = g_sink + qm.get_code(0, 0);
   });
+  std::printf("  compare / memcpy bandwidth: %.2f   restore / memcpy: "
+              "%.2f\n",
+              memcpy_ns / compare_ns, memcpy_ns / restore_ns);
 
   // ---- section 2: scan thread scaling ----
   core::SchemeParams params;
@@ -120,6 +143,7 @@ int main() {
   bench::rule();
   double base_ns = 0.0;
   bool identical = true;
+  std::vector<std::pair<std::size_t, double>> byterange_ns;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     for (const auto sharding : {core::ScanSession::Sharding::kLayer,
                                 core::ScanSession::Sharding::kByteRange}) {
@@ -130,14 +154,20 @@ int main() {
       core::DetectionReport report;
       session.scan_into(qm, report);  // warm up pool + scratch
       identical = identical && report.flagged == serial_report.flagged;
-      const double ns = bench::measure_ns_per_op([&] {
-        session.scan_into(qm, report);
-        g_sink = g_sink + report.num_flagged_groups();
-      });
+      // Min of three passes: shared CI boxes see CPU steal spikes well
+      // above the real row-to-row differences this section gates on.
+      double ns = 1e300;
+      for (int pass = 0; pass < 3; ++pass) {
+        ns = std::min(ns, bench::measure_ns_per_op([&] {
+          session.scan_into(qm, report);
+          g_sink = g_sink + report.num_flagged_groups();
+        }));
+      }
       char name[64];
       std::snprintf(name, sizeof(name), "scan_%s_t%zu",
                     by_range ? "byterange" : "layer", threads);
       if (threads == 1 && !by_range) base_ns = ns;
+      if (by_range) byterange_ns.emplace_back(threads, ns);
       json.add(name, ns, bytes);
       std::printf("  %-28s %16.1f %9.2f %8.2fx\n", name, ns, bytes / ns,
                   base_ns / ns);
@@ -145,6 +175,25 @@ int main() {
   }
   std::printf("  reports byte-identical across partitionings: %s\n",
               identical ? "yes" : "NO");
+  // Monotone-or-flat gate: more requested threads must never make the
+  // byte-range scan slower (10% tolerance absorbs run-to-run noise; the
+  // pre-fix oversubscription collapse was a 2x regression, far outside
+  // it).
+  bool scaling_ok = true;
+  for (std::size_t i = 1; i < byterange_ns.size(); ++i) {
+    if (byterange_ns[i].second > byterange_ns[i - 1].second * 1.10) {
+      scaling_ok = false;
+      std::printf("  SCALING REGRESSION: scan_byterange_t%zu is %.0f%% "
+                  "slower than t%zu\n",
+                  byterange_ns[i].first,
+                  100.0 * (byterange_ns[i].second /
+                               byterange_ns[i - 1].second -
+                           1.0),
+                  byterange_ns[i - 1].first);
+    }
+  }
+  std::printf("  byte-range scaling monotone-or-flat: %s\n",
+              scaling_ok ? "yes" : "NO");
   std::printf("  (wall-clock rows measured on %u hardware core(s) — "
               "see the load-balance bounds below for the\n"
               "   machine-independent scaling story)\n",
@@ -195,5 +244,5 @@ int main() {
       "layer, and all reports are byte-identical (critpath entries store "
       "bytes in the ns_per_op field)");
   json.write();
-  return identical ? 0 : 1;
+  return identical && scaling_ok ? 0 : 1;
 }

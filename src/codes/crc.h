@@ -39,8 +39,12 @@ class Crc {
   std::uint32_t compute_bitwise(std::span<const std::uint8_t> data) const;
 
   /// Fast path; equals compute_bitwise. Works on a left-aligned (bit-31)
-  /// register so one 8x256 table set serves every width 3..32 — narrow
-  /// CRCs included — and consumes 8 bytes per step via slicing-by-8.
+  /// register so one 16x256 table set serves every width 3..32 — narrow
+  /// CRCs included. Dispatches on cpu::active_level(): the scalar tier
+  /// consumes 8 bytes per step (slicing-by-8); wider tiers consume 16
+  /// (slicing-by-16 — a wider independent-XOR tree for machines with the
+  /// load ports to retire it, not lane-parallel SIMD: CRC's serial
+  /// dependence leaves ILP as the lever).
   std::uint32_t compute(std::span<const std::uint8_t> data) const;
 
   /// Convenience for int8 weight groups.
@@ -56,8 +60,12 @@ class Crc {
   int la_shift_;  ///< 32 - width: left-alignment shift of the register
   /// tables_[k][b]: byte b advanced through k+1 zero-byte steps,
   /// left-aligned. tables_[0] is the classic byte-at-a-time table;
-  /// tables_[1..7] feed the slicing-by-8 kernel.
+  /// tables_[1..7] feed the slicing-by-8 kernel, tables_[8..15] the
+  /// slicing-by-16 kernel.
   std::vector<std::uint32_t> tables_;
+
+  std::uint32_t compute_sliced8(std::span<const std::uint8_t> data) const;
+  std::uint32_t compute_sliced16(std::span<const std::uint8_t> data) const;
 };
 
 }  // namespace radar::codes

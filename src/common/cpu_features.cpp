@@ -1,0 +1,156 @@
+#include "common/cpu_features.h"
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/env.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define RADAR_X86 1
+#endif
+
+namespace radar::cpu {
+
+namespace {
+
+#if defined(RADAR_X86)
+
+struct X86Features {
+  bool avx2 = false;
+  bool avx512 = false;  ///< F + BW + VL: the subset the kernels need
+  bool avx512_vnni = false;
+};
+
+/// xgetbv(0): the XCR0 register describing OS-enabled vector state.
+std::uint64_t read_xcr0() {
+  std::uint32_t eax = 0, edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+X86Features detect_x86() {
+  X86Features f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  // The OS must have enabled xsave of the vector state; otherwise the
+  // cpuid feature bits are meaningless (kernels would fault).
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  if (!osxsave) return f;
+  const std::uint64_t xcr0 = read_xcr0();
+  const bool ymm_state = (xcr0 & 0x6) == 0x6;          // XMM + YMM
+  const bool zmm_state = (xcr0 & 0xe6) == 0xe6;        // + opmask/ZMM
+  if (!ymm_state) return f;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return f;
+  f.avx2 = (ebx & (1u << 5)) != 0;
+  const bool avx512f = (ebx & (1u << 16)) != 0;
+  const bool avx512bw = (ebx & (1u << 30)) != 0;
+  const bool avx512vl = (ebx & (1u << 31)) != 0;
+  f.avx512 = zmm_state && avx512f && avx512bw && avx512vl;
+  f.avx512_vnni = f.avx512 && (ecx & (1u << 11)) != 0;
+  return f;
+}
+
+const X86Features& x86_features() {
+  static const X86Features f = detect_x86();
+  return f;
+}
+
+#endif  // RADAR_X86
+
+/// Active level storage; -1 = not yet initialized from RADAR_SIMD.
+std::atomic<int> g_active{-1};
+
+/// Best supported level <= the request (tiers that do not exist on this
+/// architecture fall through to scalar).
+SimdLevel clamp_to_supported(SimdLevel level) {
+  SimdLevel eff = SimdLevel::kScalar;
+  for (int l = 0; l <= static_cast<int>(level); ++l) {
+    const auto cand = static_cast<SimdLevel>(l);
+    if (level_supported(cand)) eff = cand;
+  }
+  return eff;
+}
+
+SimdLevel init_from_env() {
+  return clamp_to_supported(parse_level(env_string("RADAR_SIMD", "native")));
+}
+
+}  // namespace
+
+SimdLevel detected_level() {
+#if defined(RADAR_X86)
+  if (x86_features().avx512) return SimdLevel::kAvx512;
+  if (x86_features().avx2) return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+#elif defined(__aarch64__)
+  return SimdLevel::kNeon;  // NEON is architecturally guaranteed
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+bool level_supported(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+#if defined(RADAR_X86)
+    case SimdLevel::kAvx2:
+      return x86_features().avx2;
+    case SimdLevel::kAvx512:
+      return x86_features().avx512;
+#elif defined(__aarch64__)
+    case SimdLevel::kNeon:
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+bool has_avx512_vnni() {
+#if defined(RADAR_X86)
+  return x86_features().avx512_vnni;
+#else
+  return false;
+#endif
+}
+
+SimdLevel active_level() {
+  int v = g_active.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const SimdLevel init = init_from_env();
+    // First caller wins; racing initializers compute the same value.
+    int expected = -1;
+    g_active.compare_exchange_strong(expected, static_cast<int>(init),
+                                     std::memory_order_relaxed);
+    v = g_active.load(std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(v);
+}
+
+SimdLevel set_active_level(SimdLevel level) {
+  const SimdLevel eff = clamp_to_supported(level);
+  g_active.store(static_cast<int>(eff), std::memory_order_relaxed);
+  return eff;
+}
+
+const char* level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kNeon: return "neon";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+  }
+  return "scalar";
+}
+
+SimdLevel parse_level(const std::string& name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "neon") return SimdLevel::kNeon;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  return detected_level();
+}
+
+}  // namespace radar::cpu

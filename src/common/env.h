@@ -5,6 +5,10 @@
 // RADAR_CACHE_DIR=D — where trained-model checkpoints are cached.
 // RADAR_THREADS=N   — campaign worker threads for the sweep benches
 //                     (0 = all cores; results are thread-count invariant).
+// RADAR_SIMD=L      — kernel dispatch level: scalar|neon|avx2|avx512|native
+//                     (clamped to what the CPU supports; see
+//                     common/cpu_features.h). Results are level-invariant;
+//                     only throughput changes.
 #pragma once
 
 #include <cstdint>

@@ -19,11 +19,15 @@ ScanSession::ScanSession(const IntegrityScheme& scheme, std::size_t threads)
     : scheme_(&scheme),
       threads_(threads == 0 ? std::max<std::size_t>(
                                   1, std::thread::hardware_concurrency())
-                            : threads) {}
+                            : threads),
+      effective_workers_(std::min(
+          threads_,
+          std::max<std::size_t>(1, std::thread::hardware_concurrency()))) {}
 
 ThreadPool* ScanSession::pool() const {
-  if (threads_ == 1) return nullptr;
-  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
+  if (effective_workers_ == 1) return nullptr;
+  if (pool_ == nullptr)
+    pool_ = std::make_unique<ThreadPool>(effective_workers_);
   return pool_.get();
 }
 
@@ -46,7 +50,7 @@ void ScanSession::plan_shards(const quant::QuantizedModel& qm) const {
           ? shard_bytes_
           : std::max<std::int64_t>(
                 kMinShardBytes,
-                total / (static_cast<std::int64_t>(threads_) *
+                total / (static_cast<std::int64_t>(effective_workers_) *
                          kShardsPerThread));
   // A scheme whose range scan is a full-layer fallback must not have its
   // layers split — each extra shard would rescan the whole layer.
@@ -65,43 +69,63 @@ void ScanSession::plan_shards(const quant::QuantizedModel& qm) const {
     for (std::int64_t b = 0; b < ng; b += per)
       plan_.push_back({li, b, std::min(b + per, ng)});
   }
-  if (shard_scratch_.size() < plan_.size())
-    shard_scratch_.resize(plan_.size());
-  if (shard_flags_.size() < plan_.size()) shard_flags_.resize(plan_.size());
+  if (shard_slots_.size() < plan_.size()) shard_slots_.resize(plan_.size());
 }
 
 void ScanSession::scan_sharded(const quant::QuantizedModel& qm,
-                               DetectionReport& out, ThreadPool& pool) const {
+                               DetectionReport& out, ThreadPool* pool) const {
   plan_shards(qm);
-  std::exception_ptr error;
-  std::atomic<bool> failed{false};
-  for (std::size_t si = 0; si < plan_.size(); ++si) {
-    pool.submit([this, &qm, &error, &failed, si] {
-      try {
-        const Shard& sh = plan_[si];
-        // A shard covering the whole layer takes the full-layer kernel
-        // (identical flags; skips the range plumbing for schemes without
-        // a native range path).
-        if (sh.begin == 0 && sh.end == scheme_->layout(sh.layer).num_groups())
-          scheme_->scan_layer_into(qm, sh.layer, shard_flags_[si],
-                                   shard_scratch_[si]);
-        else
-          scheme_->scan_layer_range_into(qm, sh.layer, sh.begin, sh.end,
-                                         shard_flags_[si],
-                                         shard_scratch_[si]);
-      } catch (...) {
-        if (!failed.exchange(true)) error = std::current_exception();
-      }
-    });
+  // Workers pull shards off a shared atomic index: one submitted task per
+  // worker instead of one per shard, so the pool's queue mutex is touched
+  // O(workers) times per scan rather than O(shards) — at the old
+  // one-task-per-shard granularity the lock/wake churn rivalled the
+  // millisecond-scale shard kernels themselves.
+  std::atomic<std::size_t> next{0};
+  const auto run_shard = [this, &qm](std::size_t si) {
+    const Shard& sh = plan_[si];
+    ShardSlot& slot = shard_slots_[si];
+    // A shard covering the whole layer takes the full-layer kernel
+    // (identical flags; skips the range plumbing for schemes without
+    // a native range path).
+    if (sh.begin == 0 && sh.end == scheme_->layout(sh.layer).num_groups())
+      scheme_->scan_layer_into(qm, sh.layer, slot.flags, slot.scratch);
+    else
+      scheme_->scan_layer_range_into(qm, sh.layer, sh.begin, sh.end,
+                                     slot.flags, slot.scratch);
+  };
+  const auto drain = [this, &next, &run_shard] {
+    for (std::size_t si = next.fetch_add(1, std::memory_order_relaxed);
+         si < plan_.size();
+         si = next.fetch_add(1, std::memory_order_relaxed))
+      run_shard(si);
+  };
+  if (pool == nullptr) {
+    // Clamped to one core: drain every shard inline. Same plan, same
+    // slots, same merge — and no thread handoff for hardware that cannot
+    // overlap the work anyway.
+    drain();
+  } else {
+    std::exception_ptr error;
+    std::atomic<bool> failed{false};
+    for (std::size_t w = 0; w < pool->size(); ++w) {
+      pool->submit([&drain, &error, &failed] {
+        try {
+          drain();
+        } catch (...) {
+          if (!failed.exchange(true)) error = std::current_exception();
+        }
+      });
+    }
+    pool->wait();
+    if (error) std::rethrow_exception(error);
   }
-  pool.wait();
-  if (error) std::rethrow_exception(error);
   // Deterministic merge: shards of a layer appear in ascending group
   // order in the plan, so concatenation reproduces the serial flag list.
   for (auto& f : out.flagged) f.clear();
   for (std::size_t si = 0; si < plan_.size(); ++si) {
     auto& dst = out.flagged[plan_[si].layer];
-    dst.insert(dst.end(), shard_flags_[si].begin(), shard_flags_[si].end());
+    dst.insert(dst.end(), shard_slots_[si].flags.begin(),
+               shard_slots_[si].flags.end());
   }
 }
 
@@ -133,15 +157,19 @@ void ScanSession::scan_into(const quant::QuantizedModel& qm,
   ensure_scratch(qm.num_layers());
   out.flagged.resize(qm.num_layers());
   ThreadPool* p = pool();
+  if (threads_ > 1 && sharding_ == Sharding::kByteRange) {
+    // The sharded path also serves pool-less (clamped) sessions: the
+    // plan and merge are part of the session's contract, only the
+    // draining degenerates to inline.
+    scan_sharded(qm, out, p);
+    return;
+  }
   if (p == nullptr) {
     for (std::size_t li = 0; li < qm.num_layers(); ++li)
       scheme_->scan_layer_into(qm, li, out.flagged[li], scratch_[li]);
     return;
   }
-  if (sharding_ == Sharding::kByteRange)
-    scan_sharded(qm, out, *p);
-  else
-    scan_by_layer(qm, out, *p);
+  scan_by_layer(qm, out, *p);
 }
 
 void ScanSession::scan_dirty_into(const quant::QuantizedModel& qm,

@@ -55,6 +55,14 @@ class ScanSession {
 
   std::size_t threads() const { return threads_; }
 
+  /// Workers that will actually run: `threads` clamped to the hardware
+  /// core count. Oversubscribing a scan is pure loss — the kernels are
+  /// compute/bandwidth bound with zero blocking, so extra threads only
+  /// add scheduling churn (the t1->t8 throughput collapse on small CI
+  /// boxes). Requesting 8 threads on a 1-core machine therefore scans
+  /// inline; the shard plan, the merge, and the report are unaffected.
+  std::size_t effective_workers() const { return effective_workers_; }
+
   void set_sharding(Sharding s) { sharding_ = s; }
   Sharding sharding() const { return sharding_; }
 
@@ -95,21 +103,33 @@ class ScanSession {
     std::int64_t begin, end;
   };
 
+  /// Per-shard output slot. Cache-line aligned so two workers finishing
+  /// adjacent shards never bounce one line between cores while they
+  /// append flags / grow scratch (the headers of adjacent vectors in the
+  /// old parallel-arrays layout shared lines).
+  struct alignas(64) ShardSlot {
+    std::vector<std::int64_t> flags;
+    ScanScratch scratch;
+  };
+
   void ensure_scratch(std::size_t num_layers) const;
   /// Rebuild plan_ as equal-byte shards for the current model/scheme
   /// (reuses vector capacity; no allocations at steady state).
   void plan_shards(const quant::QuantizedModel& qm) const;
+  /// Byte-range scan: workers drain shards off an atomic index (one
+  /// submit per worker, not per shard). `pool == nullptr` drains inline.
   void scan_sharded(const quant::QuantizedModel& qm,
-                    DetectionReport& out, ThreadPool& pool) const;
+                    DetectionReport& out, ThreadPool* pool) const;
   void scan_by_layer(const quant::QuantizedModel& qm,
                      DetectionReport& out, ThreadPool& pool) const;
-  /// The pool, spawned on first parallel use (null when threads == 1):
-  /// sessions that only ever run narrow incremental scans — which are
-  /// always inline — never pay for worker threads.
+  /// The pool, spawned on first parallel use (null when the effective
+  /// worker count is 1): serial sessions — and oversubscribed sessions
+  /// clamped to one core — never pay for worker threads.
   ThreadPool* pool() const;
 
   const IntegrityScheme* scheme_;
   std::size_t threads_;
+  std::size_t effective_workers_;
   Sharding sharding_ = Sharding::kByteRange;
   std::int64_t shard_bytes_ = 0;  ///< 0 = automatic
   mutable std::unique_ptr<ThreadPool> pool_;
@@ -117,8 +137,7 @@ class ScanSession {
   mutable std::vector<ScanScratch> scratch_;  ///< one per layer
   mutable std::vector<std::vector<std::int64_t>> dirty_groups_;
   mutable std::vector<Shard> plan_;
-  mutable std::vector<ScanScratch> shard_scratch_;  ///< one per shard
-  mutable std::vector<std::vector<std::int64_t>> shard_flags_;
+  mutable std::vector<ShardSlot> shard_slots_;  ///< one per shard
 };
 
 }  // namespace radar::core

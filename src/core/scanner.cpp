@@ -2,19 +2,19 @@
 
 #include <algorithm>
 
+#include "common/simd_ops.h"
+
 namespace radar::core {
 
 namespace {
 
-/// Contiguous int8 dot product with int32 accumulation — the kernel the
-/// compiler vectorizes. Signs are +1/-1 (0 on padding), so the result
-/// equals the masked checksum exactly.
+/// Contiguous int8 dot product with int32 accumulation, dispatched on
+/// the active SIMD level (scalar / AVX2 / AVX-512 VNNI / NEON — all
+/// bit-identical). Signs are +1/-1 (0 on padding), so the result equals
+/// the masked checksum exactly.
 inline std::int32_t dot_i8_i32(const std::int8_t* w, const std::int8_t* s,
                                std::int64_t n) {
-  std::int32_t acc = 0;
-  for (std::int64_t k = 0; k < n; ++k)
-    acc += static_cast<std::int32_t>(w[k]) * static_cast<std::int32_t>(s[k]);
-  return acc;
+  return simd::dot_i8(w, s, n);
 }
 
 inline std::int64_t dot_i8_i64(const std::int8_t* w, const std::int8_t* s,
@@ -26,11 +26,11 @@ inline std::int64_t dot_i8_i64(const std::int8_t* w, const std::int8_t* s,
 }
 
 /// acc[k] += w[k] * s[k] over a contiguous segment — the rotated-row
-/// accumulation step of the interleaved scan (widening add, vectorizes).
+/// accumulation step of the interleaved scan (and its range-window
+/// variant), dispatched like dot_i8_i32.
 inline void axpy_i8_i32(std::int32_t* acc, const std::int8_t* w,
                         const std::int8_t* s, std::int64_t n) {
-  for (std::int64_t k = 0; k < n; ++k)
-    acc[k] += static_cast<std::int32_t>(w[k]) * static_cast<std::int32_t>(s[k]);
+  simd::axpy_i8(acc, w, s, n);
 }
 
 }  // namespace

@@ -1,9 +1,17 @@
 #include "nn/int8_gemm.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
+#include "common/cpu_features.h"
 #include "common/error.h"
+#include "common/simd_ops.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define RADAR_GEMM_X86 1
+#endif
 
 namespace radar::nn {
 
@@ -14,6 +22,211 @@ namespace {
 constexpr std::int64_t kMTile = 4;
 constexpr std::int64_t kPTile = 256;
 
+/// The m-block microkernel: accumulate acc[mi][pp] += sum_k a_mi[k] *
+/// b[k * ldb + pp] for 4 weight rows and pt <= kPTile patch columns.
+/// acc arrives zeroed. Variants are registered per SIMD level; all
+/// accumulate exactly in int32 (the K <= kInt8GemmMaxK guard in the
+/// entry points bounds every per-column sum), so they are bit-identical.
+using TileFn = void (*)(const std::int8_t* a0, const std::int8_t* a1,
+                        const std::int8_t* a2, const std::int8_t* a3,
+                        const std::int8_t* b, std::int64_t k,
+                        std::int64_t pt, std::int64_t ldb,
+                        std::int32_t acc[kMTile][kPTile]);
+
+void tile_i8_scalar(const std::int8_t* a0, const std::int8_t* a1,
+                    const std::int8_t* a2, const std::int8_t* a3,
+                    const std::int8_t* b, std::int64_t k, std::int64_t pt,
+                    std::int64_t ldb, std::int32_t acc[kMTile][kPTile]) {
+  // 4 weight streams share one pass over each patch row (autovectorizes).
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const std::int8_t* brow = b + kk * ldb;
+    const std::int16_t w0 = a0[kk], w1 = a1[kk], w2 = a2[kk], w3 = a3[kk];
+    for (std::int64_t pp = 0; pp < pt; ++pp) {
+      const std::int16_t bv = brow[pp];
+      acc[0][pp] += w0 * bv;
+      acc[1][pp] += w1 * bv;
+      acc[2][pp] += w2 * bv;
+      acc[3][pp] += w3 * bv;
+    }
+  }
+}
+
+#if defined(RADAR_GEMM_X86)
+
+// Vector tiles keep the accumulators in registers across the whole K
+// loop (the scalar form streams the 4 KiB acc array through L1 every k
+// step, which is what caps it). Two consecutive k rows are folded per
+// step with pmaddwd on (b[kk], b[kk+1]) i16 pairs; unpacklo/hi_epi16
+// works within 128-bit lanes, so accumulator lane j of the "lo" vector
+// holds column 8*(j/4) + j%4 of its 32-column chunk and the "hi" vector
+// the +4 columns — a fixed permutation undone once when the lanes are
+// stored back to the linear acc array.
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) void tile_i8_avx512(
+    const std::int8_t* a0, const std::int8_t* a1, const std::int8_t* a2,
+    const std::int8_t* a3, const std::int8_t* b, std::int64_t k,
+    std::int64_t pt, std::int64_t ldb, std::int32_t acc[kMTile][kPTile]) {
+  const std::int8_t* const a[kMTile] = {a0, a1, a2, a3};
+  std::int64_t p = 0;
+  for (; p + 32 <= pt; p += 32) {
+    __m512i acc_lo[kMTile], acc_hi[kMTile];
+    for (int mi = 0; mi < kMTile; ++mi) {
+      acc_lo[mi] = _mm512_setzero_si512();
+      acc_hi[mi] = _mm512_setzero_si512();
+    }
+    std::int64_t kk = 0;
+    for (; kk + 2 <= k; kk += 2) {
+      const __m512i vb0 = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(b + kk * ldb + p)));
+      const __m512i vb1 = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(b + (kk + 1) * ldb + p)));
+      const __m512i lo = _mm512_unpacklo_epi16(vb0, vb1);
+      const __m512i hi = _mm512_unpackhi_epi16(vb0, vb1);
+      for (int mi = 0; mi < kMTile; ++mi) {
+        const __m512i wpair = _mm512_set1_epi32(
+            (static_cast<std::int32_t>(
+                 static_cast<std::uint16_t>(a[mi][kk + 1]))
+             << 16) |
+            static_cast<std::uint16_t>(a[mi][kk]));
+        acc_lo[mi] =
+            _mm512_add_epi32(acc_lo[mi], _mm512_madd_epi16(lo, wpair));
+        acc_hi[mi] =
+            _mm512_add_epi32(acc_hi[mi], _mm512_madd_epi16(hi, wpair));
+      }
+    }
+    if (kk < k) {  // odd K tail: pair the last row with zeros
+      const __m512i vb0 = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(b + kk * ldb + p)));
+      const __m512i zero = _mm512_setzero_si512();
+      const __m512i lo = _mm512_unpacklo_epi16(vb0, zero);
+      const __m512i hi = _mm512_unpackhi_epi16(vb0, zero);
+      for (int mi = 0; mi < kMTile; ++mi) {
+        const __m512i wpair =
+            _mm512_set1_epi32(static_cast<std::uint16_t>(a[mi][kk]));
+        acc_lo[mi] =
+            _mm512_add_epi32(acc_lo[mi], _mm512_madd_epi16(lo, wpair));
+        acc_hi[mi] =
+            _mm512_add_epi32(acc_hi[mi], _mm512_madd_epi16(hi, wpair));
+      }
+    }
+    // Un-permute: lane j of lo -> column 8*(j/4) + j%4, hi -> +4.
+    alignas(64) std::int32_t lanes[16];
+    for (int mi = 0; mi < kMTile; ++mi) {
+      _mm512_store_si512(lanes, acc_lo[mi]);
+      for (int j = 0; j < 16; ++j)
+        acc[mi][p + 8 * (j / 4) + j % 4] = lanes[j];
+      _mm512_store_si512(lanes, acc_hi[mi]);
+      for (int j = 0; j < 16; ++j)
+        acc[mi][p + 8 * (j / 4) + 4 + j % 4] = lanes[j];
+    }
+  }
+  if (p < pt) {  // narrow column tail: scalar over the remaining columns
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const std::int8_t* brow = b + kk * ldb;
+      const std::int16_t w0 = a0[kk], w1 = a1[kk], w2 = a2[kk],
+                         w3 = a3[kk];
+      for (std::int64_t pp = p; pp < pt; ++pp) {
+        const std::int16_t bv = brow[pp];
+        acc[0][pp] += w0 * bv;
+        acc[1][pp] += w1 * bv;
+        acc[2][pp] += w2 * bv;
+        acc[3][pp] += w3 * bv;
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void tile_i8_avx2(
+    const std::int8_t* a0, const std::int8_t* a1, const std::int8_t* a2,
+    const std::int8_t* a3, const std::int8_t* b, std::int64_t k,
+    std::int64_t pt, std::int64_t ldb, std::int32_t acc[kMTile][kPTile]) {
+  const std::int8_t* const a[kMTile] = {a0, a1, a2, a3};
+  std::int64_t p = 0;
+  for (; p + 16 <= pt; p += 16) {
+    __m256i acc_lo[kMTile], acc_hi[kMTile];
+    for (int mi = 0; mi < kMTile; ++mi) {
+      acc_lo[mi] = _mm256_setzero_si256();
+      acc_hi[mi] = _mm256_setzero_si256();
+    }
+    std::int64_t kk = 0;
+    for (; kk + 2 <= k; kk += 2) {
+      const __m256i vb0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b + kk * ldb + p)));
+      const __m256i vb1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b + (kk + 1) * ldb + p)));
+      const __m256i lo = _mm256_unpacklo_epi16(vb0, vb1);
+      const __m256i hi = _mm256_unpackhi_epi16(vb0, vb1);
+      for (int mi = 0; mi < kMTile; ++mi) {
+        const __m256i wpair = _mm256_set1_epi32(
+            (static_cast<std::int32_t>(
+                 static_cast<std::uint16_t>(a[mi][kk + 1]))
+             << 16) |
+            static_cast<std::uint16_t>(a[mi][kk]));
+        acc_lo[mi] =
+            _mm256_add_epi32(acc_lo[mi], _mm256_madd_epi16(lo, wpair));
+        acc_hi[mi] =
+            _mm256_add_epi32(acc_hi[mi], _mm256_madd_epi16(hi, wpair));
+      }
+    }
+    if (kk < k) {
+      const __m256i vb0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b + kk * ldb + p)));
+      const __m256i zero = _mm256_setzero_si256();
+      const __m256i lo = _mm256_unpacklo_epi16(vb0, zero);
+      const __m256i hi = _mm256_unpackhi_epi16(vb0, zero);
+      for (int mi = 0; mi < kMTile; ++mi) {
+        const __m256i wpair =
+            _mm256_set1_epi32(static_cast<std::uint16_t>(a[mi][kk]));
+        acc_lo[mi] =
+            _mm256_add_epi32(acc_lo[mi], _mm256_madd_epi16(lo, wpair));
+        acc_hi[mi] =
+            _mm256_add_epi32(acc_hi[mi], _mm256_madd_epi16(hi, wpair));
+      }
+    }
+    // Un-permute: lane j of lo -> column 8*(j/4) + j%4, hi -> +4.
+    alignas(32) std::int32_t lanes[8];
+    for (int mi = 0; mi < kMTile; ++mi) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc_lo[mi]);
+      for (int j = 0; j < 8; ++j)
+        acc[mi][p + 8 * (j / 4) + j % 4] = lanes[j];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc_hi[mi]);
+      for (int j = 0; j < 8; ++j)
+        acc[mi][p + 8 * (j / 4) + 4 + j % 4] = lanes[j];
+    }
+  }
+  if (p < pt) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const std::int8_t* brow = b + kk * ldb;
+      const std::int16_t w0 = a0[kk], w1 = a1[kk], w2 = a2[kk],
+                         w3 = a3[kk];
+      for (std::int64_t pp = p; pp < pt; ++pp) {
+        const std::int16_t bv = brow[pp];
+        acc[0][pp] += w0 * bv;
+        acc[1][pp] += w1 * bv;
+        acc[2][pp] += w2 * bv;
+        acc[3][pp] += w3 * bv;
+      }
+    }
+  }
+}
+
+#endif  // RADAR_GEMM_X86
+
+const TileFn* tile_table() {
+  static const std::array<TileFn, cpu::kNumSimdLevels> table = [] {
+    std::array<TileFn, cpu::kNumSimdLevels> t;
+    t.fill(&tile_i8_scalar);
+#if defined(RADAR_GEMM_X86)
+    if (cpu::level_supported(cpu::SimdLevel::kAvx2))
+      t[static_cast<int>(cpu::SimdLevel::kAvx2)] = &tile_i8_avx2;
+    if (cpu::level_supported(cpu::SimdLevel::kAvx512))
+      t[static_cast<int>(cpu::SimdLevel::kAvx512)] = &tile_i8_avx512;
+#endif
+    return t;
+  }();
+  return table.data();
+}
+
 }  // namespace
 
 void gemm_i8_colblock(const std::int8_t* a, const std::int8_t* b, float* out,
@@ -21,6 +234,8 @@ void gemm_i8_colblock(const std::int8_t* a, const std::int8_t* b, float* out,
                       std::int64_t p, std::int64_t lda, std::int64_t ldb,
                       std::int64_t ldo, const RequantEpilogue& epi) {
   RADAR_REQUIRE(k <= kInt8GemmMaxK, "int8 GEMM depth overflows int32");
+  const TileFn tile =
+      tile_table()[static_cast<int>(cpu::active_level())];
   std::int32_t acc[kMTile][kPTile];
   for (std::int64_t m = m0; m < m1; m += kMTile) {
     const std::int64_t mt = std::min(kMTile, m1 - m);
@@ -30,23 +245,8 @@ void gemm_i8_colblock(const std::int8_t* a, const std::int8_t* b, float* out,
         std::memset(acc[mi], 0, sizeof(std::int32_t) *
                                     static_cast<std::size_t>(pt));
       if (mt == kMTile) {
-        // Hot path: 4 weight streams share one pass over each patch row.
-        const std::int8_t* a0 = a + (m + 0) * lda;
-        const std::int8_t* a1 = a + (m + 1) * lda;
-        const std::int8_t* a2 = a + (m + 2) * lda;
-        const std::int8_t* a3 = a + (m + 3) * lda;
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          const std::int8_t* brow = b + kk * ldb + p0;
-          const std::int16_t w0 = a0[kk], w1 = a1[kk], w2 = a2[kk],
-                             w3 = a3[kk];
-          for (std::int64_t pp = 0; pp < pt; ++pp) {
-            const std::int16_t bv = brow[pp];
-            acc[0][pp] += w0 * bv;
-            acc[1][pp] += w1 * bv;
-            acc[2][pp] += w2 * bv;
-            acc[3][pp] += w3 * bv;
-          }
-        }
+        tile(a + (m + 0) * lda, a + (m + 1) * lda, a + (m + 2) * lda,
+             a + (m + 3) * lda, b + p0, k, pt, ldb, acc);
       } else {
         for (std::int64_t kk = 0; kk < k; ++kk) {
           const std::int8_t* brow = b + kk * ldb + p0;
@@ -81,43 +281,14 @@ void gemm_i8_dot(const std::int8_t* x, const std::int8_t* w, float* y,
                  std::int64_t k, std::int64_t ldx, std::int64_t ldw,
                  std::int64_t ldy, const RequantEpilogue& epi) {
   RADAR_REQUIRE(k <= kInt8GemmMaxK, "int8 GEMM depth overflows int32");
+  // Each output is a contiguous dot product, so this rides the shared
+  // dispatched primitive (AVX-512 VNNI / AVX2 / NEON / scalar — all
+  // bit-identical); the x row stays L1-resident across the m loop.
   for (std::int64_t n = n0; n < n1; ++n) {
     const std::int8_t* xr = x + n * ldx;
     float* yr = y + n * ldy;
-    std::int64_t mm = 0;
-    for (; mm + kMTile <= m; mm += kMTile) {
-      const std::int8_t* w0 = w + (mm + 0) * ldw;
-      const std::int8_t* w1 = w + (mm + 1) * ldw;
-      const std::int8_t* w2 = w + (mm + 2) * ldw;
-      const std::int8_t* w3 = w + (mm + 3) * ldw;
-      std::int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const std::int16_t xv = xr[kk];
-        s0 += xv * static_cast<std::int16_t>(w0[kk]);
-        s1 += xv * static_cast<std::int16_t>(w1[kk]);
-        s2 += xv * static_cast<std::int16_t>(w2[kk]);
-        s3 += xv * static_cast<std::int16_t>(w3[kk]);
-      }
-      const float* bias = epi.bias;
-      yr[mm + 0] = requant_one(s0, epi.scale[mm + 0],
-                               bias != nullptr ? bias[mm + 0] : 0.0f,
-                               epi.relu);
-      yr[mm + 1] = requant_one(s1, epi.scale[mm + 1],
-                               bias != nullptr ? bias[mm + 1] : 0.0f,
-                               epi.relu);
-      yr[mm + 2] = requant_one(s2, epi.scale[mm + 2],
-                               bias != nullptr ? bias[mm + 2] : 0.0f,
-                               epi.relu);
-      yr[mm + 3] = requant_one(s3, epi.scale[mm + 3],
-                               bias != nullptr ? bias[mm + 3] : 0.0f,
-                               epi.relu);
-    }
-    for (; mm < m; ++mm) {
-      const std::int8_t* wr = w + mm * ldw;
-      std::int32_t acc = 0;
-      for (std::int64_t kk = 0; kk < k; ++kk)
-        acc += static_cast<std::int16_t>(xr[kk]) *
-               static_cast<std::int16_t>(wr[kk]);
+    for (std::int64_t mm = 0; mm < m; ++mm) {
+      const std::int32_t acc = simd::dot_i8(xr, w + mm * ldw, k);
       yr[mm] = requant_one(acc, epi.scale[mm],
                            epi.bias != nullptr ? epi.bias[mm] : 0.0f,
                            epi.relu);

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/simd_ops.h"
+
 namespace radar::quant {
 
 QuantizedModel::QuantizedModel(nn::ResNet& model) : model_(&model) {
@@ -159,9 +161,26 @@ void QuantizedModel::restore(const ArenaSnapshot& snap) {
     RADAR_REQUIRE(snap.layer(i).offset == arena_.layer(i).offset &&
                       snap.layer(i).size == arena_.layer(i).size,
                   "snapshot layer geometry mismatch");
-  std::memcpy(arena_.bytes().data(), snap.bytes().data(),
-              static_cast<std::size_t>(snap.size_bytes()));
-  sync_all();
+  // Per-layer changed probe: a restore after a handful of flips (or none
+  // at all — campaign loops restore unconditionally) should cost one
+  // compare pass at memory bandwidth, not a whole-model float dequantize.
+  // The padding between layers is zero on both sides by invariant, so
+  // comparing the layer slices covers the blob.
+  const std::int8_t* src = snap.bytes().data();
+  std::int8_t* dst = arena_.bytes().data();
+  bool any_changed = false;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const ArenaLayer& l = arena_.layer(i);
+    if (l.size == 0) continue;
+    if (simd::bytes_equal(dst + l.offset, src + l.offset,
+                          static_cast<std::size_t>(l.size)))
+      continue;
+    any_changed = true;
+    std::memcpy(dst + l.offset, src + l.offset,
+                static_cast<std::size_t>(l.size));
+    sync_layer(i);  // refresh only this layer's float mirror
+  }
+  if (!any_changed && dirty_.empty()) return;  // baseline already current
   dirty_.clear();
   if (track_dirty_) baseline_.capture(arena_);
 }

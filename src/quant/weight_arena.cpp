@@ -4,6 +4,8 @@
 #include <cstring>
 #include <new>
 
+#include "common/simd_ops.h"
+
 namespace radar::quant {
 
 AlignedBlob::AlignedBlob(std::int64_t size) : size_(size) {
@@ -74,8 +76,8 @@ bool operator==(const ArenaSnapshot& a, const ArenaSnapshot& b) {
       return false;
   }
   return a.blob_.size() == 0 ||
-         std::memcmp(a.blob_.data(), b.blob_.data(),
-                     static_cast<std::size_t>(a.blob_.size())) == 0;
+         simd::bytes_equal(a.blob_.data(), b.blob_.data(),
+                           static_cast<std::size_t>(a.blob_.size()));
 }
 
 }  // namespace radar::quant

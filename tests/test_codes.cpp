@@ -8,6 +8,7 @@
 #include "codes/crc.h"
 #include "codes/fletcher.h"
 #include "codes/hamming.h"
+#include "common/cpu_features.h"
 #include "common/error.h"
 #include "common/rng.h"
 
@@ -39,26 +40,34 @@ TEST(Crc, TableMatchesBitwiseAcrossSpecs) {
 }
 
 TEST(Crc, SlicingMatchesBitwiseOverRandomBuffers) {
-  // Differential battery for the slicing-by-8 kernel: every spec (narrow
+  // Differential battery for the slicing kernels: every spec (narrow
   // widths included — they share the same left-aligned tables), every
-  // length 0..64 plus larger odd sizes, fresh random bytes per length.
-  // Covers the 8-byte kernel, the byte-at-a-time tail, and their seam.
-  Rng rng(99);
-  for (const auto& spec :
-       {CrcSpec::crc7(), CrcSpec::crc10(), CrcSpec::crc13(),
-        CrcSpec::crc16_ccitt(), CrcSpec::crc32()}) {
-    Crc crc(spec);
-    for (std::size_t len = 0; len <= 64; ++len) {
-      std::vector<std::uint8_t> data(len);
-      for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
-      EXPECT_EQ(crc.compute(data), crc.compute_bitwise(data))
-          << spec.name << " len=" << len;
-    }
-    for (const std::size_t len : {255u, 512u, 1021u, 4096u}) {
-      std::vector<std::uint8_t> data(len);
-      for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
-      EXPECT_EQ(crc.compute(data), crc.compute_bitwise(data))
-          << spec.name << " len=" << len;
+  // length 0..64 plus larger odd sizes, fresh random bytes per length,
+  // under every dispatch level this machine supports (scalar takes the
+  // slicing-by-8 kernel, wider tiers slicing-by-16). Covers both wide
+  // kernels, the byte-at-a-time tail, and their seams.
+  for (int l = 0; l < cpu::kNumSimdLevels; ++l) {
+    const auto lvl = static_cast<cpu::SimdLevel>(l);
+    if (!cpu::level_supported(lvl)) continue;
+    SCOPED_TRACE(cpu::level_name(lvl));
+    cpu::ScopedSimdLevel guard(lvl);
+    Rng rng(99);
+    for (const auto& spec :
+         {CrcSpec::crc7(), CrcSpec::crc10(), CrcSpec::crc13(),
+          CrcSpec::crc16_ccitt(), CrcSpec::crc32()}) {
+      Crc crc(spec);
+      for (std::size_t len = 0; len <= 64; ++len) {
+        std::vector<std::uint8_t> data(len);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+        EXPECT_EQ(crc.compute(data), crc.compute_bitwise(data))
+            << spec.name << " len=" << len;
+      }
+      for (const std::size_t len : {255u, 512u, 1021u, 4096u}) {
+        std::vector<std::uint8_t> data(len);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits() & 0xFF);
+        EXPECT_EQ(crc.compute(data), crc.compute_bitwise(data))
+            << spec.name << " len=" << len;
+      }
     }
   }
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/bits.h"
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "core/checksum.h"
 #include "core/scan_session.h"
@@ -32,9 +33,13 @@ nn::ResNetSpec tiny_spec() {
   return s;
 }
 
-TEST(ScanKernel, MatchesScalarReferenceOnRandomLayouts) {
-  Rng rng(0x5CA);
-  for (int trial = 0; trial < 40; ++trial) {
+/// One pass of the kernel battery: random layouts / group sizes /
+/// interleave / skew, full + narrow + range-window scans, all checked
+/// against the scalar masked_group_sum ground truth. Runs under whatever
+/// SIMD level is active, so the level-sweep test below exercises every
+/// dispatched variant against the same reference.
+void run_scan_kernel_battery(Rng& rng, int trials) {
+  for (int trial = 0; trial < trials; ++trial) {
     const std::int64_t w_count = rng.uniform_int(1, 3000);
     const std::int64_t g = rng.uniform_int(1, 96);
     const bool inter = rng.uniform_int(0, 1) == 1;
@@ -82,6 +87,25 @@ TEST(ScanKernel, MatchesScalarReferenceOnRandomLayouts) {
             << "range [" << lo << ", " << hi << "), trial " << trial
             << " group " << g;
     }
+  }
+}
+
+TEST(ScanKernel, MatchesScalarReferenceOnRandomLayouts) {
+  Rng rng(0x5CA);
+  run_scan_kernel_battery(rng, 40);
+}
+
+TEST(ScanKernel, EveryDispatchLevelMatchesScalarReference) {
+  // The same battery under each level this machine supports: the
+  // dispatched dot/axpy variants must reproduce the scalar ground truth
+  // bit for bit on every random layout.
+  for (int l = 0; l < cpu::kNumSimdLevels; ++l) {
+    const auto lvl = static_cast<cpu::SimdLevel>(l);
+    if (!cpu::level_supported(lvl)) continue;
+    SCOPED_TRACE(cpu::level_name(lvl));
+    cpu::ScopedSimdLevel guard(lvl);
+    Rng rng(0x51D0 + l);
+    run_scan_kernel_battery(rng, 15);
   }
 }
 

@@ -10,8 +10,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <string>
 #include <tuple>
 
+#include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "qnn/engine.h"
 #include "qnn/kernels.h"
@@ -162,6 +164,83 @@ TEST(TiledConv, MatchesScalarAndDirectAcrossGeometries) {
     expect_bitwise_equal(ref, direct, what + " (direct)");
     expect_bitwise_equal(ref, tiled, what + " (tiled)");
     expect_bitwise_equal(ref, tiled_into, what + " (tiled_into)");
+  }
+}
+
+TEST(TiledConv, EveryDispatchLevelMatchesScalar) {
+  // The register-tiled GEMM variants (AVX2 / AVX-512) against the scalar
+  // tile, bit for bit, across geometries chosen to hit the vector column
+  // chunks (16 / 32 wide), their scalar column tails, odd-K tails, and
+  // the mt < 4 row edge. Output patch counts per image span 1..~256 so
+  // every chunk/tail seam of both vector widths is crossed.
+  Rng rng(31);
+  struct Geom {
+    std::int64_t ci, co, k, stride, pad, h, w, n;
+  };
+  const std::vector<Geom> cases = {
+      {1, 1, 1, 1, 0, 1, 1, 1},    // single output column
+      {3, 5, 3, 1, 1, 5, 3, 1},    // tiny odd patch count, mt tail
+      {2, 4, 3, 1, 1, 4, 4, 2},    // p = 32 exactly (one AVX-512 chunk)
+      {2, 4, 3, 1, 1, 4, 4, 3},    // p = 48: chunk + AVX2-only chunk
+      {3, 8, 1, 1, 0, 17, 3, 1},   // odd K = 3, p = 51
+      {4, 9, 3, 2, 1, 15, 15, 2},  // strided, co % 4 != 0
+      {5, 17, 5, 1, 2, 9, 9, 2},   // K = 125 (odd), wide co tail
+      {8, 12, 3, 1, 1, 16, 16, 1}, // p = 256: full tile, even K = 72
+  };
+  QnnScratch scratch;
+  for (const Geom& c : cases) {
+    ConvGeom geom;
+    geom.in_channels = c.ci;
+    geom.out_channels = c.co;
+    geom.kernel = c.k;
+    geom.stride = c.stride;
+    geom.padding = c.pad;
+    const auto w = random_codes(
+        static_cast<std::size_t>(c.co * c.ci * c.k * c.k), rng);
+    std::vector<float> bias;
+    for (std::int64_t i = 0; i < c.co; ++i)
+      bias.push_back(0.1f * static_cast<float>(rng.normal()));
+    const QTensor x = random_qtensor({c.n, c.ci, c.h, c.w}, 0.04f, rng);
+    nn::Tensor want;
+    {
+      cpu::ScopedSimdLevel guard(cpu::SimdLevel::kScalar);
+      conv2d_i8_tiled_into(x, w, 0.02f, geom, bias, scratch, want);
+    }
+    for (int l = 0; l < cpu::kNumSimdLevels; ++l) {
+      const auto lvl = static_cast<cpu::SimdLevel>(l);
+      if (!cpu::level_supported(lvl)) continue;
+      cpu::ScopedSimdLevel guard(lvl);
+      nn::Tensor got;
+      conv2d_i8_tiled_into(x, w, 0.02f, geom, bias, scratch, got);
+      expect_bitwise_equal(want, got,
+                           std::string("level ") + cpu::level_name(lvl));
+    }
+  }
+}
+
+TEST(LinearI8, EveryDispatchLevelMatchesScalar) {
+  Rng rng(37);
+  for (const auto& [n, f, out] :
+       std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t>>{
+           {1, 1, 1}, {3, 15, 5}, {7, 64, 9}, {5, 333, 12}}) {
+    const auto w = random_codes(static_cast<std::size_t>(out * f), rng);
+    std::vector<float> bias;
+    for (std::int64_t i = 0; i < out; ++i)
+      bias.push_back(0.1f * static_cast<float>(rng.normal()));
+    const QTensor x = random_qtensor({n, f}, 0.03f, rng);
+    nn::Tensor want;
+    {
+      cpu::ScopedSimdLevel guard(cpu::SimdLevel::kScalar);
+      want = linear_i8(x, w, 0.02f, out, bias);
+    }
+    for (int l = 0; l < cpu::kNumSimdLevels; ++l) {
+      const auto lvl = static_cast<cpu::SimdLevel>(l);
+      if (!cpu::level_supported(lvl)) continue;
+      cpu::ScopedSimdLevel guard(lvl);
+      expect_bitwise_equal(want, linear_i8(x, w, 0.02f, out, bias),
+                           std::string("f=") + std::to_string(f) +
+                               " level " + cpu::level_name(lvl));
+    }
   }
 }
 

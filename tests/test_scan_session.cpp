@@ -9,6 +9,7 @@
 #include <new>
 
 #include "common/bits.h"
+#include "common/cpu_features.h"
 #include "core/protected_model.h"
 #include "core/scan_session.h"
 #include "core/scheme_registry.h"
@@ -70,6 +71,41 @@ TEST_F(ScanSessionTest, ParallelEqualsSerialForEveryScheme) {
       const DetectionReport parallel = session.scan(qm_);
       EXPECT_EQ(serial.flagged, parallel.flagged)
           << id << " with " << threads << " threads";
+    }
+    qm_.restore(clean);
+  }
+}
+
+TEST_F(ScanSessionTest, EveryDispatchLevelMatchesScalarWholeModelScan) {
+  // Whole-model sharded scans under each supported SIMD level against
+  // the scalar-level serial scan: the dispatched row kernels, the
+  // range-window kernel taken by split shards, and the merge must agree
+  // bit for bit for every registered scheme.
+  SchemeParams params;
+  params.group_size = 32;
+  for (const auto& id : SchemeRegistry::instance().ids()) {
+    auto scheme = SchemeRegistry::instance().create(id, params);
+    scheme->attach(qm_);
+    const quant::ArenaSnapshot clean = qm_.snapshot();
+    qm_.flip_bit(0, 1, kMsb);
+    qm_.flip_bit(2, 5, kMsb);
+    qm_.flip_bit(4, 9, kMsb);
+
+    DetectionReport want;
+    {
+      cpu::ScopedSimdLevel guard(cpu::SimdLevel::kScalar);
+      want = scheme->scan(qm_);
+    }
+    for (int l = 0; l < cpu::kNumSimdLevels; ++l) {
+      const auto lvl = static_cast<cpu::SimdLevel>(l);
+      if (!cpu::level_supported(lvl)) continue;
+      cpu::ScopedSimdLevel guard(lvl);
+      EXPECT_EQ(scheme->scan(qm_).flagged, want.flagged)
+          << id << " serial, level " << cpu::level_name(lvl);
+      ScanSession session(*scheme, 4);
+      session.set_shard_bytes(96);  // force split shards -> range kernel
+      EXPECT_EQ(session.scan(qm_).flagged, want.flagged)
+          << id << " sharded, level " << cpu::level_name(lvl);
     }
     qm_.restore(clean);
   }
