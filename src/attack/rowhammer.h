@@ -1,0 +1,43 @@
+// Rowhammer attacker: spatially correlated BitFlip bursts.
+//
+// The iid attackers (random/random_msb) model each flip as independent;
+// real Rowhammer flips cluster by physical DRAM row — one hammered row
+// dumps tens of flips whose arena offsets are determined by the address
+// mapping, often inside a single protection group. This attacker closes
+// that gap: it places the weight arena into the sim::DramModel geometry,
+// picks victim rows that contain model bytes, hammers their neighbours
+// (optionally double-sided), and commits every harvested flip. Detection
+// and recovery then face the burst regime the paper's iid sweeps never
+// exercise.
+#pragma once
+
+#include "attack/attack_types.h"
+#include "common/rng.h"
+#include "quant/qmodel.h"
+#include "sim/dram.h"
+
+namespace radar::attack {
+
+struct RowhammerConfig {
+  /// Geometry + vulnerability + threshold. `num_rows` <= 0 auto-sizes the
+  /// per-bank row count to just fit the arena; `seed` is replaced by a
+  /// draw from the caller's rng so each trial gets a fresh cell map.
+  sim::DramConfig dram = [] {
+    sim::DramConfig d;
+    d.banks = 8;
+    d.num_rows = 0;
+    d.mapping = sim::AddressMapping::kBankStripe;
+    return d;
+  }();
+  int rows = 1;  ///< victim rows attacked (one correlated burst each)
+  std::int64_t activations = 150000;  ///< per aggressor row
+  bool double_sided = false;
+};
+
+/// Run one rowhammer campaign trial against `qm`: every flip is committed
+/// to the model and recorded (arena-padding and repeat cells are
+/// dropped). Deterministic given `rng`'s state.
+AttackResult rowhammer_attack(quant::QuantizedModel& qm,
+                              const RowhammerConfig& cfg, Rng& rng);
+
+}  // namespace radar::attack

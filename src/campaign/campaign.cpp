@@ -12,6 +12,7 @@
 #include "attack/knowledgeable.h"
 #include "attack/pbfa.h"
 #include "attack/random_attack.h"
+#include "attack/rowhammer.h"
 #include "common/env.h"
 #include "common/logging.h"
 #include "common/serialize.h"
@@ -261,6 +262,16 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
       const data::Batch batch = rep.bundle.dataset->attack_batch(
           atk.attack_batch, derive_seed(spec.seed, 2, unit));
       res = pbfa.run(qm, batch, atk.flips);
+    } else if (atk.kind == "rowhammer") {
+      attack::RowhammerConfig rc;
+      rc.dram.mapping = atk.mapping == "rowmajor"
+                            ? sim::AddressMapping::kRowMajor
+                            : sim::AddressMapping::kBankStripe;
+      rc.dram.row_bytes = atk.row_bytes;
+      rc.rows = atk.rows;
+      rc.activations = atk.activations;
+      rc.double_sided = atk.double_sided;
+      res = attack::rowhammer_attack(qm, rc, rng);
     } else {  // "knowledgeable"
       attack::KnowledgeableConfig kc;
       kc.assumed_group_size = atk.assumed_group_size;

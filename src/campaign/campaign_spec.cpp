@@ -55,7 +55,8 @@ int checked_int(const Json& v, const char* what) {
 AttackerSpec attacker_from_json(const Json& j) {
   reject_unknown_keys(
       j, {"kind", "flips", "allowed_bits", "assumed_group_size",
-          "attack_batch"},
+          "attack_batch", "mapping", "rows", "activations", "double_sided",
+          "row_bytes"},
       "attacker spec");
   AttackerSpec a;
   if (const Json* v = j.find("kind")) a.kind = v->as_string();
@@ -66,6 +67,12 @@ AttackerSpec attacker_from_json(const Json& j) {
   if (const Json* v = j.find("assumed_group_size"))
     a.assumed_group_size = v->as_int();
   if (const Json* v = j.find("attack_batch")) a.attack_batch = v->as_int();
+  if (const Json* v = j.find("mapping")) a.mapping = v->as_string();
+  if (const Json* v = j.find("rows")) a.rows = checked_int(*v, "rows");
+  if (const Json* v = j.find("activations")) a.activations = v->as_int();
+  if (const Json* v = j.find("double_sided"))
+    a.double_sided = v->as_bool();
+  if (const Json* v = j.find("row_bytes")) a.row_bytes = v->as_int();
   return a;
 }
 
@@ -88,6 +95,13 @@ SchemeSpec scheme_from_json(const Json& j) {
 }  // namespace
 
 std::string AttackerSpec::label() const {
+  if (kind == "rowhammer") {
+    // Every field shaping the burst is in the label: profile_signature
+    // keys RNG streams and the disk cache off it.
+    return kind + "/r" + std::to_string(rows) + "/a" +
+           std::to_string(activations) + (double_sided ? "/ds" : "/ss") +
+           "/" + mapping + "/rb" + std::to_string(row_bytes);
+  }
   std::string out = kind + "/nbf" + std::to_string(flips);
   if (kind == "knowledgeable")
     out += "/aG" + std::to_string(assumed_group_size);
@@ -119,7 +133,7 @@ void CampaignSpec::validate() const {
       throw InvalidArgument("fault rates must be finite and in [0, 1]");
   for (const AttackerSpec& a : attackers) {
     if (a.kind != "random" && a.kind != "random_msb" && a.kind != "pbfa" &&
-        a.kind != "knowledgeable")
+        a.kind != "knowledgeable" && a.kind != "rowhammer")
       throw InvalidArgument("unknown attacker kind: " + a.kind);
     if (a.flips < 0 || a.flips > 100000)
       throw InvalidArgument("attacker flips out of range");
@@ -130,6 +144,18 @@ void CampaignSpec::validate() const {
     for (const int b : a.allowed_bits)
       if (b < 0 || b > 7)
         throw InvalidArgument("allowed_bits entries must be in [0, 7]");
+    if (a.kind == "rowhammer") {
+      if (a.mapping != "rowmajor" && a.mapping != "stripe")
+        throw InvalidArgument("unknown rowhammer mapping: " + a.mapping);
+      if (a.rows < 1 || a.rows > 4096)
+        throw InvalidArgument("rowhammer rows out of range");
+      if (a.activations < 1 || a.activations > 1000000000)
+        throw InvalidArgument("rowhammer activations out of range");
+      // The stripe interleave granule is 128 bytes; rows must tile it.
+      if (a.row_bytes < 128 || a.row_bytes > (std::int64_t{1} << 20) ||
+          a.row_bytes % 128 != 0)
+        throw InvalidArgument("rowhammer row_bytes out of range");
+    }
   }
   for (const SchemeSpec& s : schemes) {
     if (!core::SchemeRegistry::instance().contains(s.id))
@@ -180,6 +206,12 @@ std::string CampaignSpec::to_json() const {
       os << ", \"assumed_group_size\": " << a.assumed_group_size;
     if (a.kind == "pbfa" || a.kind == "knowledgeable")
       os << ", \"attack_batch\": " << a.attack_batch;
+    if (a.kind == "rowhammer")
+      os << ", \"mapping\": \"" << json_escape(a.mapping)
+         << "\", \"rows\": " << a.rows << ", \"activations\": "
+         << a.activations << ", \"double_sided\": "
+         << (a.double_sided ? "true" : "false")
+         << ", \"row_bytes\": " << a.row_bytes;
     os << "}" << (i + 1 < attackers.size() ? "," : "") << "\n";
   }
   os << "  ],\n";

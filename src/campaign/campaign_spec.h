@@ -42,7 +42,7 @@ namespace radar::campaign {
 
 /// One attacker column of the campaign matrix.
 struct AttackerSpec {
-  /// "random" | "random_msb" | "pbfa" | "knowledgeable".
+  /// "random" | "random_msb" | "pbfa" | "knowledgeable" | "rowhammer".
   std::string kind = "random_msb";
   int flips = 10;  ///< committed flips (primary flips for knowledgeable)
   /// PBFA only: admissible bit positions (empty = all 8).
@@ -51,8 +51,16 @@ struct AttackerSpec {
   std::int64_t assumed_group_size = 512;
   /// PBFA / knowledgeable: gradient-estimation batch size.
   std::int64_t attack_batch = 16;
+  // Rowhammer only: the physical-address attack shape. `flips` is
+  // ignored — the burst size is whatever the hammered rows yield.
+  std::string mapping = "stripe";  ///< "rowmajor" | "stripe"
+  int rows = 1;                    ///< victim rows hammered per trial
+  std::int64_t activations = 150000;  ///< per aggressor row
+  bool double_sided = false;
+  std::int64_t row_bytes = 8192;  ///< DRAM row size holding the arena
 
-  /// Stable display label, e.g. "pbfa/nbf5" or "knowledgeable/aG32".
+  /// Stable display label, e.g. "pbfa/nbf5", "knowledgeable/aG32", or
+  /// "rowhammer/r4/a150000/ds/stripe/rb8192".
   std::string label() const;
 };
 

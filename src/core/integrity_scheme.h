@@ -171,6 +171,16 @@ class IntegrityScheme {
   /// sources belong on read-only provisioned storage.
   virtual void set_clean_source(std::shared_ptr<const void> holder,
                                 std::span<const std::int8_t> bytes) = 0;
+
+  /// Whole-arena view of the clean (golden) weight bytes backing
+  /// kReloadClean — the owned attach-time snapshot or the external
+  /// (mmap'd) source. Empty when no clean source is available. Lets a
+  /// host byte-compare the live arena against the golden copy, catching
+  /// corruption the scheme's codes cannot see (e.g. non-MSB flips under
+  /// a 2-bit MSB signature).
+  virtual std::span<const std::int8_t> clean_arena_bytes() const {
+    return {};
+  }
 };
 
 /// Shared plumbing of grouped schemes: per-layer GroupLayouts derived from
@@ -201,6 +211,10 @@ class SchemeBase : public IntegrityScheme {
   /// True when the kReloadClean copy is an external (e.g. mmap'd) source
   /// rather than an owned arena snapshot.
   bool clean_source_is_external() const { return clean_holder_ != nullptr; }
+
+  std::span<const std::int8_t> clean_arena_bytes() const override {
+    return clean_bytes_;
+  }
 
   /// One-shot: tell the NEXT attach() not to capture the owned clean
   /// copy because the caller will install an external source via

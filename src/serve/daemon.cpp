@@ -1,6 +1,8 @@
 #include "serve/daemon.h"
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <sstream>
 
@@ -21,6 +23,12 @@ namespace radar::serve {
 
 namespace {
 constexpr std::size_t kInputPoolSize = 64;
+
+// SIGINT/SIGTERM land here; wait() polls the flag. A volatile
+// sig_atomic_t store is the only async-signal-safe thing a handler may
+// do — no condition variable, no logging.
+volatile std::sig_atomic_t g_signal_shutdown = 0;
+extern "C" void on_shutdown_signal(int) { g_signal_shutdown = 1; }
 
 std::vector<std::string> split_ws(const std::string& line) {
   std::vector<std::string> out;
@@ -62,9 +70,22 @@ std::string Daemon::handle_line(const std::string& line) {
              std::to_string(r.latency_ns);
     }
     if (cmd == "INJECT") {
-      if (tok.size() != 4) return "ERR usage: INJECT <tenant> <n> <seed>";
+      const char* usage =
+          "ERR usage: INJECT <tenant> <n> <seed> | "
+          "INJECT <tenant> rowhammer <rows> <activations> <seed> [double]";
+      if (tok.size() < 4) return usage;
       const std::size_t t = host_.find_tenant(tok[1]);
       if (t == ModelHost::npos) return "ERR unknown tenant " + tok[1];
+      if (tok[2] == "rowhammer") {
+        if (tok.size() != 6 && tok.size() != 7) return usage;
+        if (tok.size() == 7 && tok[6] != "double") return usage;
+        const std::size_t made = host_.inject_rowhammer(
+            t, std::stoi(tok[3]), std::stoll(tok[4]),
+            /*double_sided=*/tok.size() == 7,
+            static_cast<std::uint64_t>(std::stoull(tok[5])));
+        return "OK " + std::to_string(made);
+      }
+      if (tok.size() != 4) return usage;
       const std::size_t made = host_.inject_faults(
           t, std::stoi(tok[2]),
           static_cast<std::uint64_t>(std::stoull(tok[3])));
@@ -162,11 +183,26 @@ void Daemon::stop() {
 
 void Daemon::wait() {
   std::unique_lock<std::mutex> lk(wait_mu_);
-  wait_cv_.wait(lk, [this] {
+  // Poll with a short timeout: a signal handler cannot notify the
+  // condition variable (not async-signal-safe), so signal-driven
+  // shutdown is only observable by re-checking the flag.
+  while (!wait_cv_.wait_for(lk, std::chrono::milliseconds(50), [this] {
     return shutdown_requested_.load(std::memory_order_acquire) ||
            !running_.load(std::memory_order_acquire);
-  });
+  })) {
+    if (signal_requested()) {
+      RADAR_LOG(kInfo) << "serve: shutdown signal received";
+      return;
+    }
+  }
 }
+
+void Daemon::install_signal_handlers() {
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+}
+
+bool Daemon::signal_requested() { return g_signal_shutdown != 0; }
 
 void Daemon::accept_loop() {
 #if RADAR_HAVE_UNIX_SOCKETS

@@ -8,7 +8,9 @@
 //   PING                      -> PONG
 //   TENANTS                   -> OK <name>...
 //   INFER <tenant>            -> OK <predicted> <latency_ns>
-//   INJECT <tenant> <n> <seed>-> OK <flips_made>
+//   INJECT <tenant> <n> <seed>-> OK <flips_made>      (iid MSB flips)
+//   INJECT <tenant> rowhammer <rows> <activations> <seed> [double]
+//                             -> OK <flips_made>      (correlated burst)
 //   SCAN ON|OFF               -> OK
 //   DETECTIONS                -> OK <total_detections>
 //   STATS                     -> OK <host stats json>
@@ -53,8 +55,17 @@ class Daemon {
   void stop();
   bool running() const { return running_.load(std::memory_order_acquire); }
 
-  /// Block until a client sends SHUTDOWN or stop() is called.
+  /// Block until a client sends SHUTDOWN, stop() is called, or — after
+  /// install_signal_handlers() — the process receives SIGINT/SIGTERM.
   void wait();
+
+  /// Route SIGINT/SIGTERM into the wait() loop so `kill` and Ctrl-C shut
+  /// the daemon down as cleanly as a SHUTDOWN command (the caller's
+  /// stop()/host.stop() sequence closes the socket, drains the request
+  /// queue and joins the scanner). Process-wide; call once.
+  static void install_signal_handlers();
+  /// True once a handled signal arrived (process-wide flag).
+  static bool signal_requested();
 
   const std::string& socket_path() const { return socket_path_; }
 

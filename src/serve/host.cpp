@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <sstream>
 
+#include "attack/rowhammer.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/package.h"
+#include "core/scan_session.h"
 #include "quant/epoch_guard.h"
 
 namespace radar::serve {
@@ -150,18 +152,26 @@ void ModelHost::worker_loop(std::size_t wi) {
   while (queue_->pop(req)) {
     Tenant& t = *tenants_[req.tenant];
     InferenceResult r;
-    try {
-      t.engine->forward_into(*req.input, w.scratch, w.logits);
-      const std::int64_t classes = t.engine->num_classes();
-      const float* row = w.logits.data();
-      int best = 0;
-      for (std::int64_t c = 1; c < classes; ++c)
-        if (row[c] > row[best]) best = static_cast<int>(c);
-      r.predicted = best;
-      r.ok = true;
-    } catch (const std::exception& e) {
-      r.error = e.what();
-      t.errors.fetch_add(1, std::memory_order_relaxed);
+    if (t.quarantined.load(std::memory_order_acquire)) {
+      // Shed with a distinct error (not counted under `errors`): the
+      // tenant is being re-verified; its traffic must not poison replies
+      // or hold a worker while other tenants' requests wait.
+      r.error = "tenant quarantined";
+      t.shed_quarantined.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      try {
+        t.engine->forward_into(*req.input, w.scratch, w.logits);
+        const std::int64_t classes = t.engine->num_classes();
+        const float* row = w.logits.data();
+        int best = 0;
+        for (std::int64_t c = 1; c < classes; ++c)
+          if (row[c] > row[best]) best = static_cast<int>(c);
+        r.predicted = best;
+        r.ok = true;
+      } catch (const std::exception& e) {
+        r.error = e.what();
+        t.errors.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     r.latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                        std::chrono::steady_clock::now() - req.t_submit)
@@ -213,16 +223,123 @@ void ModelHost::scan_step(Tenant& t) {
                    << step.group_end << "): flagged " << t.flag_buf.size()
                    << " group(s), recovered"
                    << (inject_ns >= 0 ? " (ttd recorded)" : "");
+  note_detection(t);
+}
+
+void ModelHost::note_detection(Tenant& t) {
+  if (opts_.quarantine_threshold <= 0) return;
+  const std::int64_t now = now_ns();
+  const std::int64_t window = opts_.quarantine_window_ms * 1000000;
+  auto& w = t.detect_window_ns;
+  w.push_back(now);
+  w.erase(std::remove_if(w.begin(), w.end(),
+                         [&](std::int64_t d) { return now - d > window; }),
+          w.end());
+  // A detection on an already-quarantined tenant means the attack is
+  // still landing: re-verify and push the readmission out again.
+  const bool trip =
+      t.quarantined.load(std::memory_order_relaxed) ||
+      static_cast<int>(w.size()) >= opts_.quarantine_threshold;
+  if (!trip) return;
+  quarantine_tenant(t);
+  w.clear();
+}
+
+void ModelHost::quarantine_tenant(Tenant& t) {
+  const bool was =
+      t.quarantined.exchange(true, std::memory_order_acq_rel);
+  if (!was) t.quarantines.fetch_add(1, std::memory_order_relaxed);
+
+  // Full-arena re-verify against the golden copy under one writer
+  // section: concurrent injections are excluded while we scan + repair,
+  // and the post-repair rescan proves the arena is code-clean before a
+  // readmission deadline is armed.
+  quant::QuantizedModel& qm = *t.bundle.qmodel;
+  std::size_t repaired = 0, scrubbed = 0;
+  bool clean = false;
+  {
+    quant::EpochGuard::WriterSection ws(*qm.epoch_guard(), 0,
+                                        qm.arena().size_bytes());
+    core::ScanSession session(*t.scheme, /*threads=*/1);
+    session.scan_into(qm, t.recover_report);
+    if (t.recover_report.num_flagged_groups() > 0) {
+      repaired =
+          static_cast<std::size_t>(t.recover_report.num_flagged_groups());
+      t.scheme->recover(qm, t.recover_report, opts_.recovery);
+      t.groups_recovered.fetch_add(repaired, std::memory_order_relaxed);
+      session.scan_into(qm, t.recover_report);
+    }
+    clean = t.recover_report.num_flagged_groups() == 0;
+    // Byte-exact scrub against the golden copy: the scheme's codes only
+    // see what they cover (radar2 misses non-MSB flips), but quarantine
+    // has the tenant offline anyway — compare every weight byte with the
+    // (mmap'd) clean source and rewrite the stragglers.
+    const std::span<const std::int8_t> golden = t.scheme->clean_arena_bytes();
+    if (!golden.empty()) {
+      for (std::size_t l = 0; l < qm.num_layers(); ++l) {
+        const auto [b0, b1] = qm.layer_byte_range(l);
+        for (std::int64_t i = 0; i < b1 - b0; ++i) {
+          const std::int8_t want = golden[static_cast<std::size_t>(b0 + i)];
+          if (qm.get_code(l, i) == want) continue;
+          qm.set_code(l, i, want);
+          ++scrubbed;
+        }
+      }
+      t.bytes_scrubbed.fetch_add(scrubbed, std::memory_order_relaxed);
+    }
+  }
+
+  // Exponential backoff on consecutive quarantines, capped.
+  t.backoff_ms = t.backoff_ms <= 0
+                     ? opts_.quarantine_backoff_ms
+                     : std::min(t.backoff_ms * 2,
+                                opts_.quarantine_backoff_max_ms);
+  t.readmit_at_ns = now_ns() + t.backoff_ms * 1000000;
+  RADAR_LOG(kWarn) << "serve: tenant '" << t.cfg.name
+                   << "' quarantined — full re-verify repaired " << repaired
+                   << " group(s), golden scrub rewrote " << scrubbed
+                   << " byte(s), codes " << (clean ? "clean" : "STILL DIRTY")
+                   << ", readmit in " << t.backoff_ms << "ms";
+}
+
+void ModelHost::maybe_readmit(Tenant& t) {
+  if (opts_.quarantine_threshold <= 0) return;
+  const std::int64_t now = now_ns();
+  if (t.quarantined.load(std::memory_order_relaxed)) {
+    if (now < t.readmit_at_ns) return;
+    t.quarantined.store(false, std::memory_order_release);
+    t.readmits.fetch_add(1, std::memory_order_relaxed);
+    t.last_readmit_ns = now;
+    RADAR_LOG(kInfo) << "serve: tenant '" << t.cfg.name
+                     << "' readmitted after " << t.backoff_ms
+                     << "ms quarantine backoff";
+    return;
+  }
+  // Backoff decay: a readmitted tenant that stayed detection-free for a
+  // full window earns a reset, so a later unrelated incident starts from
+  // the base backoff again.
+  if (t.backoff_ms > 0 && t.last_readmit_ns >= 0 &&
+      now - t.last_readmit_ns > opts_.quarantine_window_ms * 1000000 &&
+      (t.detect_window_ns.empty() ||
+       now - t.detect_window_ns.back() >
+           opts_.quarantine_window_ms * 1000000)) {
+    t.backoff_ms = 0;
+    t.last_readmit_ns = -1;
+  }
 }
 
 void ModelHost::scanner_loop() {
   std::size_t rr = 0;
   while (!stop_scanner_.load(std::memory_order_relaxed)) {
     if (!scanning_.load(std::memory_order_relaxed)) {
+      // Readmission deadlines keep ticking while scanning is paused.
+      for (auto& t : tenants_) maybe_readmit(*t);
       std::this_thread::sleep_for(kScannerIdle);
       continue;
     }
-    scan_step(*tenants_[rr]);
+    Tenant& t = *tenants_[rr];
+    maybe_readmit(t);
+    scan_step(t);
     rr = (rr + 1) % tenants_.size();
   }
 }
@@ -257,6 +374,37 @@ std::size_t ModelHost::inject_faults(std::size_t tenant, int flips,
   return sites.size();
 }
 
+std::size_t ModelHost::inject_rowhammer(std::size_t tenant, int rows,
+                                        std::int64_t activations,
+                                        bool double_sided,
+                                        std::uint64_t seed) {
+  RADAR_REQUIRE(tenant < tenants_.size(), "unknown tenant index");
+  RADAR_REQUIRE(rows > 0 && activations > 0,
+                "rowhammer injection needs rows > 0 and activations > 0");
+  Tenant& t = *tenants_[tenant];
+  quant::QuantizedModel& qm = *t.bundle.qmodel;
+  attack::RowhammerConfig rc;
+  rc.rows = rows;
+  rc.activations = activations;
+  rc.double_sided = double_sided;
+  Rng rng(seed);
+  // Stamp the injection time before any byte changes: detection can
+  // legitimately fire mid-burst.
+  t.pending_inject_ns.store(now_ns(), std::memory_order_release);
+  std::size_t made = 0;
+  {
+    quant::EpochGuard::WriterSection ws(*qm.epoch_guard(), 0,
+                                        qm.arena().size_bytes());
+    made = attack::rowhammer_attack(qm, rc, rng).flips.size();
+  }
+  t.faults_injected.fetch_add(made, std::memory_order_relaxed);
+  RADAR_LOG(kWarn) << "serve: rowhammer burst on tenant '" << t.cfg.name
+                   << "' — " << rows << " row(s), " << activations
+                   << " activation(s)" << (double_sided ? ", double-sided" : "")
+                   << ", " << made << " weight flip(s) landed";
+  return made;
+}
+
 HostStats ModelHost::stats() const {
   HostStats out;
   out.scanning = scanning_.load(std::memory_order_relaxed);
@@ -283,6 +431,12 @@ HostStats ModelHost::stats() const {
         t.groups_recovered.load(std::memory_order_relaxed);
     s.faults_injected = t.faults_injected.load(std::memory_order_relaxed);
     s.last_ttd_ns = t.last_ttd_ns.load(std::memory_order_relaxed);
+    s.quarantined = t.quarantined.load(std::memory_order_relaxed);
+    s.quarantines = t.quarantines.load(std::memory_order_relaxed);
+    s.readmits = t.readmits.load(std::memory_order_relaxed);
+    s.shed_quarantined =
+        t.shed_quarantined.load(std::memory_order_relaxed);
+    s.bytes_scrubbed = t.bytes_scrubbed.load(std::memory_order_relaxed);
     out.tenants.push_back(std::move(s));
   }
   return out;
@@ -319,7 +473,12 @@ std::string HostStats::to_json() const {
        << ",\"detections\":" << t.detections
        << ",\"groups_recovered\":" << t.groups_recovered
        << ",\"faults_injected\":" << t.faults_injected
-       << ",\"last_ttd_ns\":" << t.last_ttd_ns << "}";
+       << ",\"last_ttd_ns\":" << t.last_ttd_ns
+       << ",\"quarantined\":" << (t.quarantined ? "true" : "false")
+       << ",\"quarantines\":" << t.quarantines
+       << ",\"readmits\":" << t.readmits
+       << ",\"shed_quarantined\":" << t.shed_quarantined
+       << ",\"bytes_scrubbed\":" << t.bytes_scrubbed << "}";
   }
   os << "]}";
   return os.str();

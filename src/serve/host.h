@@ -60,6 +60,16 @@ struct ServeOptions {
   std::int64_t epoch_shard_bytes = quant::kDefaultEpochShardBytes;
   int epoch_max_retries = 64;  ///< optimistic attempts before quiescing
   core::RecoveryPolicy recovery = core::RecoveryPolicy::kReloadClean;
+  // Graceful degradation: a tenant accumulating `quarantine_threshold`
+  // detections inside `quarantine_window_ms` is quarantined — its
+  // requests are shed with a distinct error while the scanner re-verifies
+  // the full arena against the golden copy — then readmitted after a
+  // backoff that doubles on each consecutive quarantine (capped) and
+  // decays back once the tenant stays clean for a full window.
+  int quarantine_threshold = 3;  ///< detections to trip (0: never)
+  std::int64_t quarantine_window_ms = 2000;
+  std::int64_t quarantine_backoff_ms = 250;  ///< first readmit delay
+  std::int64_t quarantine_backoff_max_ms = 8000;
 };
 
 struct InferenceResult {
@@ -82,6 +92,13 @@ struct TenantStats {
   std::uint64_t groups_recovered = 0;  ///< groups repaired by the scanner
   std::uint64_t faults_injected = 0;
   std::int64_t last_ttd_ns = -1;  ///< inject -> first detection (-1: none)
+  bool quarantined = false;       ///< currently shedding requests
+  std::uint64_t quarantines = 0;  ///< times the tenant was quarantined
+  std::uint64_t readmits = 0;     ///< times it was readmitted
+  std::uint64_t shed_quarantined = 0;  ///< requests shed while quarantined
+  /// Weight bytes rewritten by the quarantine's byte-exact golden scrub
+  /// (corruption the scheme's codes could not see).
+  std::uint64_t bytes_scrubbed = 0;
 };
 
 struct HostStats {
@@ -141,6 +158,13 @@ class ModelHost {
   std::size_t inject_faults(std::size_t tenant, int flips,
                             std::uint64_t seed);
 
+  /// Rowhammer-burst injector: hammer `rows` victim DRAM rows of the
+  /// tenant's arena (spatially correlated flips, see attack/rowhammer.h)
+  /// under a writer section. Returns the weight flips that landed.
+  std::size_t inject_rowhammer(std::size_t tenant, int rows,
+                               std::int64_t activations, bool double_sided,
+                               std::uint64_t seed);
+
   HostStats stats() const;
   /// Zero the latency histograms and request counters (phase boundaries
   /// in the load generator); scan/detection counters are preserved.
@@ -166,10 +190,22 @@ class ModelHost {
     std::vector<std::int64_t> flag_buf;
     core::DetectionReport recover_report;
 
+    // Quarantine bookkeeping. `quarantined` gates the workers; the rest
+    // is scanner-thread private (window of recent detection timestamps,
+    // the readmission deadline and the current backoff).
+    std::atomic<bool> quarantined{false};
+    std::vector<std::int64_t> detect_window_ns;
+    std::int64_t readmit_at_ns = 0;
+    std::int64_t backoff_ms = 0;
+    std::int64_t last_readmit_ns = -1;
+
     // Cross-thread stats.
     std::atomic<std::uint64_t> requests{0}, errors{0};
     std::atomic<std::uint64_t> detections{0}, groups_recovered{0};
     std::atomic<std::uint64_t> faults_injected{0};
+    std::atomic<std::uint64_t> quarantines{0}, readmits{0};
+    std::atomic<std::uint64_t> shed_quarantined{0};
+    std::atomic<std::uint64_t> bytes_scrubbed{0};
     std::atomic<std::int64_t> pending_inject_ns{-1};  ///< steady ns
     std::atomic<std::int64_t> last_ttd_ns{-1};
     // Published copies of the scanner's private counters.
@@ -197,6 +233,15 @@ class ModelHost {
   void scanner_loop();
   /// Scan one shard of one tenant; recover + account on detection.
   void scan_step(Tenant& t);
+  /// Scanner thread: push a detection into the tenant's window and trip
+  /// (or extend) the quarantine when it fills.
+  void note_detection(Tenant& t);
+  /// Scanner thread: quarantine `t` — full-arena re-verify + repair
+  /// against the golden copy, then arm the readmission backoff.
+  void quarantine_tenant(Tenant& t);
+  /// Scanner thread: readmit a quarantined tenant whose backoff expired;
+  /// decay the backoff of tenants that stayed clean for a full window.
+  void maybe_readmit(Tenant& t);
 
   ServeOptions opts_;
   std::vector<std::unique_ptr<Tenant>> tenants_;

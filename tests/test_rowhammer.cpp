@@ -1,0 +1,212 @@
+// Rowhammer campaign attacker: per-seed burst determinism, spatial
+// correlation of the flips through the address mapping, commitment to
+// the quantized model, and thread-invariance of campaign reports that
+// use the attacker.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "attack/rowhammer.h"
+#include "campaign/campaign.h"
+#include "common/rng.h"
+#include "nn/resnet.h"
+#include "quant/qmodel.h"
+
+namespace radar {
+namespace {
+
+/// A float model + its quantized view (the float masters must outlive
+/// the QuantizedModel).
+struct TestModel {
+  std::unique_ptr<nn::ResNet> net;
+  std::unique_ptr<quant::QuantizedModel> qm;
+};
+
+TestModel make_model(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::ResNetSpec spec;
+  spec.num_classes = 4;
+  spec.base_width = 8;
+  spec.blocks_per_stage = {1};
+  TestModel m;
+  m.net = std::make_unique<nn::ResNet>(spec, rng);
+  m.qm = std::make_unique<quant::QuantizedModel>(*m.net);
+  return m;
+}
+
+TEST(Rowhammer, BurstIsDeterministicPerSeedAndCommitsFlips) {
+  TestModel ma = make_model(3), mb = make_model(3);
+  quant::QuantizedModel &qa = *ma.qm, &qb = *mb.qm;
+  attack::RowhammerConfig cfg;
+  cfg.rows = 2;
+  // The test model's arena is tiny; raise the weak-cell density so every
+  // burst reliably lands flips inside it.
+  cfg.dram.cell_vulnerability = 0.02;
+  Rng ra(5), rb(5);
+  const attack::AttackResult a = attack::rowhammer_attack(qa, cfg, ra);
+  const attack::AttackResult b = attack::rowhammer_attack(qb, cfg, rb);
+  ASSERT_FALSE(a.flips.empty());
+  ASSERT_EQ(a.flips.size(), b.flips.size());
+  for (std::size_t i = 0; i < a.flips.size(); ++i) {
+    EXPECT_EQ(a.flips[i].layer, b.flips[i].layer);
+    EXPECT_EQ(a.flips[i].index, b.flips[i].index);
+    EXPECT_EQ(a.flips[i].bit, b.flips[i].bit);
+    EXPECT_EQ(a.flips[i].before, b.flips[i].before);
+    EXPECT_EQ(a.flips[i].after, b.flips[i].after);
+    // Committed: each record is exactly one bit apart, and since every
+    // (cell, bit) is flipped at most once, the model's final code agrees
+    // with the record in that bit (other bits of the same byte may have
+    // been hit by later flips of the burst).
+    EXPECT_EQ(static_cast<std::uint8_t>(a.flips[i].before ^
+                                        a.flips[i].after),
+              std::uint8_t{1} << a.flips[i].bit);
+    const std::uint8_t now = static_cast<std::uint8_t>(
+        qa.get_code(a.flips[i].layer, a.flips[i].index));
+    EXPECT_EQ((now >> a.flips[i].bit) & 1,
+              (static_cast<std::uint8_t>(a.flips[i].after) >>
+               a.flips[i].bit) &
+                  1);
+  }
+
+  // A different rng stream hammers different cells.
+  TestModel mc = make_model(3);
+  quant::QuantizedModel& qc = *mc.qm;
+  Rng rc(6);
+  const attack::AttackResult c = attack::rowhammer_attack(qc, cfg, rc);
+  const auto sa = a.flip_sites(), sc = c.flip_sites();
+  EXPECT_TRUE(sa != sc);
+}
+
+TEST(Rowhammer, FlipsClusterWithinOneRowUnderRowMajor) {
+  TestModel m = make_model(4);
+  quant::QuantizedModel& qm = *m.qm;
+  attack::RowhammerConfig cfg;
+  cfg.dram.mapping = sim::AddressMapping::kRowMajor;
+  cfg.dram.banks = 1;
+  cfg.dram.row_bytes = 512;
+  cfg.dram.cell_vulnerability = 0.01;  // ~40 weak cells per row
+  cfg.rows = 1;
+  Rng rng(9);
+  const attack::AttackResult res = attack::rowhammer_attack(qm, cfg, rng);
+  ASSERT_GE(res.flips.size(), 5u) << "one hammered row must yield a burst";
+  // Under the linear mapping, one victim row is 512 consecutive arena
+  // bytes — every flip of the burst lands inside that window. That is
+  // the spatial correlation the iid attackers lack.
+  std::int64_t lo = INT64_MAX, hi = INT64_MIN;
+  for (const attack::BitFlip& f : res.flips) {
+    const std::int64_t off = qm.layer_byte_range(f.layer).first + f.index;
+    lo = std::min(lo, off);
+    hi = std::max(hi, off);
+  }
+  EXPECT_LT(hi - lo, cfg.dram.row_bytes);
+}
+
+TEST(Rowhammer, BankStripeSpreadsOneRowAcrossTheArena) {
+  TestModel m = make_model(4);
+  quant::QuantizedModel& qm = *m.qm;
+  attack::RowhammerConfig cfg;  // default: kBankStripe across 8 banks
+  cfg.dram.row_bytes = 512;
+  cfg.dram.stripe_bytes = 32;  // fine interleave: a row spans the arena
+  cfg.dram.cell_vulnerability = 0.02;
+  cfg.rows = 1;
+  Rng rng(9);
+  const attack::AttackResult res = attack::rowhammer_attack(qm, cfg, rng);
+  ASSERT_GE(res.flips.size(), 5u);
+  // With the controller interleave one victim row is NOT a contiguous
+  // byte range: its stripe granules sit total_banks x stripe_bytes
+  // apart, so the burst spans at least one full rotation.
+  std::int64_t lo = INT64_MAX, hi = INT64_MIN;
+  for (const attack::BitFlip& f : res.flips) {
+    const std::int64_t off = qm.layer_byte_range(f.layer).first + f.index;
+    lo = std::min(lo, off);
+    hi = std::max(hi, off);
+  }
+  EXPECT_GE(hi - lo, 8 * cfg.dram.stripe_bytes);
+}
+
+TEST(Rowhammer, MoreRowsYieldMoreFlips) {
+  attack::RowhammerConfig one, four;
+  one.dram.cell_vulnerability = four.dram.cell_vulnerability = 0.01;
+  one.dram.row_bytes = four.dram.row_bytes = 512;
+  one.rows = 1;
+  four.rows = 4;
+  TestModel m1 = make_model(5), m4 = make_model(5);
+  quant::QuantizedModel &q1 = *m1.qm, &q4 = *m4.qm;
+  Rng r1(17), r4(17);
+  const auto f1 = attack::rowhammer_attack(q1, one, r1).flips.size();
+  const auto f4 = attack::rowhammer_attack(q4, four, r4).flips.size();
+  EXPECT_GT(f4, f1);
+}
+
+TEST(CampaignRowhammer, SpecRoundTripsThroughJson) {
+  campaign::CampaignSpec spec;
+  spec.name = "rh";
+  spec.model = "tiny";
+  spec.train = false;
+  spec.trials = 1;
+  campaign::AttackerSpec atk;
+  atk.kind = "rowhammer";
+  atk.rows = 4;
+  atk.activations = 120000;
+  atk.double_sided = true;
+  atk.mapping = "rowmajor";
+  atk.row_bytes = 4096;
+  spec.attackers = {atk};
+  spec.schemes = {campaign::SchemeSpec{}};
+  const campaign::CampaignSpec back =
+      campaign::CampaignSpec::from_json_text(spec.to_json());
+  ASSERT_EQ(back.attackers.size(), 1u);
+  EXPECT_EQ(back.attackers[0].kind, "rowhammer");
+  EXPECT_EQ(back.attackers[0].rows, 4);
+  EXPECT_EQ(back.attackers[0].activations, 120000);
+  EXPECT_TRUE(back.attackers[0].double_sided);
+  EXPECT_EQ(back.attackers[0].mapping, "rowmajor");
+  EXPECT_EQ(back.attackers[0].row_bytes, 4096);
+  // Every burst-shaping parameter is part of the label — the campaign
+  // keys RNG streams and the disk cache off it.
+  EXPECT_EQ(back.attackers[0].label(),
+            "rowhammer/r4/a120000/ds/rowmajor/rb4096");
+}
+
+TEST(CampaignRowhammer, ReportsAreThreadInvariant) {
+  campaign::CampaignSpec spec;
+  spec.name = "rh-diff";
+  spec.model = "tiny";
+  spec.train = false;
+  spec.trials = 2;
+  spec.seed = 77;
+  campaign::AttackerSpec stripe;
+  stripe.kind = "rowhammer";
+  stripe.rows = 4;
+  campaign::AttackerSpec rowmajor;
+  rowmajor.kind = "rowhammer";
+  rowmajor.mapping = "rowmajor";
+  rowmajor.double_sided = true;
+  spec.attackers = {stripe, rowmajor};
+  campaign::SchemeSpec ilv;
+  ilv.params.group_size = 32;
+  campaign::SchemeSpec contig;
+  contig.params.group_size = 32;
+  contig.params.interleave = false;
+  spec.schemes = {ilv, contig};
+
+  auto run_json = [&](std::size_t threads) {
+    const campaign::CampaignReport report =
+        campaign::CampaignRunner(threads).run(spec);
+    return report.to_json() + report.to_csv();
+  };
+  const std::string serial = run_json(1);
+  EXPECT_EQ(serial, run_json(4));
+
+  // And the burst actually lands + is seen: flips and detections > 0.
+  const campaign::CampaignReport report = campaign::CampaignRunner(2).run(spec);
+  for (std::size_t a = 0; a < spec.attackers.size(); ++a)
+    for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
+      EXPECT_GT(report.cell(a, 0, s).mean_flips, 0.0);
+      EXPECT_GT(report.cell(a, 0, s).mean_detected, 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace radar

@@ -261,6 +261,186 @@ TEST(Dram, FlipsLandInModelWeights) {
   EXPECT_EQ(static_cast<std::uint8_t>(qm.get_code(0, 3) ^ before3), 0x80);
 }
 
+DramConfig multi_bank_config() {
+  DramConfig cfg;
+  cfg.channels = 2;
+  cfg.ranks = 2;
+  cfg.banks = 4;
+  cfg.num_rows = 32;
+  cfg.row_bytes = 1024;
+  cfg.stripe_bytes = 128;
+  return cfg;
+}
+
+TEST(Dram, AddressMappingRoundTripsRowMajor) {
+  DramConfig cfg = multi_bank_config();
+  cfg.mapping = AddressMapping::kRowMajor;
+  DramModel dram(cfg);
+  const std::int64_t cap = dram.capacity_bytes();
+  EXPECT_EQ(cap, 2 * 2 * 4 * 32 * 1024);
+  for (std::int64_t off : {std::int64_t{0}, std::int64_t{1},
+                           std::int64_t{127}, std::int64_t{128},
+                           std::int64_t{1023}, std::int64_t{1024},
+                           std::int64_t{8191}, cap / 3, cap / 2, cap - 1}) {
+    const PhysAddr a = dram.decompose(off);
+    EXPECT_GE(a.channel, 0);
+    EXPECT_LT(a.channel, cfg.channels);
+    EXPECT_GE(a.rank, 0);
+    EXPECT_LT(a.rank, cfg.ranks);
+    EXPECT_GE(a.bank, 0);
+    EXPECT_LT(a.bank, cfg.banks);
+    EXPECT_GE(a.row, 0);
+    EXPECT_LT(a.row, cfg.num_rows);
+    EXPECT_GE(a.col, 0);
+    EXPECT_LT(a.col, cfg.row_bytes);
+    EXPECT_EQ(dram.compose(a), off);
+    EXPECT_GE(dram.global_row(a), 0);
+    EXPECT_LT(dram.global_row(a), dram.total_rows());
+  }
+  EXPECT_THROW(dram.decompose(cap), radar::InvalidArgument);
+}
+
+TEST(Dram, AddressMappingRoundTripsBankStripe) {
+  DramConfig cfg = multi_bank_config();
+  cfg.mapping = AddressMapping::kBankStripe;
+  DramModel dram(cfg);
+  const std::int64_t cap = dram.capacity_bytes();
+  // Exhaustive round-trip over a prefix plus strided samples to the end.
+  for (std::int64_t off = 0; off < 4096; ++off)
+    EXPECT_EQ(dram.compose(dram.decompose(off)), off);
+  for (std::int64_t off = 0; off < cap; off += 997)
+    EXPECT_EQ(dram.compose(dram.decompose(off)), off);
+  EXPECT_EQ(dram.compose(dram.decompose(cap - 1)), cap - 1);
+}
+
+TEST(Dram, BankStripeInterleavesAcrossBanks) {
+  DramConfig cfg = multi_bank_config();
+  cfg.mapping = AddressMapping::kBankStripe;
+  DramModel dram(cfg);
+  // Consecutive stripe granules land in different banks; with row-major
+  // they share a row.
+  const PhysAddr a = dram.decompose(0);
+  const PhysAddr b = dram.decompose(cfg.stripe_bytes);
+  EXPECT_NE(dram.global_row(a), dram.global_row(b));
+  // After total_banks granules the stripe wraps back to the first bank.
+  const PhysAddr c = dram.decompose(cfg.stripe_bytes * dram.total_banks());
+  EXPECT_EQ(c.channel, a.channel);
+  EXPECT_EQ(c.rank, a.rank);
+  EXPECT_EQ(c.bank, a.bank);
+
+  DramConfig lin = cfg;
+  lin.mapping = AddressMapping::kRowMajor;
+  DramModel ldram(lin);
+  EXPECT_EQ(ldram.global_row(ldram.decompose(0)),
+            ldram.global_row(ldram.decompose(cfg.stripe_bytes)));
+}
+
+TEST(Dram, HammerVictimFlipsOnlyTheVictimRow) {
+  DramConfig cfg = multi_bank_config();
+  cfg.mapping = AddressMapping::kBankStripe;
+  cfg.cell_vulnerability = 0.05;
+  cfg.hammer_threshold = 1000;
+  cfg.flip_ramp = 1;  // step: pressure past threshold flips for sure
+  DramModel dram(cfg);
+  Rng rng(11);
+  const PhysAddr victim = dram.decompose(3 * cfg.stripe_bytes + 17);
+  const auto flips = dram.hammer_victim(victim, 2 * cfg.hammer_threshold,
+                                        /*double_sided=*/false, rng);
+  ASSERT_FALSE(flips.empty());
+  for (const DramFlip& f : flips) {
+    EXPECT_EQ(f.row, dram.global_row(victim));
+    const PhysAddr back = dram.decompose(f.offset);
+    EXPECT_EQ(back.channel, victim.channel);
+    EXPECT_EQ(back.rank, victim.rank);
+    EXPECT_EQ(back.bank, victim.bank);
+    EXPECT_EQ(back.row, victim.row);
+    EXPECT_EQ(back.col, f.byte_in_row);
+  }
+}
+
+TEST(Dram, HammerVictimSubThresholdNeverFlips) {
+  DramConfig cfg = multi_bank_config();
+  cfg.cell_vulnerability = 0.5;  // plenty of weak cells: threshold must gate
+  cfg.hammer_threshold = 1000;
+  cfg.flip_ramp = 1;
+  DramModel dram(cfg);
+  Rng rng(12);
+  const PhysAddr victim = dram.decompose(2048);
+  EXPECT_TRUE(dram.hammer_victim(victim, cfg.hammer_threshold - 1,
+                                 /*double_sided=*/false, rng)
+                  .empty());
+  // One more activation tips the accumulated pressure over.
+  EXPECT_FALSE(dram.hammer_victim(victim, 1, /*double_sided=*/false, rng)
+                   .empty());
+}
+
+TEST(Dram, DoubleSidedHammeringPressuresFromBothRows) {
+  DramConfig cfg = multi_bank_config();
+  cfg.cell_vulnerability = 0.5;
+  cfg.hammer_threshold = 1000;
+  cfg.flip_ramp = 1;
+  const std::int64_t acts = cfg.hammer_threshold / 2 + 10;  // half + slack
+  Rng rng(13);
+  // Single-sided at just over half the threshold: no flips.
+  DramModel single(cfg);
+  const PhysAddr victim = single.decompose(5 * cfg.row_bytes);
+  EXPECT_TRUE(single.hammer_victim(victim, acts, false, rng).empty());
+  // Double-sided at the same count: both neighbours contribute, flips.
+  DramModel both(cfg);
+  EXPECT_FALSE(both.hammer_victim(victim, acts, true, rng).empty());
+}
+
+TEST(Dram, TargetedFlipSubThresholdActivationsFail) {
+  DramConfig cfg;
+  DramModel dram(cfg);
+  Rng rng(14);
+  // Explicit sub-threshold hammer counts accumulate but never flip.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_FALSE(dram.targeted_flip(1, 0, 7, 1.0, rng,
+                                    cfg.hammer_threshold / 10));
+  // Topping up past the threshold finally flips.
+  EXPECT_TRUE(dram.targeted_flip(1, 0, 7, 1.0, rng, cfg.hammer_threshold));
+}
+
+TEST(Dram, MapBufferRejectsOverlap) {
+  DramConfig cfg;
+  DramModel dram(cfg);
+  EXPECT_EQ(dram.map_buffer(0, cfg.row_bytes * 2), 2);
+  EXPECT_THROW(dram.map_buffer(1, cfg.row_bytes), radar::InvalidArgument);
+  EXPECT_THROW(dram.map_buffer(0, 1), radar::InvalidArgument);
+  EXPECT_EQ(dram.map_buffer(2, cfg.row_bytes), 1);
+}
+
+TEST(Dram, HammerVictimDeterministicPerSeed) {
+  DramConfig cfg = multi_bank_config();
+  cfg.mapping = AddressMapping::kBankStripe;
+  cfg.cell_vulnerability = 0.05;
+  cfg.hammer_threshold = 1000;
+  cfg.flip_ramp = 2000;  // p ~ 0.5: the rng stream matters
+  const std::int64_t acts = 2000;
+  DramModel da(cfg), db(cfg), dc(cfg);
+  Rng ra(7), rb(7), rc(8);
+  const PhysAddr victim = da.decompose(4096);
+  const auto fa = da.hammer_victim(victim, acts, true, ra);
+  const auto fb = db.hammer_victim(victim, acts, true, rb);
+  const auto fc = dc.hammer_victim(victim, acts, true, rc);
+  ASSERT_FALSE(fa.empty());
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].row, fb[i].row);
+    EXPECT_EQ(fa[i].byte_in_row, fb[i].byte_in_row);
+    EXPECT_EQ(fa[i].bit, fb[i].bit);
+    EXPECT_EQ(fa[i].offset, fb[i].offset);
+  }
+  // A different rng seed draws a different subset of the weak cells.
+  bool same = fa.size() == fc.size();
+  if (same)
+    for (std::size_t i = 0; i < fa.size(); ++i)
+      same = same && fa[i].byte_in_row == fc[i].byte_in_row &&
+             fa[i].bit == fc[i].bit;
+  EXPECT_FALSE(same);
+}
+
 TEST(Dram, FlipsOutsideModelIgnored) {
   Rng rng(2);
   nn::ResNetSpec spec;

@@ -58,6 +58,8 @@
 //   radar_cli serve --socket <path> --tenant <name>=<pkg> [...]
 //                   [--model ...] [--workers N] [--queue N] [--no-scan]
 //                   [--scan-shard-bytes N] [--no-mmap]
+//                   [--quarantine-threshold N] [--quarantine-window-ms N]
+//                   [--quarantine-backoff-ms N]
 //       Multi-tenant protection-as-a-service daemon: every --tenant loads
 //       one signed package (mmap'd golden copy by default) behind a
 //       shared worker pool, with the epoch-guarded background scanner
@@ -114,6 +116,10 @@ struct Args {
   bool scan = true;
   std::int64_t scan_shard_bytes = 16 * 1024;
   bool serve_mmap = true;
+  // Quarantine policy (see ServeOptions); -1 keeps the built-in default.
+  int quarantine_threshold = -1;
+  std::int64_t quarantine_window_ms = -1;
+  std::int64_t quarantine_backoff_ms = -1;
 };
 
 bool parse_options(int argc, char** argv, int first_opt, Args& args) {
@@ -210,6 +216,26 @@ bool parse_options(int argc, char** argv, int first_opt, Args& args) {
       }
     } else if (a == "--no-mmap") {
       args.serve_mmap = false;
+    } else if (a == "--quarantine-threshold") {
+      args.quarantine_threshold = std::atoi(next("--quarantine-threshold"));
+      if (args.quarantine_threshold < 0) {
+        std::fprintf(stderr, "--quarantine-threshold must be >= 0\n");
+        return false;
+      }
+    } else if (a == "--quarantine-window-ms") {
+      args.quarantine_window_ms =
+          std::atoll(next("--quarantine-window-ms"));
+      if (args.quarantine_window_ms < 1) {
+        std::fprintf(stderr, "--quarantine-window-ms must be >= 1\n");
+        return false;
+      }
+    } else if (a == "--quarantine-backoff-ms") {
+      args.quarantine_backoff_ms =
+          std::atoll(next("--quarantine-backoff-ms"));
+      if (args.quarantine_backoff_ms < 1) {
+        std::fprintf(stderr, "--quarantine-backoff-ms must be >= 1\n");
+        return false;
+      }
     } else if (a == "--") {
       // explicit end of options
     } else if (!a.empty() && a[0] == '-') {
@@ -441,6 +467,12 @@ int cmd_serve(const Args& args) {
   opts.queue_capacity = args.queue_capacity;
   opts.scan = args.scan;
   opts.scan_shard_bytes = args.scan_shard_bytes;
+  if (args.quarantine_threshold >= 0)
+    opts.quarantine_threshold = args.quarantine_threshold;
+  if (args.quarantine_window_ms > 0)
+    opts.quarantine_window_ms = args.quarantine_window_ms;
+  if (args.quarantine_backoff_ms > 0)
+    opts.quarantine_backoff_ms = args.quarantine_backoff_ms;
   serve::ModelHost host(opts);
   for (const std::string& spec : args.tenants) {
     const std::size_t eq = spec.find('=');
@@ -458,11 +490,15 @@ int cmd_serve(const Args& args) {
   }
   serve::Daemon daemon(host, args.socket);
   daemon.start();
+  // SIGINT/SIGTERM shut down as cleanly as a SHUTDOWN command: wait()
+  // returns, then the socket closes, the queue drains and the scanner
+  // joins below.
+  serve::Daemon::install_signal_handlers();
   std::printf("serving %zu tenant(s) on %s (%zu workers, scanning %s)\n",
               host.num_tenants(), args.socket.c_str(), args.workers,
               args.scan ? "on" : "off");
   std::fflush(stdout);
-  daemon.wait();  // until a client sends SHUTDOWN
+  daemon.wait();  // until SHUTDOWN, SIGINT or SIGTERM
   daemon.stop();
   host.stop();
   std::printf("%s\n", host.stats().to_json().c_str());
@@ -491,7 +527,8 @@ constexpr Command kCommands[] = {
      1, cmd_campaign},
     {"serve",
      "serve --socket <path> --tenant <name>=<pkg> [--tenant ...] "
-     "[--workers N] [--no-scan]",
+     "[--workers N] [--no-scan] [--quarantine-threshold N] "
+     "[--quarantine-window-ms N] [--quarantine-backoff-ms N]",
      0, cmd_serve},
     {"schemes", "schemes", 0, cmd_schemes},
 };

@@ -7,8 +7,10 @@
 //   1. scan_off  — background integrity scanning disabled (baseline)
 //   2. scan_on   — scanning enabled (the protection overhead under load)
 //   3. attack    — scanning on; at 25% of the phase `--inject-flips`
-//                  random MSBs are flipped in the hottest tenant, and the
-//                  time until the scanner's first detection is recorded
+//                  random MSBs are flipped in the hottest tenant (or, with
+//                  --inject-rowhammer N, a spatially correlated N-row
+//                  hammer burst lands instead), and the time until the
+//                  scanner's first detection is recorded
 //
 // Traffic is open-loop: each client thread draws Poisson inter-arrivals
 // (with periodic burst windows at --burst-factor x the base rate) and
@@ -63,8 +65,12 @@ struct Options {
   double zipf_s = 1.0;            ///< tenant popularity skew exponent
   std::int64_t duration_ms = 1000;  ///< per phase
   int inject_flips = 8;
+  int inject_rowhammer = 0;  ///< victim rows to hammer (0: iid flips)
+  std::int64_t rh_activations = 150000;  ///< aggressor activations per row
   std::uint64_t seed = 0x10ADU;
   bool shutdown = false;  ///< socket mode: send SHUTDOWN when done
+
+  bool attacking() const { return inject_flips > 0 || inject_rowhammer > 0; }
 };
 
 bool parse(int argc, char** argv, Options& o) {
@@ -87,6 +93,8 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--zipf-s") o.zipf_s = std::atof(next("--zipf-s"));
     else if (a == "--duration-ms") o.duration_ms = std::atoll(next("--duration-ms"));
     else if (a == "--inject-flips") o.inject_flips = std::atoi(next("--inject-flips"));
+    else if (a == "--inject-rowhammer") o.inject_rowhammer = std::atoi(next("--inject-rowhammer"));
+    else if (a == "--rh-activations") o.rh_activations = std::atoll(next("--rh-activations"));
     else if (a == "--seed") o.seed = std::strtoull(next("--seed"), nullptr, 0);
     else if (a == "--shutdown") o.shutdown = true;
     else {
@@ -136,6 +144,10 @@ class Backend {
   virtual void set_scanning(bool on) = 0;
   virtual std::size_t inject(std::size_t tenant, int flips,
                              std::uint64_t seed) = 0;
+  /// Spatially correlated rowhammer burst (single-sided).
+  virtual std::size_t inject_rowhammer(std::size_t tenant, int rows,
+                                       std::int64_t activations,
+                                       std::uint64_t seed) = 0;
   virtual std::uint64_t detections() = 0;
   /// Server-side time-to-detect in ns when the backend can see it
   /// (-1: unknown; the caller falls back to the client-observed value).
@@ -200,6 +212,12 @@ class InProcessBackend : public Backend {
   std::size_t inject(std::size_t tenant, int flips,
                      std::uint64_t seed) override {
     return host_->inject_faults(tenant, flips, seed);
+  }
+  std::size_t inject_rowhammer(std::size_t tenant, int rows,
+                               std::int64_t activations,
+                               std::uint64_t seed) override {
+    return host_->inject_rowhammer(tenant, rows, activations,
+                                   /*double_sided=*/false, seed);
   }
   std::uint64_t detections() override {
     return host_->stats().total_detections();
@@ -289,6 +307,18 @@ class SocketBackend : public Backend {
                ? static_cast<std::size_t>(std::atoll(r.c_str() + 3))
                : 0;
   }
+  std::size_t inject_rowhammer(std::size_t tenant, int rows,
+                               std::int64_t activations,
+                               std::uint64_t seed) override {
+    const std::string r = request(
+        control_, "INJECT " + names_[tenant] + " rowhammer " +
+                      std::to_string(rows) + " " +
+                      std::to_string(activations) + " " +
+                      std::to_string(seed));
+    return r.rfind("OK ", 0) == 0
+               ? static_cast<std::size_t>(std::atoll(r.c_str() + 3))
+               : 0;
+  }
   std::uint64_t detections() override {
     const std::string r = request(control_, "DETECTIONS");
     return r.rfind("OK ", 0) == 0
@@ -360,7 +390,7 @@ double rate_at(double t_sec, const Options& o) {
 
 PhaseResult run_phase(Backend& backend, const Options& o,
                       const std::vector<double>& cdf, std::uint64_t seed,
-                      int inject_flips, std::size_t inject_tenant) {
+                      bool attack, std::size_t inject_tenant) {
   PhaseResult out;
   serve::LatencyHistogram hist;
   std::atomic<std::uint64_t> sent{0}, failed{0};
@@ -396,14 +426,18 @@ PhaseResult run_phase(Backend& backend, const Options& o,
     });
   }
 
-  if (inject_flips > 0) {
+  if (attack) {
     // Fire the attack at ~25% of the phase, then poll for the scanner's
     // detection — the client-observed time-to-detect.
     std::this_thread::sleep_until(
         t_start + std::chrono::milliseconds(o.duration_ms / 4));
     const std::uint64_t base = backend.detections();
     const auto t_inject = Clock::now();
-    backend.inject(inject_tenant, inject_flips, o.seed ^ 0xF117);
+    if (o.inject_rowhammer > 0)
+      backend.inject_rowhammer(inject_tenant, o.inject_rowhammer,
+                               o.rh_activations, o.seed ^ 0xF117);
+    else
+      backend.inject(inject_tenant, o.inject_flips, o.seed ^ 0xF117);
     while (Clock::now() < t_end) {
       if (backend.detections() > base) {
         out.client_ttd_ns =
@@ -446,7 +480,9 @@ int main(int argc, char** argv) {
                  "                     [--threads T] [--rate R] "
                  "[--burst-factor F] [--zipf-s S]\n"
                  "                     [--duration-ms D] "
-                 "[--inject-flips N] [--seed S] [--shutdown]\n");
+                 "[--inject-flips N] [--inject-rowhammer ROWS]\n"
+                 "                     [--rh-activations A] [--seed S] "
+                 "[--shutdown]\n");
     return 2;
   }
   try {
@@ -480,18 +516,18 @@ int main(int argc, char** argv) {
 
     backend->set_scanning(false);
     const PhaseResult off =
-        run_phase(*backend, o, cdf, o.seed + 1, 0, hot);
+        run_phase(*backend, o, cdf, o.seed + 1, false, hot);
     print_phase("scan_off", off);
 
     backend->set_scanning(true);
     const PhaseResult on =
-        run_phase(*backend, o, cdf, o.seed + 2, 0, hot);
+        run_phase(*backend, o, cdf, o.seed + 2, false, hot);
     print_phase("scan_on", on);
 
     PhaseResult attack;
     std::int64_t ttd_ns = -1;
-    if (o.inject_flips > 0) {
-      attack = run_phase(*backend, o, cdf, o.seed + 3, o.inject_flips, hot);
+    if (o.attacking()) {
+      attack = run_phase(*backend, o, cdf, o.seed + 3, true, hot);
       print_phase("attack", attack);
       const std::int64_t server_ttd = backend->server_ttd_ns(hot);
       ttd_ns = server_ttd >= 0 ? server_ttd : attack.client_ttd_ns;
@@ -512,7 +548,7 @@ int main(int argc, char** argv) {
     report.add("p50_scan_on", on.latency.quantile(0.50));
     report.add("p99_scan_on", on.latency.quantile(0.99));
     report.add("p999_scan_on", on.latency.quantile(0.999));
-    if (o.inject_flips > 0) {
+    if (o.attacking()) {
       report.add("p50_attack", attack.latency.quantile(0.50));
       report.add("p99_attack", attack.latency.quantile(0.99));
       if (ttd_ns >= 0) report.add("time_to_detect", static_cast<double>(ttd_ns));
@@ -520,7 +556,7 @@ int main(int argc, char** argv) {
     const std::string path = report.write();
     if (!path.empty()) std::printf("  wrote %s\n", path.c_str());
 
-    if (o.inject_flips > 0 && ttd_ns < 0) return 1;
+    if (o.attacking() && ttd_ns < 0) return 1;
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
