@@ -9,6 +9,10 @@
 //                     (clamped to what the CPU supports; see
 //                     common/cpu_features.h). Results are level-invariant;
 //                     only throughput changes.
+// RADAR_CHAOS=SPEC  — arm chaos fault points for the serve stack:
+//                     point:prob:seed[:param[:max_fires]],... (see
+//                     common/fault_points.h; parsed once at ModelHost
+//                     construction). Unset = chaos layer fully inert.
 #pragma once
 
 #include <cstdint>

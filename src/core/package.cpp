@@ -271,6 +271,33 @@ PackageInfo read_package_info(const std::string& path) {
   return parse_package(path, /*read_blob=*/false).info;
 }
 
+MappedArena map_package_arena(const std::string& path) {
+  MappedArena out;
+#ifdef RADAR_HAVE_MMAP
+  ParsedPackage pkg;
+  try {
+    pkg = parse_package(path, /*read_blob=*/false);
+  } catch (const std::exception&) {
+    return out;  // unreadable or structurally corrupt: caller backs off
+  }
+  if (pkg.info.format_version != kPackageFormatV3 ||
+      pkg.blob_file_offset % quant::kArenaAlignment != 0 ||
+      pkg.info.arena_bytes <= 0)
+    return out;
+  const auto mapped = MappedFile::map(path);
+  if (mapped == nullptr) return out;
+  const auto all = mapped->bytes();
+  const auto arena_bytes = static_cast<std::size_t>(pkg.info.arena_bytes);
+  if (pkg.blob_file_offset + arena_bytes > all.size()) return out;
+  out.bytes = all.subspan(static_cast<std::size_t>(pkg.blob_file_offset),
+                          arena_bytes);
+  out.holder = std::move(mapped);
+#else
+  (void)path;
+#endif
+  return out;
+}
+
 PackageLoadReport load_package(const std::string& path,
                                quant::QuantizedModel& qm,
                                std::unique_ptr<IntegrityScheme>& scheme,

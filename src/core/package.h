@@ -81,6 +81,22 @@ void save_package(const std::string& path, const quant::QuantizedModel& qm,
 /// Read metadata only (no model required). Accepts v2 and v3.
 PackageInfo read_package_info(const std::string& path);
 
+/// A read-only mapping of a v3 package's arena blob. `holder` keeps the
+/// pages alive; `bytes` is empty when the mapping was not possible.
+struct MappedArena {
+  std::shared_ptr<const void> holder;
+  std::span<const std::int8_t> bytes;
+  bool ok() const { return !bytes.empty(); }
+};
+
+/// Re-open a v3 package and map its arena blob read-only — the serve
+/// layer's golden-copy *heal* path after a degraded mapping. Returns an
+/// empty MappedArena (never throws) when the file is unreadable,
+/// corrupt, v2, unaligned, or the platform lacks mmap. The bytes are NOT
+/// verified here; callers must check them (CRC sidecar, signature scan)
+/// before trusting them as a clean source.
+MappedArena map_package_arena(const std::string& path);
+
 /// Load the package into `qm` (must have the same layer structure),
 /// rebuild the stored scheme via SchemeRegistry into `scheme` (replacing
 /// whatever it held) with the stored golden codes, then verify. The scan

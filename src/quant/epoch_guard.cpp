@@ -1,5 +1,10 @@
 #include "quant/epoch_guard.h"
 
+#include <chrono>
+#include <thread>
+
+#include "common/fault_points.h"
+
 namespace radar::quant {
 
 EpochGuard::EpochGuard(std::int64_t size_bytes, std::int64_t shard_bytes)
@@ -58,6 +63,12 @@ EpochGuard::WriterSection::WriterSection(EpochGuard& guard,
   // conservative ordering is free in practice.
   for (std::size_t s = s0; s <= s1; ++s)
     guard_->epochs_[s].fetch_add(1, std::memory_order_seq_cst);
+  // Chaos: hold the odd epochs for a while — stretches the window where
+  // optimistic scans must retry or fall back, the exact race the epoch
+  // protocol exists to survive.
+  if (chaos::fire(chaos::points::kWriterStall))
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        chaos::param(chaos::points::kWriterStall, 10)));
 }
 
 EpochGuard::WriterSection::~WriterSection() {

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/fault_points.h"
 #include "common/logging.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -37,10 +38,25 @@ std::vector<std::string> split_ws(const std::string& line) {
   while (is >> tok) out.push_back(std::move(tok));
   return out;
 }
+
+#if RADAR_HAVE_UNIX_SOCKETS
+/// write() that cannot SIGPIPE-kill the process when the peer vanished
+/// mid-reply (the fuzz tests do exactly that).
+ssize_t safe_write(int fd, const char* p, std::size_t n) {
+#ifdef MSG_NOSIGNAL
+  return ::send(fd, p, n, MSG_NOSIGNAL);
+#else
+  return ::write(fd, p, n);
+#endif
+}
+#endif
 }  // namespace
 
-Daemon::Daemon(ModelHost& host, std::string socket_path)
-    : host_(host), socket_path_(std::move(socket_path)) {}
+Daemon::Daemon(ModelHost& host, std::string socket_path,
+               std::int64_t conn_timeout_ms)
+    : host_(host),
+      socket_path_(std::move(socket_path)),
+      conn_timeout_ms_(conn_timeout_ms) {}
 
 Daemon::~Daemon() { stop(); }
 
@@ -57,15 +73,23 @@ std::string Daemon::handle_line(const std::string& line) {
       return r;
     }
     if (cmd == "INFER") {
-      if (tok.size() != 2) return "ERR usage: INFER <tenant>";
+      if (tok.size() != 2 && tok.size() != 3)
+        return "ERR usage: INFER <tenant> [deadline_ms]";
       const std::size_t t = host_.find_tenant(tok[1]);
       if (t == ModelHost::npos) return "ERR unknown tenant " + tok[1];
+      const std::int64_t deadline_ms =
+          tok.size() == 3 ? std::stoll(tok[2]) : 0;
       InputPool& pool = *inputs_.at(t);
       const std::size_t i =
           pool.cursor.fetch_add(1, std::memory_order_relaxed) %
           pool.inputs.size();
-      const InferenceResult r = host_.infer(t, pool.inputs[i]);
-      if (!r.ok) return "ERR " + r.error;
+      const InferenceResult r = host_.infer(t, pool.inputs[i], deadline_ms);
+      if (!r.ok) {
+        std::string e = "ERR " + r.error;
+        if (r.retry_after_ms >= 0)
+          e += " RETRY-AFTER=" + std::to_string(r.retry_after_ms);
+        return e;
+      }
       return "OK " + std::to_string(r.predicted) + " " +
              std::to_string(r.latency_ns);
     }
@@ -96,6 +120,33 @@ std::string Daemon::handle_line(const std::string& line) {
         return "ERR usage: SCAN ON|OFF";
       host_.set_scanning(tok[1] == "ON");
       return "OK";
+    }
+    if (cmd == "CHAOS") {
+      const char* usage =
+          "ERR usage: CHAOS ARM <point> <prob> <seed> [param] [max_fires]"
+          " | CHAOS DISARM <point>|ALL | CHAOS STATS";
+      auto& reg = chaos::FaultRegistry::instance();
+      if (tok.size() < 2) return usage;
+      if (tok.size() == 2 && tok[1] == "STATS")
+        return "OK " + reg.to_json();
+      if (tok.size() == 3 && tok[1] == "DISARM") {
+        if (tok[2] == "ALL") {
+          reg.disarm_all();
+          return "OK";
+        }
+        return reg.disarm(tok[2]) ? "OK" : "ERR not armed: " + tok[2];
+      }
+      if (tok[1] == "ARM") {
+        if (tok.size() < 5 || tok.size() > 7) return usage;
+        chaos::FaultSpec fs;
+        fs.prob = std::stod(tok[3]);
+        fs.seed = std::stoull(tok[4]);
+        if (tok.size() > 5) fs.param = std::stoll(tok[5]);
+        if (tok.size() > 6) fs.max_fires = std::stoll(tok[6]);
+        reg.arm(tok[2], fs);
+        return "OK";
+      }
+      return usage;
     }
     if (cmd == "DETECTIONS")
       return "OK " + std::to_string(host_.stats().total_detections());
@@ -222,29 +273,100 @@ void Daemon::client_loop(int fd) {
 #if RADAR_HAVE_UNIX_SOCKETS
   std::string buf;
   char chunk[512];
-  while (running_.load(std::memory_order_acquire)) {
+  auto last_activity = std::chrono::steady_clock::now();
+  bool open = true;
+  while (open && running_.load(std::memory_order_acquire)) {
+    // Poll in short slices instead of blocking in read(): an idle or
+    // wedged client used to pin this thread forever — now it gets
+    // conn_timeout_ms of silence, a log line, and the door.
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) {
+      if (conn_timeout_ms_ > 0 &&
+          std::chrono::steady_clock::now() - last_activity >
+              std::chrono::milliseconds(conn_timeout_ms_)) {
+        RADAR_LOG(kWarn) << "serve: closing connection idle for "
+                         << conn_timeout_ms_ << "ms";
+        break;
+      }
+      continue;
+    }
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n <= 0) break;  // peer closed or error
+    last_activity = std::chrono::steady_clock::now();
     buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.find('\n') == std::string::npos && buf.size() > kMaxLineBytes) {
+      // Unterminated garbage: reply once, then refuse to buffer more.
+      RADAR_LOG(kWarn) << "serve: closing connection — command line over "
+                       << kMaxLineBytes << " bytes";
+      write_reply(fd, "ERR line too long\n");
+      break;
+    }
     std::size_t nl;
-    while ((nl = buf.find('\n')) != std::string::npos) {
+    while (open && (nl = buf.find('\n')) != std::string::npos) {
       std::string line = buf.substr(0, nl);
       buf.erase(0, nl + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      const std::string reply = handle_line(line) + "\n";
-      std::size_t off = 0;
-      while (off < reply.size()) {
-        const ssize_t w =
-            ::write(fd, reply.data() + off, reply.size() - off);
-        if (w <= 0) break;
-        off += static_cast<std::size_t>(w);
+      if (line.size() > kMaxLineBytes) {
+        RADAR_LOG(kWarn) << "serve: closing connection — command line over "
+                         << kMaxLineBytes << " bytes";
+        write_reply(fd, "ERR line too long\n");
+        open = false;
+        break;
       }
-      if (off < reply.size()) break;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!write_reply(fd, handle_line(line) + "\n")) open = false;
     }
   }
   ::close(fd);
 #else
   (void)fd;
+#endif
+}
+
+bool Daemon::write_reply(int fd, const std::string& reply) {
+#if RADAR_HAVE_UNIX_SOCKETS
+  // Chaos: the peer (or a middlebox) drops the connection mid-reply —
+  // clients must treat a truncated reply as a retryable failure.
+  if (chaos::fire(chaos::points::kSocketDisconnect)) {
+    ::shutdown(fd, SHUT_RDWR);
+    return false;
+  }
+  // Chaos: trickle the reply one byte per write to exercise every
+  // partial-write continuation in clients and in this loop.
+  const bool trickle = chaos::fire(chaos::points::kSocketPartialWrite);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t off = 0;
+  while (off < reply.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) {
+      if (conn_timeout_ms_ > 0 &&
+          std::chrono::steady_clock::now() - t0 >
+              std::chrono::milliseconds(conn_timeout_ms_)) {
+        RADAR_LOG(kWarn) << "serve: closing connection — reply write "
+                         << "stalled for " << conn_timeout_ms_ << "ms";
+        return false;
+      }
+      continue;
+    }
+    const std::size_t want = trickle ? 1 : reply.size() - off;
+    const ssize_t w = safe_write(fd, reply.data() + off, want);
+    if (w <= 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+#else
+  (void)fd;
+  (void)reply;
+  return false;
 #endif
 }
 

@@ -7,19 +7,26 @@
 //
 //   PING                      -> PONG
 //   TENANTS                   -> OK <name>...
-//   INFER <tenant>            -> OK <predicted> <latency_ns>
+//   INFER <tenant> [deadline_ms] -> OK <predicted> <latency_ns>
 //   INJECT <tenant> <n> <seed>-> OK <flips_made>      (iid MSB flips)
 //   INJECT <tenant> rowhammer <rows> <activations> <seed> [double]
 //                             -> OK <flips_made>      (correlated burst)
 //   SCAN ON|OFF               -> OK
+//   CHAOS ARM <point> <prob> <seed> [param] [max_fires] -> OK
+//   CHAOS DISARM <point>|ALL  -> OK
+//   CHAOS STATS               -> OK <fault-point json>
 //   DETECTIONS                -> OK <total_detections>
 //   STATS                     -> OK <host stats json>
 //   SHUTDOWN                  -> OK   (daemon exits its wait loop)
 //
-// Unknown commands and failures reply "ERR <message>". INFER runs a
-// pre-sliced input from the tenant's held-out set (cycling cursor), so
-// request handling allocates nothing per call beyond the reply string.
-// Each accepted connection gets its own thread; the accept loop polls
+// Unknown commands and failures reply "ERR <message>"; retryable
+// failures (shed, quarantined) append " RETRY-AFTER=<ms>" so clients
+// can back off intelligently. INFER runs a pre-sliced input from the
+// tenant's held-out set (cycling cursor), so request handling allocates
+// nothing per call beyond the reply string. Each accepted connection
+// gets its own thread; reads and writes are poll-based with an idle
+// timeout (a stalled or vanished client cannot pin a handler thread),
+// command lines are capped at kMaxLineBytes, and the accept loop polls
 // with a timeout so stop() takes effect promptly. Unix-only — on other
 // platforms construction throws and the in-process ModelHost API is the
 // way in.
@@ -39,9 +46,16 @@ namespace radar::serve {
 
 class Daemon {
  public:
+  /// Longest accepted command line; anything longer gets "ERR line too
+  /// long" and the connection closed (a runaway or hostile client must
+  /// not grow an unbounded buffer).
+  static constexpr std::size_t kMaxLineBytes = 4096;
+
   /// `host` must outlive the daemon and have its tenants added already
-  /// (start() starts the host if the caller has not).
-  Daemon(ModelHost& host, std::string socket_path);
+  /// (start() starts the host if the caller has not). `conn_timeout_ms`
+  /// is the per-connection idle/write-stall timeout (0: never time out).
+  Daemon(ModelHost& host, std::string socket_path,
+         std::int64_t conn_timeout_ms = 30000);
   ~Daemon();
 
   Daemon(const Daemon&) = delete;
@@ -76,9 +90,13 @@ class Daemon {
  private:
   void accept_loop();
   void client_loop(int fd);
+  /// Poll-based reply write honoring the connection timeout and the
+  /// socket chaos points. False when the connection should close.
+  bool write_reply(int fd, const std::string& reply);
 
   ModelHost& host_;
   std::string socket_path_;
+  std::int64_t conn_timeout_ms_;
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::vector<std::thread> client_threads_;

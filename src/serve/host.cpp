@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "attack/rowhammer.h"
+#include "common/fault_points.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/package.h"
@@ -15,11 +16,25 @@ namespace radar::serve {
 namespace {
 constexpr std::int64_t kCalibImages = 64;
 constexpr auto kScannerIdle = std::chrono::microseconds(200);
+
+/// Cooperative chaos stall: sleeps `ms` in small slices, bailing as soon
+/// as `abort()` turns true — the wedge is real enough for a watchdog to
+/// see, but teardown joins stay bounded.
+template <typename AbortFn>
+void chaos_stall_ms(std::int64_t ms, AbortFn&& abort) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto dur = std::chrono::milliseconds(ms);
+  while (!abort() && std::chrono::steady_clock::now() - t0 < dur)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
 }  // namespace
 
 ModelHost::ModelHost(ServeOptions opts) : opts_(opts) {
   RADAR_REQUIRE(opts_.workers > 0, "serve host needs at least one worker");
   scanning_ = opts_.scan;
+  // $RADAR_CHAOS arming happens at host construction so every entry
+  // point (daemon, tests, in-process loadgen) sees the same points.
+  chaos::FaultRegistry::instance().arm_from_env();
 }
 
 ModelHost::~ModelHost() { stop(); }
@@ -64,6 +79,17 @@ std::size_t ModelHost::add_tenant(const TenantConfig& cfg) {
 
   t->scanner.plan(*t->scheme, opts_.scan_shard_bytes);
 
+  // Degraded-golden machinery (mmap path only: the owned clean copy is
+  // process-private and cannot rot under us). The sidecar CRCs the
+  // *verified* golden bytes; the snapshot is the clean fallback recovery
+  // switches to when a later read of the mapping disagrees.
+  if (t->golden_mmapped) {
+    t->golden_guard.build(t->scheme->clean_arena_bytes(),
+                          opts_.golden_range_bytes);
+    t->fallback_snapshot = std::make_shared<quant::ArenaSnapshot>(
+        t->bundle.qmodel->snapshot());
+  }
+
   RADAR_LOG(kInfo) << "serve: tenant '" << cfg.name << "' ready — "
                    << t->bundle.qmodel->total_weights() << " weights, "
                    << t->scheme->id() << " scheme, "
@@ -93,17 +119,26 @@ void ModelHost::start() {
   RADAR_REQUIRE(!tenants_.empty(), "serve host has no tenants");
   queue_ = std::make_unique<BoundedQueue<Request>>(opts_.queue_capacity);
   stop_scanner_ = false;
+  scanner_abort_ = false;
+  stop_watchdog_ = false;
+  scanner_heartbeat_ns_ = now_ns();
   workers_.clear();
   for (std::size_t wi = 0; wi < opts_.workers; ++wi)
     workers_.push_back(std::make_unique<Worker>(tenants_.size()));
   running_ = true;
   for (std::size_t wi = 0; wi < opts_.workers; ++wi)
     workers_[wi]->thread = std::thread([this, wi] { worker_loop(wi); });
-  scanner_thread_ = std::thread([this] { scanner_loop(); });
+  {
+    std::lock_guard<std::mutex> lock(scanner_mu_);
+    scanner_thread_ = std::thread([this] { scanner_loop(); });
+  }
+  if (opts_.watchdog)
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
   RADAR_LOG(kInfo) << "serve: started — " << tenants_.size()
                    << " tenant(s), " << opts_.workers
                    << " worker(s), scanning "
-                   << (scanning_ ? "on" : "off");
+                   << (scanning_ ? "on" : "off") << ", watchdog "
+                   << (opts_.watchdog ? "on" : "off");
 }
 
 void ModelHost::stop() {
@@ -111,37 +146,73 @@ void ModelHost::stop() {
   queue_->close();
   for (auto& w : workers_)
     if (w->thread.joinable()) w->thread.join();
+  // Watchdog before scanner: once it is gone nobody else touches
+  // scanner_thread_, so the final join below cannot race a restart.
+  stop_watchdog_ = true;
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   stop_scanner_ = true;
-  if (scanner_thread_.joinable()) scanner_thread_.join();
+  scanner_abort_ = true;  // bail out of any chaos stall immediately
+  {
+    std::lock_guard<std::mutex> lock(scanner_mu_);
+    if (scanner_thread_.joinable()) scanner_thread_.join();
+  }
   running_ = false;
   RADAR_LOG(kInfo) << "serve: stopped";
 }
 
-InferenceResult ModelHost::infer(std::size_t tenant,
-                                 const nn::Tensor& input) {
+InferenceResult ModelHost::infer(std::size_t tenant, const nn::Tensor& input,
+                                 std::int64_t deadline_ms) {
   RADAR_REQUIRE(running_, "infer on a stopped host");
   RADAR_REQUIRE(tenant < tenants_.size(), "unknown tenant index");
+  if (deadline_ms <= 0) deadline_ms = opts_.default_deadline_ms;
   Request req;
   req.tenant = tenant;
   req.input = &input;
   req.t_submit = std::chrono::steady_clock::now();
+  if (deadline_ms > 0) {
+    req.deadline = req.t_submit + std::chrono::milliseconds(deadline_ms);
+    req.has_deadline = true;
+  }
+  // A producer-side wedge (slow disk on the request path, a debugger,
+  // scheduler trouble) — the deadline bounds its blast radius.
+  if (chaos::fire(chaos::points::kQueueStall))
+    chaos_stall_ms(chaos::param(chaos::points::kQueueStall, 50),
+                   [this] { return queue_->closed(); });
   std::future<InferenceResult> fut = req.promise.get_future();
-  if (!queue_->push(std::move(req))) {
+  const bool has_deadline = req.has_deadline;
+  const auto deadline = req.deadline;
+  const bool pushed =
+      has_deadline
+          ? queue_->try_push_for(std::move(req),
+                                 deadline - std::chrono::steady_clock::now())
+          : queue_->push(std::move(req));
+  if (!pushed) {
     InferenceResult r;
-    r.error = "queue closed";
+    if (queue_->closed()) {
+      r.error = "queue closed";
+    } else {
+      r.error = "queue full (deadline)";
+      r.retry_after_ms = opts_.shed_retry_ms;
+    }
     return r;
   }
   return fut.get();
 }
 
 bool ModelHost::try_infer_async(std::size_t tenant, const nn::Tensor& input,
-                                std::future<InferenceResult>& out) {
+                                std::future<InferenceResult>& out,
+                                std::int64_t deadline_ms) {
   RADAR_REQUIRE(running_, "infer on a stopped host");
   RADAR_REQUIRE(tenant < tenants_.size(), "unknown tenant index");
+  if (deadline_ms <= 0) deadline_ms = opts_.default_deadline_ms;
   Request req;
   req.tenant = tenant;
   req.input = &input;
   req.t_submit = std::chrono::steady_clock::now();
+  if (deadline_ms > 0) {
+    req.deadline = req.t_submit + std::chrono::milliseconds(deadline_ms);
+    req.has_deadline = true;
+  }
   out = req.promise.get_future();
   return queue_->try_push(std::move(req));
 }
@@ -151,15 +222,47 @@ void ModelHost::worker_loop(std::size_t wi) {
   Request req;
   while (queue_->pop(req)) {
     Tenant& t = *tenants_[req.tenant];
+    // Park the promise where the watchdog can steal it, then raise the
+    // busy heartbeat. Serial numbers disambiguate: a slow request the
+    // watchdog already failed must not complete a later one's promise.
+    std::uint64_t serial = 0;
+    {
+      std::lock_guard<std::mutex> lock(w.inflight.mu);
+      serial = ++w.inflight.serial;
+      w.inflight.tenant = req.tenant;
+      w.inflight.promise = std::move(req.promise);
+      w.inflight.active = true;
+    }
+    w.busy_since_ns.store(now_ns(), std::memory_order_release);
+
     InferenceResult r;
-    if (t.quarantined.load(std::memory_order_acquire)) {
+    if (req.has_deadline && std::chrono::steady_clock::now() > req.deadline) {
+      // Expired in the queue: fail fast instead of burning a forward
+      // pass on an answer the client already gave up on. Distinct error
+      // and counter (not `errors` — the model did nothing wrong).
+      r.error = "deadline exceeded";
+      t.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    } else if (t.quarantined.load(std::memory_order_acquire)) {
       // Shed with a distinct error (not counted under `errors`): the
       // tenant is being re-verified; its traffic must not poison replies
       // or hold a worker while other tenants' requests wait.
       r.error = "tenant quarantined";
+      const std::int64_t rem_ms =
+          (t.readmit_at_ns.load(std::memory_order_relaxed) - now_ns()) /
+          1000000;
+      r.retry_after_ms = std::max(rem_ms, opts_.shed_retry_ms);
       t.shed_quarantined.fetch_add(1, std::memory_order_relaxed);
     } else {
       try {
+        if (chaos::fire(chaos::points::kWorkerException))
+          throw Error("chaos: injected worker exception");
+        if (chaos::fire(chaos::points::kWorkerStall))
+          chaos_stall_ms(chaos::param(chaos::points::kWorkerStall,
+                                      3 * opts_.worker_stall_ms),
+                         [this] { return queue_->closed(); });
+        if (chaos::fire(chaos::points::kInferSlow))
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              chaos::param(chaos::points::kInferSlow, 50)));
         t.engine->forward_into(*req.input, w.scratch, w.logits);
         const std::int64_t classes = t.engine->num_classes();
         const float* row = w.logits.data();
@@ -173,12 +276,99 @@ void ModelHost::worker_loop(std::size_t wi) {
         t.errors.fetch_add(1, std::memory_order_relaxed);
       }
     }
+
+    w.busy_since_ns.store(-1, std::memory_order_release);
+    // Reclaim the parked promise — unless the watchdog already failed
+    // this request, in which case the late result is dropped (the
+    // client got "worker wedged" long ago).
+    std::promise<InferenceResult> promise;
+    bool owned = false;
+    {
+      std::lock_guard<std::mutex> lock(w.inflight.mu);
+      if (w.inflight.active && w.inflight.serial == serial) {
+        promise = std::move(w.inflight.promise);
+        w.inflight.active = false;
+        owned = true;
+      }
+    }
+    w.wedged.store(false, std::memory_order_relaxed);
+    if (!owned) continue;
     r.latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                        std::chrono::steady_clock::now() - req.t_submit)
                        .count();
     w.hist[req.tenant].record(r.latency_ns);
     t.requests.fetch_add(1, std::memory_order_relaxed);
-    req.promise.set_value(std::move(r));
+    promise.set_value(std::move(r));
+  }
+}
+
+void ModelHost::watchdog_loop() {
+  // Watchdog-private: the serial each worker was last flagged at, so a
+  // wedged request is failed exactly once.
+  std::vector<std::uint64_t> flagged(workers_.size(), 0);
+  const auto interval = std::chrono::milliseconds(opts_.watchdog_interval_ms);
+  while (!stop_watchdog_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(interval);
+    if (stop_watchdog_.load(std::memory_order_relaxed)) break;
+    const std::int64_t now = now_ns();
+
+    // Scanner heartbeat: stale means stalled (chaos, scheduler, a bug)
+    // or dead (crash — the loop's catch already logged it). Either way
+    // tear it down via the cooperative abort flag and respawn; the
+    // tenant sweep resumes where the new thread's round-robin starts.
+    const std::int64_t hb =
+        scanner_heartbeat_ns_.load(std::memory_order_acquire);
+    if (hb >= 0 && now - hb > opts_.scanner_stall_ms * 1000000) {
+      scanner_abort_.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(scanner_mu_);
+        if (scanner_thread_.joinable()) scanner_thread_.join();
+        scanner_abort_.store(false, std::memory_order_release);
+        scanner_heartbeat_ns_.store(now_ns(), std::memory_order_release);
+        scanner_thread_ = std::thread([this] { scanner_loop(); });
+      }
+      scanner_restarts_.fetch_add(1, std::memory_order_relaxed);
+      RADAR_LOG(kWarn)
+          << "serve: watchdog restarted stalled scanner (heartbeat "
+          << (now - hb) / 1000000 << "ms stale)";
+      continue;
+    }
+
+    // Worker heartbeats: one request holding a worker past the stall
+    // bound gets failed out from under it — the client unblocks, the
+    // worker is flagged wedged until it completes something again.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = *workers_[i];
+      const std::int64_t busy =
+          w.busy_since_ns.load(std::memory_order_acquire);
+      if (busy < 0 || now - busy <= opts_.worker_stall_ms * 1000000)
+        continue;
+      std::promise<InferenceResult> promise;
+      std::size_t tenant = 0;
+      bool stole = false;
+      {
+        std::lock_guard<std::mutex> lock(w.inflight.mu);
+        if (w.inflight.active && w.inflight.serial != flagged[i]) {
+          flagged[i] = w.inflight.serial;
+          tenant = w.inflight.tenant;
+          promise = std::move(w.inflight.promise);
+          w.inflight.active = false;
+          stole = true;
+        }
+      }
+      if (!stole) continue;
+      w.wedged.store(true, std::memory_order_relaxed);
+      worker_flags_.fetch_add(1, std::memory_order_relaxed);
+      Tenant& t = *tenants_[tenant];
+      t.requests.fetch_add(1, std::memory_order_relaxed);
+      t.errors.fetch_add(1, std::memory_order_relaxed);
+      RADAR_LOG(kError) << "serve: watchdog failed wedged request on worker "
+                        << i << " (tenant '" << t.cfg.name << "', busy "
+                        << (now - busy) / 1000000 << "ms)";
+      InferenceResult r;
+      r.error = "worker wedged (watchdog)";
+      promise.set_value(std::move(r));
+    }
   }
 }
 
@@ -208,22 +398,93 @@ void ModelHost::scan_step(Tenant& t) {
   t.recover_report.flagged.resize(qm.num_layers());
   for (auto& f : t.recover_report.flagged) f.clear();
   t.recover_report.flagged[step.layer] = t.flag_buf;
-  {
-    const auto [b0, b1] = qm.layer_byte_range(step.layer);
+  const auto [b0, b1] = qm.layer_byte_range(step.layer);
+  // Before kReloadClean copies from the mmap'd golden, prove those bytes
+  // still match the load-time CRC sidecar — a rotted/torn mapping must
+  // degrade to the snapshot fallback, never be installed as "clean".
+  if (opts_.recovery == core::RecoveryPolicy::kReloadClean)
+    ensure_golden(t, b0, b1);
+  bool recovered = false;
+  try {
+    if (chaos::fire(chaos::points::kRecoveryFail))
+      throw Error("chaos: injected recovery failure");
     quant::EpochGuard::WriterSection ws(*qm.epoch_guard(), b0, b1);
     t.scheme->recover(qm, t.recover_report, opts_.recovery);
+    recovered = true;
+  } catch (const std::exception& e) {
+    // A failed repair is not fatal: the corruption stays flagged, the
+    // next sweep re-detects it and retries. Count it so STATS shows the
+    // scanner limping before anything worse happens.
+    t.recover_failures.fetch_add(1, std::memory_order_relaxed);
+    RADAR_LOG(kError) << "serve: tenant '" << t.cfg.name
+                      << "' recovery failed (will retry next sweep): "
+                      << e.what();
   }
-  t.groups_recovered.fetch_add(t.flag_buf.size(),
-                               std::memory_order_relaxed);
+  if (recovered)
+    t.groups_recovered.fetch_add(t.flag_buf.size(),
+                                 std::memory_order_relaxed);
   // Published last: observers polling `detections` can rely on the
   // repair already being accounted in `groups_recovered`/`last_ttd_ns`.
   t.detections.fetch_add(1, std::memory_order_release);
   RADAR_LOG(kInfo) << "serve: tenant '" << t.cfg.name << "' layer "
                    << step.layer << " groups [" << step.group_begin << ","
                    << step.group_end << "): flagged " << t.flag_buf.size()
-                   << " group(s), recovered"
+                   << " group(s), "
+                   << (recovered ? "recovered" : "recovery FAILED")
                    << (inject_ns >= 0 ? " (ttd recorded)" : "");
   note_detection(t);
+}
+
+void ModelHost::ensure_golden(Tenant& t, std::int64_t b0, std::int64_t b1) {
+  if (!t.golden_guard.built() ||
+      t.degraded.load(std::memory_order_relaxed))
+    return;
+  const std::span<const std::int8_t> golden = t.scheme->clean_arena_bytes();
+  if (golden.empty()) return;
+  if (t.golden_guard.verify_range(golden, b0, b1)) return;
+  degrade_tenant(t);
+}
+
+void ModelHost::degrade_tenant(Tenant& t) {
+  t.degraded.store(true, std::memory_order_release);
+  t.degrades.fetch_add(1, std::memory_order_relaxed);
+  // Swap recovery's clean source to the in-memory snapshot captured at
+  // load. Only the scanner thread reads the clean source (recovery,
+  // quarantine scrub), so the swap needs no extra synchronization.
+  t.scheme->set_clean_source(t.fallback_snapshot,
+                             t.fallback_snapshot->bytes());
+  t.reopen_backoff_ms = opts_.reopen_backoff_ms;
+  t.reopen_at_ns = now_ns() + t.reopen_backoff_ms * 1000000;
+  RADAR_LOG(kError) << "serve: tenant '" << t.cfg.name
+                    << "' golden mapping failed CRC verification — "
+                    << "degraded to snapshot fallback, package re-open in "
+                    << t.reopen_backoff_ms << "ms";
+}
+
+void ModelHost::maybe_heal(Tenant& t) {
+  if (!t.degraded.load(std::memory_order_relaxed)) return;
+  if (now_ns() < t.reopen_at_ns) return;
+  core::MappedArena mapped = core::map_package_arena(t.cfg.package_path);
+  const bool ok =
+      mapped.ok() &&
+      mapped.bytes.size() == t.fallback_snapshot->bytes().size() &&
+      t.golden_guard.verify_all(mapped.bytes);
+  if (ok) {
+    t.scheme->set_clean_source(std::move(mapped.holder), mapped.bytes);
+    t.degraded.store(false, std::memory_order_release);
+    t.heals.fetch_add(1, std::memory_order_relaxed);
+    t.reopen_backoff_ms = 0;
+    RADAR_LOG(kInfo) << "serve: tenant '" << t.cfg.name
+                     << "' golden mapping healed — package re-open "
+                     << "verified end-to-end, zero-copy recovery restored";
+    return;
+  }
+  t.reopen_backoff_ms = std::min(t.reopen_backoff_ms * 2,
+                                 opts_.reopen_backoff_max_ms);
+  t.reopen_at_ns = now_ns() + t.reopen_backoff_ms * 1000000;
+  RADAR_LOG(kWarn) << "serve: tenant '" << t.cfg.name
+                   << "' package re-open still failing verification, "
+                   << "next attempt in " << t.reopen_backoff_ms << "ms";
 }
 
 void ModelHost::note_detection(Tenant& t) {
@@ -329,18 +590,47 @@ void ModelHost::maybe_readmit(Tenant& t) {
 }
 
 void ModelHost::scanner_loop() {
-  std::size_t rr = 0;
-  while (!stop_scanner_.load(std::memory_order_relaxed)) {
-    if (!scanning_.load(std::memory_order_relaxed)) {
-      // Readmission deadlines keep ticking while scanning is paused.
-      for (auto& t : tenants_) maybe_readmit(*t);
-      std::this_thread::sleep_for(kScannerIdle);
-      continue;
+  try {
+    std::size_t rr = 0;
+    while (!stop_scanner_.load(std::memory_order_relaxed) &&
+           !scanner_abort_.load(std::memory_order_relaxed)) {
+      scanner_heartbeat_ns_.store(now_ns(), std::memory_order_release);
+      if (chaos::fire(chaos::points::kScannerStall)) {
+        // Wedge without heartbeats: the watchdog must notice and tear
+        // us down via scanner_abort_ (which the stall polls, so the
+        // join is bounded).
+        chaos_stall_ms(chaos::param(chaos::points::kScannerStall, 10000),
+                       [this] {
+                         return stop_scanner_.load(
+                                    std::memory_order_relaxed) ||
+                                scanner_abort_.load(
+                                    std::memory_order_relaxed);
+                       });
+        continue;
+      }
+      if (chaos::fire(chaos::points::kScannerCrash))
+        throw Error("chaos: injected scanner crash");
+      if (!scanning_.load(std::memory_order_relaxed)) {
+        // Readmission + heal deadlines keep ticking while paused.
+        for (auto& t : tenants_) {
+          maybe_readmit(*t);
+          maybe_heal(*t);
+        }
+        std::this_thread::sleep_for(kScannerIdle);
+        continue;
+      }
+      Tenant& t = *tenants_[rr];
+      maybe_readmit(t);
+      maybe_heal(t);
+      scan_step(t);
+      rr = (rr + 1) % tenants_.size();
     }
-    Tenant& t = *tenants_[rr];
-    maybe_readmit(t);
-    scan_step(t);
-    rr = (rr + 1) % tenants_.size();
+  } catch (const std::exception& e) {
+    // The thread dies here; its heartbeat goes stale and the watchdog
+    // respawns it. Counted separately from restarts so STATS tells a
+    // crash loop apart from a stall.
+    scanner_crashes_.fetch_add(1, std::memory_order_relaxed);
+    RADAR_LOG(kError) << "serve: scanner thread died: " << e.what();
   }
 }
 
@@ -409,6 +699,12 @@ HostStats ModelHost::stats() const {
   HostStats out;
   out.scanning = scanning_.load(std::memory_order_relaxed);
   out.queue_rejected = queue_ ? queue_->rejected() : 0;
+  out.queue_timeouts = queue_ ? queue_->timed_out() : 0;
+  out.scanner_restarts = scanner_restarts_.load(std::memory_order_relaxed);
+  out.scanner_crashes = scanner_crashes_.load(std::memory_order_relaxed);
+  out.worker_flags = worker_flags_.load(std::memory_order_relaxed);
+  for (const auto& w : workers_)
+    if (w->wedged.load(std::memory_order_relaxed)) ++out.workers_wedged;
   for (std::size_t ti = 0; ti < tenants_.size(); ++ti) {
     const Tenant& t = *tenants_[ti];
     TenantStats s;
@@ -437,6 +733,11 @@ HostStats ModelHost::stats() const {
     s.shed_quarantined =
         t.shed_quarantined.load(std::memory_order_relaxed);
     s.bytes_scrubbed = t.bytes_scrubbed.load(std::memory_order_relaxed);
+    s.deadline_expired = t.deadline_expired.load(std::memory_order_relaxed);
+    s.recover_failures = t.recover_failures.load(std::memory_order_relaxed);
+    s.degraded = t.degraded.load(std::memory_order_relaxed);
+    s.degrades = t.degrades.load(std::memory_order_relaxed);
+    s.heals = t.heals.load(std::memory_order_relaxed);
     out.tenants.push_back(std::move(s));
   }
   return out;
@@ -454,7 +755,12 @@ void ModelHost::reset_latency_stats() {
 std::string HostStats::to_json() const {
   std::ostringstream os;
   os << "{\"scanning\":" << (scanning ? "true" : "false")
-     << ",\"queue_rejected\":" << queue_rejected << ",\"tenants\":[";
+     << ",\"queue_rejected\":" << queue_rejected
+     << ",\"queue_timeouts\":" << queue_timeouts
+     << ",\"scanner_restarts\":" << scanner_restarts
+     << ",\"scanner_crashes\":" << scanner_crashes
+     << ",\"worker_flags\":" << worker_flags
+     << ",\"workers_wedged\":" << workers_wedged << ",\"tenants\":[";
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     const TenantStats& t = tenants[i];
     if (i) os << ",";
@@ -478,7 +784,12 @@ std::string HostStats::to_json() const {
        << ",\"quarantines\":" << t.quarantines
        << ",\"readmits\":" << t.readmits
        << ",\"shed_quarantined\":" << t.shed_quarantined
-       << ",\"bytes_scrubbed\":" << t.bytes_scrubbed << "}";
+       << ",\"bytes_scrubbed\":" << t.bytes_scrubbed
+       << ",\"deadline_expired\":" << t.deadline_expired
+       << ",\"recover_failures\":" << t.recover_failures
+       << ",\"degraded\":" << (t.degraded ? "true" : "false")
+       << ",\"degrades\":" << t.degrades << ",\"heals\":" << t.heals
+       << "}";
   }
   os << "]}";
   return os.str();

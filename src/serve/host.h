@@ -34,11 +34,14 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "exp/workspace.h"
+#include "quant/weight_arena.h"
+#include "serve/golden_guard.h"
 #include "serve/latency_histogram.h"
 #include "serve/request_queue.h"
 #include "serve/scanner.h"
@@ -70,6 +73,28 @@ struct ServeOptions {
   std::int64_t quarantine_window_ms = 2000;
   std::int64_t quarantine_backoff_ms = 250;  ///< first readmit delay
   std::int64_t quarantine_backoff_max_ms = 8000;
+  // Deadline propagation: requests older than their deadline are dropped
+  // by the workers with a distinct error instead of burning compute on
+  // an answer nobody is waiting for. 0 = requests without an explicit
+  // deadline never expire.
+  std::int64_t default_deadline_ms = 0;
+  /// RETRY-AFTER hint (ms) returned with queue-full sheds.
+  std::int64_t shed_retry_ms = 20;
+  // Watchdog: a supervisor thread consuming heartbeats from the scanner
+  // and the worker pool. A scanner silent for `scanner_stall_ms` is torn
+  // down (via the cooperative abort flag; chaos stalls poll it) and
+  // restarted; a worker stuck in one request for `worker_stall_ms` has
+  // that request failed out from under it and is flagged in STATS.
+  bool watchdog = true;
+  std::int64_t watchdog_interval_ms = 50;
+  std::int64_t scanner_stall_ms = 1000;
+  std::int64_t worker_stall_ms = 2000;
+  // Degraded-golden fallback: per-range CRC sidecar granularity over the
+  // mmap'd golden copy, and the re-open backoff once it fails
+  // verification (doubles per failed heal attempt, capped).
+  std::int64_t golden_range_bytes = 64 * 1024;
+  std::int64_t reopen_backoff_ms = 100;
+  std::int64_t reopen_backoff_max_ms = 5000;
 };
 
 struct InferenceResult {
@@ -77,6 +102,9 @@ struct InferenceResult {
   int predicted = -1;           ///< argmax class of the first sample
   std::int64_t latency_ns = 0;  ///< submit -> completion (queue included)
   std::string error;            ///< set when !ok
+  /// Client hint: retry after this many ms (shed / quarantined replies);
+  /// -1 when retrying is pointless or the request succeeded.
+  std::int64_t retry_after_ms = -1;
 };
 
 /// Point-in-time view of one tenant (see ModelHost::stats).
@@ -99,12 +127,25 @@ struct TenantStats {
   /// Weight bytes rewritten by the quarantine's byte-exact golden scrub
   /// (corruption the scheme's codes could not see).
   std::uint64_t bytes_scrubbed = 0;
+  std::uint64_t deadline_expired = 0;  ///< requests dropped past deadline
+  std::uint64_t recover_failures = 0;  ///< recovery attempts that threw
+  /// Degraded-golden state: the mmap'd golden copy failed its CRC
+  /// sidecar; recovery is running from the in-memory snapshot until a
+  /// package re-open verifies end-to-end.
+  bool degraded = false;
+  std::uint64_t degrades = 0;  ///< times the golden copy was demoted
+  std::uint64_t heals = 0;     ///< times a re-open restored the mapping
 };
 
 struct HostStats {
   std::vector<TenantStats> tenants;
   std::uint64_t queue_rejected = 0;  ///< open-loop pushes shed at the queue
+  std::uint64_t queue_timeouts = 0;  ///< deadline pushes that gave up
   bool scanning = false;
+  std::uint64_t scanner_restarts = 0;  ///< watchdog scanner restarts
+  std::uint64_t scanner_crashes = 0;   ///< scanner thread deaths caught
+  std::uint64_t worker_flags = 0;      ///< requests failed by the watchdog
+  std::uint64_t workers_wedged = 0;    ///< workers currently flagged wedged
   std::uint64_t total_detections() const {
     std::uint64_t n = 0;
     for (const auto& t : tenants) n += t.detections;
@@ -140,14 +181,20 @@ class ModelHost {
   bool running() const { return running_; }
 
   /// Synchronous inference: enqueue and wait. `input` is NCHW (any batch
-  /// size; `predicted` reports sample 0). Blocks for queue capacity.
-  InferenceResult infer(std::size_t tenant, const nn::Tensor& input);
+  /// size; `predicted` reports sample 0). `deadline_ms` bounds the whole
+  /// request (0: ServeOptions::default_deadline_ms; that too 0: no
+  /// deadline — blocks for queue capacity). With a deadline the enqueue
+  /// waits at most the remaining budget and workers drop the request
+  /// once it expires.
+  InferenceResult infer(std::size_t tenant, const nn::Tensor& input,
+                        std::int64_t deadline_ms = 0);
 
   /// Open-loop submission: never blocks; false when the queue is full
   /// (the request is shed and counted). `input` must stay alive until
-  /// the future resolves.
+  /// the future resolves. `deadline_ms` as in infer().
   bool try_infer_async(std::size_t tenant, const nn::Tensor& input,
-                       std::future<InferenceResult>& out);
+                       std::future<InferenceResult>& out,
+                       std::int64_t deadline_ms = 0);
 
   void set_scanning(bool on) { scanning_ = on; }
   bool scanning() const { return scanning_; }
@@ -175,6 +222,8 @@ class ModelHost {
     std::size_t tenant = 0;
     const nn::Tensor* input = nullptr;
     std::chrono::steady_clock::time_point t_submit;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
     std::promise<InferenceResult> promise;
   };
 
@@ -190,14 +239,26 @@ class ModelHost {
     std::vector<std::int64_t> flag_buf;
     core::DetectionReport recover_report;
 
-    // Quarantine bookkeeping. `quarantined` gates the workers; the rest
-    // is scanner-thread private (window of recent detection timestamps,
-    // the readmission deadline and the current backoff).
+    // Quarantine bookkeeping. `quarantined` gates the workers (which
+    // also read `readmit_at_ns` for the RETRY-AFTER hint); the rest is
+    // scanner-thread private (window of recent detection timestamps and
+    // the current backoff).
     std::atomic<bool> quarantined{false};
     std::vector<std::int64_t> detect_window_ns;
-    std::int64_t readmit_at_ns = 0;
+    std::atomic<std::int64_t> readmit_at_ns{0};
     std::int64_t backoff_ms = 0;
     std::int64_t last_readmit_ns = -1;
+
+    // Degraded-golden fallback. The guard snapshots per-range CRCs of
+    // the verified mmap'd golden at load; `fallback_snapshot` is the
+    // in-memory clean copy recovery switches to when the mapping fails
+    // verification. `reopen_*` (scanner-thread private) pace the heal
+    // attempts; `degraded` is read by stats() from any thread.
+    GoldenGuard golden_guard;
+    std::shared_ptr<quant::ArenaSnapshot> fallback_snapshot;
+    std::atomic<bool> degraded{false};
+    std::int64_t reopen_at_ns = 0;
+    std::int64_t reopen_backoff_ms = 0;
 
     // Cross-thread stats.
     std::atomic<std::uint64_t> requests{0}, errors{0};
@@ -206,6 +267,9 @@ class ModelHost {
     std::atomic<std::uint64_t> quarantines{0}, readmits{0};
     std::atomic<std::uint64_t> shed_quarantined{0};
     std::atomic<std::uint64_t> bytes_scrubbed{0};
+    std::atomic<std::uint64_t> deadline_expired{0};
+    std::atomic<std::uint64_t> recover_failures{0};
+    std::atomic<std::uint64_t> degrades{0}, heals{0};
     std::atomic<std::int64_t> pending_inject_ns{-1};  ///< steady ns
     std::atomic<std::int64_t> last_ttd_ns{-1};
     // Published copies of the scanner's private counters.
@@ -221,6 +285,22 @@ class ModelHost {
     nn::Tensor logits;
     /// One histogram per tenant; merged by stats().
     std::vector<LatencyHistogram> hist;
+
+    /// The in-flight request, stealable by the watchdog: the worker
+    /// parks the promise here before forward() and reclaims it after —
+    /// unless the watchdog already failed it (serial mismatch / !active),
+    /// in which case the late result is dropped. `busy_since_ns` is the
+    /// heartbeat (-1 while idle).
+    struct InFlight {
+      std::mutex mu;
+      bool active = false;
+      std::uint64_t serial = 0;
+      std::size_t tenant = 0;
+      std::promise<InferenceResult> promise;
+    };
+    InFlight inflight;
+    std::atomic<std::int64_t> busy_since_ns{-1};
+    std::atomic<bool> wedged{false};
   };
 
   static std::int64_t now_ns() {
@@ -231,8 +311,16 @@ class ModelHost {
 
   void worker_loop(std::size_t wi);
   void scanner_loop();
+  void watchdog_loop();
   /// Scan one shard of one tenant; recover + account on detection.
   void scan_step(Tenant& t);
+  /// Scanner thread: verify the mmap'd golden bytes for [b0,b1) before
+  /// recovery trusts them; on mismatch degrade to the snapshot fallback.
+  void ensure_golden(Tenant& t, std::int64_t b0, std::int64_t b1);
+  void degrade_tenant(Tenant& t);
+  /// Scanner thread: re-open + re-verify the package of a degraded
+  /// tenant once its backoff expires; restore the mapping on success.
+  void maybe_heal(Tenant& t);
   /// Scanner thread: push a detection into the tenant's window and trip
   /// (or extend) the quarantine when it fills.
   void note_detection(Tenant& t);
@@ -247,9 +335,21 @@ class ModelHost {
   std::vector<std::unique_ptr<Tenant>> tenants_;
   std::unique_ptr<BoundedQueue<Request>> queue_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Guards scanner_thread_ itself: the watchdog joins + respawns it
+  /// while stop() may be tearing it down.
+  std::mutex scanner_mu_;
   std::thread scanner_thread_;
   std::atomic<bool> scanning_{true};
   std::atomic<bool> stop_scanner_{false};
+  /// Cooperative teardown flag the watchdog raises before joining a
+  /// stalled scanner; chaos stalls poll it so joins stay bounded.
+  std::atomic<bool> scanner_abort_{false};
+  std::atomic<std::int64_t> scanner_heartbeat_ns_{-1};
+  std::atomic<std::uint64_t> scanner_restarts_{0};
+  std::atomic<std::uint64_t> scanner_crashes_{0};
+  std::atomic<std::uint64_t> worker_flags_{0};
+  std::thread watchdog_thread_;
+  std::atomic<bool> stop_watchdog_{false};
   bool running_ = false;
 };
 

@@ -11,6 +11,7 @@
 // pending items are still delivered, then every pop returns false.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -56,6 +57,29 @@ class BoundedQueue {
     return true;
   }
 
+  /// Deadline-bounded push: waits for capacity at most `timeout`. False
+  /// when the queue closed (item dropped) or the wait timed out
+  /// (counted in timed_out()) — the producer-side half of request
+  /// deadline propagation: a client with 5 ms left should not sit in
+  /// push() for 50.
+  template <typename Rep, typename Period>
+  bool try_push_for(T item, std::chrono::duration<Rep, Period> timeout) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const bool got = cv_space_.wait_for(lock, timeout, [this] {
+        return closed_ || items_.size() < capacity_;
+      });
+      if (closed_) return false;
+      if (!got) {
+        ++timed_out_;
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_item_.notify_one();
+    return true;
+  }
+
   /// Blocking pop: waits for an item. False only when the queue is
   /// closed AND drained — the consumer's termination condition.
   bool pop(T& out) {
@@ -91,12 +115,24 @@ class BoundedQueue {
     return rejected_;
   }
 
+  /// Deadline-bounded pushes that gave up waiting for capacity.
+  std::uint64_t timed_out() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return timed_out_;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_item_, cv_space_;
   std::deque<T> items_;
   std::uint64_t rejected_ = 0;
+  std::uint64_t timed_out_ = 0;
   bool closed_ = false;
 };
 

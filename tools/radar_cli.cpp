@@ -59,7 +59,10 @@
 //                   [--model ...] [--workers N] [--queue N] [--no-scan]
 //                   [--scan-shard-bytes N] [--no-mmap]
 //                   [--quarantine-threshold N] [--quarantine-window-ms N]
-//                   [--quarantine-backoff-ms N]
+//                   [--quarantine-backoff-ms N] [--conn-timeout-ms N]
+//                   [--deadline-ms N] [--no-watchdog]
+//                   [--watchdog-interval-ms N] [--scanner-stall-ms N]
+//                   [--worker-stall-ms N]
 //       Multi-tenant protection-as-a-service daemon: every --tenant loads
 //       one signed package (mmap'd golden copy by default) behind a
 //       shared worker pool, with the epoch-guarded background scanner
@@ -120,6 +123,13 @@ struct Args {
   int quarantine_threshold = -1;
   std::int64_t quarantine_window_ms = -1;
   std::int64_t quarantine_backoff_ms = -1;
+  // Robustness knobs (see ServeOptions / Daemon); -1 keeps defaults.
+  std::int64_t conn_timeout_ms = -1;
+  std::int64_t watchdog_interval_ms = -1;
+  std::int64_t scanner_stall_ms = -1;
+  std::int64_t worker_stall_ms = -1;
+  std::int64_t default_deadline_ms = -1;
+  bool watchdog = true;
 };
 
 bool parse_options(int argc, char** argv, int first_opt, Args& args) {
@@ -236,6 +246,39 @@ bool parse_options(int argc, char** argv, int first_opt, Args& args) {
         std::fprintf(stderr, "--quarantine-backoff-ms must be >= 1\n");
         return false;
       }
+    } else if (a == "--conn-timeout-ms") {
+      args.conn_timeout_ms = std::atoll(next("--conn-timeout-ms"));
+      if (args.conn_timeout_ms < 0) {
+        std::fprintf(stderr, "--conn-timeout-ms must be >= 0 (0 = off)\n");
+        return false;
+      }
+    } else if (a == "--watchdog-interval-ms") {
+      args.watchdog_interval_ms =
+          std::atoll(next("--watchdog-interval-ms"));
+      if (args.watchdog_interval_ms < 1) {
+        std::fprintf(stderr, "--watchdog-interval-ms must be >= 1\n");
+        return false;
+      }
+    } else if (a == "--scanner-stall-ms") {
+      args.scanner_stall_ms = std::atoll(next("--scanner-stall-ms"));
+      if (args.scanner_stall_ms < 1) {
+        std::fprintf(stderr, "--scanner-stall-ms must be >= 1\n");
+        return false;
+      }
+    } else if (a == "--worker-stall-ms") {
+      args.worker_stall_ms = std::atoll(next("--worker-stall-ms"));
+      if (args.worker_stall_ms < 1) {
+        std::fprintf(stderr, "--worker-stall-ms must be >= 1\n");
+        return false;
+      }
+    } else if (a == "--deadline-ms") {
+      args.default_deadline_ms = std::atoll(next("--deadline-ms"));
+      if (args.default_deadline_ms < 0) {
+        std::fprintf(stderr, "--deadline-ms must be >= 0 (0 = off)\n");
+        return false;
+      }
+    } else if (a == "--no-watchdog") {
+      args.watchdog = false;
     } else if (a == "--") {
       // explicit end of options
     } else if (!a.empty() && a[0] == '-') {
@@ -473,6 +516,15 @@ int cmd_serve(const Args& args) {
     opts.quarantine_window_ms = args.quarantine_window_ms;
   if (args.quarantine_backoff_ms > 0)
     opts.quarantine_backoff_ms = args.quarantine_backoff_ms;
+  opts.watchdog = args.watchdog;
+  if (args.watchdog_interval_ms > 0)
+    opts.watchdog_interval_ms = args.watchdog_interval_ms;
+  if (args.scanner_stall_ms > 0)
+    opts.scanner_stall_ms = args.scanner_stall_ms;
+  if (args.worker_stall_ms > 0)
+    opts.worker_stall_ms = args.worker_stall_ms;
+  if (args.default_deadline_ms >= 0)
+    opts.default_deadline_ms = args.default_deadline_ms;
   serve::ModelHost host(opts);
   for (const std::string& spec : args.tenants) {
     const std::size_t eq = spec.find('=');
@@ -488,7 +540,9 @@ int cmd_serve(const Args& args) {
     cfg.mmap_golden = args.serve_mmap;
     host.add_tenant(cfg);
   }
-  serve::Daemon daemon(host, args.socket);
+  serve::Daemon daemon(host, args.socket,
+                       args.conn_timeout_ms >= 0 ? args.conn_timeout_ms
+                                                 : 30000);
   daemon.start();
   // SIGINT/SIGTERM shut down as cleanly as a SHUTDOWN command: wait()
   // returns, then the socket closes, the queue drains and the scanner
@@ -528,7 +582,10 @@ constexpr Command kCommands[] = {
     {"serve",
      "serve --socket <path> --tenant <name>=<pkg> [--tenant ...] "
      "[--workers N] [--no-scan] [--quarantine-threshold N] "
-     "[--quarantine-window-ms N] [--quarantine-backoff-ms N]",
+     "[--quarantine-window-ms N] [--quarantine-backoff-ms N] "
+     "[--conn-timeout-ms N] [--deadline-ms N] [--no-watchdog] "
+     "[--watchdog-interval-ms N] [--scanner-stall-ms N] "
+     "[--worker-stall-ms N]",
      0, cmd_serve},
     {"schemes", "schemes", 0, cmd_schemes},
 };

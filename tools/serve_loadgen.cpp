@@ -18,9 +18,15 @@
 // arrival time — so server queueing during bursts shows up in the tail
 // instead of being hidden by coordinated omission.
 //
+// Transient refusals (queue shed, quarantined tenant — anything the
+// server tags RETRY-AFTER) get up to --max-retries inline retries with
+// exponential backoff + jitter; the retried request's total wait counts
+// against its intended arrival, so retries cost tail latency, honestly.
+//
 // Results land as a human table plus BENCH_serve.json (p50/p99/p999 per
-// phase, throughput, time-to-detect). Exit code 1 when an injection was
-// requested but never detected — the CI smoke contract.
+// phase, throughput, retries, time-to-detect). Exit code 1 when an
+// injection was requested but never detected — the CI smoke contract.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -69,6 +75,13 @@ struct Options {
   std::int64_t rh_activations = 150000;  ///< aggressor activations per row
   std::uint64_t seed = 0x10ADU;
   bool shutdown = false;  ///< socket mode: send SHUTDOWN when done
+  std::int64_t deadline_ms = 0;  ///< per-request deadline (0: none)
+  // Shed/quarantined replies are retryable, not terminal: bounded
+  // retries with exponential backoff + jitter, honoring the server's
+  // RETRY-AFTER hint. Retries run inline in the client loop, so their
+  // cost lands in the coordinated-omission-safe latency tail.
+  int max_retries = 3;
+  std::int64_t retry_base_ms = 2;
 
   bool attacking() const { return inject_flips > 0 || inject_rowhammer > 0; }
 };
@@ -97,6 +110,9 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--rh-activations") o.rh_activations = std::atoll(next("--rh-activations"));
     else if (a == "--seed") o.seed = std::strtoull(next("--seed"), nullptr, 0);
     else if (a == "--shutdown") o.shutdown = true;
+    else if (a == "--deadline-ms") o.deadline_ms = std::atoll(next("--deadline-ms"));
+    else if (a == "--max-retries") o.max_retries = std::atoi(next("--max-retries"));
+    else if (a == "--retry-base-ms") o.retry_base_ms = std::atoll(next("--retry-base-ms"));
     else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return false;
@@ -134,13 +150,22 @@ std::size_t zipf_pick(const std::vector<double>& cdf, double u) {
 // Backend: the loadgen's view of the serving system. Control operations
 // run on the main thread; infer() must be safe from every client thread.
 // ---------------------------------------------------------------------
+/// One inference attempt as the client saw it. `retryable` marks
+/// transient server-side refusals (shed queue, quarantined tenant) that
+/// deserve a backoff + retry rather than a terminal error sample.
+struct InferOutcome {
+  bool ok = false;
+  bool retryable = false;
+  std::int64_t retry_after_ms = -1;  ///< server hint; -1 when absent
+};
+
 class Backend {
  public:
   virtual ~Backend() = default;
   virtual std::size_t num_tenants() const = 0;
   virtual std::string tenant_name(std::size_t t) const = 0;
-  /// Blocking inference from any client thread; false on failure.
-  virtual bool infer(std::size_t thread_id, std::size_t tenant) = 0;
+  /// Blocking inference from any client thread.
+  virtual InferOutcome infer(std::size_t thread_id, std::size_t tenant) = 0;
   virtual void set_scanning(bool on) = 0;
   virtual std::size_t inject(std::size_t tenant, int flips,
                              std::uint64_t seed) = 0;
@@ -159,7 +184,7 @@ class Backend {
 /// self-signed demo packages when none are given).
 class InProcessBackend : public Backend {
  public:
-  InProcessBackend(const Options& o) {
+  InProcessBackend(const Options& o) : deadline_ms_(o.deadline_ms) {
     serve::ServeOptions opts;
     opts.workers = o.workers;
     host_ = std::make_unique<serve::ModelHost>(opts);
@@ -202,11 +227,17 @@ class InProcessBackend : public Backend {
   std::string tenant_name(std::size_t t) const override {
     return host_->tenant_name(t);
   }
-  bool infer(std::size_t, std::size_t tenant) override {
+  InferOutcome infer(std::size_t, std::size_t tenant) override {
     auto& pool = inputs_[tenant];
     const std::size_t i =
         cursor_.fetch_add(1, std::memory_order_relaxed) % pool.size();
-    return host_->infer(tenant, pool[i]).ok;
+    const serve::InferenceResult r =
+        host_->infer(tenant, pool[i], deadline_ms_);
+    InferOutcome oc;
+    oc.ok = r.ok;
+    oc.retry_after_ms = r.retry_after_ms;
+    oc.retryable = !r.ok && r.retry_after_ms >= 0;
+    return oc;
   }
   void set_scanning(bool on) override { host_->set_scanning(on); }
   std::size_t inject(std::size_t tenant, int flips,
@@ -255,6 +286,7 @@ class InProcessBackend : public Backend {
   std::vector<std::vector<nn::Tensor>> inputs_;
   std::atomic<std::size_t> cursor_{0};
   std::vector<std::string> owned_packages_;
+  std::int64_t deadline_ms_;
 };
 
 #if LOADGEN_HAVE_UNIX_SOCKETS
@@ -262,8 +294,9 @@ class InProcessBackend : public Backend {
 /// connection, speaking the daemon's line protocol.
 class SocketBackend : public Backend {
  public:
-  SocketBackend(const std::string& path, std::size_t threads)
-      : path_(path) {
+  SocketBackend(const std::string& path, std::size_t threads,
+                std::int64_t deadline_ms)
+      : path_(path), deadline_ms_(deadline_ms) {
     control_ = connect_or_throw();
     for (std::size_t i = 0; i < threads; ++i)
       thread_fds_.push_back(connect_or_throw());
@@ -289,10 +322,20 @@ class SocketBackend : public Backend {
   std::string tenant_name(std::size_t t) const override {
     return names_.at(t);
   }
-  bool infer(std::size_t thread_id, std::size_t tenant) override {
-    const std::string r =
-        request(thread_fds_.at(thread_id), "INFER " + names_[tenant]);
-    return r.rfind("OK", 0) == 0;
+  InferOutcome infer(std::size_t thread_id, std::size_t tenant) override {
+    std::string cmd = "INFER " + names_[tenant];
+    if (deadline_ms_ > 0) cmd += " " + std::to_string(deadline_ms_);
+    const std::string r = request(thread_fds_.at(thread_id), cmd);
+    InferOutcome oc;
+    oc.ok = r.rfind("OK", 0) == 0;
+    if (!oc.ok) {
+      const std::size_t ra = r.find("RETRY-AFTER=");
+      if (ra != std::string::npos) {
+        oc.retryable = true;
+        oc.retry_after_ms = std::atoll(r.c_str() + ra + 12);
+      }
+    }
+    return oc;
   }
   void set_scanning(bool on) override {
     request(control_, on ? "SCAN ON" : "SCAN OFF");
@@ -366,6 +409,7 @@ class SocketBackend : public Backend {
   }
 
   std::string path_;
+  std::int64_t deadline_ms_;
   int control_ = -1;
   std::vector<int> thread_fds_;
   std::vector<std::string> names_;
@@ -378,6 +422,8 @@ class SocketBackend : public Backend {
 struct PhaseResult {
   serve::LatencyHistogram::Snapshot latency;
   std::uint64_t sent = 0, failed = 0;
+  std::uint64_t retries = 0;   ///< total retry attempts across requests
+  std::uint64_t retried = 0;   ///< requests that needed >= 1 retry
   double seconds = 0.0;
   std::int64_t client_ttd_ns = -1;  ///< attack phases only
 };
@@ -393,7 +439,7 @@ PhaseResult run_phase(Backend& backend, const Options& o,
                       bool attack, std::size_t inject_tenant) {
   PhaseResult out;
   serve::LatencyHistogram hist;
-  std::atomic<std::uint64_t> sent{0}, failed{0};
+  std::atomic<std::uint64_t> sent{0}, failed{0}, retries{0}, retried{0};
   const auto t_start = Clock::now();
   const auto t_end =
       t_start + std::chrono::milliseconds(o.duration_ms);
@@ -407,7 +453,41 @@ PhaseResult run_phase(Backend& backend, const Options& o,
       while (t_next < t_end) {
         std::this_thread::sleep_until(t_next);  // no-op when behind
         const std::size_t tenant = zipf_pick(cdf, rng.uniform());
-        const bool ok = backend.infer(ti, tenant);
+        InferOutcome oc;
+        int tries = 0;
+        bool conn_lost = false;
+        while (true) {
+          try {
+            oc = backend.infer(ti, tenant);
+          } catch (const std::exception&) {
+            // Socket torn down under us (chaos disconnect, daemon
+            // death): this thread's connection is gone for good.
+            conn_lost = true;
+            break;
+          }
+          if (oc.ok || !oc.retryable || tries >= o.max_retries) break;
+          // Exponential backoff with jitter, floored at the server's
+          // RETRY-AFTER hint; runs inline so the retried request's full
+          // wait lands in the intended-arrival latency below.
+          const std::int64_t base_ms = o.retry_base_ms << tries;
+          const std::int64_t wait_ms =
+              std::max(base_ms, oc.retry_after_ms) +
+              static_cast<std::int64_t>(rng.uniform() *
+                                        static_cast<double>(base_ms));
+          ++tries;
+          std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+        }
+        if (tries > 0) {
+          retries.fetch_add(static_cast<std::uint64_t>(tries),
+                            std::memory_order_relaxed);
+          retried.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (conn_lost) {
+          sent.fetch_add(1, std::memory_order_relaxed);
+          failed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        const bool ok = oc.ok;
         const auto t_done = Clock::now();
         // Latency from the INTENDED arrival: backlog during bursts is
         // tail latency, not silently forgiven.
@@ -454,15 +534,18 @@ PhaseResult run_phase(Backend& backend, const Options& o,
   out.latency = hist.snapshot();
   out.sent = sent.load();
   out.failed = failed.load();
+  out.retries = retries.load();
+  out.retried = retried.load();
   out.seconds = std::chrono::duration<double>(Clock::now() - t_start).count();
   return out;
 }
 
 void print_phase(const char* name, const PhaseResult& r) {
-  std::printf("  %-9s %8llu req (%llu failed) %8.0f req/s   "
+  std::printf("  %-9s %8llu req (%llu failed, %llu retries) %8.0f req/s   "
               "p50 %8.3fms  p99 %8.3fms  p999 %8.3fms\n",
               name, static_cast<unsigned long long>(r.sent),
               static_cast<unsigned long long>(r.failed),
+              static_cast<unsigned long long>(r.retries),
               static_cast<double>(r.sent) / r.seconds,
               r.latency.quantile(0.50) / 1e6,
               r.latency.quantile(0.99) / 1e6,
@@ -482,14 +565,17 @@ int main(int argc, char** argv) {
                  "                     [--duration-ms D] "
                  "[--inject-flips N] [--inject-rowhammer ROWS]\n"
                  "                     [--rh-activations A] [--seed S] "
-                 "[--shutdown]\n");
+                 "[--shutdown]\n"
+                 "                     [--deadline-ms D] [--max-retries N] "
+                 "[--retry-base-ms B]\n");
     return 2;
   }
   try {
     std::unique_ptr<Backend> backend;
     if (!o.connect.empty()) {
 #if LOADGEN_HAVE_UNIX_SOCKETS
-      backend = std::make_unique<SocketBackend>(o.connect, o.threads);
+      backend = std::make_unique<SocketBackend>(o.connect, o.threads,
+                                                o.deadline_ms);
 #else
       std::fprintf(stderr, "--connect requires unix domain sockets\n");
       return 2;
@@ -548,9 +634,15 @@ int main(int argc, char** argv) {
     report.add("p50_scan_on", on.latency.quantile(0.50));
     report.add("p99_scan_on", on.latency.quantile(0.99));
     report.add("p999_scan_on", on.latency.quantile(0.999));
+    report.add("failed_scan_off", static_cast<double>(off.failed));
+    report.add("failed_scan_on", static_cast<double>(on.failed));
+    report.add("retries_scan_off", static_cast<double>(off.retries));
+    report.add("retries_scan_on", static_cast<double>(on.retries));
     if (o.attacking()) {
       report.add("p50_attack", attack.latency.quantile(0.50));
       report.add("p99_attack", attack.latency.quantile(0.99));
+      report.add("failed_attack", static_cast<double>(attack.failed));
+      report.add("retries_attack", static_cast<double>(attack.retries));
       if (ttd_ns >= 0) report.add("time_to_detect", static_cast<double>(ttd_ns));
     }
     const std::string path = report.write();
