@@ -1,0 +1,187 @@
+// fig_scan_pareto — the scan-QoS tradeoff the scheduler exists to expose.
+//
+// Sweeps the ScanScheduler's per-slice byte budget through a scheduled
+// campaign (one inference batch interleaved per scan slice, the serve
+// cadence) and reports, per budget point:
+//
+//   images/sec        — inference throughput with scanning interleaved
+//   p99 batch ms      — inference batch latency under scanning
+//   worst TTD slices  — slices until first detection (deterministic
+//                       under a pure byte budget)
+//   coverage ms       — measured full-sweep period (the staleness bound)
+//
+// Two regression gates make this a CI check rather than a chart:
+//
+//   identity — every scheduled run's default (non-timing) report must be
+//     byte-identical to the full-scan baseline: the budget dial moves
+//     WHEN groups are scanned, never what a sweep reports.
+//   monotone — worst-case time-to-detect (in slices) must not increase
+//     with a larger byte budget; a non-monotone curve means the
+//     scheduler is losing work to its own slicing.
+//
+// Results land in BENCH_pareto.json (RADAR_BENCH_JSON_DIR honored).
+// Exit code 1 when either gate fails. RADAR_FAST=1 shrinks the sweep to
+// 3 points for CI smoke runs.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "campaign/campaign.h"
+#include "common/env.h"
+
+namespace {
+
+using namespace radar;
+
+campaign::CampaignSpec pareto_spec() {
+  campaign::CampaignSpec spec;
+  spec.name = "scan_pareto";
+  spec.model = "tiny";
+  spec.train = false;  // raw init: reproducible with a cold cache
+  spec.trials = fast_mode() ? 3 : 6;
+  spec.seed = 0x9A12E70;
+  spec.eval_subset = fast_mode() ? 64 : 128;
+  spec.policy = core::RecoveryPolicy::kZeroOut;
+  campaign::AttackerSpec atk;
+  atk.kind = "random_msb";
+  // One flip per trial: worst-case TTD is then the sweep distance to the
+  // furthest flip across trials, which is what the budget actually
+  // rations. Scattering many flips would put one near the sweep start in
+  // every trial and flatten the curve to TTD = 1 slice.
+  atk.flips = 1;
+  spec.attackers = {atk};
+  campaign::SchemeSpec sch;
+  sch.id = "radar2";
+  sch.params.group_size = 32;
+  spec.schemes = {sch};
+  spec.fault_rates = {0.0};
+  return spec;
+}
+
+/// One measured budget point of the Pareto curve.
+struct ParetoPoint {
+  std::int64_t budget_bytes = -1;
+  campaign::ScheduledStats sched;
+  double images_per_sec = 0.0;
+  bool identical_to_full = false;
+};
+
+}  // namespace
+
+int main() {
+  bench::heading("scan_pareto",
+                 "detection latency vs throughput under the scan budget");
+
+  const campaign::CampaignSpec spec = pareto_spec();
+  // Small chunks so the tiny model still yields a many-slice sweep.
+  constexpr std::int64_t kChunkBytes = 256;
+  std::vector<std::int64_t> budgets =
+      fast_mode() ? std::vector<std::int64_t>{256, 4096, -1}
+                  : std::vector<std::int64_t>{256, 1024, 4096, -1};
+
+  // Full-scan baseline: the report every scheduled run must reproduce.
+  campaign::EvalOptions eval;
+  eval.scan_chunk_bytes = kChunkBytes;
+  const campaign::CampaignRunner full_runner(
+      /*threads=*/1, /*scan_threads=*/1, campaign::ScanMode::kFull, eval);
+  const std::string full_json = full_runner.run(spec).to_json(false);
+
+  std::vector<ParetoPoint> points;
+  for (const std::int64_t budget : budgets) {
+    campaign::EvalOptions e = eval;
+    e.scan_budget_bytes = budget;
+    const campaign::CampaignRunner runner(
+        1, 1, campaign::ScanMode::kScheduled, e);
+    const campaign::CampaignReport report = runner.run(spec);
+    ParetoPoint p;
+    p.budget_bytes = budget;
+    p.sched = report.scheduled;
+    p.images_per_sec =
+        report.eval_seconds > 0.0
+            ? static_cast<double>(report.eval_images) / report.eval_seconds
+            : 0.0;
+    p.identical_to_full = report.to_json(false) == full_json;
+    points.push_back(p);
+  }
+
+  std::printf("  %12s %10s %12s %10s %12s %12s\n", "budget", "img/s",
+              "p99 batch", "ttd", "worst ttd", "coverage");
+  std::printf("  %12s %10s %12s %10s %12s %12s\n", "bytes/slice", "",
+              "ms", "slices", "ms", "ms");
+  bench::rule();
+  for (const ParetoPoint& p : points) {
+    char budget[32];
+    if (p.budget_bytes < 0)
+      std::snprintf(budget, sizeof(budget), "unlimited");
+    else
+      std::snprintf(budget, sizeof(budget), "%lld",
+                    static_cast<long long>(p.budget_bytes));
+    std::printf("  %12s %10.0f %12.3f %10lld %12.3f %12.3f%s\n", budget,
+                p.images_per_sec, p.sched.p99_batch_ms,
+                static_cast<long long>(p.sched.worst_ttd_slices),
+                p.sched.worst_ttd_ms, p.sched.mean_sweep_ms,
+                p.identical_to_full ? "" : "   REPORT MISMATCH");
+  }
+
+  // ---- gates ----
+  bool identity_ok = true, monotone_ttd = true, coverage_ok = true;
+  for (const ParetoPoint& p : points) {
+    identity_ok = identity_ok && p.identical_to_full;
+    // Every trial must complete its sweep and detect the injection.
+    coverage_ok = coverage_ok && p.sched.trials > 0 &&
+                  p.sched.detected_trials == p.sched.trials &&
+                  p.sched.mean_sweep_ms >= 0.0;
+  }
+  // budgets run smallest -> unlimited; a larger slice budget covers the
+  // first flagged chunk at the same or an earlier slice index.
+  for (std::size_t i = 1; i < points.size(); ++i)
+    monotone_ttd = monotone_ttd && points[i].sched.worst_ttd_slices <=
+                                       points[i - 1].sched.worst_ttd_slices;
+
+  std::printf("  gates: identity %s, monotone ttd %s, coverage %s\n",
+              identity_ok ? "ok" : "FAIL", monotone_ttd ? "ok" : "FAIL",
+              coverage_ok ? "ok" : "FAIL");
+
+  // ---- BENCH_pareto.json (custom shape: one row per budget point) ----
+  const char* dir = std::getenv("RADAR_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_pareto.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"pareto\",\n");
+    std::fprintf(f, "  \"chunk_bytes\": %lld,\n",
+                 static_cast<long long>(kChunkBytes));
+    std::fprintf(f, "  \"identity_ok\": %s,\n",
+                 identity_ok ? "true" : "false");
+    std::fprintf(f, "  \"monotone_ttd\": %s,\n",
+                 monotone_ttd ? "true" : "false");
+    std::fprintf(f, "  \"coverage_ok\": %s,\n",
+                 coverage_ok ? "true" : "false");
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const ParetoPoint& p = points[i];
+      const campaign::ScheduledStats& s = p.sched;
+      std::fprintf(f,
+                   "    {\"budget_bytes\": %lld, \"images_per_sec\": %.1f"
+                   ", \"p99_batch_ms\": %.3f, \"worst_ttd_slices\": %lld"
+                   ", \"mean_ttd_slices\": %.2f, \"worst_ttd_ms\": %.3f"
+                   ", \"mean_ttd_ms\": %.3f, \"coverage_period_ms\": %.3f"
+                   ", \"slices_per_sweep\": %.2f"
+                   ", \"scan_bytes_per_sec\": %.0f}%s\n",
+                   static_cast<long long>(p.budget_bytes), p.images_per_sec,
+                   s.p99_batch_ms,
+                   static_cast<long long>(s.worst_ttd_slices),
+                   s.mean_ttd_slices, s.worst_ttd_ms, s.mean_ttd_ms,
+                   s.mean_sweep_ms, s.mean_slices_per_sweep,
+                   s.scan_bytes_per_sec,
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("  json: %s (%zu points)\n", path.c_str(), points.size());
+  }
+
+  return (identity_ok && monotone_ttd && coverage_ok) ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "campaign/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <chrono>
@@ -14,9 +15,11 @@
 #include "attack/random_attack.h"
 #include "attack/rowhammer.h"
 #include "common/env.h"
+#include "common/error.h"
 #include "common/logging.h"
 #include "common/serialize.h"
 #include "common/thread_pool.h"
+#include "core/scan_scheduler.h"
 #include "core/scan_session.h"
 #include "core/scheme_registry.h"
 #include "exp/workspace.h"
@@ -65,6 +68,14 @@ struct TrialOutcome {
   std::int64_t flips = 0, detected = 0, flagged = 0;
   bool any_detected = false;
   double acc_recovered = -1.0;
+  // ---- ScanMode::kScheduled telemetry (timing-gated in the report) ----
+  std::int64_t sched_slices = 0;      ///< run_slice calls to complete a sweep
+  std::int64_t sched_ttd_slices = -1;  ///< slices until first flagged slice
+  std::int64_t sched_ttd_ns = -1;
+  std::int64_t sched_sweep_ns = 0;  ///< measured coverage period
+  std::int64_t sched_scan_ns = 0;   ///< wall time inside run_slice
+  std::int64_t sched_bytes = 0;
+  std::vector<std::int64_t> sched_batch_ns;  ///< interleaved batch latencies
 };
 
 /// Per-chunk context of the evaluation phase. In kFull mode the scheme
@@ -81,6 +92,7 @@ struct EvalContext {
   std::vector<std::unique_ptr<core::IntegrityScheme>> schemes;  ///< per si
   std::vector<std::unique_ptr<core::ScanSession>> sessions;     ///< per si
   core::DetectionReport report;  ///< scratch, reused across trials
+  core::ScanScheduler scheduler;  ///< kScheduled only, replanned per cell
 };
 
 /// Fan fn(replica, context, unit) out over `pool` in contiguous chunks
@@ -184,6 +196,10 @@ CampaignRunner::CampaignRunner(std::size_t threads, std::size_t scan_threads,
 CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
   using clock = std::chrono::steady_clock;
   spec.validate();
+  if (mode_ == ScanMode::kScheduled)
+    RADAR_REQUIRE(eval_.scan_budget_us != 0 && eval_.scan_budget_bytes != 0,
+                  "scheduled campaign budget must be nonzero: a zero "
+                  "budget starves every slice and the sweep never wraps");
 
   const auto T = static_cast<std::size_t>(spec.trials);
   const std::size_t A = spec.attackers.size();
@@ -328,6 +344,7 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
     const std::size_t ai = cell / (S * F);
     quant::QuantizedModel& qm = *rep.bundle.qmodel;
     const bool incremental = mode_ == ScanMode::kIncremental;
+    const bool scheduled = mode_ == ScanMode::kScheduled;
     core::IntegrityScheme* scheme = nullptr;
     core::ScanSession* session = nullptr;
     if (incremental) {
@@ -371,8 +388,20 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
         ctx.scheme =
             core::SchemeRegistry::instance().create(ss.id, ss.params);
         ctx.scheme->attach(qm);
-        ctx.session =
-            std::make_unique<core::ScanSession>(*ctx.scheme, scan_threads_);
+        if (scheduled) {
+          core::ScanScheduler::Config scfg;
+          scfg.budget_us = eval_.scan_budget_us;
+          scfg.budget_bytes = eval_.scan_budget_bytes;
+          scfg.chunk_bytes = eval_.scan_chunk_bytes;
+          ctx.scheduler.plan(*ctx.scheme, scfg);
+          // Prime the engine's cached eval batches while the model is
+          // clean so each slice can interleave a real inference batch.
+          if (spec.eval_subset > 0)
+            exp::accuracy_on_subset(rep.bundle, spec.eval_subset);
+        } else {
+          ctx.session = std::make_unique<core::ScanSession>(*ctx.scheme,
+                                                            scan_threads_);
+        }
         ctx.cell = cell;
       }
       scheme = ctx.scheme.get();
@@ -381,12 +410,53 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
     const attack::AttackResult& profile = profiles[(ai * F + fi) * T + t];
     for (const attack::BitFlip& f : profile.flips)
       qm.flip_bit(f.layer, f.index, f.bit);
-    if (incremental)
-      session->scan_dirty_into(qm, ctx.report);
-    else
-      session->scan_into(qm, ctx.report);
-    const core::DetectionReport& report = ctx.report;
     TrialOutcome& o = outcomes[u];
+    if (scheduled) {
+      // Interleave budgeted scan slices with inference batches until the
+      // sweep wraps — the serve-path cadence, measured per trial. The
+      // completed sweep's report equals a serial scan bit for bit, so
+      // everything downstream (detection counts, recovery, accuracy) is
+      // byte-identical to kFull; only the timing telemetry differs.
+      using clock = std::chrono::steady_clock;
+      core::ScanScheduler& sched = ctx.scheduler;
+      sched.restart_sweep();
+      const auto s0 = clock::now();
+      core::ScanScheduler::Slice slice;
+      do {
+        if (rep.bundle.engine != nullptr &&
+            !rep.bundle.eval_batches.empty()) {
+          const data::Batch& tb = rep.bundle.eval_batches
+              [static_cast<std::size_t>(o.sched_slices) %
+               rep.bundle.eval_batches.size()];
+          const auto b0 = clock::now();
+          rep.bundle.engine->forward_into(tb.images, rep.bundle.eval_scratch,
+                                          rep.bundle.eval_logits);
+          o.sched_batch_ns.push_back(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  clock::now() - b0)
+                  .count());
+          rep.bundle.eval_images += tb.images.dim(0);
+        }
+        slice = sched.run_slice(qm);
+        o.sched_scan_ns += slice.elapsed_ns;
+        o.sched_bytes += slice.bytes;
+        ++o.sched_slices;
+        if (slice.flagged && o.sched_ttd_slices < 0) {
+          o.sched_ttd_slices = o.sched_slices;
+          o.sched_ttd_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  clock::now() - s0)
+                  .count();
+        }
+      } while (!slice.wrapped);
+      o.sched_sweep_ns = sched.last_sweep_ns();
+      ctx.report.flagged = sched.last_sweep_report().flagged;
+    } else if (incremental) {
+      session->scan_dirty_into(qm, ctx.report);
+    } else {
+      session->scan_into(qm, ctx.report);
+    }
+    const core::DetectionReport& report = ctx.report;
     o.flips = static_cast<std::int64_t>(profile.flips.size());
     o.detected =
         core::count_detected_flips(*scheme, report, profile.flip_sites());
@@ -457,6 +527,56 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec) const {
         }
         report.cells.push_back(std::move(c));
       }
+    }
+  }
+
+  if (mode_ == ScanMode::kScheduled) {
+    ScheduledStats& sc = report.scheduled;
+    sc.enabled = true;
+    sc.budget_us = eval_.scan_budget_us;
+    sc.budget_bytes = eval_.scan_budget_bytes;
+    sc.chunk_bytes = eval_.scan_chunk_bytes;
+    std::vector<std::int64_t> batch_ns;
+    std::int64_t slices = 0, sweep_ns = 0, bytes = 0, scan_ns = 0;
+    std::int64_t ttd_slice_sum = 0, ttd_ns_sum = 0;
+    for (const TrialOutcome& o : outcomes) {
+      ++sc.trials;
+      slices += o.sched_slices;
+      sweep_ns += o.sched_sweep_ns;
+      bytes += o.sched_bytes;
+      scan_ns += o.sched_scan_ns;
+      batch_ns.insert(batch_ns.end(), o.sched_batch_ns.begin(),
+                      o.sched_batch_ns.end());
+      if (o.sched_ttd_slices >= 0) {
+        ++sc.detected_trials;
+        ttd_slice_sum += o.sched_ttd_slices;
+        ttd_ns_sum += o.sched_ttd_ns;
+        sc.worst_ttd_slices =
+            std::max(sc.worst_ttd_slices, o.sched_ttd_slices);
+        sc.worst_ttd_ms = std::max(
+            sc.worst_ttd_ms, static_cast<double>(o.sched_ttd_ns) / 1e6);
+      }
+    }
+    if (sc.detected_trials > 0) {
+      const auto nd = static_cast<double>(sc.detected_trials);
+      sc.mean_ttd_slices = static_cast<double>(ttd_slice_sum) / nd;
+      sc.mean_ttd_ms = static_cast<double>(ttd_ns_sum) / nd / 1e6;
+    }
+    if (sc.trials > 0) {
+      sc.mean_slices_per_sweep =
+          static_cast<double>(slices) / static_cast<double>(sc.trials);
+      sc.mean_sweep_ms = static_cast<double>(sweep_ns) /
+                         static_cast<double>(sc.trials) / 1e6;
+    }
+    if (scan_ns > 0)
+      sc.scan_bytes_per_sec =
+          static_cast<double>(bytes) * 1e9 / static_cast<double>(scan_ns);
+    sc.batches = static_cast<std::int64_t>(batch_ns.size());
+    if (!batch_ns.empty()) {
+      std::sort(batch_ns.begin(), batch_ns.end());
+      const std::size_t p99 =
+          std::min(batch_ns.size() - 1, (batch_ns.size() * 99) / 100);
+      sc.p99_batch_ms = static_cast<double>(batch_ns[p99]) / 1e6;
     }
   }
   return report;

@@ -43,14 +43,30 @@ enum class ScanMode {
   /// restoring the whole snapshot. Reports are byte-identical to kFull
   /// (enforced by CI and the differential tests).
   kIncremental,
+  /// Scheduled: each trial's scan runs through a budget-driven
+  /// core::ScanScheduler, interleaving one inference batch between scan
+  /// slices and recording time-to-detect as a function of the budget —
+  /// the detection-latency side of the QoS Pareto. The completed sweep's
+  /// report is byte-identical to kFull for ANY budget (the budget moves
+  /// *when* groups are scanned, never what a sweep reports), so default
+  /// (non-timing) reports diff clean against kFull; the scheduling
+  /// telemetry lands in the timing-gated JSON section only.
+  kScheduled,
 };
 
-/// How the evaluation phase runs accuracy measurements. Pure throughput
-/// knobs: the int8 engine is bit-exact across kinds and batch sizes, so
-/// reports are byte-identical for every combination (CI-enforced).
+/// How the evaluation phase runs accuracy measurements and (for
+/// ScanMode::kScheduled) slices the interleaved scan. Pure throughput /
+/// latency knobs: the int8 engine is bit-exact across kinds and batch
+/// sizes and a scheduled sweep reports exactly what a full scan reports,
+/// so default reports are byte-identical for every combination
+/// (CI-enforced).
 struct EvalOptions {
   std::int64_t batch = 0;  ///< images per engine forward (0 = auto)
   qnn::EngineKind engine = qnn::EngineKind::kBatched;
+  // ---- ScanMode::kScheduled knobs (ignored by the other modes) ----
+  std::int64_t scan_budget_us = -1;     ///< per-slice wall budget (<0: off)
+  std::int64_t scan_budget_bytes = -1;  ///< per-slice byte budget (<0: off)
+  std::int64_t scan_chunk_bytes = 16 * 1024;  ///< sweep granule
 };
 
 class CampaignRunner {

@@ -70,6 +70,25 @@ std::string CampaignReport::to_json(bool include_timing) const {
                   : 0.0,
               "%.1f")
        << "}";
+    if (scheduled.enabled) {
+      const ScheduledStats& s = scheduled;
+      os << ",\n  \"scheduled\": {\"budget_us\": " << s.budget_us
+         << ", \"budget_bytes\": " << s.budget_bytes
+         << ", \"chunk_bytes\": " << s.chunk_bytes
+         << ", \"trials\": " << s.trials
+         << ", \"detected_trials\": " << s.detected_trials
+         << ", \"batches\": " << s.batches
+         << ", \"mean_slices_per_sweep\": "
+         << fmt(s.mean_slices_per_sweep, "%.2f")
+         << ", \"mean_ttd_slices\": " << fmt(s.mean_ttd_slices, "%.2f")
+         << ", \"worst_ttd_slices\": " << s.worst_ttd_slices
+         << ", \"mean_ttd_ms\": " << fmt(s.mean_ttd_ms, "%.3f")
+         << ", \"worst_ttd_ms\": " << fmt(s.worst_ttd_ms, "%.3f")
+         << ", \"coverage_period_ms\": " << fmt(s.mean_sweep_ms, "%.3f")
+         << ", \"scan_bytes_per_sec\": "
+         << fmt(s.scan_bytes_per_sec, "%.1f")
+         << ", \"p99_batch_ms\": " << fmt(s.p99_batch_ms, "%.3f") << "}";
+    }
   }
   os << "\n}\n";
   return os.str();
@@ -116,6 +135,20 @@ void CampaignReport::print(std::FILE* out) const {
   std::fprintf(out,
                "  phases: profiles %.2fs, evaluation %.2fs on %zu thread(s)\n",
                profile_seconds, eval_seconds, threads);
+  if (scheduled.enabled) {
+    std::fprintf(out,
+                 "  scheduled: budget %lldus/%lldB, ttd mean %.2f / worst "
+                 "%lld slices (%.3f / %.3f ms), coverage %.3f ms, scan %.1f "
+                 "MB/s, p99 batch %.3f ms\n",
+                 static_cast<long long>(scheduled.budget_us),
+                 static_cast<long long>(scheduled.budget_bytes),
+                 scheduled.mean_ttd_slices,
+                 static_cast<long long>(scheduled.worst_ttd_slices),
+                 scheduled.mean_ttd_ms, scheduled.worst_ttd_ms,
+                 scheduled.mean_sweep_ms,
+                 scheduled.scan_bytes_per_sec / 1e6,
+                 scheduled.p99_batch_ms);
+  }
 }
 
 }  // namespace radar::campaign

@@ -33,6 +33,27 @@ struct CellStats {
   double mean_acc_recovered = -1.0;  ///< -1: accuracy not evaluated
 };
 
+/// Telemetry of a ScanMode::kScheduled run: the budget knobs and the
+/// measured detection-latency / coverage side of the QoS tradeoff.
+/// Serialized only inside the timing-gated JSON section so scheduled
+/// reports still diff byte-identical against kFull by default.
+struct ScheduledStats {
+  bool enabled = false;
+  std::int64_t budget_us = -1, budget_bytes = -1, chunk_bytes = 0;
+  std::int64_t trials = 0;
+  std::int64_t detected_trials = 0;  ///< trials with any flagged slice
+  std::int64_t batches = 0;  ///< inference batches interleaved with slices
+  double mean_slices_per_sweep = 0.0;
+  /// Slices until the first flagged slice (time-to-detect in scheduler
+  /// slices — deterministic under a pure byte budget). -1: no detection.
+  std::int64_t worst_ttd_slices = -1;
+  double mean_ttd_slices = -1.0;
+  double mean_ttd_ms = -1.0, worst_ttd_ms = -1.0;
+  double mean_sweep_ms = 0.0;  ///< measured coverage period per trial
+  double scan_bytes_per_sec = 0.0;  ///< inside run_slice wall time
+  double p99_batch_ms = -1.0;  ///< inference batch latency while scanning
+};
+
 struct CampaignReport {
   std::string name, model;
   std::uint64_t seed = 0;
@@ -51,6 +72,8 @@ struct CampaignReport {
   /// end-to-end inference throughput of the evaluation phase.
   std::int64_t profile_images = 0;
   std::int64_t eval_images = 0;
+  /// ScanMode::kScheduled telemetry (enabled == false otherwise).
+  ScheduledStats scheduled;
 
   const CellStats& cell(std::size_t attacker, std::size_t fault,
                         std::size_t scheme) const;

@@ -1,0 +1,72 @@
+#include "common/sigbus_guard.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RADAR_HAVE_SIGBUS_GUARD 1
+#endif
+
+#ifdef RADAR_HAVE_SIGBUS_GUARD
+
+#include <csetjmp>
+#include <csignal>
+#include <mutex>
+
+namespace radar {
+namespace {
+
+// Active jump target for this thread; null when no guard is active.
+thread_local sigjmp_buf* g_jump = nullptr;
+
+void fault_handler(int sig) {
+  if (g_jump != nullptr) siglongjmp(*g_jump, sig);
+  // No guard on this thread: this is a genuine bug, not a torn mapping.
+  // Restore default disposition and re-raise so the process dies with
+  // the original signal (and a usable core dump).
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+void install_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = fault_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_NODEFER: siglongjmp skips the normal handler return, so without
+  // it the signal would stay blocked after the first fault and the next
+  // one would kill the process despite an active guard.
+  sa.sa_flags = SA_NODEFER;
+  sigaction(SIGBUS, &sa, nullptr);
+  sigaction(SIGSEGV, &sa, nullptr);
+}
+
+}  // namespace
+
+bool with_sigbus_guard(const std::function<void()>& fn) {
+  static std::once_flag once;
+  std::call_once(once, install_handlers);
+
+  sigjmp_buf* const outer = g_jump;
+  sigjmp_buf here;
+  // Save the signal mask (second arg 1) so the longjmp path restores it.
+  if (sigsetjmp(here, 1) != 0) {
+    g_jump = outer;  // fault: unwind to the outer guard (or none)
+    return false;
+  }
+  g_jump = &here;
+  fn();
+  g_jump = outer;
+  return true;
+}
+
+}  // namespace radar
+
+#else  // !RADAR_HAVE_SIGBUS_GUARD
+
+namespace radar {
+
+bool with_sigbus_guard(const std::function<void()>& fn) {
+  fn();
+  return true;
+}
+
+}  // namespace radar
+
+#endif

@@ -1,0 +1,36 @@
+// SIGBUS containment for reads of file-backed (mmap'd) memory.
+//
+// A v3 package's golden arena is served straight from a read-only file
+// mapping. If the file is truncated *after* the mapping is established
+// (operator error, a dying disk, an overlay unmount), touching a page
+// past the new EOF raises SIGBUS — which by default kills the whole
+// multi-tenant daemon because one tenant's package went bad. The guard
+// turns that into a recoverable per-read failure: run the read under
+// with_sigbus_guard() and a fault becomes a `false` return instead of
+// process death, letting the caller degrade the tenant (snapshot
+// fallback + backed-off re-open) exactly like a CRC mismatch.
+//
+// Mechanics: a process-wide SIGBUS/SEGV handler is installed on first
+// use; each guarded region sigsetjmp()s into a thread-local buffer that
+// the handler siglongjmp()s back to. Faults on threads with no active
+// guard are re-raised with default disposition, so genuine bugs still
+// crash loudly with the original signal. Guarded regions must not
+// allocate or take locks in ways that would be left inconsistent by a
+// longjmp — keep them to the raw byte reads (CRC loops, byte compares),
+// which is exactly how GoldenGuard and the quarantine scrub use it.
+//
+// On platforms without POSIX signals the wrapper just runs `fn` and
+// returns true (mmap loading is compiled out there anyway).
+#pragma once
+
+#include <functional>
+
+namespace radar {
+
+/// Run `fn`, absorbing SIGBUS/SEGV raised on this thread during the
+/// call. Returns true when `fn` completed, false when a fault aborted
+/// it. Reentrant per thread (nested guards restore the outer jump
+/// buffer); thread-safe.
+bool with_sigbus_guard(const std::function<void()>& fn);
+
+}  // namespace radar

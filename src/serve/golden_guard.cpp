@@ -5,6 +5,7 @@
 #include "codes/crc.h"
 #include "common/error.h"
 #include "common/fault_points.h"
+#include "common/sigbus_guard.h"
 
 namespace radar::serve {
 
@@ -52,8 +53,15 @@ bool GoldenGuard::verify_range(std::span<const std::int8_t> bytes,
     const auto len = static_cast<std::size_t>(
         std::min(range_bytes_, total_bytes_ - b));
     verified_.fetch_add(1, std::memory_order_relaxed);
-    if (range_crc(bytes.subspan(static_cast<std::size_t>(b), len)) !=
-        crcs_[r]) {
+    // The CRC touches pages of a file-backed mapping: a package file
+    // truncated after mmap raises SIGBUS here. The guard turns that
+    // into a mismatch, so the host degrades the tenant instead of the
+    // whole daemon dying on one bad file.
+    std::uint32_t crc = 0;
+    const bool readable = with_sigbus_guard([&] {
+      crc = range_crc(bytes.subspan(static_cast<std::size_t>(b), len));
+    });
+    if (!readable || crc != crcs_[r]) {
       mismatches_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }

@@ -7,6 +7,7 @@
 #include "common/fault_points.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/sigbus_guard.h"
 #include "core/package.h"
 #include "core/scan_session.h"
 #include "quant/epoch_guard.h"
@@ -77,7 +78,14 @@ std::size_t ModelHost::add_tenant(const TenantConfig& cfg) {
   RADAR_REQUIRE(calib > 0, "tenant dataset has no calibration images");
   t->engine->calibrate(t->bundle.dataset->test_batch(0, calib).images);
 
-  t->scanner.plan(*t->scheme, opts_.scan_shard_bytes);
+  core::ScanScheduler::Config scfg;
+  scfg.budget_us = opts_.scan_budget_us;
+  scfg.budget_bytes = opts_.scan_budget_bytes;
+  scfg.chunk_bytes = opts_.scan_shard_bytes;
+  scfg.max_retries = opts_.epoch_max_retries;
+  t->scheduler.plan(*t->scheme, scfg);
+  // Coverage age is measured from load until the first sweep completes.
+  t->sweep_end_ns.store(now_ns(), std::memory_order_relaxed);
 
   // Degraded-golden machinery (mmap path only: the owned clean copy is
   // process-private and cannot rot under us). The sidecar CRCs the
@@ -93,7 +101,7 @@ std::size_t ModelHost::add_tenant(const TenantConfig& cfg) {
   RADAR_LOG(kInfo) << "serve: tenant '" << cfg.name << "' ready — "
                    << t->bundle.qmodel->total_weights() << " weights, "
                    << t->scheme->id() << " scheme, "
-                   << t->scanner.num_shards() << " scan shards, golden "
+                   << t->scheduler.num_chunks() << " scan chunks, golden "
                    << (t->golden_mmapped ? "mmap" : "owned");
 
   tenants_.push_back(std::move(t));
@@ -314,8 +322,9 @@ void ModelHost::watchdog_loop() {
 
     // Scanner heartbeat: stale means stalled (chaos, scheduler, a bug)
     // or dead (crash — the loop's catch already logged it). Either way
-    // tear it down via the cooperative abort flag and respawn; the
-    // tenant sweep resumes where the new thread's round-robin starts.
+    // tear it down via the cooperative abort flag and respawn. Sweep
+    // position is preserved: each tenant's ScanScheduler (cursor, dirty
+    // queue, sweep accumulation) lives in the Tenant, not the thread.
     const std::int64_t hb =
         scanner_heartbeat_ns_.load(std::memory_order_acquire);
     if (hb >= 0 && now - hb > opts_.scanner_stall_ms * 1000000) {
@@ -372,19 +381,33 @@ void ModelHost::watchdog_loop() {
   }
 }
 
-void ModelHost::scan_step(Tenant& t) {
-  const ShardScanner::Step step =
-      t.scanner.step(*t.scheme, *t.bundle.qmodel, opts_.epoch_max_retries,
-                     t.flag_buf);
-  // Publish the scanner's private counters for stats().
-  t.shards_scanned.store(t.scanner.shards_scanned(),
+core::ScanScheduler::Slice ModelHost::scan_step(Tenant& t) {
+  quant::QuantizedModel& qm = *t.bundle.qmodel;
+  const core::ScanScheduler::Slice slice = t.scheduler.run_slice(qm);
+  t.scan_active_ns += slice.elapsed_ns;
+
+  // Publish the scheduler's private counters for stats().
+  t.shards_scanned.store(t.scheduler.chunks_scanned(),
                          std::memory_order_relaxed);
-  t.sweeps.store(t.scanner.sweeps(), std::memory_order_relaxed);
-  t.epoch_retries.store(t.scanner.epoch_retries(),
+  t.sweeps.store(t.scheduler.sweeps(), std::memory_order_relaxed);
+  t.epoch_retries.store(t.scheduler.epoch_retries(),
                         std::memory_order_relaxed);
-  t.epoch_fallbacks.store(t.scanner.epoch_fallbacks(),
+  t.epoch_fallbacks.store(t.scheduler.epoch_fallbacks(),
                           std::memory_order_relaxed);
-  if (!step.flagged) return;
+  t.scan_bytes.store(t.scheduler.bytes_scanned(),
+                     std::memory_order_relaxed);
+  t.scan_ns.store(t.scan_active_ns, std::memory_order_relaxed);
+  t.scan_cursor.store(t.scheduler.cursor(), std::memory_order_relaxed);
+  t.dirty_pending.store(t.scheduler.dirty_pending(),
+                        std::memory_order_relaxed);
+  if (slice.wrapped) {
+    t.sweep_end_ns.store(now_ns(), std::memory_order_relaxed);
+    t.sweep_ms.store(t.scheduler.last_sweep_ns() / 1000000,
+                     std::memory_order_relaxed);
+    t.coverage_alarm_armed = false;  // deadline met: re-arm the alarm
+  }
+
+  if (!slice.flagged) return slice;
 
   // Detection: account time-to-detect against the last injection, then
   // repair the flagged groups in place under a writer section — traffic
@@ -394,21 +417,34 @@ void ModelHost::scan_step(Tenant& t) {
   if (inject_ns >= 0)
     t.last_ttd_ns.store(now_ns() - inject_ns, std::memory_order_relaxed);
 
-  quant::QuantizedModel& qm = *t.bundle.qmodel;
+  // A slice can flag groups across several layers (dirty rescans + sweep
+  // chunks); fold them into one per-layer report, deduplicated.
   t.recover_report.flagged.resize(qm.num_layers());
   for (auto& f : t.recover_report.flagged) f.clear();
-  t.recover_report.flagged[step.layer] = t.flag_buf;
-  const auto [b0, b1] = qm.layer_byte_range(step.layer);
-  // Before kReloadClean copies from the mmap'd golden, prove those bytes
-  // still match the load-time CRC sidecar — a rotted/torn mapping must
-  // degrade to the snapshot fallback, never be installed as "clean".
-  if (opts_.recovery == core::RecoveryPolicy::kReloadClean)
-    ensure_golden(t, b0, b1);
+  for (const auto& [layer, group] : t.scheduler.slice_flags())
+    t.recover_report.flagged[layer].push_back(group);
+  std::size_t flagged_groups = 0;
+  for (std::size_t li = 0; li < qm.num_layers(); ++li) {
+    auto& f = t.recover_report.flagged[li];
+    if (f.empty()) continue;
+    std::sort(f.begin(), f.end());
+    f.erase(std::unique(f.begin(), f.end()), f.end());
+    flagged_groups += f.size();
+    // Before kReloadClean copies from the mmap'd golden, prove those
+    // bytes still match the load-time CRC sidecar — a rotted/torn
+    // mapping must degrade to the snapshot fallback, never be installed
+    // as "clean".
+    if (opts_.recovery == core::RecoveryPolicy::kReloadClean) {
+      const auto [b0, b1] = qm.layer_byte_range(li);
+      ensure_golden(t, b0, b1);
+    }
+  }
   bool recovered = false;
   try {
     if (chaos::fire(chaos::points::kRecoveryFail))
       throw Error("chaos: injected recovery failure");
-    quant::EpochGuard::WriterSection ws(*qm.epoch_guard(), b0, b1);
+    quant::EpochGuard::WriterSection ws(*qm.epoch_guard(), 0,
+                                        qm.arena().size_bytes());
     t.scheme->recover(qm, t.recover_report, opts_.recovery);
     recovered = true;
   } catch (const std::exception& e) {
@@ -420,19 +456,46 @@ void ModelHost::scan_step(Tenant& t) {
                       << "' recovery failed (will retry next sweep): "
                       << e.what();
   }
-  if (recovered)
-    t.groups_recovered.fetch_add(t.flag_buf.size(),
+  if (recovered) {
+    t.groups_recovered.fetch_add(flagged_groups,
                                  std::memory_order_relaxed);
+    // Feed the repair back as priority work: the next slice re-verifies
+    // the just-rewritten groups before any sweep chunk, so a recovery
+    // that failed to take (or raced another writer) is caught in one
+    // slice, not one sweep.
+    for (std::size_t li = 0; li < qm.num_layers(); ++li)
+      for (const std::int64_t g : t.recover_report.flagged[li])
+        t.scheduler.push_dirty(li, g);
+    t.dirty_pending.store(t.scheduler.dirty_pending(),
+                          std::memory_order_relaxed);
+  }
   // Published last: observers polling `detections` can rely on the
   // repair already being accounted in `groups_recovered`/`last_ttd_ns`.
   t.detections.fetch_add(1, std::memory_order_release);
-  RADAR_LOG(kInfo) << "serve: tenant '" << t.cfg.name << "' layer "
-                   << step.layer << " groups [" << step.group_begin << ","
-                   << step.group_end << "): flagged " << t.flag_buf.size()
-                   << " group(s), "
+  RADAR_LOG(kInfo) << "serve: tenant '" << t.cfg.name << "' slice flagged "
+                   << flagged_groups << " group(s) ("
+                   << slice.dirty_groups << " dirty, " << slice.chunks
+                   << " chunk(s) swept), "
                    << (recovered ? "recovered" : "recovery FAILED")
                    << (inject_ns >= 0 ? " (ttd recorded)" : "");
   note_detection(t);
+  return slice;
+}
+
+void ModelHost::check_coverage(Tenant& t) {
+  // Coverage guarantee: a sweep older than the period is a QoS violation
+  // (starved budget, an overloaded box, a wedged scheme). One alarm per
+  // missed period, re-armed by the next completed sweep.
+  if (opts_.coverage_period_ms <= 0 || t.coverage_alarm_armed ||
+      t.scheduler.coverage_age_ns() <= opts_.coverage_period_ms * 1000000)
+    return;
+  t.coverage_alarm_armed = true;
+  t.coverage_alarms.fetch_add(1, std::memory_order_relaxed);
+  RADAR_LOG(kWarn) << "serve: tenant '" << t.cfg.name
+                   << "' coverage deadline missed — sweep age "
+                   << t.scheduler.coverage_age_ns() / 1000000
+                   << "ms exceeds " << opts_.coverage_period_ms
+                   << "ms (budget too small for the model?)";
 }
 
 void ModelHost::ensure_golden(Tenant& t, std::int64_t b0, std::int64_t b1) {
@@ -534,19 +597,34 @@ void ModelHost::quarantine_tenant(Tenant& t) {
     // Byte-exact scrub against the golden copy: the scheme's codes only
     // see what they cover (radar2 misses non-MSB flips), but quarantine
     // has the tenant offline anyway — compare every weight byte with the
-    // (mmap'd) clean source and rewrite the stragglers.
+    // (mmap'd) clean source and rewrite the stragglers. The golden reads
+    // touch file-backed pages, so the whole pass runs under the SIGBUS
+    // guard: a package truncated after mmap degrades the tenant to its
+    // snapshot fallback instead of killing the daemon mid-scrub.
     const std::span<const std::int8_t> golden = t.scheme->clean_arena_bytes();
     if (!golden.empty()) {
-      for (std::size_t l = 0; l < qm.num_layers(); ++l) {
-        const auto [b0, b1] = qm.layer_byte_range(l);
-        for (std::int64_t i = 0; i < b1 - b0; ++i) {
-          const std::int8_t want = golden[static_cast<std::size_t>(b0 + i)];
-          if (qm.get_code(l, i) == want) continue;
-          qm.set_code(l, i, want);
-          ++scrubbed;
+      const bool readable = with_sigbus_guard([&] {
+        for (std::size_t l = 0; l < qm.num_layers(); ++l) {
+          const auto [b0, b1] = qm.layer_byte_range(l);
+          for (std::int64_t i = 0; i < b1 - b0; ++i) {
+            const std::int8_t want =
+                golden[static_cast<std::size_t>(b0 + i)];
+            if (qm.get_code(l, i) == want) continue;
+            qm.set_code(l, i, want);
+            ++scrubbed;
+          }
         }
+      });
+      if (readable) {
+        t.bytes_scrubbed.fetch_add(scrubbed, std::memory_order_relaxed);
+      } else {
+        RADAR_LOG(kError) << "serve: tenant '" << t.cfg.name
+                          << "' golden read faulted during scrub "
+                          << "(truncated mapping?)";
+        if (t.fallback_snapshot &&
+            !t.degraded.load(std::memory_order_relaxed))
+          degrade_tenant(t);
       }
-      t.bytes_scrubbed.fetch_add(scrubbed, std::memory_order_relaxed);
     }
   }
 
@@ -619,11 +697,56 @@ void ModelHost::scanner_loop() {
         std::this_thread::sleep_for(kScannerIdle);
         continue;
       }
-      Tenant& t = *tenants_[rr];
+      // Alarms are per-tenant and must not depend on being picked: a
+      // monopolizing overdue tenant (or a fleet-wide starved budget)
+      // still raises every other tenant's alarm.
+      for (auto& tn : tenants_) check_coverage(*tn);
+      // Per-tenant coverage deadlines: serve the most-overdue tenant
+      // first (largest age/period ratio past 1.0), round-robin when
+      // everyone is within deadline. The scheduler state is per-tenant,
+      // so preemption costs nothing — the passed-over tenant's sweep
+      // resumes exactly where it paused.
+      std::size_t pick = rr;
+      if (opts_.coverage_period_ms > 0) {
+        double worst = 1.0;
+        for (std::size_t i = 0; i < tenants_.size(); ++i) {
+          const double ratio =
+              static_cast<double>(tenants_[i]->scheduler.coverage_age_ns()) /
+              (static_cast<double>(opts_.coverage_period_ms) * 1e6);
+          if (ratio > worst) {
+            worst = ratio;
+            pick = i;
+          }
+        }
+      }
+      Tenant& t = *tenants_[pick];
       maybe_readmit(t);
       maybe_heal(t);
-      scan_step(t);
-      rr = (rr + 1) % tenants_.size();
+      const core::ScanScheduler::Slice slice = scan_step(t);
+      if (pick == rr) rr = (rr + 1) % tenants_.size();
+      // Pacing: sleep out the rest of the slice interval so scanning
+      // holds its duty cycle (budget/interval) instead of soaking a
+      // core; skipped while any tenant is past its coverage deadline
+      // (catch-up beats politeness).
+      if (opts_.scan_interval_us > 0 && opts_.scan_budget_us != 0 &&
+          opts_.scan_budget_bytes != 0) {
+        bool overdue = false;
+        if (opts_.coverage_period_ms > 0)
+          for (const auto& tn : tenants_)
+            overdue = overdue || tn->scheduler.coverage_age_ns() >
+                                     opts_.coverage_period_ms * 1000000;
+        if (!overdue) {
+          const std::int64_t rest =
+              opts_.scan_interval_us * 1000 - slice.elapsed_ns;
+          if (rest > 0)
+            std::this_thread::sleep_for(std::chrono::nanoseconds(rest));
+        }
+      } else if (opts_.scan_budget_us == 0 ||
+                 opts_.scan_budget_bytes == 0) {
+        // Starved budget: nothing to do but let coverage age grow (and
+        // alarms fire) without spinning.
+        std::this_thread::sleep_for(kScannerIdle);
+      }
     }
   } catch (const std::exception& e) {
     // The thread dies here; its heartbeat goes stale and the watchdog
@@ -717,6 +840,19 @@ HostStats ModelHost::stats() const {
     s.sweeps = t.sweeps.load(std::memory_order_relaxed);
     s.epoch_retries = t.epoch_retries.load(std::memory_order_relaxed);
     s.epoch_fallbacks = t.epoch_fallbacks.load(std::memory_order_relaxed);
+    s.coverage_period_ms = t.sweep_ms.load(std::memory_order_relaxed);
+    const std::int64_t sweep_end =
+        t.sweep_end_ns.load(std::memory_order_relaxed);
+    s.coverage_age_ms =
+        sweep_end >= 0 ? (now_ns() - sweep_end) / 1000000 : -1;
+    const std::int64_t scan_ns = t.scan_ns.load(std::memory_order_relaxed);
+    const std::int64_t scan_bytes =
+        t.scan_bytes.load(std::memory_order_relaxed);
+    s.scan_bytes_per_sec =
+        scan_ns > 0 ? scan_bytes * 1000000000 / scan_ns : 0;
+    s.coverage_alarms = t.coverage_alarms.load(std::memory_order_relaxed);
+    s.scan_cursor = t.scan_cursor.load(std::memory_order_relaxed);
+    s.dirty_pending = t.dirty_pending.load(std::memory_order_relaxed);
     const quant::EpochGuard* g = t.bundle.qmodel->epoch_guard();
     s.writer_sections = g ? g->writer_sections() : 0;
     // Acquire pairs with the release increment in scan_step(): a
@@ -773,6 +909,12 @@ std::string HostStats::to_json() const {
        << ",\"max_ns\":" << t.latency.max
        << ",\"shards_scanned\":" << t.shards_scanned
        << ",\"sweeps\":" << t.sweeps
+       << ",\"coverage_period_ms\":" << t.coverage_period_ms
+       << ",\"coverage_age_ms\":" << t.coverage_age_ms
+       << ",\"scan_bytes_per_sec\":" << t.scan_bytes_per_sec
+       << ",\"coverage_alarms\":" << t.coverage_alarms
+       << ",\"scan_cursor\":" << t.scan_cursor
+       << ",\"dirty_pending\":" << t.dirty_pending
        << ",\"epoch_retries\":" << t.epoch_retries
        << ",\"epoch_fallbacks\":" << t.epoch_fallbacks
        << ",\"writer_sections\":" << t.writer_sections

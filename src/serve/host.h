@@ -5,9 +5,10 @@
 // mmap path when available) with a statically calibrated int8 inference
 // engine. A pool of worker threads drains one bounded MPMC request
 // queue — requests carry the tenant id, so a burst on one tenant borrows
-// every idle worker — while a single background scanner thread
-// round-robins byte-range shards across all tenants, epoch-validating
-// every scan against the arena's seqlock guard (see serve/scanner.h).
+// every idle worker — while a single background scanner thread runs
+// budget-bounded scan slices across all tenants (most-overdue-first by
+// coverage age, round-robin otherwise), epoch-validating every scan
+// against the arena's seqlock guard (see core/scan_scheduler.h).
 //
 // Writers never stop traffic: fault injection (the test/loadgen hook for
 // "rowhammer while serving") and reload-clean recovery both bracket
@@ -39,12 +40,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/scan_scheduler.h"
 #include "exp/workspace.h"
 #include "quant/weight_arena.h"
 #include "serve/golden_guard.h"
 #include "serve/latency_histogram.h"
 #include "serve/request_queue.h"
-#include "serve/scanner.h"
 
 namespace radar::serve {
 
@@ -60,6 +61,20 @@ struct ServeOptions {
   std::size_t queue_capacity = 4096;  ///< bounded request queue depth
   bool scan = true;                   ///< start with scanning enabled
   std::int64_t scan_shard_bytes = 16 * 1024;  ///< sweep granule per tenant
+  // Scan QoS: each scanner-thread turn runs one budget-bounded slice of
+  // one tenant's sweep (dirty groups first, then round-robin chunks).
+  // Negative = unlimited, zero = starved (coverage-age alarms fire);
+  // see core/scan_scheduler.h for the exact semantics.
+  std::int64_t scan_budget_us = 500;     ///< wall-time budget per slice
+  std::int64_t scan_budget_bytes = -1;   ///< weight-byte budget per slice
+  /// Coverage guarantee: a tenant whose last completed sweep is older
+  /// than this is scanned first (preempting round-robin) and counts a
+  /// coverage alarm in STATS. 0 = no deadline.
+  std::int64_t coverage_period_ms = 5000;
+  /// Pacing between slices: the scanner sleeps out the remainder of this
+  /// interval after each slice (skipped while a tenant is overdue), so
+  /// the default duty cycle is budget/interval, not 100% of a core.
+  std::int64_t scan_interval_us = 2000;
   std::int64_t epoch_shard_bytes = quant::kDefaultEpochShardBytes;
   int epoch_max_retries = 64;  ///< optimistic attempts before quiescing
   core::RecoveryPolicy recovery = core::RecoveryPolicy::kReloadClean;
@@ -115,6 +130,13 @@ struct TenantStats {
   LatencyHistogram::Snapshot latency;
   std::uint64_t shards_scanned = 0, sweeps = 0;
   std::uint64_t epoch_retries = 0, epoch_fallbacks = 0;
+  // Scan QoS telemetry (see ServeOptions::scan_budget_*).
+  std::int64_t coverage_period_ms = -1;  ///< last sweep duration (-1: none)
+  std::int64_t coverage_age_ms = 0;   ///< time since last completed sweep
+  std::int64_t scan_bytes_per_sec = 0;  ///< bytes swept / scan-active time
+  std::uint64_t coverage_alarms = 0;  ///< coverage deadline misses
+  std::uint64_t scan_cursor = 0;  ///< sweep position (survives respawns)
+  std::uint64_t dirty_pending = 0;  ///< queued priority rescans
   std::uint64_t writer_sections = 0;
   std::uint64_t detections = 0;        ///< flagged-shard events
   std::uint64_t groups_recovered = 0;  ///< groups repaired by the scanner
@@ -234,10 +256,13 @@ class ModelHost {
     std::unique_ptr<qnn::InferenceEngine> engine;
     bool golden_mmapped = false;
 
-    // Scanner-thread state.
-    ShardScanner scanner;
-    std::vector<std::int64_t> flag_buf;
+    // Scanner-thread state. The scheduler lives with the tenant, not the
+    // scanner thread, so a watchdog respawn resumes the sweep exactly
+    // where the stalled thread left it (cursor, dirty queue and all).
+    core::ScanScheduler scheduler;
     core::DetectionReport recover_report;
+    std::int64_t scan_active_ns = 0;  ///< cumulative slice time
+    bool coverage_alarm_armed = false;  ///< one alarm per missed period
 
     // Quarantine bookkeeping. `quarantined` gates the workers (which
     // also read `readmit_at_ns` for the RETRY-AFTER hint); the rest is
@@ -275,6 +300,11 @@ class ModelHost {
     // Published copies of the scanner's private counters.
     std::atomic<std::uint64_t> shards_scanned{0}, sweeps{0};
     std::atomic<std::uint64_t> epoch_retries{0}, epoch_fallbacks{0};
+    std::atomic<std::uint64_t> coverage_alarms{0};
+    std::atomic<std::uint64_t> scan_cursor{0}, dirty_pending{0};
+    std::atomic<std::int64_t> scan_bytes{0}, scan_ns{0};
+    std::atomic<std::int64_t> sweep_end_ns{-1};  ///< last wrap (steady ns)
+    std::atomic<std::int64_t> sweep_ms{-1};      ///< last sweep duration
   };
 
   struct Worker {
@@ -312,8 +342,14 @@ class ModelHost {
   void worker_loop(std::size_t wi);
   void scanner_loop();
   void watchdog_loop();
-  /// Scan one shard of one tenant; recover + account on detection.
-  void scan_step(Tenant& t);
+  /// Run one budget-bounded scan slice of one tenant; recover + account
+  /// on detection. Returns the slice outcome (for pacing).
+  core::ScanScheduler::Slice scan_step(Tenant& t);
+  /// Scanner thread: raise the tenant's coverage alarm when its sweep
+  /// age exceeds the coverage period. Checked for EVERY tenant on every
+  /// scanner iteration — the overdue-first pick must not starve the
+  /// alarms of the tenants it passes over.
+  void check_coverage(Tenant& t);
   /// Scanner thread: verify the mmap'd golden bytes for [b0,b1) before
   /// recovery trusts them; on mismatch degrade to the snapshot fallback.
   void ensure_golden(Tenant& t, std::int64_t b0, std::int64_t b1);

@@ -1,9 +1,11 @@
-// EpochGuard + ShardScanner under real races: optimistic scans must
+// EpochGuard + ScanScheduler under real races: optimistic scans must
 // never report a torn read as tampering (zero false positives while a
 // writer hammers the arena) and must still flag every real flip within
 // one validated sweep (zero false negatives). Also covers the seqlock
 // protocol edges (odd-epoch bail, overlap invalidation, disjoint-range
-// independence) and the quiescent fallback path.
+// independence) and the quiescent fallback path. The scheduler runs
+// with budget_bytes = 1, which degenerates to exactly one chunk per
+// slice — the step-at-a-time granularity these races need.
 //
 // This test runs under TSan in CI with tests/tsan.supp suppressing the
 // *intentional* data race between scan reads and writer-section writes —
@@ -15,9 +17,9 @@
 #include <thread>
 
 #include "common/bits.h"
+#include "core/scan_scheduler.h"
 #include "core/scheme_registry.h"
 #include "quant/epoch_guard.h"
-#include "serve/scanner.h"
 
 namespace radar::quant {
 namespace {
@@ -78,7 +80,7 @@ TEST(EpochGuard, LockWritersExcludesWriterSections) {
 
 // ---------------------------------------------------------------------
 // Race-stress fixture: a real quantized model with a guard-enabled arena
-// and an attached scheme, scanned by a ShardScanner.
+// and an attached scheme, scanned chunk-by-chunk by a ScanScheduler.
 // ---------------------------------------------------------------------
 nn::ResNetSpec tiny_spec() {
   nn::ResNetSpec s;
@@ -96,15 +98,28 @@ class EpochScanStressTest : public ::testing::Test {
         "radar2", core::SchemeParams{.group_size = 32});
     scheme_->attach(qm_);
     qm_.enable_epoch_guard(/*shard_bytes=*/1024);
-    scanner_.plan(*scheme_, /*shard_bytes=*/2048);
+    core::ScanScheduler::Config cfg;
+    cfg.chunk_bytes = 2048;
+    cfg.budget_bytes = 1;  // exactly one chunk per slice
+    cfg.max_retries = 8;
+    scanner_.plan(*scheme_, cfg);
+  }
+
+  /// Scan one chunk and fold any flags into `found` (per layer).
+  core::ScanScheduler::Slice step_into(
+      std::vector<std::vector<std::int64_t>>* found) {
+    const auto slice = scanner_.run_slice(qm_);
+    if (found != nullptr)
+      for (const auto& [layer, group] : scanner_.slice_flags())
+        (*found)[layer].push_back(group);
+    return slice;
   }
 
   Rng rng_;
   nn::ResNet model_;
   quant::QuantizedModel qm_;
   std::unique_ptr<core::IntegrityScheme> scheme_;
-  serve::ShardScanner scanner_;
-  std::vector<std::int64_t> flagged_;
+  core::ScanScheduler scanner_;
 };
 
 TEST_F(EpochScanStressTest, NoFalsePositivesWhileWriterHammersArena) {
@@ -132,11 +147,10 @@ TEST_F(EpochScanStressTest, NoFalsePositivesWhileWriterHammersArena) {
 
   constexpr int kSteps = 4000;
   for (int i = 0; i < kSteps; ++i) {
-    const auto step =
-        scanner_.step(*scheme_, qm_, /*max_retries=*/8, flagged_);
-    EXPECT_FALSE(step.flagged)
-        << "false positive in layer " << step.layer << " groups ["
-        << step.group_begin << "," << step.group_end << ")";
+    const auto slice = step_into(nullptr);
+    EXPECT_FALSE(slice.flagged)
+        << "false positive at step " << i << " (cursor now "
+        << scanner_.cursor() << ")";
   }
   stop.store(true, std::memory_order_relaxed);
   writer.join();
@@ -166,17 +180,14 @@ TEST_F(EpochScanStressTest, DetectsEveryRealFlipWithinOneSweep) {
   ASSERT_TRUE(truth.attack_detected());
 
   std::vector<std::vector<std::int64_t>> found(qm_.num_layers());
-  for (std::size_t i = 0; i < scanner_.num_shards(); ++i) {
-    const auto step =
-        scanner_.step(*scheme_, qm_, /*max_retries=*/8, flagged_);
-    if (step.flagged)
-      found[step.layer].insert(found[step.layer].end(), flagged_.begin(),
-                               flagged_.end());
-  }
+  for (std::size_t i = 0; i < scanner_.num_chunks(); ++i) step_into(&found);
   for (std::size_t li = 0; li < found.size(); ++li)
     std::sort(found[li].begin(), found[li].end());
   EXPECT_EQ(found, truth.flagged)
       << "one sweep must flag exactly what the serial scan flags";
+  // The per-sweep report the scheduler accumulated must match too — this
+  // is the byte-identity the campaign and serve layers rely on.
+  EXPECT_EQ(scanner_.last_sweep_report().flagged, truth.flagged);
 }
 
 TEST_F(EpochScanStressTest, QuiescentFallbackStillDetects) {
@@ -191,15 +202,10 @@ TEST_F(EpochScanStressTest, QuiescentFallbackStillDetects) {
   const core::DetectionReport truth = scheme_->scan(qm_);
   std::vector<std::vector<std::int64_t>> found(qm_.num_layers());
   const std::uint64_t fallbacks_before = scanner_.epoch_fallbacks();
-  for (std::size_t i = 0; i < scanner_.num_shards(); ++i) {
-    const auto step =
-        scanner_.step(*scheme_, qm_, /*max_retries=*/0, flagged_);
-    if (step.flagged)
-      found[step.layer].insert(found[step.layer].end(), flagged_.begin(),
-                               flagged_.end());
-  }
+  scanner_.set_max_retries(0);
+  for (std::size_t i = 0; i < scanner_.num_chunks(); ++i) step_into(&found);
   EXPECT_EQ(scanner_.epoch_fallbacks(),
-            fallbacks_before + scanner_.num_shards());
+            fallbacks_before + scanner_.num_chunks());
   for (auto& f : found) std::sort(f.begin(), f.end());
   EXPECT_EQ(found, truth.flagged);
 }
@@ -229,15 +235,12 @@ TEST_F(EpochScanStressTest, ConcurrentWriterNeverHidesPersistentFlips) {
 
   for (int sweep = 0; sweep < 3; ++sweep) {
     std::vector<std::vector<std::int64_t>> found(qm_.num_layers());
-    for (std::size_t i = 0; i < scanner_.num_shards(); ++i) {
-      const auto step =
-          scanner_.step(*scheme_, qm_, /*max_retries=*/8, flagged_);
-      if (step.flagged)
-        found[step.layer].insert(found[step.layer].end(),
-                                 flagged_.begin(), flagged_.end());
-    }
+    for (std::size_t i = 0; i < scanner_.num_chunks(); ++i)
+      step_into(&found);
     for (auto& f : found) std::sort(f.begin(), f.end());
     EXPECT_EQ(found, truth.flagged) << "sweep " << sweep;
+    EXPECT_EQ(scanner_.last_sweep_report().flagged, truth.flagged)
+        << "sweep " << sweep;
   }
   stop.store(true, std::memory_order_relaxed);
   writer.join();

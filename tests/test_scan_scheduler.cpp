@@ -1,0 +1,224 @@
+// ScanScheduler edge cases: the budget semantics and the report-identity
+// contract the serve and campaign layers build on.
+//
+//   - zero budget starves (nothing scanned, `starved` reported) — the
+//     signal the serve coverage-age alarm keys off
+//   - unlimited budget completes a sweep in one slice whose report is
+//     byte-identical to ScanSession::scan_into (serial AND pooled)
+//   - a byte budget small enough to split layers resumes mid-layer and
+//     still reproduces the serial report exactly
+//   - dirty groups preempt the sweep (flagged before the cursor would
+//     reach them) without ever polluting the sweep report
+//   - the campaign's kScheduled mode emits default (non-timing) reports
+//     byte-identical to kFull, across worker thread counts
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "common/bits.h"
+#include "core/scan_scheduler.h"
+#include "core/scan_session.h"
+#include "core/scheme_registry.h"
+#include "quant/qmodel.h"
+
+namespace radar::core {
+namespace {
+
+nn::ResNetSpec tiny_spec() {
+  nn::ResNetSpec s;
+  s.num_classes = 4;
+  s.base_width = 8;
+  s.blocks_per_stage = {1, 1};
+  s.name = "tiny";
+  return s;
+}
+
+class ScanSchedulerTest : public ::testing::Test {
+ protected:
+  ScanSchedulerTest() : rng_(91), model_(tiny_spec(), rng_), qm_(model_) {
+    scheme_ = SchemeRegistry::instance().create(
+        "radar2", SchemeParams{.group_size = 32});
+    scheme_->attach(qm_);
+  }
+
+  /// Corrupt one weight (persistently) in the given layer.
+  void flip(std::size_t layer, std::int64_t idx) {
+    qm_.flip_bit(layer, idx, kMsb);
+  }
+
+  Rng rng_;
+  nn::ResNet model_;
+  quant::QuantizedModel qm_;
+  std::unique_ptr<IntegrityScheme> scheme_;
+};
+
+TEST_F(ScanSchedulerTest, ZeroBudgetStarvesWithoutScanning) {
+  ScanScheduler sched;
+  ScanScheduler::Config cfg;
+  cfg.budget_bytes = 0;
+  sched.plan(*scheme_, cfg);
+  flip(0, 1);  // corruption a starved scanner must NOT see
+  for (int i = 0; i < 5; ++i) {
+    const auto slice = sched.run_slice(qm_);
+    EXPECT_TRUE(slice.starved);
+    EXPECT_FALSE(slice.flagged);
+    EXPECT_EQ(slice.chunks + slice.dirty_groups, 0);
+    EXPECT_EQ(slice.bytes, 0);
+  }
+  EXPECT_EQ(sched.cursor(), 0u);
+  EXPECT_EQ(sched.bytes_scanned(), 0);
+  EXPECT_EQ(sched.sweeps(), 0u);
+  // Retuning the budget un-starves the same plan.
+  sched.set_budget(/*budget_us=*/-1, /*budget_bytes=*/-1);
+  const auto slice = sched.run_slice(qm_);
+  EXPECT_FALSE(slice.starved);
+  EXPECT_TRUE(slice.wrapped);
+  EXPECT_TRUE(slice.flagged);
+}
+
+TEST_F(ScanSchedulerTest, UnlimitedBudgetMatchesScanSessionByteForByte) {
+  flip(0, 3);
+  flip(2, 17);
+  flip(3, 5);
+  ScanScheduler sched;
+  sched.plan(*scheme_, {});  // defaults: unlimited budget
+  const auto slice = sched.run_slice(qm_);
+  EXPECT_TRUE(slice.wrapped);
+  EXPECT_EQ(static_cast<std::size_t>(slice.chunks), sched.num_chunks());
+
+  DetectionReport serial, pooled;
+  ScanSession(*scheme_, 1).scan_into(qm_, serial);
+  ScanSession(*scheme_, 4).scan_into(qm_, pooled);
+  EXPECT_EQ(sched.last_sweep_report().flagged, serial.flagged);
+  EXPECT_EQ(sched.last_sweep_report().flagged, pooled.flagged);
+  EXPECT_TRUE(sched.last_sweep_report().attack_detected());
+}
+
+TEST_F(ScanSchedulerTest, MidLayerResumeReproducesSerialReport) {
+  flip(1, 7);
+  flip(3, 41);
+  // chunk_bytes far below any layer size forces multi-chunk layers, and
+  // budget_bytes == 1 forces one chunk per slice: every boundary is a
+  // mid-layer resume through scan_layer_range_into.
+  ScanScheduler sched;
+  ScanScheduler::Config cfg;
+  cfg.chunk_bytes = 128;
+  cfg.budget_bytes = 1;
+  sched.plan(*scheme_, cfg);
+  ASSERT_GT(sched.num_chunks(), qm_.num_layers())
+      << "plan must split layers for this test to mean anything";
+  std::size_t slices = 0;
+  while (!sched.run_slice(qm_).wrapped) ++slices;
+  EXPECT_EQ(slices + 1, sched.num_chunks());
+
+  DetectionReport serial;
+  ScanSession(*scheme_, 1).scan_into(qm_, serial);
+  EXPECT_EQ(sched.last_sweep_report().flagged, serial.flagged);
+}
+
+TEST_F(ScanSchedulerTest, DirtyGroupsPreemptTheSweep) {
+  const std::size_t last = qm_.num_layers() - 1;
+  const GroupLayout& layout = scheme_->layout(last);
+  flip(last, 0);
+  const std::int64_t bad_group = layout.group_of(0);
+
+  ScanScheduler sched;
+  ScanScheduler::Config cfg;
+  cfg.budget_bytes = 1;  // one unit per slice
+  sched.plan(*scheme_, cfg);
+  sched.push_dirty(last, bad_group);
+  sched.push_dirty(last, bad_group);  // deduplicated
+  EXPECT_EQ(sched.dirty_pending(), 1u);
+
+  // The very first slice must flag the dirty group — the sweep cursor is
+  // still at chunk 0, nowhere near the last layer.
+  const auto slice = sched.run_slice(qm_);
+  EXPECT_EQ(slice.dirty_groups, 1);
+  EXPECT_EQ(slice.chunks, 0);
+  EXPECT_TRUE(slice.flagged);
+  ASSERT_EQ(sched.slice_flags().size(), 1u);
+  EXPECT_EQ(sched.slice_flags()[0],
+            (std::pair<std::size_t, std::int64_t>{last, bad_group}));
+  EXPECT_EQ(sched.cursor(), 0u) << "dirty work must not advance the sweep";
+
+  // Drain the sweep: the dirty rescan must not have polluted the
+  // accumulated sweep report (it still equals the serial scan).
+  while (!sched.run_slice(qm_).wrapped) {
+  }
+  DetectionReport serial;
+  ScanSession(*scheme_, 1).scan_into(qm_, serial);
+  EXPECT_EQ(sched.last_sweep_report().flagged, serial.flagged);
+}
+
+TEST_F(ScanSchedulerTest, SliceNeverScansPastAWrap) {
+  ScanScheduler sched;
+  sched.plan(*scheme_, {});  // unlimited: one slice = exactly one sweep
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    const auto slice = sched.run_slice(qm_);
+    EXPECT_TRUE(slice.wrapped);
+    EXPECT_EQ(static_cast<std::size_t>(slice.chunks), sched.num_chunks());
+    EXPECT_EQ(sched.cursor(), 0u);
+  }
+  EXPECT_EQ(sched.sweeps(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Campaign integration: kScheduled default reports are byte-identical to
+// kFull, for any budget and any worker thread count.
+// ---------------------------------------------------------------------
+campaign::CampaignSpec sched_spec() {
+  campaign::CampaignSpec spec;
+  spec.name = "sched_ident";
+  spec.model = "tiny";
+  spec.train = false;
+  spec.trials = 2;
+  spec.seed = 0xC0FFEE;
+  spec.eval_subset = 0;  // detection-only: fast
+  campaign::AttackerSpec atk;
+  atk.kind = "random_msb";
+  atk.flips = 5;
+  spec.attackers = {atk};
+  campaign::SchemeSpec radar2;
+  radar2.id = "radar2";
+  radar2.params.group_size = 32;
+  spec.schemes = {radar2};
+  return spec;
+}
+
+TEST(ScheduledCampaign, DefaultReportIdenticalToFullAcrossThreads) {
+  const campaign::CampaignSpec spec = sched_spec();
+  const std::string full =
+      campaign::CampaignRunner(1, 1, campaign::ScanMode::kFull)
+          .run(spec)
+          .to_json(false);
+  for (const std::int64_t budget : {std::int64_t{512}, std::int64_t{-1}}) {
+    campaign::EvalOptions eval;
+    eval.scan_budget_bytes = budget;
+    eval.scan_chunk_bytes = 512;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const campaign::CampaignReport report =
+          campaign::CampaignRunner(threads, 1,
+                                   campaign::ScanMode::kScheduled, eval)
+              .run(spec);
+      EXPECT_EQ(report.to_json(false), full)
+          << "budget=" << budget << " threads=" << threads;
+      EXPECT_TRUE(report.scheduled.enabled);
+      EXPECT_EQ(report.scheduled.detected_trials, report.scheduled.trials);
+    }
+  }
+}
+
+TEST(ScheduledCampaign, ZeroBudgetIsRejected) {
+  campaign::EvalOptions eval;
+  eval.scan_budget_bytes = 0;
+  EXPECT_THROW(
+      campaign::CampaignRunner(1, 1, campaign::ScanMode::kScheduled, eval)
+          .run(sched_spec()),
+      Error);
+}
+
+}  // namespace
+}  // namespace radar::core

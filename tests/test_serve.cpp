@@ -709,6 +709,92 @@ TEST_F(ChaosServeTest, TornGoldenReadDegradesThenHeals) {
   host.stop();
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+TEST_F(ChaosServeTest, PackageTruncatedAfterMmapDegradesNotCrashes) {
+  // Not an injected fault: the package file really is shrunk under the
+  // live mapping, so every later golden read lands on discarded pages
+  // and raises a genuine SIGBUS. The guarded CRC check must convert
+  // that into a degrade-to-snapshot, never a dead process.
+  const std::string trunc = "/tmp/radar_test_serve_trunc_" +
+                            std::to_string(::getpid()) + ".rpkg";
+  std::filesystem::copy_file(
+      *pkg_a_, trunc, std::filesystem::copy_options::overwrite_existing);
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.scan = true;
+  opts.scan_shard_bytes = 4096;
+  opts.quarantine_threshold = 0;
+  opts.reopen_backoff_ms = 20;
+  ModelHost host(opts);
+  TenantConfig cfg;
+  cfg.name = "trunc";
+  cfg.package_path = trunc;
+  ASSERT_EQ(host.add_tenant(cfg), 0u);
+  if (!host.stats().tenants[0].golden_mmapped) {
+    std::filesystem::remove(trunc);
+    GTEST_SKIP() << "no mmap'd golden on this platform/package";
+  }
+  host.start();
+  ASSERT_EQ(::truncate(trunc.c_str(), 0), 0);
+
+  EXPECT_GT(host.inject_faults(0, 6, 42), 0u);
+  ASSERT_TRUE(eventually(
+      30, [&] { return host.stats().tenants[0].degrades >= 1; }))
+      << "truncated golden mapping never degraded the tenant";
+  // Recovery proceeds from the in-memory snapshot fallback...
+  EXPECT_TRUE(eventually(
+      30, [&] { return host.stats().tenants[0].groups_recovered > 0; }))
+      << "snapshot-fallback recovery never repaired the injection";
+  // ...the tenant keeps serving, and the periodic re-open keeps failing
+  // (the bytes on disk are gone for good) without healing or crashing.
+  const InferenceResult r =
+      host.infer(0, host.dataset(0).test_batch(0, 1).images);
+  EXPECT_TRUE(r.ok) << r.error;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const TenantStats t = host.stats().tenants[0];
+  EXPECT_TRUE(t.degraded);
+  EXPECT_EQ(t.heals, 0u) << "a truncated package must never re-verify";
+  host.stop();
+  std::filesystem::remove(trunc);
+}
+#endif  // __unix__ || __APPLE__
+
+TEST_F(ChaosServeTest, StarvedScanBudgetRaisesCoverageAlarms) {
+  // A zero byte budget is a legal (if hostile) QoS setting: the
+  // scheduler starves, no sweep ever completes, and the coverage-age
+  // alarm is the only signal that detection has silently stopped.
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.scan = true;
+  opts.scan_budget_bytes = 0;
+  opts.coverage_period_ms = 25;  // deadline the starved scanner must miss
+  ModelHost host(opts);
+  add_two_tenants(host);
+  host.start();
+
+  EXPECT_GT(host.inject_faults(0, 6, 42), 0u);
+  ASSERT_TRUE(eventually(20, [&] {
+    const HostStats s = host.stats();
+    return s.tenants[0].coverage_alarms >= 1 &&
+           s.tenants[1].coverage_alarms >= 1;
+  })) << "starved scanner never raised a coverage alarm";
+
+  const HostStats s = host.stats();
+  for (const TenantStats& t : s.tenants) {
+    EXPECT_EQ(t.shards_scanned, 0u) << "starved slices must not scan";
+    EXPECT_EQ(t.sweeps, 0u);
+    EXPECT_EQ(t.scan_cursor, 0u);
+    EXPECT_EQ(t.detections, 0u)
+        << "a starved scanner cannot have detected anything";
+  }
+  EXPECT_EQ(s.tenants[0].coverage_period_ms, -1) << "no sweep completed";
+  // Starvation throttles scanning, never traffic.
+  const InferenceResult r =
+      host.infer(0, host.dataset(0).test_batch(0, 1).images);
+  EXPECT_TRUE(r.ok) << r.error;
+  host.stop();
+}
+
 TEST_F(ChaosServeTest, ExpiredRequestsDroppedWithoutForwardPass) {
   // One worker held busy by a slow request; a short-deadline request
   // queued behind it must be dropped, not computed.

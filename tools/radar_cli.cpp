@@ -38,7 +38,8 @@
 //       offline analogue of the run-time recovery path.
 //
 //   radar_cli campaign <spec.json> [--threads N] [--scan-threads N]
-//                          [--incremental] [--eval-batch N]
+//                          [--incremental | --scheduled] [--eval-batch N]
+//                          [--scan-budget-us N] [--scan-budget-bytes N]
 //                          [--eval-engine reference|batched]
 //                          [--out report.json] [--csv report.csv]
 //                          [--timing]
@@ -53,11 +54,18 @@
 //       --eval-batch sets the images per int8-engine forward (default
 //       auto) and --eval-engine selects the batched im2col+GEMM kernels
 //       or the direct-convolution reference — all three keep reports
-//       byte-identical (CI-enforced).
+//       byte-identical (CI-enforced). --scheduled runs every trial's
+//       scan through the budget-driven ScanScheduler (interleaving one
+//       inference batch per slice) and records time-to-detect under the
+//       --scan-budget-us / --scan-budget-bytes slice budget; default
+//       reports stay byte-identical to the full-scan mode, with the QoS
+//       telemetry in the --timing JSON section.
 //
 //   radar_cli serve --socket <path> --tenant <name>=<pkg> [...]
 //                   [--model ...] [--workers N] [--queue N] [--no-scan]
-//                   [--scan-shard-bytes N] [--no-mmap]
+//                   [--scan-shard-bytes N] [--scan-budget-us N]
+//                   [--scan-budget-bytes N] [--coverage-period-ms N]
+//                   [--no-mmap]
 //                   [--quarantine-threshold N] [--quarantine-window-ms N]
 //                   [--quarantine-backoff-ms N] [--conn-timeout-ms N]
 //                   [--deadline-ms N] [--no-watchdog]
@@ -72,6 +80,7 @@
 //
 //   radar_cli schemes
 //       List the registered scheme ids.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -110,7 +119,13 @@ struct Args {
   std::string csv;  ///< campaign CSV report path
   bool timing = false;
   bool incremental = false;  ///< campaign: dirty-group scanning
+  bool scheduled = false;    ///< campaign: budget-driven interleaved scan
   campaign::EvalOptions eval;  ///< campaign: accuracy-eval knobs
+  // ---- scan QoS knobs, shared by campaign --scheduled and serve ----
+  // INT64_MIN = not given on the command line (keep the mode default).
+  std::int64_t scan_budget_us = INT64_MIN;
+  std::int64_t scan_budget_bytes = INT64_MIN;
+  std::int64_t coverage_period_ms = INT64_MIN;
   // ---- serve ----
   std::string socket;                 ///< serve: unix socket path
   std::vector<std::string> tenants;   ///< serve: name=package specs
@@ -180,6 +195,19 @@ bool parse_options(int argc, char** argv, int first_opt, Args& args) {
       args.mmap_golden = true;
     } else if (a == "--incremental") {
       args.incremental = true;
+    } else if (a == "--scheduled") {
+      args.scheduled = true;
+    } else if (a == "--scan-budget-us") {
+      args.scan_budget_us = std::atoll(next("--scan-budget-us"));
+    } else if (a == "--scan-budget-bytes") {
+      args.scan_budget_bytes = std::atoll(next("--scan-budget-bytes"));
+    } else if (a == "--coverage-period-ms") {
+      args.coverage_period_ms = std::atoll(next("--coverage-period-ms"));
+      if (args.coverage_period_ms < 0) {
+        std::fprintf(stderr,
+                     "--coverage-period-ms must be >= 0 (0 = alarm off)\n");
+        return false;
+      }
     } else if (a == "--eval-batch") {
       const int batch = std::atoi(next("--eval-batch"));
       if (batch < 0) {
@@ -460,12 +488,24 @@ int cmd_schemes(const Args&) {
 }
 
 int cmd_campaign(const Args& args) {
+  if (args.incremental && args.scheduled) {
+    std::fprintf(stderr, "--incremental and --scheduled are exclusive\n");
+    return 2;
+  }
   const auto spec = campaign::CampaignSpec::from_json_file(args.package);
+  campaign::EvalOptions eval = args.eval;
+  if (args.scan_budget_us != INT64_MIN)
+    eval.scan_budget_us = args.scan_budget_us;
+  if (args.scan_budget_bytes != INT64_MIN)
+    eval.scan_budget_bytes = args.scan_budget_bytes;
+  eval.scan_chunk_bytes = args.scan_shard_bytes;
   campaign::CampaignRunner runner(args.threads, args.scan_threads,
-                                  args.incremental
-                                      ? campaign::ScanMode::kIncremental
-                                      : campaign::ScanMode::kFull,
-                                  args.eval);
+                                  args.scheduled
+                                      ? campaign::ScanMode::kScheduled
+                                      : args.incremental
+                                            ? campaign::ScanMode::kIncremental
+                                            : campaign::ScanMode::kFull,
+                                  eval);
   const campaign::CampaignReport report = runner.run(spec);
   report.print();
   if (args.timing) {
@@ -510,6 +550,12 @@ int cmd_serve(const Args& args) {
   opts.queue_capacity = args.queue_capacity;
   opts.scan = args.scan;
   opts.scan_shard_bytes = args.scan_shard_bytes;
+  if (args.scan_budget_us != INT64_MIN)
+    opts.scan_budget_us = args.scan_budget_us;
+  if (args.scan_budget_bytes != INT64_MIN)
+    opts.scan_budget_bytes = args.scan_budget_bytes;
+  if (args.coverage_period_ms != INT64_MIN)
+    opts.coverage_period_ms = args.coverage_period_ms;
   if (args.quarantine_threshold >= 0)
     opts.quarantine_threshold = args.quarantine_threshold;
   if (args.quarantine_window_ms > 0)
@@ -577,11 +623,15 @@ constexpr Command kCommands[] = {
     {"attack", "attack <pkg> [--model M] [--flips N] [--pbfa]", 1,
      cmd_attack},
     {"recover", "recover <pkg> [--model M] [--threads N]", 1, cmd_recover},
-    {"campaign", "campaign <spec.json> [--threads N] [--out J] [--csv C]",
+    {"campaign",
+     "campaign <spec.json> [--threads N] [--incremental | --scheduled] "
+     "[--scan-budget-us N] [--scan-budget-bytes N] [--out J] [--csv C]",
      1, cmd_campaign},
     {"serve",
      "serve --socket <path> --tenant <name>=<pkg> [--tenant ...] "
-     "[--workers N] [--no-scan] [--quarantine-threshold N] "
+     "[--workers N] [--no-scan] [--scan-budget-us N] "
+     "[--scan-budget-bytes N] [--coverage-period-ms N] "
+     "[--quarantine-threshold N] "
      "[--quarantine-window-ms N] [--quarantine-backoff-ms N] "
      "[--conn-timeout-ms N] [--deadline-ms N] [--no-watchdog] "
      "[--watchdog-interval-ms N] [--scanner-stall-ms N] "

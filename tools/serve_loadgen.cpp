@@ -30,6 +30,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -74,6 +75,10 @@ struct Options {
   int inject_rowhammer = 0;  ///< victim rows to hammer (0: iid flips)
   std::int64_t rh_activations = 150000;  ///< aggressor activations per row
   std::uint64_t seed = 0x10ADU;
+  // Scan QoS passthrough (in-process mode); INT64_MIN = host default.
+  std::int64_t scan_budget_us = INT64_MIN;
+  std::int64_t scan_budget_bytes = INT64_MIN;
+  std::int64_t coverage_period_ms = INT64_MIN;
   bool shutdown = false;  ///< socket mode: send SHUTDOWN when done
   std::int64_t deadline_ms = 0;  ///< per-request deadline (0: none)
   // Shed/quarantined replies are retryable, not terminal: bounded
@@ -109,6 +114,9 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--inject-rowhammer") o.inject_rowhammer = std::atoi(next("--inject-rowhammer"));
     else if (a == "--rh-activations") o.rh_activations = std::atoll(next("--rh-activations"));
     else if (a == "--seed") o.seed = std::strtoull(next("--seed"), nullptr, 0);
+    else if (a == "--scan-budget-us") o.scan_budget_us = std::atoll(next("--scan-budget-us"));
+    else if (a == "--scan-budget-bytes") o.scan_budget_bytes = std::atoll(next("--scan-budget-bytes"));
+    else if (a == "--coverage-period-ms") o.coverage_period_ms = std::atoll(next("--coverage-period-ms"));
     else if (a == "--shutdown") o.shutdown = true;
     else if (a == "--deadline-ms") o.deadline_ms = std::atoll(next("--deadline-ms"));
     else if (a == "--max-retries") o.max_retries = std::atoi(next("--max-retries"));
@@ -177,6 +185,11 @@ class Backend {
   /// Server-side time-to-detect in ns when the backend can see it
   /// (-1: unknown; the caller falls back to the client-observed value).
   virtual std::int64_t server_ttd_ns(std::size_t) { return -1; }
+  /// Scan QoS telemetry when visible (-1: unknown). Coverage period is
+  /// the worst (longest) last-sweep duration across tenants; bytes/sec
+  /// is summed across tenants.
+  virtual double coverage_period_ms() { return -1.0; }
+  virtual double scan_bytes_per_sec() { return -1.0; }
   virtual void shutdown() {}
 };
 
@@ -187,6 +200,12 @@ class InProcessBackend : public Backend {
   InProcessBackend(const Options& o) : deadline_ms_(o.deadline_ms) {
     serve::ServeOptions opts;
     opts.workers = o.workers;
+    if (o.scan_budget_us != INT64_MIN)
+      opts.scan_budget_us = o.scan_budget_us;
+    if (o.scan_budget_bytes != INT64_MIN)
+      opts.scan_budget_bytes = o.scan_budget_bytes;
+    if (o.coverage_period_ms != INT64_MIN)
+      opts.coverage_period_ms = o.coverage_period_ms;
     host_ = std::make_unique<serve::ModelHost>(opts);
 
     std::vector<std::pair<std::string, std::string>> specs;
@@ -255,6 +274,18 @@ class InProcessBackend : public Backend {
   }
   std::int64_t server_ttd_ns(std::size_t tenant) override {
     return host_->stats().tenants.at(tenant).last_ttd_ns;
+  }
+  double coverage_period_ms() override {
+    std::int64_t worst = -1;
+    for (const auto& t : host_->stats().tenants)
+      worst = std::max(worst, t.coverage_period_ms);
+    return static_cast<double>(worst);
+  }
+  double scan_bytes_per_sec() override {
+    std::int64_t total = 0;
+    for (const auto& t : host_->stats().tenants)
+      total += t.scan_bytes_per_sec;
+    return static_cast<double>(total);
   }
 
   serve::ModelHost& host() { return *host_; }
@@ -566,6 +597,8 @@ int main(int argc, char** argv) {
                  "[--inject-flips N] [--inject-rowhammer ROWS]\n"
                  "                     [--rh-activations A] [--seed S] "
                  "[--shutdown]\n"
+                 "                     [--scan-budget-us N] "
+                 "[--scan-budget-bytes N] [--coverage-period-ms N]\n"
                  "                     [--deadline-ms D] [--max-retries N] "
                  "[--retry-base-ms B]\n");
     return 2;
@@ -625,6 +658,15 @@ int main(int argc, char** argv) {
         std::printf("  time-to-detect: NONE — injection was NOT detected\n");
     }
 
+    // Scan QoS telemetry from the server side (in-process only): the
+    // coverage a tenant actually got while the load ran, and the sweep
+    // bandwidth the budget allowed.
+    const double coverage_ms = backend->coverage_period_ms();
+    const double scan_bps = backend->scan_bytes_per_sec();
+    if (coverage_ms >= 0.0)
+      std::printf("  scan QoS: coverage period %.3fms, %.2f MB/s swept\n",
+                  coverage_ms, scan_bps / 1e6);
+
     if (o.shutdown) backend->shutdown();
 
     bench::JsonReport report("serve");
@@ -638,6 +680,10 @@ int main(int argc, char** argv) {
     report.add("failed_scan_on", static_cast<double>(on.failed));
     report.add("retries_scan_off", static_cast<double>(off.retries));
     report.add("retries_scan_on", static_cast<double>(on.retries));
+    if (coverage_ms >= 0.0) {
+      report.add("coverage_period_ms", coverage_ms);
+      report.add("scan_bytes_per_sec", scan_bps);
+    }
     if (o.attacking()) {
       report.add("p50_attack", attack.latency.quantile(0.50));
       report.add("p99_attack", attack.latency.quantile(0.99));
